@@ -1,0 +1,107 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers -------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure-reproduction benchmark binaries: a
+/// standard main() that prints the figure table and then runs any
+/// registered google-benchmark micro-benchmarks, plus small statistics
+/// and formatting utilities.
+///
+/// Environment knobs (all optional):
+///   DSPEC_BENCH_WIDTH / DSPEC_BENCH_HEIGHT   pixel grid (default 48x32)
+///   DSPEC_BENCH_FRAMES                       frames per measurement (5)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_BENCH_BENCHUTIL_H
+#define DATASPEC_BENCH_BENCHUTIL_H
+
+#include "shading/ShaderLab.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace dspec {
+namespace bench {
+
+inline unsigned envUnsigned(const char *Name, unsigned Default) {
+  const char *Text = std::getenv(Name);
+  if (!Text)
+    return Default;
+  long Value = std::strtol(Text, nullptr, 10);
+  return Value > 0 ? static_cast<unsigned>(Value) : Default;
+}
+
+inline unsigned benchWidth() { return envUnsigned("DSPEC_BENCH_WIDTH", 48); }
+inline unsigned benchHeight() { return envUnsigned("DSPEC_BENCH_HEIGHT", 32); }
+inline unsigned benchFrames() { return envUnsigned("DSPEC_BENCH_FRAMES", 5); }
+
+inline double median(std::vector<double> Samples) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
+inline double mean(const std::vector<double> &Samples) {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double S : Samples)
+    Sum += S;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+/// One (partition, byte-bound) measurement of the Figure 9/10 study.
+struct LimitSweepRow {
+  std::string ParamName;
+  unsigned ByteLimit = 0;
+  unsigned ActualBytes = 0;
+  double Speedup = 0.0;
+};
+
+/// Runs the Figure 9/10 sweep: every input partition of shader 10
+/// ("rings") under cache byte bounds 0, Step, ..., MaxBytes.
+inline std::vector<LimitSweepRow>
+runCacheLimitSweep(ShaderLab &Lab, unsigned MaxBytes = 40,
+                   unsigned Step = 4) {
+  std::vector<LimitSweepRow> Rows;
+  const ShaderInfo *Info = findShader("rings");
+  for (size_t C = 0; C < Info->Controls.size(); ++C) {
+    for (unsigned Bound = 0; Bound <= MaxBytes; Bound += Step) {
+      SpecializerOptions Options;
+      Options.CacheByteLimit = Bound;
+      auto R = Lab.measurePartition(*Info, C, Options);
+      if (!R) {
+        std::fprintf(stderr, "!! rings/%s bound=%u: %s\n",
+                     Info->Controls[C].Name.c_str(), Bound,
+                     Lab.lastError().c_str());
+        continue;
+      }
+      Rows.push_back(
+          {R->ParamName, Bound, R->CacheBytes, R->Speedup});
+    }
+  }
+  return Rows;
+}
+
+/// Prints the standard banner for one reproduced figure/table.
+inline void banner(const char *Figure, const char *PaperClaim) {
+  std::printf("\n================================================================"
+              "======\n");
+  std::printf("%s\n", Figure);
+  std::printf("paper: %s\n", PaperClaim);
+  std::printf("=================================================================="
+              "====\n");
+}
+
+} // namespace bench
+} // namespace dspec
+
+#endif // DATASPEC_BENCH_BENCHUTIL_H

@@ -1,0 +1,153 @@
+//===- bench/bench_baseline.cpp - Section 6.2 comparison ---------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Section 6.2 related-work comparison against incremental
+/// computation via function caching ([PT89]/[Hoo92]-style memoization):
+///
+///   scenario A (slider drag, every frame a NEW value of the varying
+///   parameter — the paper's usage model): memoization always misses and
+///   degenerates to the original plus bookkeeping, while the data-
+///   specialized reader keeps its full speedup;
+///
+///   scenario B (toggling between two already-seen values): memoization
+///   wins outright — one table probe per pixel, no computation — the
+///   "avoid more computations than data specialization does" half of the
+///   paper's sentence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baseline/Memoizer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace dspec;
+using namespace dspec::bench;
+
+namespace {
+
+struct Setup {
+  ShaderLab Lab;
+  const ShaderInfo *Info;
+  size_t ParamIndex;
+  SpecializedShader Spec;
+  MemoizedFragment Memo;
+  std::vector<MemoTable> Tables;
+
+  static Setup make() {
+    ShaderLab Lab(benchWidth(), benchHeight(), benchFrames());
+    const ShaderInfo *Info = findShader("marble");
+    size_t ParamIndex = 0; // vary ka
+    auto Spec = Lab.specializePartition(*Info, ParamIndex);
+    if (!Spec) {
+      std::fprintf(stderr, "%s\n", Lab.lastError().c_str());
+      std::abort();
+    }
+    MemoizedFragment Memo(
+        Spec->compiled().OriginalChunk,
+        {static_cast<unsigned>(ShaderInfo::NumPixelParams + ParamIndex)});
+    std::vector<MemoTable> Tables(Lab.grid().pixelCount(), MemoTable(8));
+    return Setup{std::move(Lab), Info, ParamIndex, std::move(*Spec),
+                 std::move(Memo), std::move(Tables)};
+  }
+
+  double timeMemoFrame(VM &Machine, const std::vector<float> &Controls) {
+    std::vector<Value> Args(ShaderInfo::NumPixelParams + Controls.size());
+    for (size_t C = 0; C < Controls.size(); ++C)
+      Args[ShaderInfo::NumPixelParams + C] = Value::makeFloat(Controls[C]);
+    auto Start = std::chrono::steady_clock::now();
+    const auto &Pixels = Lab.grid().pixels();
+    for (unsigned I = 0; I < Lab.grid().pixelCount(); ++I) {
+      Args[0] = Pixels[I].UV;
+      Args[1] = Pixels[I].P;
+      Args[2] = Pixels[I].N;
+      Args[3] = Pixels[I].I;
+      benchmark::DoNotOptimize(Memo.run(Machine, Args, Tables[I]));
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+};
+
+void printComparison() {
+  banner("Section 6.2: data specialization vs function caching (memoization)",
+         "exact-repeat inputs: memoization avoids even the reader's work; "
+         "fresh inputs (slider drag): memoization degenerates to the "
+         "original while the reader keeps its speedup");
+
+  Setup S = Setup::make();
+  VM Machine;
+  auto Controls = ShaderLab::defaultControls(*S.Info);
+  unsigned Frames = benchFrames();
+  auto Sweep = S.Lab.sweepValues(S.Info->Controls[S.ParamIndex], Frames);
+
+  // Data specialization: loader once, reader per frame.
+  S.Spec.load(Machine, S.Lab.grid(), Controls);
+
+  std::vector<double> OrigT, ReadT, MemoFreshT, MemoRepeatT;
+
+  // Scenario A: every frame a new value.
+  for (unsigned F = 0; F < Frames; ++F) {
+    Controls[S.ParamIndex] = Sweep[F];
+    auto T0 = std::chrono::steady_clock::now();
+    S.Spec.originalFrame(Machine, S.Lab.grid(), Controls);
+    auto T1 = std::chrono::steady_clock::now();
+    S.Spec.readFrame(Machine, S.Lab.grid(), Controls);
+    auto T2 = std::chrono::steady_clock::now();
+    OrigT.push_back(std::chrono::duration<double>(T1 - T0).count());
+    ReadT.push_back(std::chrono::duration<double>(T2 - T1).count());
+    MemoFreshT.push_back(S.timeMemoFrame(Machine, Controls));
+  }
+
+  // Scenario B: toggle between the two values seen last; all hits.
+  for (unsigned F = 0; F < Frames; ++F) {
+    Controls[S.ParamIndex] = Sweep[F % 2 == 0 ? Frames - 1 : Frames - 2];
+    MemoRepeatT.push_back(S.timeMemoFrame(Machine, Controls));
+  }
+
+  double Orig = median(OrigT), Read = median(ReadT);
+  double Fresh = median(MemoFreshT), Repeat = median(MemoRepeatT);
+  std::printf("per-frame times (marble, vary ka, %ux%u pixels):\n",
+              S.Lab.grid().width(), S.Lab.grid().height());
+  std::printf("  original                  %8.2f ms   1.00x\n", Orig * 1e3);
+  std::printf("  dataspec reader           %8.2f ms   %.2fx\n", Read * 1e3,
+              Orig / Read);
+  std::printf("  memoized, fresh values    %8.2f ms   %.2fx   <- slider "
+              "drag: misses, no benefit\n",
+              Fresh * 1e3, Orig / Fresh);
+  std::printf("  memoized, repeated values %8.2f ms   %.2fx   <- exact "
+              "repeats: beats even the reader\n",
+              Repeat * 1e3, Orig / Repeat);
+  std::printf("\nmemo stats: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(S.Memo.hits()),
+              static_cast<unsigned long long>(S.Memo.misses()));
+  std::printf("\npaper (Section 6.2): dynamic dependence checking \"avoids "
+              "more computations than data specialization does, but loses "
+              "the efficiency we gain from compiling away the dependence in "
+              "advance\" — both halves visible above.\n");
+}
+
+void BM_MemoTableLookupHit(benchmark::State &State) {
+  MemoTable Table(8);
+  Table.insert({0.25f}, Value::makeVec3(1, 2, 3));
+  std::vector<float> Key = {0.25f};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Table.lookup(Key));
+}
+BENCHMARK(BM_MemoTableLookupHit);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

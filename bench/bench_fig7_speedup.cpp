@@ -1,0 +1,104 @@
+//===- bench/bench_fig7_speedup.cpp - Figure 7 ------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 7: the asymptotic speedup of every input partition
+/// of the ten gallery shaders (one partition per control parameter, 131
+/// total), plus the per-shader median series the figure overlays. Shape
+/// expectations from the paper: every speedup is at least 1.0x, the
+/// noise-heavy shaders (3, 4, 5) reach far higher peaks than the simple
+/// ones (1, 6, 7, 8), partitions that perturb a noise input lose roughly
+/// half (or more) of their shader's best speedup, and light-position
+/// partitions score much lower than scaling parameters like ambient.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dspec;
+using namespace dspec::bench;
+
+namespace {
+
+void printFigure7() {
+  banner("Figure 7: speedup for all input partitions of ten shaders",
+         "all speedups >= 1.0x; noise shaders (3,4,5) peak near 100x; "
+         "simple shaders lower; wide variance across partitions");
+
+  ShaderLab Lab(benchWidth(), benchHeight(), benchFrames());
+  std::printf("%-3s %-9s %-11s %10s %8s %10s\n", "sh", "shader", "partition",
+              "speedup", "cacheB", "breakeven");
+
+  std::vector<std::vector<double>> PerShader(shaderGallery().size() + 1);
+  unsigned Partitions = 0;
+  unsigned AtLeastOne = 0;
+  for (const ShaderInfo &Info : shaderGallery()) {
+    for (size_t C = 0; C < Info.Controls.size(); ++C) {
+      auto R = Lab.measurePartition(Info, C);
+      if (!R) {
+        std::printf("!! %s: %s\n", Info.Name.c_str(),
+                    Lab.lastError().c_str());
+        continue;
+      }
+      ++Partitions;
+      if (R->Speedup >= 1.0)
+        ++AtLeastOne;
+      PerShader[Info.Index].push_back(R->Speedup);
+      std::printf("%-3u %-9s %-11s %9.2fx %7uB %10u\n", Info.Index,
+                  Info.Name.c_str(), R->ParamName.c_str(), R->Speedup,
+                  R->CacheBytes, R->BreakevenUses);
+    }
+  }
+
+  std::printf("\nper-shader medians (the figure's median series):\n");
+  for (const ShaderInfo &Info : shaderGallery()) {
+    auto &Samples = PerShader[Info.Index];
+    std::printf("  shader %2u %-9s median %8.2fx   max %8.2fx   over %zu "
+                "partitions\n",
+                Info.Index, Info.Name.c_str(), median(Samples),
+                *std::max_element(Samples.begin(), Samples.end()),
+                Samples.size());
+  }
+  std::printf("\n%u/%u partitions measured; %u with speedup >= 1.0x "
+              "(paper: always at least 1.0x)\n",
+              Partitions, totalPartitionCount(), AtLeastOne);
+}
+
+// A representative per-frame micro-benchmark pair for google-benchmark.
+void BM_MarbleOriginalFrame(benchmark::State &State) {
+  ShaderLab Lab(benchWidth(), benchHeight(), 2);
+  const ShaderInfo *Info = findShader("marble");
+  auto Spec = Lab.specializePartition(*Info, 0);
+  VM Machine;
+  auto Controls = ShaderLab::defaultControls(*Info);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Spec->originalFrame(Machine, Lab.grid(), Controls));
+}
+BENCHMARK(BM_MarbleOriginalFrame)->Unit(benchmark::kMillisecond);
+
+void BM_MarbleReaderFrame(benchmark::State &State) {
+  ShaderLab Lab(benchWidth(), benchHeight(), 2);
+  const ShaderInfo *Info = findShader("marble");
+  auto Spec = Lab.specializePartition(*Info, 0); // vary ka
+  VM Machine;
+  auto Controls = ShaderLab::defaultControls(*Info);
+  Spec->load(Machine, Lab.grid(), Controls);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Spec->readFrame(Machine, Lab.grid(), Controls));
+}
+BENCHMARK(BM_MarbleReaderFrame)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFigure7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

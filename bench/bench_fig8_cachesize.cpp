@@ -1,0 +1,82 @@
+//===- bench/bench_fig8_cachesize.cpp - Figure 8 -----------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 8: the single-pixel cache size of every input
+/// partition, plus the Section 5.3 aggregates. Paper expectations: sizes
+/// vary widely across partitions even within one shader; overall mean 22
+/// and median 20 bytes; total memory (size x number of per-pixel caches)
+/// comfortably fits a workstation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dspec;
+using namespace dspec::bench;
+
+namespace {
+
+void printFigure8() {
+  banner("Figure 8: single-pixel cache sizes for all input partitions",
+         "wide variance; overall mean 22 bytes, median 20 bytes; total for "
+         "a 640x480 image well within physical memory");
+
+  ShaderLab Lab(2, 2); // no timing needed: layout only
+  std::printf("%-3s %-9s %-11s %8s %6s\n", "sh", "shader", "partition",
+              "bytes", "slots");
+
+  std::vector<double> AllBytes;
+  for (const ShaderInfo &Info : shaderGallery()) {
+    for (size_t C = 0; C < Info.Controls.size(); ++C) {
+      auto Spec = Lab.specializePartition(Info, C);
+      if (!Spec) {
+        std::printf("!! %s: %s\n", Info.Name.c_str(),
+                    Lab.lastError().c_str());
+        continue;
+      }
+      const CacheLayout &Layout = Spec->compiled().Spec.Layout;
+      AllBytes.push_back(Layout.totalBytes());
+      std::printf("%-3u %-9s %-11s %7uB %6u\n", Info.Index,
+                  Info.Name.c_str(), Info.Controls[C].Name.c_str(),
+                  Layout.totalBytes(), Layout.slotCount());
+    }
+  }
+
+  double Mean = mean(AllBytes);
+  double Median = median(AllBytes);
+  std::printf("\noverall: mean %.1f bytes (paper: 22), median %.1f bytes "
+              "(paper: 20), %zu partitions\n",
+              Mean, Median, AllBytes.size());
+
+  // Section 5.3's memory check for a full 640x480 image.
+  double WorstBytes = *std::max_element(AllBytes.begin(), AllBytes.end());
+  double TotalMB = WorstBytes * 640.0 * 480.0 / (1024.0 * 1024.0);
+  std::printf("worst-case 640x480 image: %.0f caches x %.0f bytes = %.1f "
+              "MiB (paper: well within a 64 MB workstation)\n",
+              640.0 * 480.0, WorstBytes, TotalMB);
+}
+
+void BM_SpecializeRingsPartition(benchmark::State &State) {
+  // Cost of constructing one loader/reader pair (the paper installs a
+  // shader by building all of its partitions, "a few seconds" total).
+  ShaderLab Lab(2, 2);
+  const ShaderInfo *Info = findShader("rings");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Lab.specializePartition(*Info, 8));
+}
+BENCHMARK(BM_SpecializeRingsPartition)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFigure8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- bench/bench_fig9_cachelimit.cpp - Figure 9 ----------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 9: absolute speedup versus cache size limit for all
+/// 14 input partitions of shader 10 ("rings"). Paper expectations: as the
+/// bound drops from 40 bytes to 0, speedups fall off toward 1.0x, but
+/// gradually — many partitions need fewer than 40 bytes and are unaffected
+/// until the bound crosses their natural size, and the most valuable slots
+/// are evicted last (cliffs are possible for individual partitions, e.g.
+/// ringscale in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace dspec;
+using namespace dspec::bench;
+
+namespace {
+
+void printFigure9() {
+  banner("Figure 9: speedup factor vs cache size, shader 10 (rings)",
+         "speedups decay toward 1.0x as the byte bound shrinks to 0; "
+         "partitions below their natural size are unaffected");
+
+  ShaderLab Lab(benchWidth(), benchHeight(), benchFrames());
+  auto Rows = runCacheLimitSweep(Lab);
+
+  // Pivot: one line per partition, one column per bound.
+  std::map<std::string, std::map<unsigned, double>> Table;
+  unsigned MaxBound = 0;
+  for (const LimitSweepRow &Row : Rows) {
+    Table[Row.ParamName][Row.ByteLimit] = Row.Speedup;
+    MaxBound = std::max(MaxBound, Row.ByteLimit);
+  }
+
+  std::printf("%-11s", "partition");
+  for (unsigned Bound = 0; Bound <= MaxBound; Bound += 4)
+    std::printf(" %6uB", Bound);
+  std::printf("\n");
+  for (const ShaderInfo &Info = *findShader("rings");
+       const ControlParam &Param : Info.Controls) {
+    auto It = Table.find(Param.Name);
+    if (It == Table.end())
+      continue;
+    std::printf("%-11s", Param.Name.c_str());
+    for (unsigned Bound = 0; Bound <= MaxBound; Bound += 4)
+      std::printf(" %6.2fx", It->second.count(Bound) ? It->second[Bound]
+                                                     : 0.0);
+    std::printf("\n");
+  }
+
+  // Sanity summary: unlimited vs zero-bound speedups.
+  std::vector<double> AtZero, AtMax;
+  for (const LimitSweepRow &Row : Rows) {
+    if (Row.ByteLimit == 0)
+      AtZero.push_back(Row.Speedup);
+    if (Row.ByteLimit == MaxBound)
+      AtMax.push_back(Row.Speedup);
+  }
+  std::printf("\nmedian speedup at %uB bound: %.2fx;  at 0B bound: %.2fx "
+              "(paper: ~1.0x at 0 bytes)\n",
+              MaxBound, median(AtMax), median(AtZero));
+}
+
+void BM_RingsReaderLimited16B(benchmark::State &State) {
+  ShaderLab Lab(benchWidth(), benchHeight(), 2);
+  const ShaderInfo *Info = findShader("rings");
+  SpecializerOptions Options;
+  Options.CacheByteLimit = 16;
+  auto Spec = Lab.specializePartition(*Info, 8, Options); // lightx
+  VM Machine;
+  auto Controls = ShaderLab::defaultControls(*Info);
+  Spec->load(Machine, Lab.grid(), Controls);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Spec->readFrame(Machine, Lab.grid(), Controls));
+}
+BENCHMARK(BM_RingsReaderLimited16B)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFigure9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

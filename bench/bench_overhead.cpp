@@ -1,0 +1,82 @@
+//===- bench/bench_overhead.cpp - Section 5.2 break-even ---------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Section 5.2 overhead study: for every one of the 131
+/// loader/reader pairs, the number of uses after which the staged pair
+/// beats re-running the original (use #1 runs the loader, which also
+/// yields the result). Paper: 127 of 131 partitions (97%) break even at
+/// two uses, 3 need three uses, 1 needs 17. The key claim is the shape —
+/// the overwhelming majority amortize after the second use, with a small
+/// tail.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace dspec;
+using namespace dspec::bench;
+
+namespace {
+
+void printOverheadTable() {
+  banner("Section 5.2: break-even use counts for all 131 partitions",
+         "127/131 at 2 uses, 3 at 3 uses, 1 at 17 uses; loader cost is "
+         "within a few percent of the original");
+
+  ShaderLab Lab(benchWidth(), benchHeight(), benchFrames());
+  std::map<unsigned, unsigned> Histogram;
+  std::vector<double> Overheads;
+  std::vector<std::pair<std::string, unsigned>> Tail;
+
+  for (const ShaderInfo &Info : shaderGallery()) {
+    for (size_t C = 0; C < Info.Controls.size(); ++C) {
+      auto R = Lab.measurePartition(Info, C);
+      if (!R) {
+        std::printf("!! %s: %s\n", Info.Name.c_str(),
+                    Lab.lastError().c_str());
+        continue;
+      }
+      ++Histogram[R->BreakevenUses];
+      Overheads.push_back(R->LoaderOverhead);
+      if (R->BreakevenUses > 2)
+        Tail.emplace_back(Info.Name + "/" + R->ParamName, R->BreakevenUses);
+    }
+  }
+
+  std::printf("break-even histogram:\n");
+  unsigned Total = 0, AtMostTwo = 0;
+  for (const auto &[Uses, Count] : Histogram) {
+    std::printf("  %4u use(s): %3u partition(s)\n", Uses, Count);
+    Total += Count;
+    if (Uses <= 2)
+      AtMostTwo += Count;
+  }
+  std::printf("\n%u/%u partitions (%.0f%%) break even within two uses "
+              "(paper: 127/131 = 97%%)\n",
+              AtMostTwo, Total, 100.0 * AtMostTwo / Total);
+  std::printf("median loader cost: %.2fx an original execution "
+              "(paper: low single-digit %% overhead)\n",
+              median(Overheads));
+  if (!Tail.empty()) {
+    std::printf("\nslow-to-amortize tail:\n");
+    for (const auto &[Name, Uses] : Tail)
+      std::printf("  %-22s %u uses\n", Name.c_str(), Uses);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printOverheadTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

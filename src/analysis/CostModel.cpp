@@ -1,0 +1,84 @@
+//===- analysis/CostModel.cpp - Section 4.3 static costs -------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <cmath>
+
+using namespace dspec;
+
+unsigned CostModel::operatorCost(const Expr *E) {
+  // Vector operations cost proportionally to their component count.
+  unsigned Width = E->type().isVector() ? E->type().vectorWidth() : 1;
+  switch (E->kind()) {
+  case ExprKind::EK_IntLiteral:
+  case ExprKind::EK_FloatLiteral:
+  case ExprKind::EK_BoolLiteral:
+    return 0;
+  case ExprKind::EK_VarRef:
+    return 1;
+  case ExprKind::EK_Unary:
+    return Width;
+  case ExprKind::EK_Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    switch (B->op()) {
+    case BinaryOp::BO_Add:
+    case BinaryOp::BO_Sub:
+      return 1 * Width;
+    case BinaryOp::BO_Mul:
+      return 2 * Width;
+    case BinaryOp::BO_Div:
+    case BinaryOp::BO_Mod:
+      return 9 * Width;
+    default:
+      return 1; // comparisons and logical operators
+    }
+  }
+  case ExprKind::EK_Cond:
+    return 1;
+  case ExprKind::EK_Call:
+    return getBuiltinInfo(cast<CallExpr>(E)->builtin()).Cost;
+  case ExprKind::EK_Member:
+    return 1;
+  case ExprKind::EK_CacheRead:
+  case ExprKind::EK_CacheStore:
+    return 3; // one memory reference
+  }
+  return 1;
+}
+
+unsigned CostModel::computeRaw(Expr *E) {
+  unsigned Cost = operatorCost(E);
+  forEachChildExpr(E, [&](Expr *Child) { Cost += computeRaw(Child); });
+  RawCost[E->nodeId()] = Cost;
+  return Cost;
+}
+
+void CostModel::build(Function *F, const StructureInfo &SI,
+                      CostOptions Opts, uint32_t NumNodeIds) {
+  RawCost.assign(NumNodeIds, 0);
+  Structure = &SI;
+  Options = Opts;
+  walkStmts(F->body(), [&](Stmt *S) {
+    forEachExprOfStmt(S, [&](Expr *Root) { computeRaw(Root); });
+  });
+}
+
+double CostModel::weightedCost(const Expr *E) const {
+  assert(Structure && "cost model not built");
+  double Cost = RawCost[E->nodeId()];
+  unsigned LoopDepth = static_cast<unsigned>(
+      Structure->loops(E->nodeId()).size());
+  unsigned CondDepth = Structure->conditionalDepth(E->nodeId());
+  for (unsigned I = 0; I < LoopDepth; ++I)
+    Cost *= Options.LoopMultiplier;
+  for (unsigned I = 0; I < CondDepth; ++I)
+    Cost /= Options.CondDivisor;
+  return Cost;
+}

@@ -1,0 +1,146 @@
+//===- analysis/DependenceAnalysis.cpp - Section 3.1 dependence ------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceAnalysis.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace dspec;
+
+void DependenceAnalysis::run(Function *F,
+                             const std::vector<VarDecl *> &VaryingParams,
+                             uint32_t NumNodeIds) {
+  Marks.assign(NumNodeIds, 0);
+  Varying.clear();
+  for (VarDecl *Param : VaryingParams)
+    Varying.insert(Param);
+
+  Env E;
+  for (const VarDecl *Param : Varying)
+    E.insert(Param);
+  analyzeStmt(F->body(), E, /*DepControlDepth=*/0);
+}
+
+unsigned DependenceAnalysis::dependentCount() const {
+  return static_cast<unsigned>(std::count(Marks.begin(), Marks.end(), 1));
+}
+
+bool DependenceAnalysis::analyzeExpr(Expr *Root, const Env &E) {
+  bool Dependent = false;
+  switch (Root->kind()) {
+  case ExprKind::EK_IntLiteral:
+  case ExprKind::EK_FloatLiteral:
+  case ExprKind::EK_BoolLiteral:
+    break;
+  case ExprKind::EK_VarRef: {
+    auto *Ref = cast<VarRefExpr>(Root);
+    assert(Ref->decl() && "dependence analysis requires resolved AST");
+    Dependent = E.count(Ref->decl()) != 0;
+    break;
+  }
+  case ExprKind::EK_Call: {
+    auto *Call = cast<CallExpr>(Root);
+    // Global-state builtins are dependence sources: their values can never
+    // be summarized by a load-time snapshot.
+    if (getBuiltinInfo(Call->builtin()).HasGlobalEffect)
+      Dependent = true;
+    for (Expr *Arg : Call->args())
+      Dependent |= analyzeExpr(Arg, E);
+    break;
+  }
+  default:
+    forEachChildExpr(Root, [&](Expr *Child) {
+      Dependent |= analyzeExpr(Child, E);
+    });
+    break;
+  }
+  Marks[Root->nodeId()] = Dependent ? 1 : 0;
+  return Dependent;
+}
+
+void DependenceAnalysis::analyzeStmt(Stmt *S, Env &E,
+                                     unsigned DepControlDepth) {
+  switch (S->kind()) {
+  case StmtKind::SK_Block:
+    Marks[S->nodeId()] = 0;
+    for (Stmt *Child : cast<BlockStmt>(S)->body())
+      analyzeStmt(Child, E, DepControlDepth);
+    return;
+  case StmtKind::SK_Decl: {
+    auto *Decl = cast<DeclStmt>(S);
+    bool Dep = Decl->init() && analyzeExpr(Decl->init(), E);
+    // Case 4: a definition under dependent control yields a value the
+    // reader cannot predict from fixed inputs alone.
+    Dep |= DepControlDepth > 0;
+    Marks[S->nodeId()] = Dep ? 1 : 0;
+    if (Dep)
+      E.insert(Decl->var());
+    else
+      E.erase(Decl->var());
+    return;
+  }
+  case StmtKind::SK_Assign: {
+    auto *Assign = cast<AssignStmt>(S);
+    bool Dep = analyzeExpr(Assign->value(), E);
+    Dep |= DepControlDepth > 0; // case 4
+    Marks[S->nodeId()] = Dep ? 1 : 0;
+    if (Dep)
+      E.insert(Assign->target());
+    else
+      E.erase(Assign->target()); // strong update
+    return;
+  }
+  case StmtKind::SK_ExprStmt: {
+    bool Dep = analyzeExpr(cast<ExprStmt>(S)->expr(), E);
+    Marks[S->nodeId()] = (Dep || DepControlDepth > 0) ? 1 : 0;
+    return;
+  }
+  case StmtKind::SK_If: {
+    auto *If = cast<IfStmt>(S);
+    bool CondDep = analyzeExpr(If->cond(), E);
+    Marks[S->nodeId()] = (CondDep || DepControlDepth > 0) ? 1 : 0;
+    unsigned InnerDepth = DepControlDepth + (CondDep ? 1 : 0);
+    Env ThenEnv = E;
+    analyzeStmt(If->thenStmt(), ThenEnv, InnerDepth);
+    Env ElseEnv = std::move(E);
+    if (If->elseStmt())
+      analyzeStmt(If->elseStmt(), ElseEnv, InnerDepth);
+    // Join: a variable dependent on either path is dependent after.
+    ThenEnv.insert(ElseEnv.begin(), ElseEnv.end());
+    E = std::move(ThenEnv);
+    return;
+  }
+  case StmtKind::SK_While: {
+    auto *While = cast<WhileStmt>(S);
+    // Local fixpoint over the dependent-variable set.
+    Env LoopIn = E;
+    while (true) {
+      Env Body = LoopIn;
+      bool CondDep = analyzeExpr(While->cond(), Body);
+      Marks[S->nodeId()] = (CondDep || DepControlDepth > 0) ? 1 : 0;
+      unsigned InnerDepth = DepControlDepth + (CondDep ? 1 : 0);
+      analyzeStmt(While->body(), Body, InnerDepth);
+      Env Next = LoopIn;
+      Next.insert(Body.begin(), Body.end());
+      if (Next == LoopIn)
+        break;
+      LoopIn = std::move(Next);
+    }
+    E = std::move(LoopIn);
+    return;
+  }
+  case StmtKind::SK_Return: {
+    bool Dep = false;
+    if (Expr *Value = cast<ReturnStmt>(S)->value())
+      Dep = analyzeExpr(Value, E);
+    Marks[S->nodeId()] = (Dep || DepControlDepth > 0) ? 1 : 0;
+    return;
+  }
+  }
+}

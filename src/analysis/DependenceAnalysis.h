@@ -1,0 +1,75 @@
+//===- analysis/DependenceAnalysis.h - Section 3.1 dependence ---*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence analysis (Section 3.1 of the paper): determines, for each
+/// term, whether its value or effects may depend on the varying part of
+/// the input partition. A term is dependent if
+///
+///   1. it references a varying input,
+///   2. it has a dependent operand,
+///   3. it is reached by a dependent definition, or
+///   4. it is (conditionally) defined under control dependent on a
+///      dependent predicate (the join-point case; trivial here because dsc
+///      control flow is fully structured — the paper makes the same
+///      observation).
+///
+/// Additionally, builtins that read or write global state are treated as
+/// dependent sources: their values cannot be cached, and their consumers
+/// must re-execute (this feeds Rule 2 of the caching analysis).
+///
+/// The analysis is a flow-sensitive abstract interpretation over the set
+/// of dependent variables, with local fixpoints at loops — the
+/// "straightforward, worst-case quadratic-time solution based on abstract
+/// interpretation" of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_ANALYSIS_DEPENDENCEANALYSIS_H
+#define DATASPEC_ANALYSIS_DEPENDENCEANALYSIS_H
+
+#include "lang/Function.h"
+
+#include <set>
+#include <vector>
+
+namespace dspec {
+
+/// Computes and stores per-term dependence marks for one function and one
+/// input partition.
+class DependenceAnalysis {
+public:
+  /// Runs the analysis. \p VaryingParams are the parameters in the varying
+  /// part of the input partition; all other inputs are fixed.
+  void run(Function *F, const std::vector<VarDecl *> &VaryingParams,
+           uint32_t NumNodeIds);
+
+  /// Nodes created after the analysis ran (e.g. by reassociation) are
+  /// conservatively reported as dependent.
+  bool isDependent(uint32_t NodeId) const {
+    return NodeId >= Marks.size() || Marks[NodeId] != 0;
+  }
+  bool isDependent(const Expr *E) const { return isDependent(E->nodeId()); }
+  bool isDependent(const Stmt *S) const { return isDependent(S->nodeId()); }
+
+  /// Number of dependent terms (for stats and tests).
+  unsigned dependentCount() const;
+
+private:
+  using Env = std::set<const VarDecl *>;
+
+  /// Computes the dependence of an expression under \p E, marking every
+  /// subterm. Returns the root's dependence.
+  bool analyzeExpr(Expr *Root, const Env &E);
+  void analyzeStmt(Stmt *S, Env &E, unsigned DepControlDepth);
+
+  std::vector<char> Marks;
+  std::set<const VarDecl *> Varying;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_ANALYSIS_DEPENDENCEANALYSIS_H

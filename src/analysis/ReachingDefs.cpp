@@ -1,0 +1,144 @@
+//===- analysis/ReachingDefs.cpp - Reaching definitions --------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace dspec;
+
+void ReachingDefs::insertDef(DefSet &Set, Stmt *Def) {
+  auto It = std::lower_bound(Set.Defs.begin(), Set.Defs.end(), Def,
+                             [](const Stmt *A, const Stmt *B) {
+                               return A->nodeId() < B->nodeId();
+                             });
+  if (It == Set.Defs.end() || *It != Def)
+    Set.Defs.insert(It, Def);
+}
+
+void ReachingDefs::mergeInto(Env &Dest, const Env &Src) {
+  for (const auto &[Var, Set] : Src) {
+    DefSet &DestSet = Dest[Var];
+    DestSet.Entry |= Set.Entry;
+    for (Stmt *Def : Set.Defs)
+      insertDef(DestSet, Def);
+  }
+}
+
+void ReachingDefs::run(Function *F, uint32_t NumNodeIds) {
+  RefDefs.assign(NumNodeIds, {});
+  EntryReaches.assign(NumNodeIds, 0);
+  AllDefs.clear();
+
+  // Collect every definition statement up front (deterministic preorder).
+  walkStmts(F->body(), [&](Stmt *S) {
+    if (auto *Decl = dyn_cast<DeclStmt>(S))
+      AllDefs[Decl->var()].push_back(S);
+    else if (auto *Assign = dyn_cast<AssignStmt>(S)) {
+      assert(Assign->target() && "reaching defs requires resolved AST");
+      AllDefs[Assign->target()].push_back(S);
+    }
+  });
+
+  Env Entry;
+  for (VarDecl *Param : F->params())
+    Entry[Param].Entry = true;
+  analyzeStmt(F->body(), Entry);
+}
+
+const std::vector<Stmt *> &
+ReachingDefs::allDefsOf(const VarDecl *Var) const {
+  static const std::vector<Stmt *> Empty;
+  auto It = AllDefs.find(Var);
+  return It == AllDefs.end() ? Empty : It->second;
+}
+
+void ReachingDefs::analyzeExprTree(Expr *Root, const Env &E) {
+  walkExpr(Root, [&](Expr *Sub) {
+    auto *Ref = dyn_cast<VarRefExpr>(Sub);
+    if (!Ref)
+      return;
+    assert(Ref->decl() && "reaching defs requires resolved AST");
+    auto It = E.find(Ref->decl());
+    if (It == E.end()) {
+      // Only possible for malformed input; treat as entry-reached.
+      RefDefs[Ref->nodeId()].clear();
+      EntryReaches[Ref->nodeId()] = 1;
+      return;
+    }
+    RefDefs[Ref->nodeId()] = It->second.Defs;
+    EntryReaches[Ref->nodeId()] = It->second.Entry ? 1 : 0;
+  });
+}
+
+void ReachingDefs::analyzeStmt(Stmt *S, Env &E) {
+  switch (S->kind()) {
+  case StmtKind::SK_Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->body())
+      analyzeStmt(Child, E);
+    return;
+  case StmtKind::SK_Decl: {
+    auto *Decl = cast<DeclStmt>(S);
+    if (Decl->init())
+      analyzeExprTree(Decl->init(), E);
+    DefSet Set;
+    Set.Defs.push_back(S);
+    E[Decl->var()] = std::move(Set);
+    return;
+  }
+  case StmtKind::SK_Assign: {
+    auto *Assign = cast<AssignStmt>(S);
+    analyzeExprTree(Assign->value(), E);
+    DefSet Set;
+    Set.Defs.push_back(S);
+    E[Assign->target()] = std::move(Set); // strong update
+    return;
+  }
+  case StmtKind::SK_ExprStmt:
+    analyzeExprTree(cast<ExprStmt>(S)->expr(), E);
+    return;
+  case StmtKind::SK_If: {
+    auto *If = cast<IfStmt>(S);
+    analyzeExprTree(If->cond(), E);
+    Env ThenEnv = E;
+    analyzeStmt(If->thenStmt(), ThenEnv);
+    Env ElseEnv = std::move(E);
+    if (If->elseStmt())
+      analyzeStmt(If->elseStmt(), ElseEnv);
+    mergeInto(ThenEnv, ElseEnv);
+    E = std::move(ThenEnv);
+    return;
+  }
+  case StmtKind::SK_While: {
+    auto *While = cast<WhileStmt>(S);
+    // Local fixpoint: grow the loop-entry environment until stable, then
+    // the recordings from the last pass are the fixpoint chains.
+    Env LoopIn = E;
+    while (true) {
+      Env Body = LoopIn;
+      analyzeExprTree(While->cond(), Body);
+      analyzeStmt(While->body(), Body);
+      Env Next = LoopIn;
+      mergeInto(Next, Body);
+      if (Next == LoopIn)
+        break;
+      LoopIn = std::move(Next);
+    }
+    // Re-record condition uses with the final environment (zero-trip
+    // executions still evaluate the condition once).
+    analyzeExprTree(While->cond(), LoopIn);
+    E = std::move(LoopIn);
+    return;
+  }
+  case StmtKind::SK_Return:
+    if (Expr *Value = cast<ReturnStmt>(S)->value())
+      analyzeExprTree(Value, E);
+    return;
+  }
+}

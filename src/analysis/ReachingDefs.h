@@ -1,0 +1,80 @@
+//===- analysis/ReachingDefs.h - Reaching definitions -----------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reaching definitions over the structured dsc AST, producing use-def
+/// chains: for each variable reference, the set of DeclStmt/AssignStmt
+/// nodes whose value may reach it. Parameters act as definitions at
+/// function entry; an entry definition is implicit (it never appears in a
+/// use-def chain, since parameters are available to both the loader and the
+/// reader by construction — both receive all inputs).
+///
+/// Loops are handled with a local fixpoint (merge-until-stable), which
+/// always terminates because definition sets only grow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_ANALYSIS_REACHINGDEFS_H
+#define DATASPEC_ANALYSIS_REACHINGDEFS_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace dspec {
+
+/// Use-def chains for one function.
+class ReachingDefs {
+public:
+  /// Computes chains for \p F. \p NumNodeIds sizes the side tables.
+  void run(Function *F, uint32_t NumNodeIds);
+
+  /// Definition statements reaching variable reference \p Ref, sorted by
+  /// node id. An empty result means only the entry definition (parameter
+  /// value or zero initialization) reaches it.
+  const std::vector<Stmt *> &defs(const VarRefExpr *Ref) const {
+    return RefDefs[Ref->nodeId()];
+  }
+
+  /// True when the variable's entry value (parameter or zero-init) may
+  /// reach \p Ref.
+  bool reachedByEntry(const VarRefExpr *Ref) const {
+    return EntryReaches[Ref->nodeId()];
+  }
+
+  /// All definition statements of \p Var anywhere in the function
+  /// (DeclStmt and AssignStmt nodes), in preorder.
+  const std::vector<Stmt *> &allDefsOf(const VarDecl *Var) const;
+
+private:
+  /// A definition set: sorted vector of defining statements plus a flag
+  /// for the implicit entry definition.
+  struct DefSet {
+    std::vector<Stmt *> Defs;
+    bool Entry = false;
+
+    bool operator==(const DefSet &RHS) const {
+      return Entry == RHS.Entry && Defs == RHS.Defs;
+    }
+  };
+
+  using Env = std::map<const VarDecl *, DefSet>;
+
+  void analyzeStmt(Stmt *S, Env &E);
+  void analyzeExprTree(Expr *Root, const Env &E);
+  static void mergeInto(Env &Dest, const Env &Src);
+  static void insertDef(DefSet &Set, Stmt *Def);
+
+  std::vector<std::vector<Stmt *>> RefDefs;
+  std::vector<char> EntryReaches;
+  std::unordered_map<const VarDecl *, std::vector<Stmt *>> AllDefs;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_ANALYSIS_REACHINGDEFS_H

@@ -1,0 +1,48 @@
+//===- analysis/SingleValued.cpp - Rule 6 single-valuedness ----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SingleValued.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace dspec;
+
+/// True if statement \p Def lies inside loop \p Loop.
+static bool isInsideLoop(const Stmt *Def, const WhileStmt *Loop,
+                         const StructureInfo &SI) {
+  const auto &Loops = SI.loops(Def->nodeId());
+  return std::find(Loops.begin(), Loops.end(), Loop) != Loops.end();
+}
+
+bool dspec::isSingleValued(Expr *E, const StructureInfo &SI,
+                           const ReachingDefs &RD) {
+  const auto &EnclosingLoops = SI.loops(E->nodeId());
+  if (EnclosingLoops.empty())
+    return true;
+
+  // Invariant in every enclosing loop: no free variable may have a
+  // reaching definition inside any of them.
+  bool Invariant = true;
+  walkExpr(E, [&](Expr *Sub) {
+    if (!Invariant)
+      return;
+    auto *Ref = dyn_cast<VarRefExpr>(Sub);
+    if (!Ref)
+      return;
+    for (const Stmt *Def : RD.defs(Ref)) {
+      for (const WhileStmt *Loop : EnclosingLoops) {
+        if (isInsideLoop(Def, Loop, SI)) {
+          Invariant = false;
+          return;
+        }
+      }
+    }
+  });
+  return Invariant;
+}

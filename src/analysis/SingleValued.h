@@ -1,0 +1,30 @@
+//===- analysis/SingleValued.h - Rule 6 single-valuedness -------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SingleValued(t) predicate of Figure 3, Rule 6: a term may occupy a
+/// single cache slot only if it produces one value per fragment execution.
+/// That holds for every expression outside loops, and for expressions that
+/// are invariant in all enclosing loops (no free variable has a reaching
+/// definition inside any enclosing loop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_ANALYSIS_SINGLEVALUED_H
+#define DATASPEC_ANALYSIS_SINGLEVALUED_H
+
+#include "analysis/ReachingDefs.h"
+#include "analysis/StructureInfo.h"
+
+namespace dspec {
+
+/// True if \p E yields at most one distinct value per execution of the
+/// fragment (see file comment).
+bool isSingleValued(Expr *E, const StructureInfo &SI, const ReachingDefs &RD);
+
+} // namespace dspec
+
+#endif // DATASPEC_ANALYSIS_SINGLEVALUED_H

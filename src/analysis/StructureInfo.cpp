@@ -1,0 +1,117 @@
+//===- analysis/StructureInfo.cpp - Structural context ---------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StructureInfo.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+using namespace dspec;
+
+void StructureInfo::build(Function *F, uint32_t NumNodeIds) {
+  GuardsOf.assign(NumNodeIds, {});
+  LoopsOf.assign(NumNodeIds, {});
+  OwnerOf.assign(NumNodeIds, nullptr);
+  DeclStmts.clear();
+  AllStmts.clear();
+  AllExprs.clear();
+  GuardStack.clear();
+  LoopStack.clear();
+
+  walkStmt(F->body());
+}
+
+void StructureInfo::recordExprTree(Expr *E, Stmt *Owner) {
+  walkExpr(E, [&](Expr *Sub) {
+    assert(Sub->nodeId() < GuardsOf.size() && "node id out of range");
+    GuardsOf[Sub->nodeId()] = GuardStack;
+    LoopsOf[Sub->nodeId()] = LoopStack;
+    OwnerOf[Sub->nodeId()] = Owner;
+    AllExprs.push_back(Sub);
+  });
+}
+
+void StructureInfo::walkStmt(Stmt *S) {
+  assert(S->nodeId() < GuardsOf.size() && "node id out of range");
+  GuardsOf[S->nodeId()] = GuardStack;
+  LoopsOf[S->nodeId()] = LoopStack;
+  AllStmts.push_back(S);
+
+  switch (S->kind()) {
+  case StmtKind::SK_Block: {
+    // Early-return control dependence: once a child construct containing
+    // a return statement has executed, the *remaining* statements of the
+    // block run only if none of those returns fired — i.e. they are
+    // control dependent on every predicate guarding those returns. The
+    // guard stack is extended accordingly for the rest of the block (and
+    // re-derived at each enclosing level, so popping at block exit is
+    // correct).
+    size_t DepthAtEntry = GuardStack.size();
+    for (Stmt *Child : cast<BlockStmt>(S)->body()) {
+      size_t PrefixDepth = GuardStack.size();
+      walkStmt(Child);
+      if (!isa<IfStmt>(Child) && !isa<WhileStmt>(Child))
+        continue;
+      walkStmts(Child, [&](Stmt *Sub) {
+        if (!isa<ReturnStmt>(Sub))
+          return;
+        const std::vector<GuardRecord> &ReturnGuards =
+            GuardsOf[Sub->nodeId()];
+        for (size_t I = PrefixDepth; I < ReturnGuards.size(); ++I) {
+          bool Present = false;
+          for (const GuardRecord &Existing : GuardStack)
+            if (Existing.Construct == ReturnGuards[I].Construct)
+              Present = true;
+          if (!Present)
+            GuardStack.push_back(ReturnGuards[I]);
+        }
+      });
+    }
+    GuardStack.resize(DepthAtEntry);
+    return;
+  }
+  case StmtKind::SK_Decl: {
+    auto *Decl = cast<DeclStmt>(S);
+    DeclStmts[Decl->var()] = Decl;
+    if (Decl->init())
+      recordExprTree(Decl->init(), S);
+    return;
+  }
+  case StmtKind::SK_Assign:
+    recordExprTree(cast<AssignStmt>(S)->value(), S);
+    return;
+  case StmtKind::SK_ExprStmt:
+    recordExprTree(cast<ExprStmt>(S)->expr(), S);
+    return;
+  case StmtKind::SK_If: {
+    auto *If = cast<IfStmt>(S);
+    // The condition sits in the construct's outer context.
+    recordExprTree(If->cond(), S);
+    GuardStack.push_back({S, If->cond(), /*IsLoop=*/false});
+    walkStmt(If->thenStmt());
+    if (If->elseStmt())
+      walkStmt(If->elseStmt());
+    GuardStack.pop_back();
+    return;
+  }
+  case StmtKind::SK_While: {
+    auto *While = cast<WhileStmt>(S);
+    // The condition re-evaluates each iteration: it is inside the loop,
+    // but guarded only by outer constructs.
+    LoopStack.push_back(While);
+    recordExprTree(While->cond(), S);
+    GuardStack.push_back({S, While->cond(), /*IsLoop=*/true});
+    walkStmt(While->body());
+    GuardStack.pop_back();
+    LoopStack.pop_back();
+    return;
+  }
+  case StmtKind::SK_Return:
+    if (Expr *Value = cast<ReturnStmt>(S)->value())
+      recordExprTree(Value, S);
+    return;
+  }
+}

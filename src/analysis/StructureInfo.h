@@ -1,0 +1,117 @@
+//===- analysis/StructureInfo.h - Structural context ------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-node structural facts gathered in a single walk over a function:
+/// which control constructs guard each term (`Guards(t)` of Figure 3), the
+/// enclosing loops (for single-valuedness and the loop cost multiplier),
+/// the statement that owns each expression tree, and the declaration
+/// statement of each local variable.
+///
+/// Conventions: an `if`/`while` condition is guarded by the construct's
+/// *outer* context, not by the construct itself; a `while` condition counts
+/// as *inside* the loop (it re-evaluates every iteration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_ANALYSIS_STRUCTUREINFO_H
+#define DATASPEC_ANALYSIS_STRUCTUREINFO_H
+
+#include "lang/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace dspec {
+
+/// One enclosing control construct of a term.
+struct GuardRecord {
+  /// The guarding IfStmt or WhileStmt.
+  Stmt *Construct;
+  /// Its predicate expression.
+  Expr *Cond;
+  /// True when Construct is a loop.
+  bool IsLoop;
+};
+
+/// Structural context for every node of one function.
+class StructureInfo {
+public:
+  /// Builds the tables for \p F. \p NumNodeIds must be at least the owning
+  /// context's numNodeIds().
+  void build(Function *F, uint32_t NumNodeIds);
+
+  /// Enclosing guard constructs of a node, outermost first.
+  const std::vector<GuardRecord> &guards(uint32_t NodeId) const {
+    return GuardsOf[NodeId];
+  }
+  const std::vector<GuardRecord> &guards(const Expr *E) const {
+    return guards(E->nodeId());
+  }
+  const std::vector<GuardRecord> &guards(const Stmt *S) const {
+    return guards(S->nodeId());
+  }
+
+  /// Enclosing loops of a node, outermost first.
+  const std::vector<WhileStmt *> &loops(uint32_t NodeId) const {
+    return LoopsOf[NodeId];
+  }
+  const std::vector<WhileStmt *> &loops(const Expr *E) const {
+    return loops(E->nodeId());
+  }
+
+  unsigned loopDepth(const Expr *E) const {
+    return static_cast<unsigned>(loops(E->nodeId()).size());
+  }
+
+  /// Number of enclosing non-loop guards (conditionals); the Section 4.3
+  /// cost model divides by 2 per level.
+  unsigned conditionalDepth(uint32_t NodeId) const {
+    unsigned Count = 0;
+    for (const GuardRecord &G : guards(NodeId))
+      if (!G.IsLoop)
+        ++Count;
+    return Count;
+  }
+
+  /// The statement that directly owns expression \p E's tree (an
+  /// AssignStmt for its RHS, an IfStmt for its condition, and so on).
+  Stmt *ownerStmt(const Expr *E) const {
+    Stmt *Owner = OwnerOf[E->nodeId()];
+    assert(Owner && "expression has no owner statement");
+    return Owner;
+  }
+
+  /// The DeclStmt that declares local \p Var (null for parameters).
+  DeclStmt *declStmtOf(const VarDecl *Var) const {
+    auto It = DeclStmts.find(Var);
+    return It == DeclStmts.end() ? nullptr : It->second;
+  }
+
+  /// Every statement of the function, in preorder (deterministic).
+  const std::vector<Stmt *> &allStmts() const { return AllStmts; }
+
+  /// Every expression of the function, in preorder (deterministic).
+  const std::vector<Expr *> &allExprs() const { return AllExprs; }
+
+private:
+  void walkStmt(Stmt *S);
+  void recordExprTree(Expr *E, Stmt *Owner);
+
+  std::vector<std::vector<GuardRecord>> GuardsOf;
+  std::vector<std::vector<WhileStmt *>> LoopsOf;
+  std::vector<Stmt *> OwnerOf;
+  std::unordered_map<const VarDecl *, DeclStmt *> DeclStmts;
+  std::vector<Stmt *> AllStmts;
+  std::vector<Expr *> AllExprs;
+
+  std::vector<GuardRecord> GuardStack;
+  std::vector<WhileStmt *> LoopStack;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_ANALYSIS_STRUCTUREINFO_H

@@ -1,0 +1,66 @@
+//===- baseline/Memoizer.cpp - Function-caching baseline --------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Memoizer.h"
+
+using namespace dspec;
+
+const Value *MemoTable::lookup(const std::vector<float> &Key) const {
+  for (const Entry &E : Entries)
+    if (E.Key == Key)
+      return &E.Result;
+  return nullptr;
+}
+
+void MemoTable::insert(std::vector<float> Key, Value Result) {
+  if (Entries.size() < Capacity) {
+    Entries.push_back({std::move(Key), Result});
+    return;
+  }
+  // Bounded table: overwrite entries round-robin (oldest first).
+  Entries[NextVictim] = {std::move(Key), Result};
+  NextVictim = (NextVictim + 1) % Capacity;
+}
+
+std::vector<float>
+MemoizedFragment::makeKey(const std::vector<Value> &Args) const {
+  std::vector<float> Key;
+  Key.reserve(VaryingIndices.size() * 4);
+  for (unsigned Index : VaryingIndices) {
+    const Value &V = Args[Index];
+    switch (V.Kind) {
+    case TypeKind::TK_Int:
+    case TypeKind::TK_Bool:
+      Key.push_back(static_cast<float>(V.I));
+      break;
+    default:
+      for (unsigned C = 0; C < V.width(); ++C)
+        Key.push_back(V.F[C]);
+      break;
+    }
+  }
+  return Key;
+}
+
+ExecResult MemoizedFragment::run(VM &Machine, const std::vector<Value> &Args,
+                                 MemoTable &Table, bool *WasHit) const {
+  std::vector<float> Key = makeKey(Args);
+  if (const Value *Cached = Table.lookup(Key)) {
+    ++Hits;
+    if (WasHit)
+      *WasHit = true;
+    ExecResult Result;
+    Result.Result = *Cached;
+    return Result;
+  }
+  ++Misses;
+  if (WasHit)
+    *WasHit = false;
+  ExecResult Result = Machine.run(Fragment, Args);
+  if (Result.ok())
+    Table.insert(std::move(Key), Result.Result);
+  return Result;
+}

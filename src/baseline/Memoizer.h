@@ -1,0 +1,95 @@
+//===- baseline/Memoizer.h - Function-caching baseline ----------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison baseline from the paper's Section 6.2: *incremental
+/// computation via function caching* (Pugh & Teitelbaum [PT89], Hoover
+/// [Hoo92]). Instead of statically splitting the fragment, keep the
+/// original program and a per-instance memo table keyed by the varying
+/// inputs; re-use a stored result when the exact inputs recur, otherwise
+/// run the whole fragment and remember the result.
+///
+/// The paper's point, which bench_baseline reproduces: systems that cope
+/// with input changes "by dynamically checking dependence ... avoid more
+/// computations than data specialization does" (an exact repeat costs one
+/// table probe, cheaper than any reader), "but they lose the efficiency
+/// we gain from compiling away the dependence in advance" (a *new* value
+/// of the varying input — the common case while dragging a slider —
+/// costs a full re-execution plus the bookkeeping).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_BASELINE_MEMOIZER_H
+#define DATASPEC_BASELINE_MEMOIZER_H
+
+#include "vm/VM.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dspec {
+
+/// A memo table for one fragment instance (e.g. one pixel): maps the
+/// tuple of varying inputs to the fragment result. Bounded size with
+/// least-recently-inserted eviction.
+class MemoTable {
+public:
+  explicit MemoTable(unsigned Capacity = 16) : Capacity(Capacity) {}
+
+  /// Looks up a key (the flattened varying inputs). Returns null if
+  /// absent.
+  const Value *lookup(const std::vector<float> &Key) const;
+
+  /// Inserts (evicting the oldest entry when full).
+  void insert(std::vector<float> Key, Value Result);
+
+  unsigned size() const { return static_cast<unsigned>(Entries.size()); }
+
+private:
+  struct Entry {
+    std::vector<float> Key;
+    Value Result;
+  };
+  std::vector<Entry> Entries;
+  unsigned Capacity;
+  unsigned NextVictim = 0;
+};
+
+/// Executes a fragment with per-instance memoization on its varying
+/// parameters. One MemoizedFragment serves many instances; callers pass
+/// the instance's table (exactly as dataspec callers pass the instance's
+/// cache).
+class MemoizedFragment {
+public:
+  /// \p VaryingParamIndices selects which argument positions form the
+  /// memo key — the same information as a data-specialization input
+  /// partition.
+  MemoizedFragment(Chunk Fragment, std::vector<unsigned> VaryingParamIndices)
+      : Fragment(std::move(Fragment)),
+        VaryingIndices(std::move(VaryingParamIndices)) {}
+
+  /// Runs with memoization. On a hit, no code executes. \p WasHit
+  /// reports which path was taken (may be null).
+  ExecResult run(VM &Machine, const std::vector<Value> &Args,
+                 MemoTable &Table, bool *WasHit = nullptr) const;
+
+  const Chunk &fragment() const { return Fragment; }
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  std::vector<float> makeKey(const std::vector<Value> &Args) const;
+
+  Chunk Fragment;
+  std::vector<unsigned> VaryingIndices;
+  mutable uint64_t Hits = 0;
+  mutable uint64_t Misses = 0;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_BASELINE_MEMOIZER_H

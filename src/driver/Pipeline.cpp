@@ -1,0 +1,81 @@
+//===- driver/Pipeline.cpp - End-to-end convenience API --------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "lang/ASTPrinter.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "vm/BytecodeCompiler.h"
+
+using namespace dspec;
+
+std::unique_ptr<CompilationUnit> dspec::parseUnit(std::string_view Source) {
+  auto Unit = std::make_unique<CompilationUnit>();
+  Parser P(Source, Unit->Ctx, Unit->Diags);
+  Program *Prog = P.parseProgram();
+  if (Unit->Diags.hasErrors())
+    return Unit;
+  Sema S(Unit->Diags);
+  if (!S.run(Prog))
+    return Unit;
+  Unit->Prog = Prog;
+  return Unit;
+}
+
+std::string CompiledSpecialization::loaderSource() const {
+  return printFunction(Spec.Loader);
+}
+
+std::string CompiledSpecialization::readerSource() const {
+  return printFunction(Spec.Reader);
+}
+
+std::string CompiledSpecialization::normalizedSource() const {
+  PrintOptions Options;
+  Options.AnnotatePhiCopies = true;
+  return printFunction(Spec.NormalizedFragment, Options);
+}
+
+std::optional<CompiledSpecialization>
+dspec::specializeAndCompile(CompilationUnit &Unit,
+                            const std::string &FragmentName,
+                            const std::vector<std::string> &VaryingParams,
+                            const SpecializerOptions &Options) {
+  if (!Unit.ok())
+    return std::nullopt;
+  Function *F = Unit.Prog->findFunction(FragmentName);
+  if (!F) {
+    Unit.Diags.error(SourceLoc(),
+                     "no function named '" + FragmentName + "' in unit");
+    return std::nullopt;
+  }
+
+  DataSpecializer Specializer(Unit.Ctx, Unit.Diags);
+  auto Spec = Specializer.specialize(F, VaryingParams, Options);
+  if (!Spec)
+    return std::nullopt;
+
+  CompiledSpecialization Out;
+  Out.Spec = std::move(*Spec);
+  Out.OriginalChunk = BytecodeCompiler().compile(F);
+  Out.LoaderChunk = BytecodeCompiler().compile(Out.Spec.Loader);
+  Out.ReaderChunk = BytecodeCompiler().compile(Out.Spec.Reader);
+  return Out;
+}
+
+std::optional<Chunk> dspec::compileFunction(CompilationUnit &Unit,
+                                            const std::string &FunctionName) {
+  if (!Unit.ok())
+    return std::nullopt;
+  Function *F = Unit.Prog->findFunction(FunctionName);
+  if (!F) {
+    Unit.Diags.error(SourceLoc(),
+                     "no function named '" + FunctionName + "' in unit");
+    return std::nullopt;
+  }
+  return BytecodeCompiler().compile(F);
+}

@@ -1,0 +1,56 @@
+//===- lang/AST.cpp - Out-of-line AST helpers -----------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTWalk.h"
+#include "lang/Expr.h"
+#include "lang/Function.h"
+
+using namespace dspec;
+
+const char *dspec::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::BO_Add:
+    return "+";
+  case BinaryOp::BO_Sub:
+    return "-";
+  case BinaryOp::BO_Mul:
+    return "*";
+  case BinaryOp::BO_Div:
+    return "/";
+  case BinaryOp::BO_Mod:
+    return "%";
+  case BinaryOp::BO_Lt:
+    return "<";
+  case BinaryOp::BO_Le:
+    return "<=";
+  case BinaryOp::BO_Gt:
+    return ">";
+  case BinaryOp::BO_Ge:
+    return ">=";
+  case BinaryOp::BO_Eq:
+    return "==";
+  case BinaryOp::BO_Ne:
+    return "!=";
+  case BinaryOp::BO_And:
+    return "&&";
+  case BinaryOp::BO_Or:
+    return "||";
+  }
+  return "?";
+}
+
+unsigned dspec::countTerms(Stmt *S) {
+  unsigned Count = 0;
+  walkStmts(S, [&](Stmt *Sub) {
+    ++Count;
+    forEachExprOfStmt(Sub, [&](Expr *E) {
+      walkExpr(E, [&](Expr *) { ++Count; });
+    });
+  });
+  return Count;
+}
+
+unsigned dspec::countTerms(Function *F) { return countTerms(F->body()); }

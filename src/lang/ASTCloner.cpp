@@ -1,0 +1,164 @@
+//===- lang/ASTCloner.cpp - Deep AST cloning -------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTCloner.h"
+
+#include "support/Casting.h"
+
+using namespace dspec;
+
+Expr *ASTCloner::cloneExprStructure(Expr *E) {
+  Expr *Out = nullptr;
+  switch (E->kind()) {
+  case ExprKind::EK_IntLiteral:
+    Out = Ctx.create<IntLiteralExpr>(cast<IntLiteralExpr>(E)->value(),
+                                     E->loc());
+    break;
+  case ExprKind::EK_FloatLiteral:
+    Out = Ctx.create<FloatLiteralExpr>(cast<FloatLiteralExpr>(E)->value(),
+                                       E->loc());
+    break;
+  case ExprKind::EK_BoolLiteral:
+    Out = Ctx.create<BoolLiteralExpr>(cast<BoolLiteralExpr>(E)->value(),
+                                      E->loc());
+    break;
+  case ExprKind::EK_VarRef: {
+    auto *Ref = cast<VarRefExpr>(E);
+    auto *NewRef = Ctx.create<VarRefExpr>(Ref->name(), E->loc());
+    if (Ref->decl())
+      NewRef->setDecl(lookupDecl(Ref->decl()));
+    Out = NewRef;
+    break;
+  }
+  case ExprKind::EK_Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Out = Ctx.create<UnaryExpr>(U->op(), cloneExpr(U->operand()), E->loc());
+    break;
+  }
+  case ExprKind::EK_Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Out = Ctx.create<BinaryExpr>(B->op(), cloneExpr(B->lhs()),
+                                 cloneExpr(B->rhs()), E->loc());
+    break;
+  }
+  case ExprKind::EK_Cond: {
+    auto *C = cast<CondExpr>(E);
+    Out = Ctx.create<CondExpr>(cloneExpr(C->cond()), cloneExpr(C->trueExpr()),
+                               cloneExpr(C->falseExpr()), E->loc());
+    break;
+  }
+  case ExprKind::EK_Call: {
+    auto *Call = cast<CallExpr>(E);
+    std::vector<Expr *> Args;
+    Args.reserve(Call->args().size());
+    for (Expr *Arg : Call->args())
+      Args.push_back(cloneExpr(Arg));
+    auto *NewCall =
+        Ctx.create<CallExpr>(Call->callee(), std::move(Args), E->loc());
+    if (Call->isResolved())
+      NewCall->setBuiltin(Call->builtin());
+    Out = NewCall;
+    break;
+  }
+  case ExprKind::EK_Member: {
+    auto *M = cast<MemberExpr>(E);
+    Out = Ctx.create<MemberExpr>(cloneExpr(M->base()), M->componentIndex(),
+                                 E->loc());
+    break;
+  }
+  case ExprKind::EK_CacheRead: {
+    auto *Read = cast<CacheReadExpr>(E);
+    Out = Ctx.create<CacheReadExpr>(Read->slot(), Read->type(), E->loc());
+    break;
+  }
+  case ExprKind::EK_CacheStore: {
+    auto *Store = cast<CacheStoreExpr>(E);
+    Out = Ctx.create<CacheStoreExpr>(Store->slot(),
+                                     cloneExpr(Store->operand()), E->loc());
+    break;
+  }
+  }
+  Out->setType(E->type());
+  return Out;
+}
+
+Expr *ASTCloner::cloneExpr(Expr *E) { return cloneExprStructure(E); }
+
+Stmt *ASTCloner::cloneStmt(Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::SK_Block: {
+    auto *Block = cast<BlockStmt>(S);
+    std::vector<Stmt *> Body;
+    Body.reserve(Block->body().size());
+    for (Stmt *Child : Block->body())
+      if (Stmt *Cloned = cloneStmt(Child))
+        Body.push_back(Cloned);
+    return Ctx.create<BlockStmt>(std::move(Body), S->loc());
+  }
+  case StmtKind::SK_Decl: {
+    auto *Decl = cast<DeclStmt>(S);
+    VarDecl *NewVar =
+        Ctx.createVarDecl(Decl->var()->kind(), Decl->var()->name(),
+                          Decl->var()->type(), Decl->var()->loc());
+    mapDecl(Decl->var(), NewVar);
+    Expr *Init = Decl->init() ? cloneExpr(Decl->init()) : nullptr;
+    return Ctx.create<DeclStmt>(NewVar, Init, S->loc());
+  }
+  case StmtKind::SK_Assign: {
+    auto *Assign = cast<AssignStmt>(S);
+    auto *NewAssign = Ctx.create<AssignStmt>(
+        Assign->targetName(), cloneExpr(Assign->value()), S->loc());
+    if (Assign->target())
+      NewAssign->setTarget(lookupDecl(Assign->target()));
+    NewAssign->setPhiCopy(Assign->isPhiCopy());
+    return NewAssign;
+  }
+  case StmtKind::SK_ExprStmt:
+    return Ctx.create<ExprStmt>(cloneExpr(cast<ExprStmt>(S)->expr()),
+                                S->loc());
+  case StmtKind::SK_If: {
+    auto *If = cast<IfStmt>(S);
+    Expr *Cond = cloneExpr(If->cond());
+    Stmt *Then = cloneStmt(If->thenStmt());
+    Stmt *Else = If->elseStmt() ? cloneStmt(If->elseStmt()) : nullptr;
+    if (!Then)
+      Then = Ctx.create<BlockStmt>(std::vector<Stmt *>(), S->loc());
+    return Ctx.create<IfStmt>(Cond, Then, Else, S->loc());
+  }
+  case StmtKind::SK_While: {
+    auto *While = cast<WhileStmt>(S);
+    Expr *Cond = cloneExpr(While->cond());
+    Stmt *Body = cloneStmt(While->body());
+    if (!Body)
+      Body = Ctx.create<BlockStmt>(std::vector<Stmt *>(), S->loc());
+    return Ctx.create<WhileStmt>(Cond, Body, S->loc());
+  }
+  case StmtKind::SK_Return: {
+    auto *Ret = cast<ReturnStmt>(S);
+    Expr *Value = Ret->value() ? cloneExpr(Ret->value()) : nullptr;
+    return Ctx.create<ReturnStmt>(Value, S->loc());
+  }
+  }
+  return nullptr;
+}
+
+Function *ASTCloner::cloneFunction(Function *F, std::string NewName) {
+  std::vector<VarDecl *> Params;
+  Params.reserve(F->params().size());
+  for (VarDecl *P : F->params()) {
+    VarDecl *NewParam = Ctx.createVarDecl(VarDecl::DeclKind::DK_Param,
+                                          P->name(), P->type(), P->loc());
+    NewParam->setParamIndex(P->paramIndex());
+    mapDecl(P, NewParam);
+    Params.push_back(NewParam);
+  }
+  Stmt *Body = cloneStmt(F->body());
+  if (!Body)
+    Body = Ctx.create<BlockStmt>(std::vector<Stmt *>(), F->loc());
+  return Ctx.createTopLevel<Function>(std::move(NewName), F->returnType(),
+                                      std::move(Params),
+                                      cast<BlockStmt>(Body), F->loc());
+}

@@ -1,0 +1,63 @@
+//===- lang/ASTCloner.h - Deep AST cloning ----------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-clones AST subtrees. Variable declarations are remapped through a
+/// decl map: parameters are remapped up front (callers register them), and
+/// local declarations get fresh decls as their DeclStmt is encountered.
+/// The expression hook `cloneExpr` is virtual so transformations (notably
+/// the splitting transformation) can substitute nodes mid-clone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_ASTCLONER_H
+#define DATASPEC_LANG_ASTCLONER_H
+
+#include "lang/ASTContext.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace dspec {
+
+/// Clones expressions, statements, and whole functions into \p Ctx.
+class ASTCloner {
+public:
+  explicit ASTCloner(ASTContext &Ctx) : Ctx(Ctx) {}
+  virtual ~ASTCloner() = default;
+
+  /// Registers a decl substitution applied to every cloned reference.
+  void mapDecl(VarDecl *From, VarDecl *To) { DeclMap[From] = To; }
+
+  /// The substitution for \p D (or \p D itself when unmapped).
+  VarDecl *lookupDecl(VarDecl *D) const {
+    auto It = DeclMap.find(D);
+    return It == DeclMap.end() ? D : It->second;
+  }
+
+  /// Clones an expression subtree. Override to transform while cloning.
+  virtual Expr *cloneExpr(Expr *E);
+
+  /// Clones a statement subtree. May return null when a subclass decides
+  /// the statement should be dropped (the base implementation never does).
+  virtual Stmt *cloneStmt(Stmt *S);
+
+  /// Clones a whole function under a new name, giving it fresh parameter
+  /// and local decls.
+  Function *cloneFunction(Function *F, std::string NewName);
+
+protected:
+  /// Clones the node-kind-specific payload of \p E with already-cloned
+  /// children; used by cloneExpr.
+  Expr *cloneExprStructure(Expr *E);
+
+  ASTContext &Ctx;
+  std::unordered_map<VarDecl *, VarDecl *> DeclMap;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_ASTCLONER_H

@@ -1,0 +1,67 @@
+//===- lang/ASTContext.h - AST ownership and node ids -----------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ASTContext owns every AST node (arena allocation) and hands out dense
+/// node ids, which analyses use to index side tables. Specialized functions
+/// (loaders/readers) produced from a fragment live in the same context as
+/// the fragment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_ASTCONTEXT_H
+#define DATASPEC_LANG_ASTCONTEXT_H
+
+#include "lang/Function.h"
+#include "support/Arena.h"
+
+#include <type_traits>
+#include <utility>
+
+namespace dspec {
+
+/// Owns all AST nodes of one compilation unit plus anything derived from it.
+class ASTContext {
+public:
+  ASTContext() = default;
+  ASTContext(const ASTContext &) = delete;
+  ASTContext &operator=(const ASTContext &) = delete;
+
+  /// Creates an Expr or Stmt node, assigning it the next dense node id.
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    T *Node = Alloc.create<T>(std::forward<Args>(CtorArgs)...);
+    if constexpr (std::is_base_of_v<Expr, T> || std::is_base_of_v<Stmt, T>)
+      Node->setNodeId(NextNodeId++);
+    return Node;
+  }
+
+  /// Creates a VarDecl (decls have no node ids; their pointer identity is
+  /// the variable's identity).
+  VarDecl *createVarDecl(VarDecl::DeclKind Kind, std::string Name, Type T,
+                         SourceLoc Loc) {
+    return Alloc.create<VarDecl>(Kind, std::move(Name), T, Loc);
+  }
+
+  /// Creates a Function or Program node.
+  template <typename T, typename... Args> T *createTopLevel(Args &&...A) {
+    return Alloc.create<T>(std::forward<Args>(A)...);
+  }
+
+  /// One past the largest node id handed out so far. Analyses size their
+  /// side tables with this.
+  uint32_t numNodeIds() const { return NextNodeId; }
+
+  /// Bytes currently allocated for this unit's AST.
+  size_t bytesAllocated() const { return Alloc.bytesAllocated(); }
+
+private:
+  Arena Alloc;
+  uint32_t NextNodeId = 0;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_ASTCONTEXT_H

@@ -1,0 +1,301 @@
+//===- lang/ASTPrinter.cpp - C-like pretty printer -------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+#include "support/StringUtil.h"
+
+using namespace dspec;
+
+namespace {
+
+/// Precedence levels used to decide parenthesization; mirrors the parser.
+enum Precedence {
+  PrecLowest = 0,
+  PrecCond = 1,
+  PrecOr = 2,
+  PrecAnd = 3,
+  PrecEquality = 4,
+  PrecRelational = 5,
+  PrecAdditive = 6,
+  PrecMultiplicative = 7,
+  PrecUnary = 8,
+  PrecPostfix = 9,
+};
+
+int binaryPrecedence(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::BO_Or:
+    return PrecOr;
+  case BinaryOp::BO_And:
+    return PrecAnd;
+  case BinaryOp::BO_Eq:
+  case BinaryOp::BO_Ne:
+    return PrecEquality;
+  case BinaryOp::BO_Lt:
+  case BinaryOp::BO_Le:
+  case BinaryOp::BO_Gt:
+  case BinaryOp::BO_Ge:
+    return PrecRelational;
+  case BinaryOp::BO_Add:
+  case BinaryOp::BO_Sub:
+    return PrecAdditive;
+  case BinaryOp::BO_Mul:
+  case BinaryOp::BO_Div:
+  case BinaryOp::BO_Mod:
+    return PrecMultiplicative;
+  }
+  return PrecLowest;
+}
+
+class PrinterImpl {
+public:
+  PrinterImpl(PrintOptions Options) : Options(Options) {}
+
+  std::string Out;
+
+  void printExpr(const Expr *E, int ParentPrecedence) {
+    switch (E->kind()) {
+    case ExprKind::EK_IntLiteral:
+      Out += std::to_string(cast<IntLiteralExpr>(E)->value());
+      return;
+    case ExprKind::EK_FloatLiteral:
+      Out += formatFloat(cast<FloatLiteralExpr>(E)->value());
+      return;
+    case ExprKind::EK_BoolLiteral:
+      Out += cast<BoolLiteralExpr>(E)->value() ? "true" : "false";
+      return;
+    case ExprKind::EK_VarRef:
+      Out += cast<VarRefExpr>(E)->name();
+      return;
+    case ExprKind::EK_Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      bool Paren = ParentPrecedence > PrecUnary;
+      if (Paren)
+        Out += '(';
+      Out += U->op() == UnaryOp::UO_Neg ? '-' : '!';
+      printExpr(U->operand(), PrecUnary);
+      if (Paren)
+        Out += ')';
+      return;
+    }
+    case ExprKind::EK_Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int Prec = binaryPrecedence(B->op());
+      bool Paren = ParentPrecedence > Prec;
+      if (Paren)
+        Out += '(';
+      printExpr(B->lhs(), Prec);
+      Out += ' ';
+      Out += binaryOpSpelling(B->op());
+      Out += ' ';
+      // Left-associative: the right child needs one level more.
+      printExpr(B->rhs(), Prec + 1);
+      if (Paren)
+        Out += ')';
+      return;
+    }
+    case ExprKind::EK_Cond: {
+      const auto *C = cast<CondExpr>(E);
+      bool Paren = ParentPrecedence > PrecCond;
+      if (Paren)
+        Out += '(';
+      printExpr(C->cond(), PrecCond + 1);
+      Out += " ? ";
+      printExpr(C->trueExpr(), PrecLowest);
+      Out += " : ";
+      printExpr(C->falseExpr(), PrecCond);
+      if (Paren)
+        Out += ')';
+      return;
+    }
+    case ExprKind::EK_Call: {
+      const auto *Call = cast<CallExpr>(E);
+      Out += Call->callee();
+      Out += '(';
+      for (size_t I = 0; I < Call->args().size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        printExpr(Call->args()[I], PrecLowest);
+      }
+      Out += ')';
+      return;
+    }
+    case ExprKind::EK_Member: {
+      const auto *M = cast<MemberExpr>(E);
+      printExpr(M->base(), PrecPostfix);
+      Out += '.';
+      Out += M->componentName();
+      return;
+    }
+    case ExprKind::EK_CacheRead:
+      Out += "cache->slot" + std::to_string(cast<CacheReadExpr>(E)->slot());
+      return;
+    case ExprKind::EK_CacheStore: {
+      const auto *Store = cast<CacheStoreExpr>(E);
+      Out += "(cache->slot" + std::to_string(Store->slot()) + " = ";
+      printExpr(Store->operand(), PrecLowest);
+      Out += ')';
+      return;
+    }
+    }
+  }
+
+  void indent() { Out.append(Level * Options.IndentWidth, ' '); }
+
+  void printStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::SK_Block: {
+      indent();
+      Out += "{\n";
+      ++Level;
+      for (const Stmt *Child : cast<BlockStmt>(S)->body())
+        printStmt(Child);
+      --Level;
+      indent();
+      Out += "}\n";
+      return;
+    }
+    case StmtKind::SK_Decl: {
+      const auto *Decl = cast<DeclStmt>(S);
+      indent();
+      Out += Decl->var()->type().name();
+      Out += ' ';
+      Out += Decl->var()->name();
+      if (Decl->init()) {
+        Out += " = ";
+        printExpr(Decl->init(), PrecLowest);
+      }
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::SK_Assign: {
+      const auto *Assign = cast<AssignStmt>(S);
+      indent();
+      Out += Assign->targetName();
+      Out += " = ";
+      printExpr(Assign->value(), PrecLowest);
+      Out += ';';
+      if (Options.AnnotatePhiCopies && Assign->isPhiCopy())
+        Out += " /* phi */";
+      Out += '\n';
+      return;
+    }
+    case StmtKind::SK_ExprStmt: {
+      indent();
+      printExpr(cast<ExprStmt>(S)->expr(), PrecLowest);
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::SK_If: {
+      const auto *If = cast<IfStmt>(S);
+      indent();
+      Out += "if (";
+      printExpr(If->cond(), PrecLowest);
+      Out += ")\n";
+      printNested(If->thenStmt());
+      if (If->elseStmt()) {
+        indent();
+        Out += "else\n";
+        printNested(If->elseStmt());
+      }
+      return;
+    }
+    case StmtKind::SK_While: {
+      const auto *While = cast<WhileStmt>(S);
+      indent();
+      Out += "while (";
+      printExpr(While->cond(), PrecLowest);
+      Out += ")\n";
+      printNested(While->body());
+      return;
+    }
+    case StmtKind::SK_Return: {
+      const auto *Ret = cast<ReturnStmt>(S);
+      indent();
+      Out += "return";
+      if (Ret->value()) {
+        Out += ' ';
+        printExpr(Ret->value(), PrecLowest);
+      }
+      Out += ";\n";
+      return;
+    }
+    }
+  }
+
+  /// Prints a statement nested under a control construct: blocks stay at
+  /// the current level, other statements get one extra indent.
+  void printNested(const Stmt *S) {
+    if (isa<BlockStmt>(S)) {
+      printStmt(S);
+      return;
+    }
+    ++Level;
+    printStmt(S);
+    --Level;
+  }
+
+  void printFunction(const Function *F) {
+    Out += F->returnType().name();
+    Out += ' ';
+    Out += F->name();
+    Out += '(';
+    for (size_t I = 0; I < F->params().size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += F->params()[I]->type().name();
+      Out += ' ';
+      Out += F->params()[I]->name();
+    }
+    // Loaders and readers take the cache as an extra argument; show it in
+    // the signature the way the paper's Figure 2 does.
+    if (usesCache(F)) {
+      if (!F->params().empty())
+        Out += ", ";
+      Out += "cache";
+    }
+    Out += ")\n";
+    printStmt(F->body());
+  }
+
+  static bool usesCache(const Function *F) {
+    bool Uses = false;
+    walkExprsInStmt(const_cast<BlockStmt *>(
+                        static_cast<const BlockStmt *>(F->body())),
+                    [&](Expr *E) {
+                      if (isa<CacheReadExpr>(E) || isa<CacheStoreExpr>(E))
+                        Uses = true;
+                    });
+    return Uses;
+  }
+
+private:
+  PrintOptions Options;
+  unsigned Level = 0;
+};
+
+} // namespace
+
+std::string dspec::printFunction(const Function *F, PrintOptions Options) {
+  PrinterImpl P(Options);
+  P.printFunction(F);
+  return std::move(P.Out);
+}
+
+std::string dspec::printStmt(const Stmt *S, PrintOptions Options) {
+  PrinterImpl P(Options);
+  P.printStmt(S);
+  return std::move(P.Out);
+}
+
+std::string dspec::printExpr(const Expr *E) {
+  PrinterImpl P(PrintOptions{});
+  P.printExpr(E, 0);
+  return std::move(P.Out);
+}

@@ -1,0 +1,45 @@
+//===- lang/ASTPrinter.h - C-like pretty printer ----------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints dsc ASTs back to C-like source. Cache accesses print in
+/// the paper's Figure 2 notation: `cache->slotN` for reads and
+/// `cache->slotN = (...)` for loader-side stores. Printing a specialized
+/// function therefore yields exactly the style of loader/reader listing
+/// the paper shows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_ASTPRINTER_H
+#define DATASPEC_LANG_ASTPRINTER_H
+
+#include "lang/Function.h"
+
+#include <string>
+
+namespace dspec {
+
+/// Pretty-printer options.
+struct PrintOptions {
+  /// Number of spaces per indentation level.
+  unsigned IndentWidth = 2;
+  /// When true, a `/* phi */` marker is printed after assignments inserted
+  /// by the join-normalization pass.
+  bool AnnotatePhiCopies = false;
+};
+
+/// Renders \p F as C-like source.
+std::string printFunction(const Function *F, PrintOptions Options = {});
+
+/// Renders one statement subtree.
+std::string printStmt(const Stmt *S, PrintOptions Options = {});
+
+/// Renders one expression.
+std::string printExpr(const Expr *E);
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_ASTPRINTER_H

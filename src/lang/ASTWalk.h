@@ -1,0 +1,145 @@
+//===- lang/ASTWalk.h - Generic AST traversal helpers -----------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small traversal helpers used by every analysis: enumerate the direct
+/// expression/statement children of a node, or walk a whole subtree in
+/// preorder. Keeping these in one place means analyses cannot disagree
+/// about what a node's children are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_ASTWALK_H
+#define DATASPEC_LANG_ASTWALK_H
+
+#include "lang/Stmt.h"
+#include "support/Casting.h"
+
+namespace dspec {
+
+class Function;
+
+/// Invokes \p Fn on each direct child expression of \p E.
+template <typename F> void forEachChildExpr(Expr *E, F &&Fn) {
+  switch (E->kind()) {
+  case ExprKind::EK_IntLiteral:
+  case ExprKind::EK_FloatLiteral:
+  case ExprKind::EK_BoolLiteral:
+  case ExprKind::EK_VarRef:
+  case ExprKind::EK_CacheRead:
+    return;
+  case ExprKind::EK_Unary:
+    Fn(cast<UnaryExpr>(E)->operand());
+    return;
+  case ExprKind::EK_Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Fn(B->lhs());
+    Fn(B->rhs());
+    return;
+  }
+  case ExprKind::EK_Cond: {
+    auto *C = cast<CondExpr>(E);
+    Fn(C->cond());
+    Fn(C->trueExpr());
+    Fn(C->falseExpr());
+    return;
+  }
+  case ExprKind::EK_Call:
+    for (Expr *Arg : cast<CallExpr>(E)->args())
+      Fn(Arg);
+    return;
+  case ExprKind::EK_Member:
+    Fn(cast<MemberExpr>(E)->base());
+    return;
+  case ExprKind::EK_CacheStore:
+    Fn(cast<CacheStoreExpr>(E)->operand());
+    return;
+  }
+}
+
+/// Invokes \p Fn on each expression directly hanging off statement \p S
+/// (not statements' nested statements' expressions).
+template <typename F> void forEachExprOfStmt(Stmt *S, F &&Fn) {
+  switch (S->kind()) {
+  case StmtKind::SK_Block:
+    return;
+  case StmtKind::SK_Decl:
+    if (Expr *Init = cast<DeclStmt>(S)->init())
+      Fn(Init);
+    return;
+  case StmtKind::SK_Assign:
+    Fn(cast<AssignStmt>(S)->value());
+    return;
+  case StmtKind::SK_ExprStmt:
+    Fn(cast<ExprStmt>(S)->expr());
+    return;
+  case StmtKind::SK_If:
+    Fn(cast<IfStmt>(S)->cond());
+    return;
+  case StmtKind::SK_While:
+    Fn(cast<WhileStmt>(S)->cond());
+    return;
+  case StmtKind::SK_Return:
+    if (Expr *Value = cast<ReturnStmt>(S)->value())
+      Fn(Value);
+    return;
+  }
+}
+
+/// Invokes \p Fn on each direct child statement of \p S.
+template <typename F> void forEachChildStmt(Stmt *S, F &&Fn) {
+  switch (S->kind()) {
+  case StmtKind::SK_Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->body())
+      Fn(Child);
+    return;
+  case StmtKind::SK_If: {
+    auto *If = cast<IfStmt>(S);
+    Fn(If->thenStmt());
+    if (Stmt *Else = If->elseStmt())
+      Fn(Else);
+    return;
+  }
+  case StmtKind::SK_While:
+    Fn(cast<WhileStmt>(S)->body());
+    return;
+  case StmtKind::SK_Decl:
+  case StmtKind::SK_Assign:
+  case StmtKind::SK_ExprStmt:
+  case StmtKind::SK_Return:
+    return;
+  }
+}
+
+/// Preorder walk over \p E and every expression below it.
+template <typename F> void walkExpr(Expr *E, F &&Fn) {
+  Fn(E);
+  forEachChildExpr(E, [&](Expr *Child) { walkExpr(Child, Fn); });
+}
+
+/// Preorder walk over \p S and every statement below it.
+template <typename F> void walkStmts(Stmt *S, F &&Fn) {
+  Fn(S);
+  forEachChildStmt(S, [&](Stmt *Child) { walkStmts(Child, Fn); });
+}
+
+/// Preorder walk over every expression anywhere inside statement \p S.
+template <typename F> void walkExprsInStmt(Stmt *S, F &&Fn) {
+  walkStmts(S, [&](Stmt *Sub) {
+    forEachExprOfStmt(Sub, [&](Expr *E) { walkExpr(E, Fn); });
+  });
+}
+
+/// Counts AST terms (statements plus expressions) in a statement subtree.
+/// Used for the Section 3.3 code-size accounting.
+unsigned countTerms(Stmt *S);
+
+/// Counts AST terms in a whole function (body plus nothing else).
+unsigned countTerms(Function *F);
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_ASTWALK_H

@@ -1,0 +1,147 @@
+//===- lang/Builtins.cpp - Builtin function registry ----------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Builtins.h"
+
+#include <cassert>
+
+using namespace dspec;
+
+static std::vector<BuiltinInfo> makeBuiltinTable() {
+  const Type F = Type::floatTy();
+  const Type I = Type::intTy();
+  const Type V2 = Type::vec2Ty();
+  const Type V3 = Type::vec3Ty();
+  const Type V4 = Type::vec4Ty();
+  const Type Void = Type::voidTy();
+
+  // Costs follow the flavor of the paper's examples: '+' costs 1, '/' costs
+  // 9; transcendental and noise functions are much more expensive. The exact
+  // values only matter relatively (victim selection in the cache limiter and
+  // the Trivial() threshold).
+  std::vector<BuiltinInfo> Table = {
+      {BuiltinId::BI_SqrtF, "sqrt", F, {F}, 10, false},
+      {BuiltinId::BI_AbsF, "abs", F, {F}, 1, false},
+      {BuiltinId::BI_AbsI, "abs", I, {I}, 1, false},
+      {BuiltinId::BI_FloorF, "floor", F, {F}, 2, false},
+      {BuiltinId::BI_CeilF, "ceil", F, {F}, 2, false},
+      {BuiltinId::BI_FractF, "fract", F, {F}, 3, false},
+      {BuiltinId::BI_SinF, "sin", F, {F}, 14, false},
+      {BuiltinId::BI_CosF, "cos", F, {F}, 14, false},
+      {BuiltinId::BI_TanF, "tan", F, {F}, 18, false},
+      {BuiltinId::BI_ExpF, "exp", F, {F}, 16, false},
+      {BuiltinId::BI_LogF, "log", F, {F}, 16, false},
+      {BuiltinId::BI_PowF, "pow", F, {F, F}, 24, false},
+      {BuiltinId::BI_MinF, "min", F, {F, F}, 1, false},
+      {BuiltinId::BI_MinI, "min", I, {I, I}, 1, false},
+      {BuiltinId::BI_MaxF, "max", F, {F, F}, 1, false},
+      {BuiltinId::BI_MaxI, "max", I, {I, I}, 1, false},
+      {BuiltinId::BI_ClampF, "clamp", F, {F, F, F}, 2, false},
+      {BuiltinId::BI_MixF, "mix", F, {F, F, F}, 3, false},
+      {BuiltinId::BI_StepF, "step", F, {F, F}, 1, false},
+      {BuiltinId::BI_SmoothStepF, "smoothstep", F, {F, F, F}, 8, false},
+      {BuiltinId::BI_ModF, "mod", F, {F, F}, 9, false},
+      {BuiltinId::BI_ToInt, "toInt", I, {F}, 2, false},
+      {BuiltinId::BI_ToFloat, "toFloat", F, {I}, 1, false},
+      {BuiltinId::BI_Vec2, "vec2", V2, {F, F}, 2, false},
+      {BuiltinId::BI_Vec3, "vec3", V3, {F, F, F}, 3, false},
+      {BuiltinId::BI_Vec3Splat, "vec3", V3, {F}, 2, false},
+      {BuiltinId::BI_Vec4, "vec4", V4, {F, F, F, F}, 4, false},
+      {BuiltinId::BI_Vec4FromVec3, "vec4", V4, {V3, F}, 3, false},
+      {BuiltinId::BI_DotV2, "dot", F, {V2, V2}, 4, false},
+      {BuiltinId::BI_DotV3, "dot", F, {V3, V3}, 6, false},
+      {BuiltinId::BI_DotV4, "dot", F, {V4, V4}, 8, false},
+      {BuiltinId::BI_CrossV3, "cross", V3, {V3, V3}, 9, false},
+      {BuiltinId::BI_LengthV2, "length", F, {V2}, 12, false},
+      {BuiltinId::BI_LengthV3, "length", F, {V3}, 14, false},
+      {BuiltinId::BI_LengthV4, "length", F, {V4}, 16, false},
+      {BuiltinId::BI_NormalizeV2, "normalize", V2, {V2}, 16, false},
+      {BuiltinId::BI_NormalizeV3, "normalize", V3, {V3}, 18, false},
+      {BuiltinId::BI_NormalizeV4, "normalize", V4, {V4}, 20, false},
+      {BuiltinId::BI_DistanceV3, "distance", F, {V3, V3}, 16, false},
+      {BuiltinId::BI_ReflectV3, "reflect", V3, {V3, V3}, 12, false},
+      {BuiltinId::BI_FaceForwardV3, "faceforward", V3, {V3, V3}, 9, false},
+      {BuiltinId::BI_MixV2, "mix", V2, {V2, V2, F}, 6, false},
+      {BuiltinId::BI_MixV3, "mix", V3, {V3, V3, F}, 9, false},
+      {BuiltinId::BI_MixV4, "mix", V4, {V4, V4, F}, 12, false},
+      {BuiltinId::BI_ClampV3, "clamp", V3, {V3, F, F}, 6, false},
+      {BuiltinId::BI_MinV3, "min", V3, {V3, V3}, 3, false},
+      {BuiltinId::BI_MaxV3, "max", V3, {V3, V3}, 3, false},
+      {BuiltinId::BI_RotateXV3, "rotateX", V3, {V3, F}, 32, false},
+      {BuiltinId::BI_RotateYV3, "rotateY", V3, {V3, F}, 32, false},
+      {BuiltinId::BI_RotateZV3, "rotateZ", V3, {V3, F}, 32, false},
+      {BuiltinId::BI_Noise1, "noise1", F, {F}, 40, false},
+      {BuiltinId::BI_Noise2, "noise2", F, {V2}, 45, false},
+      {BuiltinId::BI_Noise3, "noise", F, {V3}, 50, false},
+      {BuiltinId::BI_VNoise3, "vnoise", V3, {V3}, 140, false},
+      {BuiltinId::BI_Fbm, "fbm", F, {V3, I, F, F}, 240, false},
+      {BuiltinId::BI_Turbulence, "turbulence", F, {V3, I}, 220, false},
+      {BuiltinId::BI_Trace, "dsc_trace", Void, {F}, 5, true},
+      {BuiltinId::BI_Clock, "dsc_clock", F, {}, 5, true},
+  };
+
+  // The table must be indexed by BuiltinId.
+  for (size_t Index = 0; Index < Table.size(); ++Index)
+    assert(static_cast<size_t>(Table[Index].Id) == Index &&
+           "builtin table out of order");
+  return Table;
+}
+
+const std::vector<BuiltinInfo> &dspec::allBuiltins() {
+  static const std::vector<BuiltinInfo> Table = makeBuiltinTable();
+  return Table;
+}
+
+const BuiltinInfo &dspec::getBuiltinInfo(BuiltinId Id) {
+  const auto &Table = allBuiltins();
+  size_t Index = static_cast<size_t>(Id);
+  assert(Index < Table.size() && "invalid builtin id");
+  return Table[Index];
+}
+
+/// Returns 0 for an exact signature match, 1 for a match requiring
+/// promotion, and -1 for no match.
+static int matchQuality(const BuiltinInfo &Info,
+                        const std::vector<Type> &ArgTypes) {
+  if (Info.ParamTypes.size() != ArgTypes.size())
+    return -1;
+  int Quality = 0;
+  for (size_t I = 0; I < ArgTypes.size(); ++I) {
+    if (ArgTypes[I] == Info.ParamTypes[I])
+      continue;
+    if (!isImplicitlyConvertible(ArgTypes[I], Info.ParamTypes[I]))
+      return -1;
+    Quality = 1;
+  }
+  return Quality;
+}
+
+const BuiltinInfo *dspec::lookupBuiltin(std::string_view Name,
+                                        const std::vector<Type> &ArgTypes) {
+  const BuiltinInfo *Best = nullptr;
+  int BestQuality = 2;
+  for (const BuiltinInfo &Info : allBuiltins()) {
+    if (Name != Info.Name)
+      continue;
+    int Quality = matchQuality(Info, ArgTypes);
+    if (Quality < 0)
+      continue;
+    if (Quality == 0)
+      return &Info;
+    if (Quality < BestQuality) {
+      Best = &Info;
+      BestQuality = Quality;
+    }
+  }
+  return Best;
+}
+
+bool dspec::isBuiltinName(std::string_view Name) {
+  for (const BuiltinInfo &Info : allBuiltins())
+    if (Name == Info.Name)
+      return true;
+  return false;
+}

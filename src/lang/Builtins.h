@@ -1,0 +1,129 @@
+//===- lang/Builtins.h - Builtin function registry --------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dsc builtin function library. The paper's shaders "invoke a small
+/// mathematical library that supports vector and matrix operations as well
+/// as noise functions"; this registry declares that library. Sema resolves
+/// calls against it (with int->float promotion), the cost model consults the
+/// per-builtin static cost (Section 4.3 of the paper), and the caching
+/// analysis consults the global-effect flag (Rule 2 of Figure 3). The VM
+/// implements the semantics in vm/Builtins.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_BUILTINS_H
+#define DATASPEC_LANG_BUILTINS_H
+
+#include "lang/Type.h"
+
+#include <string_view>
+#include <vector>
+
+namespace dspec {
+
+/// Every builtin overload gets its own identifier.
+enum class BuiltinId : uint16_t {
+  // Scalar math.
+  BI_SqrtF,
+  BI_AbsF,
+  BI_AbsI,
+  BI_FloorF,
+  BI_CeilF,
+  BI_FractF,
+  BI_SinF,
+  BI_CosF,
+  BI_TanF,
+  BI_ExpF,
+  BI_LogF,
+  BI_PowF,
+  BI_MinF,
+  BI_MinI,
+  BI_MaxF,
+  BI_MaxI,
+  BI_ClampF,
+  BI_MixF,
+  BI_StepF,
+  BI_SmoothStepF,
+  BI_ModF,
+  BI_ToInt,
+  BI_ToFloat,
+  // Vector constructors.
+  BI_Vec2,
+  BI_Vec3,
+  BI_Vec3Splat,
+  BI_Vec4,
+  BI_Vec4FromVec3,
+  // Vector operations.
+  BI_DotV2,
+  BI_DotV3,
+  BI_DotV4,
+  BI_CrossV3,
+  BI_LengthV2,
+  BI_LengthV3,
+  BI_LengthV4,
+  BI_NormalizeV2,
+  BI_NormalizeV3,
+  BI_NormalizeV4,
+  BI_DistanceV3,
+  BI_ReflectV3,
+  BI_FaceForwardV3,
+  BI_MixV2,
+  BI_MixV3,
+  BI_MixV4,
+  BI_ClampV3,
+  BI_MinV3,
+  BI_MaxV3,
+  // Matrix-style transforms (the "matrix operations" of the paper's
+  // math library, exposed as rotation transforms).
+  BI_RotateXV3,
+  BI_RotateYV3,
+  BI_RotateZV3,
+  // Noise functions.
+  BI_Noise1,
+  BI_Noise2,
+  BI_Noise3,
+  BI_VNoise3,
+  BI_Fbm,
+  BI_Turbulence,
+  // Effectful builtins; these exist so Rule 2 (global effects) of the
+  // caching analysis has real coverage.
+  BI_Trace,
+  BI_Clock,
+};
+
+/// Static description of one builtin overload.
+struct BuiltinInfo {
+  BuiltinId Id;
+  const char *Name;
+  Type ResultType;
+  std::vector<Type> ParamTypes;
+  /// Static execution-cost estimate used by the Section 4.3 cost model.
+  unsigned Cost;
+  /// True if the builtin reads or writes global state (I/O, clocks);
+  /// such calls are forced Dynamic by Rule 2 of Figure 3.
+  bool HasGlobalEffect;
+};
+
+/// All registered builtins, in BuiltinId order.
+const std::vector<BuiltinInfo> &allBuiltins();
+
+/// Description of a specific builtin.
+const BuiltinInfo &getBuiltinInfo(BuiltinId Id);
+
+/// Finds the overload of \p Name callable with \p ArgTypes, allowing
+/// int->float promotion. Returns null if there is no match. Exact matches
+/// are preferred over promoted matches.
+const BuiltinInfo *lookupBuiltin(std::string_view Name,
+                                 const std::vector<Type> &ArgTypes);
+
+/// True if at least one overload with this name exists (used for "unknown
+/// function" vs "no matching overload" diagnostics).
+bool isBuiltinName(std::string_view Name);
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_BUILTINS_H

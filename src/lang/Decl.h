@@ -1,0 +1,58 @@
+//===- lang/Decl.h - Variable declarations ----------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variable declarations. Because dsc has no pointers or arrays, a VarDecl
+/// is the only kind of storage and identity of a VarDecl object *is* the
+/// identity of the variable (Sema resolves every reference to its decl).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_DECL_H
+#define DATASPEC_LANG_DECL_H
+
+#include "lang/Type.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+
+namespace dspec {
+
+/// A parameter or local variable.
+class VarDecl {
+public:
+  enum class DeclKind : uint8_t {
+    DK_Param,
+    DK_Local,
+  };
+
+  VarDecl(DeclKind Kind, std::string Name, Type VarType, SourceLoc Loc)
+      : Kind(Kind), Name(std::move(Name)), VarType(VarType), Loc(Loc) {}
+
+  DeclKind kind() const { return Kind; }
+  bool isParam() const { return Kind == DeclKind::DK_Param; }
+  bool isLocal() const { return Kind == DeclKind::DK_Local; }
+
+  const std::string &name() const { return Name; }
+  Type type() const { return VarType; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Index of a parameter within its function's parameter list; set by
+  /// Sema. Meaningless for locals.
+  unsigned paramIndex() const { return ParamIndex; }
+  void setParamIndex(unsigned Index) { ParamIndex = Index; }
+
+private:
+  DeclKind Kind;
+  std::string Name;
+  Type VarType;
+  SourceLoc Loc;
+  unsigned ParamIndex = ~0u;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_DECL_H

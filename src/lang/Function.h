@@ -1,0 +1,76 @@
+//===- lang/Function.h - Functions and programs -----------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function and Program nodes. A dsc "fragment" (the unit the specializer
+/// operates on, in the paper's terminology) is a single nonrecursive
+/// function whose only callees are builtins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_FUNCTION_H
+#define DATASPEC_LANG_FUNCTION_H
+
+#include "lang/Stmt.h"
+
+#include <string>
+#include <vector>
+
+namespace dspec {
+
+/// A dsc function: name, typed parameters, and a body block.
+class Function {
+public:
+  Function(std::string Name, Type ReturnType, std::vector<VarDecl *> Params,
+           BlockStmt *Body, SourceLoc Loc)
+      : Name(std::move(Name)), ReturnType(ReturnType),
+        Params(std::move(Params)), Body(Body), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  Type returnType() const { return ReturnType; }
+  const std::vector<VarDecl *> &params() const { return Params; }
+  BlockStmt *body() const { return Body; }
+  void setBody(BlockStmt *B) { Body = B; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Finds a parameter by name; returns null if absent.
+  VarDecl *findParam(const std::string &ParamName) const {
+    for (VarDecl *P : Params)
+      if (P->name() == ParamName)
+        return P;
+    return nullptr;
+  }
+
+private:
+  std::string Name;
+  Type ReturnType;
+  std::vector<VarDecl *> Params;
+  BlockStmt *Body;
+  SourceLoc Loc;
+};
+
+/// A parsed compilation unit: an ordered list of functions.
+class Program {
+public:
+  void addFunction(Function *F) { Functions.push_back(F); }
+
+  const std::vector<Function *> &functions() const { return Functions; }
+
+  /// Finds a function by name; returns null if absent.
+  Function *findFunction(const std::string &Name) const {
+    for (Function *F : Functions)
+      if (F->name() == Name)
+        return F;
+    return nullptr;
+  }
+
+private:
+  std::vector<Function *> Functions;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_FUNCTION_H

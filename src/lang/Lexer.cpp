@@ -1,0 +1,339 @@
+//===- lang/Lexer.cpp - dsc lexer ------------------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace dspec;
+
+const char *dspec::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::TK_EOF:
+    return "end of input";
+  case TokenKind::TK_Error:
+    return "invalid token";
+  case TokenKind::TK_Identifier:
+    return "identifier";
+  case TokenKind::TK_IntLiteral:
+    return "integer literal";
+  case TokenKind::TK_FloatLiteral:
+    return "float literal";
+  case TokenKind::TK_KwVoid:
+    return "'void'";
+  case TokenKind::TK_KwBool:
+    return "'bool'";
+  case TokenKind::TK_KwInt:
+    return "'int'";
+  case TokenKind::TK_KwFloat:
+    return "'float'";
+  case TokenKind::TK_KwVec2:
+    return "'vec2'";
+  case TokenKind::TK_KwVec3:
+    return "'vec3'";
+  case TokenKind::TK_KwVec4:
+    return "'vec4'";
+  case TokenKind::TK_KwIf:
+    return "'if'";
+  case TokenKind::TK_KwElse:
+    return "'else'";
+  case TokenKind::TK_KwWhile:
+    return "'while'";
+  case TokenKind::TK_KwFor:
+    return "'for'";
+  case TokenKind::TK_KwReturn:
+    return "'return'";
+  case TokenKind::TK_KwTrue:
+    return "'true'";
+  case TokenKind::TK_KwFalse:
+    return "'false'";
+  case TokenKind::TK_LParen:
+    return "'('";
+  case TokenKind::TK_RParen:
+    return "')'";
+  case TokenKind::TK_LBrace:
+    return "'{'";
+  case TokenKind::TK_RBrace:
+    return "'}'";
+  case TokenKind::TK_Semi:
+    return "';'";
+  case TokenKind::TK_Comma:
+    return "','";
+  case TokenKind::TK_Dot:
+    return "'.'";
+  case TokenKind::TK_Question:
+    return "'?'";
+  case TokenKind::TK_Colon:
+    return "':'";
+  case TokenKind::TK_Plus:
+    return "'+'";
+  case TokenKind::TK_Minus:
+    return "'-'";
+  case TokenKind::TK_Star:
+    return "'*'";
+  case TokenKind::TK_Slash:
+    return "'/'";
+  case TokenKind::TK_Percent:
+    return "'%'";
+  case TokenKind::TK_Assign:
+    return "'='";
+  case TokenKind::TK_PlusAssign:
+    return "'+='";
+  case TokenKind::TK_MinusAssign:
+    return "'-='";
+  case TokenKind::TK_StarAssign:
+    return "'*='";
+  case TokenKind::TK_SlashAssign:
+    return "'/='";
+  case TokenKind::TK_EqEq:
+    return "'=='";
+  case TokenKind::TK_NotEq:
+    return "'!='";
+  case TokenKind::TK_Less:
+    return "'<'";
+  case TokenKind::TK_LessEq:
+    return "'<='";
+  case TokenKind::TK_Greater:
+    return "'>'";
+  case TokenKind::TK_GreaterEq:
+    return "'>='";
+  case TokenKind::TK_AmpAmp:
+    return "'&&'";
+  case TokenKind::TK_PipePipe:
+    return "'||'";
+  case TokenKind::TK_Bang:
+    return "'!'";
+  }
+  return "<unknown token>";
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start(Line, Column);
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+
+  bool IsFloat = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    unsigned Ahead = 1;
+    if (peek(1) == '+' || peek(1) == '-')
+      Ahead = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(Ahead)))) {
+      IsFloat = true;
+      while (Ahead-- > 0)
+        advance();
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+
+  std::string Spelling(Source.substr(Start, Pos - Start));
+  if (peek() == 'f' || peek() == 'F') {
+    IsFloat = true;
+    advance();
+  }
+
+  Token T;
+  T.Loc = Loc;
+  if (IsFloat) {
+    T.Kind = TokenKind::TK_FloatLiteral;
+    T.FloatValue = std::strtof(Spelling.c_str(), nullptr);
+  } else {
+    T.Kind = TokenKind::TK_IntLiteral;
+    long Value = std::strtol(Spelling.c_str(), nullptr, 10);
+    if (Value > INT32_MAX) {
+      Diags.error(Loc, "integer literal '" + Spelling + "' overflows int");
+      Value = INT32_MAX;
+    }
+    T.IntValue = static_cast<int32_t>(Value);
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Loc) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"void", TokenKind::TK_KwVoid},     {"bool", TokenKind::TK_KwBool},
+      {"int", TokenKind::TK_KwInt},       {"float", TokenKind::TK_KwFloat},
+      {"vec2", TokenKind::TK_KwVec2},     {"vec3", TokenKind::TK_KwVec3},
+      {"vec4", TokenKind::TK_KwVec4},     {"if", TokenKind::TK_KwIf},
+      {"else", TokenKind::TK_KwElse},     {"while", TokenKind::TK_KwWhile},
+      {"for", TokenKind::TK_KwFor},       {"return", TokenKind::TK_KwReturn},
+      {"true", TokenKind::TK_KwTrue},     {"false", TokenKind::TK_KwFalse},
+  };
+
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string_view Spelling = Source.substr(Start, Pos - Start);
+
+  auto It = Keywords.find(Spelling);
+  Token T;
+  T.Loc = Loc;
+  if (It != Keywords.end()) {
+    T.Kind = It->second;
+  } else {
+    T.Kind = TokenKind::TK_Identifier;
+    T.Text = std::string(Spelling);
+  }
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc(Line, Column);
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::TK_EOF, Loc);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::TK_LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::TK_RParen, Loc);
+  case '{':
+    return makeToken(TokenKind::TK_LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::TK_RBrace, Loc);
+  case ';':
+    return makeToken(TokenKind::TK_Semi, Loc);
+  case ',':
+    return makeToken(TokenKind::TK_Comma, Loc);
+  case '.':
+    return makeToken(TokenKind::TK_Dot, Loc);
+  case '?':
+    return makeToken(TokenKind::TK_Question, Loc);
+  case ':':
+    return makeToken(TokenKind::TK_Colon, Loc);
+  case '+':
+    return makeToken(match('=') ? TokenKind::TK_PlusAssign
+                                : TokenKind::TK_Plus,
+                     Loc);
+  case '-':
+    return makeToken(match('=') ? TokenKind::TK_MinusAssign
+                                : TokenKind::TK_Minus,
+                     Loc);
+  case '*':
+    return makeToken(match('=') ? TokenKind::TK_StarAssign
+                                : TokenKind::TK_Star,
+                     Loc);
+  case '/':
+    return makeToken(match('=') ? TokenKind::TK_SlashAssign
+                                : TokenKind::TK_Slash,
+                     Loc);
+  case '%':
+    return makeToken(TokenKind::TK_Percent, Loc);
+  case '=':
+    return makeToken(match('=') ? TokenKind::TK_EqEq : TokenKind::TK_Assign,
+                     Loc);
+  case '!':
+    return makeToken(match('=') ? TokenKind::TK_NotEq : TokenKind::TK_Bang,
+                     Loc);
+  case '<':
+    return makeToken(match('=') ? TokenKind::TK_LessEq : TokenKind::TK_Less,
+                     Loc);
+  case '>':
+    return makeToken(match('=') ? TokenKind::TK_GreaterEq
+                                : TokenKind::TK_Greater,
+                     Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::TK_AmpAmp, Loc);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::TK_PipePipe, Loc);
+    break;
+  default:
+    break;
+  }
+
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  Token T = makeToken(TokenKind::TK_Error, Loc);
+  T.Text = std::string(1, C);
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::TK_EOF))
+      return Tokens;
+  }
+}

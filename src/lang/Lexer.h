@@ -1,0 +1,62 @@
+//===- lang/Lexer.h - dsc lexer ---------------------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for dsc. Supports `//` line comments and `/* */`
+/// block comments, decimal int and float literals (optional `f` suffix),
+/// and the operators listed in Token.h. Malformed input yields TK_Error
+/// tokens plus diagnostics; the lexer always terminates with TK_EOF.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_LEXER_H
+#define DATASPEC_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dspec {
+
+/// Converts dsc source text into a token stream.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the next token.
+  Token next();
+
+  /// Lexes the entire input (convenience for the parser and tests). The
+  /// final token is always TK_EOF.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    size_t Index = Pos + Ahead;
+    return Index < Source.size() ? Source[Index] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+
+  Token makeToken(TokenKind Kind, SourceLoc Loc) const;
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifier(SourceLoc Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_LEXER_H

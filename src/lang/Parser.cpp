@@ -1,0 +1,588 @@
+//===- lang/Parser.cpp - dsc parser ----------------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace dspec;
+
+Parser::Parser(std::string_view Source, ASTContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Ctx(Ctx), Diags(Diags) {
+  Lexer Lex(Source, Diags);
+  Tokens = Lex.lexAll();
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // EOF token
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::syncToStatement() {
+  while (!check(TokenKind::TK_EOF)) {
+    if (accept(TokenKind::TK_Semi))
+      return;
+    if (check(TokenKind::TK_RBrace) || check(TokenKind::TK_LBrace))
+      return;
+    consume();
+  }
+}
+
+std::optional<Type> Parser::parseTypeName() {
+  switch (current().Kind) {
+  case TokenKind::TK_KwVoid:
+    consume();
+    return Type::voidTy();
+  case TokenKind::TK_KwBool:
+    consume();
+    return Type::boolTy();
+  case TokenKind::TK_KwInt:
+    consume();
+    return Type::intTy();
+  case TokenKind::TK_KwFloat:
+    consume();
+    return Type::floatTy();
+  case TokenKind::TK_KwVec2:
+    consume();
+    return Type::vec2Ty();
+  case TokenKind::TK_KwVec3:
+    consume();
+    return Type::vec3Ty();
+  case TokenKind::TK_KwVec4:
+    consume();
+    return Type::vec4Ty();
+  default:
+    return std::nullopt;
+  }
+}
+
+/// True if the token begins a type name.
+static bool isTypeToken(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::TK_KwVoid:
+  case TokenKind::TK_KwBool:
+  case TokenKind::TK_KwInt:
+  case TokenKind::TK_KwFloat:
+  case TokenKind::TK_KwVec2:
+  case TokenKind::TK_KwVec3:
+  case TokenKind::TK_KwVec4:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Program *Parser::parseProgram() {
+  Program *Prog = Ctx.createTopLevel<Program>();
+  while (!check(TokenKind::TK_EOF)) {
+    if (Function *F = parseFunction()) {
+      Prog->addFunction(F);
+      continue;
+    }
+    // Error recovery: skip one token and retry.
+    if (!check(TokenKind::TK_EOF))
+      consume();
+  }
+  return Prog;
+}
+
+Function *Parser::parseFunction() {
+  SourceLoc Loc = current().Loc;
+  std::optional<Type> RetType = parseTypeName();
+  if (!RetType) {
+    Diags.error(Loc, "expected a return type to begin a function definition");
+    return nullptr;
+  }
+
+  if (!check(TokenKind::TK_Identifier)) {
+    Diags.error(current().Loc, "expected function name");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+
+  if (!expect(TokenKind::TK_LParen, "after function name"))
+    return nullptr;
+
+  std::vector<VarDecl *> Params;
+  if (!check(TokenKind::TK_RParen)) {
+    do {
+      SourceLoc ParamLoc = current().Loc;
+      std::optional<Type> ParamType = parseTypeName();
+      if (!ParamType) {
+        Diags.error(ParamLoc, "expected parameter type");
+        return nullptr;
+      }
+      if (ParamType->isVoid()) {
+        Diags.error(ParamLoc, "parameters may not have type 'void'");
+        return nullptr;
+      }
+      if (!check(TokenKind::TK_Identifier)) {
+        Diags.error(current().Loc, "expected parameter name");
+        return nullptr;
+      }
+      std::string ParamName = consume().Text;
+      Params.push_back(Ctx.createVarDecl(VarDecl::DeclKind::DK_Param,
+                                         std::move(ParamName), *ParamType,
+                                         ParamLoc));
+    } while (accept(TokenKind::TK_Comma));
+  }
+  if (!expect(TokenKind::TK_RParen, "to close the parameter list"))
+    return nullptr;
+
+  if (!check(TokenKind::TK_LBrace)) {
+    Diags.error(current().Loc, "expected '{' to begin function body");
+    return nullptr;
+  }
+  BlockStmt *Body = parseBlock();
+  if (!Body)
+    return nullptr;
+
+  return Ctx.createTopLevel<Function>(std::move(Name), *RetType,
+                                      std::move(Params), Body, Loc);
+}
+
+BlockStmt *Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  if (!expect(TokenKind::TK_LBrace, "to begin a block"))
+    return nullptr;
+  std::vector<Stmt *> Body;
+  while (!check(TokenKind::TK_RBrace) && !check(TokenKind::TK_EOF)) {
+    if (Stmt *S = parseStatement()) {
+      Body.push_back(S);
+    } else {
+      syncToStatement();
+    }
+  }
+  expect(TokenKind::TK_RBrace, "to close the block");
+  return Ctx.create<BlockStmt>(std::move(Body), Loc);
+}
+
+Stmt *Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::TK_LBrace:
+    return parseBlock();
+  case TokenKind::TK_KwIf:
+    return parseIf();
+  case TokenKind::TK_KwWhile:
+    return parseWhile();
+  case TokenKind::TK_KwFor:
+    return parseFor();
+  case TokenKind::TK_KwReturn:
+    return parseReturn();
+  default:
+    break;
+  }
+  if (isTypeToken(current().Kind)) {
+    std::optional<Type> DeclType = parseTypeName();
+    assert(DeclType && "isTypeToken / parseTypeName mismatch");
+    return parseDeclStatement(*DeclType, /*ConsumeSemi=*/true);
+  }
+  return parseExprOrAssign(/*ConsumeSemi=*/true);
+}
+
+Stmt *Parser::parseDeclStatement(Type DeclType, bool ConsumeSemi) {
+  SourceLoc Loc = current().Loc;
+  if (DeclType.isVoid()) {
+    Diags.error(Loc, "variables may not have type 'void'");
+    return nullptr;
+  }
+  if (!check(TokenKind::TK_Identifier)) {
+    Diags.error(current().Loc, "expected variable name in declaration");
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+
+  Expr *Init = nullptr;
+  if (accept(TokenKind::TK_Assign)) {
+    Init = parseExpression();
+    if (!Init)
+      return nullptr;
+  }
+  if (ConsumeSemi && !expect(TokenKind::TK_Semi, "after declaration"))
+    return nullptr;
+
+  VarDecl *Var = Ctx.createVarDecl(VarDecl::DeclKind::DK_Local,
+                                   std::move(Name), DeclType, Loc);
+  return Ctx.create<DeclStmt>(Var, Init, Loc);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = consume().Loc; // 'if'
+  if (!expect(TokenKind::TK_LParen, "after 'if'"))
+    return nullptr;
+  Expr *Cond = parseExpression();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::TK_RParen, "after if condition"))
+    return nullptr;
+  Stmt *Then = parseStatement();
+  if (!Then)
+    return nullptr;
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::TK_KwElse)) {
+    Else = parseStatement();
+    if (!Else)
+      return nullptr;
+  }
+  return Ctx.create<IfStmt>(Cond, Then, Else, Loc);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc; // 'while'
+  if (!expect(TokenKind::TK_LParen, "after 'while'"))
+    return nullptr;
+  Expr *Cond = parseExpression();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::TK_RParen, "after while condition"))
+    return nullptr;
+  Stmt *Body = parseStatement();
+  if (!Body)
+    return nullptr;
+  return Ctx.create<WhileStmt>(Cond, Body, Loc);
+}
+
+Stmt *Parser::parseSimpleStatement(bool ConsumeSemi) {
+  if (isTypeToken(current().Kind)) {
+    std::optional<Type> DeclType = parseTypeName();
+    assert(DeclType && "isTypeToken / parseTypeName mismatch");
+    return parseDeclStatement(*DeclType, ConsumeSemi);
+  }
+  return parseExprOrAssign(ConsumeSemi);
+}
+
+Stmt *Parser::parseFor() {
+  // Desugars to { init; while (cond) { body; step; } }.
+  SourceLoc Loc = consume().Loc; // 'for'
+  if (!expect(TokenKind::TK_LParen, "after 'for'"))
+    return nullptr;
+
+  Stmt *Init = nullptr;
+  if (!check(TokenKind::TK_Semi)) {
+    Init = parseSimpleStatement(/*ConsumeSemi=*/false);
+    if (!Init)
+      return nullptr;
+  }
+  if (!expect(TokenKind::TK_Semi, "after for-loop initializer"))
+    return nullptr;
+
+  Expr *Cond = nullptr;
+  if (!check(TokenKind::TK_Semi)) {
+    Cond = parseExpression();
+    if (!Cond)
+      return nullptr;
+  } else {
+    Cond = Ctx.create<BoolLiteralExpr>(true, Loc);
+  }
+  if (!expect(TokenKind::TK_Semi, "after for-loop condition"))
+    return nullptr;
+
+  Stmt *Step = nullptr;
+  if (!check(TokenKind::TK_RParen)) {
+    Step = parseExprOrAssign(/*ConsumeSemi=*/false);
+    if (!Step)
+      return nullptr;
+  }
+  if (!expect(TokenKind::TK_RParen, "to close the for-loop header"))
+    return nullptr;
+
+  Stmt *Body = parseStatement();
+  if (!Body)
+    return nullptr;
+
+  std::vector<Stmt *> LoopBody;
+  LoopBody.push_back(Body);
+  if (Step)
+    LoopBody.push_back(Step);
+  Stmt *While = Ctx.create<WhileStmt>(
+      Cond, Ctx.create<BlockStmt>(std::move(LoopBody), Loc), Loc);
+
+  std::vector<Stmt *> Outer;
+  if (Init)
+    Outer.push_back(Init);
+  Outer.push_back(While);
+  return Ctx.create<BlockStmt>(std::move(Outer), Loc);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLoc Loc = consume().Loc; // 'return'
+  Expr *Value = nullptr;
+  if (!check(TokenKind::TK_Semi)) {
+    Value = parseExpression();
+    if (!Value)
+      return nullptr;
+  }
+  if (!expect(TokenKind::TK_Semi, "after return statement"))
+    return nullptr;
+  return Ctx.create<ReturnStmt>(Value, Loc);
+}
+
+/// Maps a compound-assignment token to the underlying binary operator.
+static std::optional<BinaryOp> compoundAssignOp(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::TK_PlusAssign:
+    return BinaryOp::BO_Add;
+  case TokenKind::TK_MinusAssign:
+    return BinaryOp::BO_Sub;
+  case TokenKind::TK_StarAssign:
+    return BinaryOp::BO_Mul;
+  case TokenKind::TK_SlashAssign:
+    return BinaryOp::BO_Div;
+  default:
+    return std::nullopt;
+  }
+}
+
+Stmt *Parser::parseExprOrAssign(bool ConsumeSemi) {
+  SourceLoc Loc = current().Loc;
+
+  // Assignment: identifier followed by an assignment operator.
+  if (check(TokenKind::TK_Identifier)) {
+    TokenKind NextKind = peek(1).Kind;
+    bool IsAssign = NextKind == TokenKind::TK_Assign ||
+                    compoundAssignOp(NextKind).has_value();
+    if (IsAssign) {
+      std::string Name = consume().Text;
+      Token OpTok = consume();
+      Expr *Value = parseExpression();
+      if (!Value)
+        return nullptr;
+      if (auto Op = compoundAssignOp(OpTok.Kind)) {
+        // x op= e  =>  x = x op e
+        Expr *Ref = Ctx.create<VarRefExpr>(Name, Loc);
+        Value = Ctx.create<BinaryExpr>(*Op, Ref, Value, OpTok.Loc);
+      }
+      if (ConsumeSemi && !expect(TokenKind::TK_Semi, "after assignment"))
+        return nullptr;
+      return Ctx.create<AssignStmt>(std::move(Name), Value, Loc);
+    }
+  }
+
+  Expr *E = parseExpression();
+  if (!E)
+    return nullptr;
+  if (ConsumeSemi && !expect(TokenKind::TK_Semi, "after expression"))
+    return nullptr;
+  return Ctx.create<ExprStmt>(E, Loc);
+}
+
+Expr *Parser::parseExpression() { return parseTernary(); }
+
+Expr *Parser::parseTernary() {
+  Expr *Cond = parseBinary(0);
+  if (!Cond)
+    return nullptr;
+  if (!accept(TokenKind::TK_Question))
+    return Cond;
+  Expr *TrueExpr = parseExpression();
+  if (!TrueExpr)
+    return nullptr;
+  if (!expect(TokenKind::TK_Colon, "in conditional expression"))
+    return nullptr;
+  Expr *FalseExpr = parseTernary();
+  if (!FalseExpr)
+    return nullptr;
+  return Ctx.create<CondExpr>(Cond, TrueExpr, FalseExpr, Cond->loc());
+}
+
+namespace {
+struct BinOpInfo {
+  BinaryOp Op;
+  int Precedence;
+};
+} // namespace
+
+/// Binary operator precedence (higher binds tighter).
+static std::optional<BinOpInfo> binOpInfo(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::TK_PipePipe:
+    return BinOpInfo{BinaryOp::BO_Or, 1};
+  case TokenKind::TK_AmpAmp:
+    return BinOpInfo{BinaryOp::BO_And, 2};
+  case TokenKind::TK_EqEq:
+    return BinOpInfo{BinaryOp::BO_Eq, 3};
+  case TokenKind::TK_NotEq:
+    return BinOpInfo{BinaryOp::BO_Ne, 3};
+  case TokenKind::TK_Less:
+    return BinOpInfo{BinaryOp::BO_Lt, 4};
+  case TokenKind::TK_LessEq:
+    return BinOpInfo{BinaryOp::BO_Le, 4};
+  case TokenKind::TK_Greater:
+    return BinOpInfo{BinaryOp::BO_Gt, 4};
+  case TokenKind::TK_GreaterEq:
+    return BinOpInfo{BinaryOp::BO_Ge, 4};
+  case TokenKind::TK_Plus:
+    return BinOpInfo{BinaryOp::BO_Add, 5};
+  case TokenKind::TK_Minus:
+    return BinOpInfo{BinaryOp::BO_Sub, 5};
+  case TokenKind::TK_Star:
+    return BinOpInfo{BinaryOp::BO_Mul, 6};
+  case TokenKind::TK_Slash:
+    return BinOpInfo{BinaryOp::BO_Div, 6};
+  case TokenKind::TK_Percent:
+    return BinOpInfo{BinaryOp::BO_Mod, 6};
+  default:
+    return std::nullopt;
+  }
+}
+
+Expr *Parser::parseBinary(int MinPrecedence) {
+  Expr *LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  while (true) {
+    auto Info = binOpInfo(current().Kind);
+    if (!Info || Info->Precedence < MinPrecedence)
+      return LHS;
+    SourceLoc OpLoc = consume().Loc;
+    Expr *RHS = parseBinary(Info->Precedence + 1);
+    if (!RHS)
+      return nullptr;
+    LHS = Ctx.create<BinaryExpr>(Info->Op, LHS, RHS, OpLoc);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  if (check(TokenKind::TK_Minus)) {
+    SourceLoc Loc = consume().Loc;
+    Expr *Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(UnaryOp::UO_Neg, Operand, Loc);
+  }
+  if (check(TokenKind::TK_Bang)) {
+    SourceLoc Loc = consume().Loc;
+    Expr *Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(UnaryOp::UO_Not, Operand, Loc);
+  }
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (accept(TokenKind::TK_Dot)) {
+    SourceLoc Loc = current().Loc;
+    if (!check(TokenKind::TK_Identifier) || current().Text.size() != 1) {
+      Diags.error(Loc, "expected vector component ('x', 'y', 'z', or 'w')");
+      return nullptr;
+    }
+    char Component = consume().Text[0];
+    const char *Components = "xyzw";
+    const char *Found = nullptr;
+    for (const char *P = Components; *P; ++P)
+      if (*P == Component)
+        Found = P;
+    if (!Found) {
+      Diags.error(Loc, std::string("unknown vector component '") + Component +
+                           "'");
+      return nullptr;
+    }
+    E = Ctx.create<MemberExpr>(E, static_cast<unsigned>(Found - Components),
+                               Loc);
+  }
+  return E;
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::TK_IntLiteral: {
+    Token T = consume();
+    return Ctx.create<IntLiteralExpr>(T.IntValue, Loc);
+  }
+  case TokenKind::TK_FloatLiteral: {
+    Token T = consume();
+    return Ctx.create<FloatLiteralExpr>(T.FloatValue, Loc);
+  }
+  case TokenKind::TK_KwTrue:
+    consume();
+    return Ctx.create<BoolLiteralExpr>(true, Loc);
+  case TokenKind::TK_KwFalse:
+    consume();
+    return Ctx.create<BoolLiteralExpr>(false, Loc);
+  case TokenKind::TK_LParen: {
+    consume();
+    Expr *E = parseExpression();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::TK_RParen, "to close parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  // Vector constructors are calls spelled with type keywords.
+  case TokenKind::TK_KwVec2:
+  case TokenKind::TK_KwVec3:
+  case TokenKind::TK_KwVec4:
+  case TokenKind::TK_Identifier: {
+    std::string Name;
+    if (current().Kind == TokenKind::TK_Identifier) {
+      Name = consume().Text;
+    } else {
+      Name = (current().Kind == TokenKind::TK_KwVec2)   ? "vec2"
+             : (current().Kind == TokenKind::TK_KwVec3) ? "vec3"
+                                                        : "vec4";
+      consume();
+      if (!check(TokenKind::TK_LParen)) {
+        Diags.error(current().Loc,
+                    "expected '(' after vector constructor name");
+        return nullptr;
+      }
+    }
+    if (!check(TokenKind::TK_LParen))
+      return Ctx.create<VarRefExpr>(std::move(Name), Loc);
+    consume(); // '('
+    std::vector<Expr *> Args;
+    if (!check(TokenKind::TK_RParen)) {
+      do {
+        Expr *Arg = parseExpression();
+        if (!Arg)
+          return nullptr;
+        Args.push_back(Arg);
+      } while (accept(TokenKind::TK_Comma));
+    }
+    if (!expect(TokenKind::TK_RParen, "to close the argument list"))
+      return nullptr;
+    return Ctx.create<CallExpr>(std::move(Name), std::move(Args), Loc);
+  }
+  default:
+    Diags.error(Loc, std::string("expected an expression, found ") +
+                         tokenKindName(current().Kind));
+    return nullptr;
+  }
+}

@@ -1,0 +1,81 @@
+//===- lang/Parser.h - dsc parser -------------------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for dsc. Produces an AST in a caller-provided
+/// ASTContext. Two constructs are desugared on the way in so downstream
+/// analyses see a minimal statement language:
+///
+///   for (init; cond; step) body   =>   { init; while (cond) { body step } }
+///   x op= e                       =>   x = x op e
+///
+/// On syntax errors the parser reports diagnostics and recovers at
+/// statement boundaries; the caller must check the DiagnosticEngine before
+/// trusting the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_PARSER_H
+#define DATASPEC_LANG_PARSER_H
+
+#include "lang/ASTContext.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace dspec {
+
+/// Parses dsc source text into a Program.
+class Parser {
+public:
+  Parser(std::string_view Source, ASTContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Parses a whole compilation unit. Returns a Program (possibly partial
+  /// when errors occurred — check the diagnostics).
+  Program *parseProgram();
+
+  /// Parses a single expression (used by tests and tools).
+  Expr *parseExpression();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void syncToStatement();
+
+  std::optional<Type> parseTypeName();
+  Function *parseFunction();
+  BlockStmt *parseBlock();
+  Stmt *parseStatement();
+  Stmt *parseDeclStatement(Type DeclType, bool ConsumeSemi);
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseFor();
+  Stmt *parseReturn();
+  Stmt *parseExprOrAssign(bool ConsumeSemi);
+  Stmt *parseSimpleStatement(bool ConsumeSemi);
+
+  Expr *parseTernary();
+  Expr *parseBinary(int MinPrecedence);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_PARSER_H

@@ -1,0 +1,388 @@
+//===- lang/Sema.cpp - Semantic analysis -----------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+#include "support/StringUtil.h"
+
+using namespace dspec;
+
+VarDecl *Sema::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+bool Sema::declare(VarDecl *Var) {
+  assert(!Scopes.empty() && "no active scope");
+  auto [It, Inserted] = Scopes.back().emplace(Var->name(), Var);
+  (void)It;
+  if (!Inserted) {
+    Diags.error(Var->loc(),
+                "redeclaration of '" + Var->name() + "' in the same scope");
+    return false;
+  }
+  return true;
+}
+
+bool Sema::run(Program *Prog) {
+  bool OK = true;
+  std::unordered_map<std::string, Function *> Seen;
+  for (Function *F : Prog->functions()) {
+    auto [It, Inserted] = Seen.emplace(F->name(), F);
+    (void)It;
+    if (!Inserted) {
+      Diags.error(F->loc(), "redefinition of function '" + F->name() + "'");
+      OK = false;
+      continue;
+    }
+    OK &= runOnFunction(F);
+  }
+  return OK;
+}
+
+bool Sema::runOnFunction(Function *F) {
+  CurrentFunction = F;
+  Scopes.clear();
+  pushScope();
+
+  bool OK = true;
+  for (size_t I = 0; I < F->params().size(); ++I) {
+    VarDecl *P = F->params()[I];
+    P->setParamIndex(static_cast<unsigned>(I));
+    OK &= declare(P);
+  }
+  OK &= checkStmt(F->body());
+
+  popScope();
+  CurrentFunction = nullptr;
+  return OK && !Diags.hasErrors();
+}
+
+bool Sema::requireConvertible(Type From, Type To, SourceLoc Loc,
+                              const char *Context) {
+  if (isImplicitlyConvertible(From, To))
+    return true;
+  Diags.error(Loc, formatString("cannot convert '%s' to '%s' %s", From.name(),
+                                To.name(), Context));
+  return false;
+}
+
+bool Sema::checkStmt(Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::SK_Block: {
+    auto *Block = cast<BlockStmt>(S);
+    pushScope();
+    bool OK = true;
+    for (Stmt *Child : Block->body())
+      OK &= checkStmt(Child);
+    popScope();
+    return OK;
+  }
+  case StmtKind::SK_Decl: {
+    auto *Decl = cast<DeclStmt>(S);
+    bool OK = true;
+    if (Expr *Init = Decl->init()) {
+      OK = checkExpr(Init);
+      if (OK)
+        OK = requireConvertible(Init->type(), Decl->var()->type(),
+                                Init->loc(), "in initialization");
+    }
+    // Declare after checking the initializer: `int x = x;` is an error.
+    OK &= declare(Decl->var());
+    return OK;
+  }
+  case StmtKind::SK_Assign: {
+    auto *Assign = cast<AssignStmt>(S);
+    VarDecl *Target = lookup(Assign->targetName());
+    if (!Target) {
+      Diags.error(S->loc(), "assignment to undeclared variable '" +
+                                Assign->targetName() + "'");
+      return false;
+    }
+    Assign->setTarget(Target);
+    if (!checkExpr(Assign->value()))
+      return false;
+    return requireConvertible(Assign->value()->type(), Target->type(),
+                              Assign->value()->loc(), "in assignment");
+  }
+  case StmtKind::SK_ExprStmt:
+    return checkExpr(cast<ExprStmt>(S)->expr());
+  case StmtKind::SK_If: {
+    auto *If = cast<IfStmt>(S);
+    bool OK = checkExpr(If->cond());
+    if (OK && !If->cond()->type().isBool()) {
+      Diags.error(If->cond()->loc(),
+                  formatString("if condition must be 'bool', found '%s'",
+                               If->cond()->type().name()));
+      OK = false;
+    }
+    OK &= checkStmt(If->thenStmt());
+    if (If->elseStmt())
+      OK &= checkStmt(If->elseStmt());
+    return OK;
+  }
+  case StmtKind::SK_While: {
+    auto *While = cast<WhileStmt>(S);
+    bool OK = checkExpr(While->cond());
+    if (OK && !While->cond()->type().isBool()) {
+      Diags.error(While->cond()->loc(),
+                  formatString("while condition must be 'bool', found '%s'",
+                               While->cond()->type().name()));
+      OK = false;
+    }
+    OK &= checkStmt(While->body());
+    return OK;
+  }
+  case StmtKind::SK_Return: {
+    auto *Ret = cast<ReturnStmt>(S);
+    Type RetType = CurrentFunction->returnType();
+    if (!Ret->value()) {
+      if (RetType.isVoid())
+        return true;
+      Diags.error(S->loc(), formatString("non-void function '%s' must return "
+                                         "a value",
+                                         CurrentFunction->name().c_str()));
+      return false;
+    }
+    if (!checkExpr(Ret->value()))
+      return false;
+    if (RetType.isVoid()) {
+      Diags.error(S->loc(), "void function may not return a value");
+      return false;
+    }
+    return requireConvertible(Ret->value()->type(), RetType,
+                              Ret->value()->loc(), "in return statement");
+  }
+  }
+  return false;
+}
+
+bool Sema::checkBinary(BinaryExpr *Bin) {
+  Type L = Bin->lhs()->type();
+  Type R = Bin->rhs()->type();
+  BinaryOp Op = Bin->op();
+  SourceLoc Loc = Bin->loc();
+
+  auto Fail = [&]() {
+    Diags.error(Loc, formatString("invalid operands to '%s' ('%s' and '%s')",
+                                  binaryOpSpelling(Op), L.name(), R.name()));
+    return false;
+  };
+
+  switch (Op) {
+  case BinaryOp::BO_Add:
+  case BinaryOp::BO_Sub:
+    if (L.isNumericScalar() && R.isNumericScalar()) {
+      Bin->setType(promoteNumeric(L, R));
+      return true;
+    }
+    if (L.isVector() && L == R) {
+      Bin->setType(L);
+      return true;
+    }
+    return Fail();
+  case BinaryOp::BO_Mul:
+  case BinaryOp::BO_Div:
+    if (L.isNumericScalar() && R.isNumericScalar()) {
+      Bin->setType(promoteNumeric(L, R));
+      return true;
+    }
+    if (L.isVector() && L == R) {
+      Bin->setType(L);
+      return true;
+    }
+    if (L.isVector() && R.isNumericScalar()) {
+      Bin->setType(L);
+      return true;
+    }
+    if (Op == BinaryOp::BO_Mul && L.isNumericScalar() && R.isVector()) {
+      Bin->setType(R);
+      return true;
+    }
+    return Fail();
+  case BinaryOp::BO_Mod:
+    if (L.isInt() && R.isInt()) {
+      Bin->setType(Type::intTy());
+      return true;
+    }
+    return Fail();
+  case BinaryOp::BO_Lt:
+  case BinaryOp::BO_Le:
+  case BinaryOp::BO_Gt:
+  case BinaryOp::BO_Ge:
+    if (L.isNumericScalar() && R.isNumericScalar()) {
+      Bin->setType(Type::boolTy());
+      return true;
+    }
+    return Fail();
+  case BinaryOp::BO_Eq:
+  case BinaryOp::BO_Ne:
+    if ((L.isNumericScalar() && R.isNumericScalar()) ||
+        (L.isBool() && R.isBool())) {
+      Bin->setType(Type::boolTy());
+      return true;
+    }
+    return Fail();
+  case BinaryOp::BO_And:
+  case BinaryOp::BO_Or:
+    if (L.isBool() && R.isBool()) {
+      Bin->setType(Type::boolTy());
+      return true;
+    }
+    return Fail();
+  }
+  return Fail();
+}
+
+bool Sema::checkCall(CallExpr *Call) {
+  std::vector<Type> ArgTypes;
+  ArgTypes.reserve(Call->args().size());
+  for (Expr *Arg : Call->args())
+    ArgTypes.push_back(Arg->type());
+
+  const BuiltinInfo *Info = lookupBuiltin(Call->callee(), ArgTypes);
+  if (!Info) {
+    if (isBuiltinName(Call->callee())) {
+      std::vector<std::string> Names;
+      for (Type T : ArgTypes)
+        Names.push_back(T.name());
+      Diags.error(Call->loc(),
+                  formatString("no overload of '%s' matches (%s)",
+                               Call->callee().c_str(),
+                               joinStrings(Names, ", ").c_str()));
+    } else {
+      Diags.error(Call->loc(), "call to unknown function '" + Call->callee() +
+                                   "' (dsc fragments may only call builtin "
+                                   "library functions)");
+    }
+    return false;
+  }
+  Call->setBuiltin(Info->Id);
+  Call->setType(Info->ResultType);
+  return true;
+}
+
+bool Sema::checkExpr(Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::EK_IntLiteral:
+    E->setType(Type::intTy());
+    return true;
+  case ExprKind::EK_FloatLiteral:
+    E->setType(Type::floatTy());
+    return true;
+  case ExprKind::EK_BoolLiteral:
+    E->setType(Type::boolTy());
+    return true;
+  case ExprKind::EK_VarRef: {
+    auto *Ref = cast<VarRefExpr>(E);
+    VarDecl *Decl = lookup(Ref->name());
+    if (!Decl) {
+      Diags.error(E->loc(),
+                  "reference to undeclared variable '" + Ref->name() + "'");
+      return false;
+    }
+    Ref->setDecl(Decl);
+    Ref->setType(Decl->type());
+    return true;
+  }
+  case ExprKind::EK_Unary: {
+    auto *Unary = cast<UnaryExpr>(E);
+    if (!checkExpr(Unary->operand()))
+      return false;
+    Type T = Unary->operand()->type();
+    if (Unary->op() == UnaryOp::UO_Neg) {
+      if (!T.isNumeric()) {
+        Diags.error(E->loc(), formatString("cannot negate a value of type "
+                                           "'%s'",
+                                           T.name()));
+        return false;
+      }
+      E->setType(T);
+      return true;
+    }
+    if (!T.isBool()) {
+      Diags.error(E->loc(),
+                  formatString("operand of '!' must be 'bool', found '%s'",
+                               T.name()));
+      return false;
+    }
+    E->setType(Type::boolTy());
+    return true;
+  }
+  case ExprKind::EK_Binary: {
+    auto *Bin = cast<BinaryExpr>(E);
+    if (!checkExpr(Bin->lhs()) || !checkExpr(Bin->rhs()))
+      return false;
+    return checkBinary(Bin);
+  }
+  case ExprKind::EK_Cond: {
+    auto *Cond = cast<CondExpr>(E);
+    if (!checkExpr(Cond->cond()) || !checkExpr(Cond->trueExpr()) ||
+        !checkExpr(Cond->falseExpr()))
+      return false;
+    if (!Cond->cond()->type().isBool()) {
+      Diags.error(Cond->cond()->loc(),
+                  formatString("'?:' condition must be 'bool', found '%s'",
+                               Cond->cond()->type().name()));
+      return false;
+    }
+    Type TrueType = Cond->trueExpr()->type();
+    Type FalseType = Cond->falseExpr()->type();
+    if (TrueType == FalseType) {
+      E->setType(TrueType);
+      return true;
+    }
+    if (TrueType.isNumericScalar() && FalseType.isNumericScalar()) {
+      E->setType(promoteNumeric(TrueType, FalseType));
+      return true;
+    }
+    Diags.error(E->loc(), formatString("'?:' arms have mismatched types "
+                                       "('%s' and '%s')",
+                                       TrueType.name(), FalseType.name()));
+    return false;
+  }
+  case ExprKind::EK_Call: {
+    auto *Call = cast<CallExpr>(E);
+    for (Expr *Arg : Call->args())
+      if (!checkExpr(Arg))
+        return false;
+    return checkCall(Call);
+  }
+  case ExprKind::EK_Member: {
+    auto *Member = cast<MemberExpr>(E);
+    if (!checkExpr(Member->base()))
+      return false;
+    Type BaseType = Member->base()->type();
+    if (!BaseType.isVector()) {
+      Diags.error(E->loc(),
+                  formatString("component access on non-vector type '%s'",
+                               BaseType.name()));
+      return false;
+    }
+    if (Member->componentIndex() >= BaseType.vectorWidth()) {
+      Diags.error(E->loc(),
+                  formatString("vector of type '%s' has no component '%c'",
+                               BaseType.name(), Member->componentName()));
+      return false;
+    }
+    E->setType(Type::floatTy());
+    return true;
+  }
+  case ExprKind::EK_CacheRead:
+  case ExprKind::EK_CacheStore:
+    // Only the splitter creates these, with types already assigned; they
+    // never reach Sema.
+    assert(false && "cache access nodes cannot appear in parsed source");
+    return false;
+  }
+  return false;
+}

@@ -1,0 +1,67 @@
+//===- lang/Sema.h - Semantic analysis --------------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for dsc: block-scoped name resolution (binding every
+/// VarRefExpr and AssignStmt to a VarDecl), type checking, and builtin
+/// overload resolution. Types are recorded directly on expression nodes.
+///
+/// Conversion rules: the only implicit conversion is int -> float, applied
+/// at binary operands (usual promotion), assignments, initializers, builtin
+/// arguments, and return values. The bytecode compiler materializes the
+/// conversions from the static types; no cast nodes are inserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_SEMA_H
+#define DATASPEC_LANG_SEMA_H
+
+#include "lang/ASTContext.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dspec {
+
+/// Resolves names and checks types for a whole Program (or a single
+/// Function, e.g. one synthesized by a transformation).
+class Sema {
+public:
+  Sema(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  /// Analyzes every function in \p Prog. Returns true on success.
+  bool run(Program *Prog);
+
+  /// Analyzes a single function. Returns true on success.
+  bool runOnFunction(Function *F);
+
+private:
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  VarDecl *lookup(const std::string &Name) const;
+  bool declare(VarDecl *Var);
+
+  bool checkStmt(Stmt *S);
+  /// Type checks \p E; returns false (and reports) on error. On success the
+  /// node's type has been set.
+  bool checkExpr(Expr *E);
+  bool checkCall(CallExpr *Call);
+  bool checkBinary(BinaryExpr *Bin);
+
+  /// Reports an error if \p From cannot implicitly convert to \p To.
+  bool requireConvertible(Type From, Type To, SourceLoc Loc,
+                          const char *Context);
+
+  DiagnosticEngine &Diags;
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+  Function *CurrentFunction = nullptr;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_SEMA_H

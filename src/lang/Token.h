@@ -1,0 +1,95 @@
+//===- lang/Token.h - Lexical tokens ----------------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the Lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_LANG_TOKEN_H
+#define DATASPEC_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dspec {
+
+/// All dsc token kinds.
+enum class TokenKind : uint8_t {
+  TK_EOF,
+  TK_Error,
+  TK_Identifier,
+  TK_IntLiteral,
+  TK_FloatLiteral,
+  // Keywords.
+  TK_KwVoid,
+  TK_KwBool,
+  TK_KwInt,
+  TK_KwFloat,
+  TK_KwVec2,
+  TK_KwVec3,
+  TK_KwVec4,
+  TK_KwIf,
+  TK_KwElse,
+  TK_KwWhile,
+  TK_KwFor,
+  TK_KwReturn,
+  TK_KwTrue,
+  TK_KwFalse,
+  // Punctuation.
+  TK_LParen,
+  TK_RParen,
+  TK_LBrace,
+  TK_RBrace,
+  TK_Semi,
+  TK_Comma,
+  TK_Dot,
+  TK_Question,
+  TK_Colon,
+  // Operators.
+  TK_Plus,
+  TK_Minus,
+  TK_Star,
+  TK_Slash,
+  TK_Percent,
+  TK_Assign,
+  TK_PlusAssign,
+  TK_MinusAssign,
+  TK_StarAssign,
+  TK_SlashAssign,
+  TK_EqEq,
+  TK_NotEq,
+  TK_Less,
+  TK_LessEq,
+  TK_Greater,
+  TK_GreaterEq,
+  TK_AmpAmp,
+  TK_PipePipe,
+  TK_Bang,
+};
+
+/// Human-readable name of a token kind, for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::TK_EOF;
+  SourceLoc Loc;
+  /// Spelling for identifiers and error tokens.
+  std::string Text;
+  /// Value for TK_IntLiteral.
+  int32_t IntValue = 0;
+  /// Value for TK_FloatLiteral.
+  float FloatValue = 0.0f;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_LANG_TOKEN_H

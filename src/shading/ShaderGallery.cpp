@@ -1,0 +1,517 @@
+//===- shading/ShaderGallery.cpp - The ten benchmark shaders ----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shading/ShaderGallery.h"
+
+#include <cassert>
+
+using namespace dspec;
+
+// Shader 1: "plastic" — the classic non-iterative Phong plastic model.
+// Simple shaders like this bound the low end of the Figure 7 speedups.
+static const char *PlasticSource = R"(
+// Phong plastic: ambient + diffuse + specular over a uniform base color.
+vec3 plastic(vec2 uv, vec3 P, vec3 N, vec3 I,
+             float ka, float kd, float ks, float roughness,
+             float lightx, float lighty, float lightz,
+             float baser, float baseg, float baseb) {
+  vec3 Lv = normalize(vec3(lightx, lighty, lightz) - P);
+  float diff = max(dot(N, Lv), 0.0);
+  vec3 Hv = normalize(Lv + I);
+  float highlight = pow(max(dot(N, Hv), 0.0), 1.0 / roughness);
+  vec3 base = vec3(baser, baseg, baseb);
+  vec3 col = base * (ka + kd * diff) + vec3(ks * highlight);
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 2: "matte" — two-light diffuse with per-channel gamma; no
+// specular term.
+static const char *MatteSource = R"(
+// Two diffuse lights with intensities i1/i2, a warm tint, and gamma
+// correction applied per channel.
+vec3 matte(vec2 uv, vec3 P, vec3 N, vec3 I,
+           float ka, float kd, float i1, float i2,
+           float l1x, float l1y, float l1z,
+           float l2x, float l2y, float l2z,
+           float gamma, float tint) {
+  vec3 L1 = normalize(vec3(l1x, l1y, l1z) - P);
+  vec3 L2 = normalize(vec3(l2x, l2y, l2z) - P);
+  float d1 = i1 * max(dot(N, L1), 0.0);
+  float d2 = i2 * max(dot(N, L2), 0.0);
+  float lum = ka + kd * (d1 + d2);
+  vec3 warm = vec3(1.0, 0.95 - 0.1 * tint, 0.9 - 0.25 * tint);
+  vec3 col = warm * lum;
+  col = vec3(pow(max(col.x, 0.0), gamma),
+             pow(max(col.y, 0.0), gamma),
+             pow(max(col.z, 0.0), gamma));
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 3: "marble" — iterative fractal noise (a dsc-level fBm loop)
+// warped through a sine; one of the expensive noise shaders whose cached
+// partitions reach the top of Figure 7.
+static const char *MarbleSource = R"(
+// Marble veins: fBm accumulated in-language, driving a sine-warped
+// smoothstep between vein and base color, lit by one Phong light.
+vec3 marble(vec2 uv, vec3 P, vec3 N, vec3 I,
+            float ka, float kd, float ks, float roughness,
+            float lightx, float lighty, float lightz,
+            float veinscale, float veinfreq, float squash,
+            float veinr, float veing, float veinb,
+            float contrast) {
+  vec3 q = vec3(P.x, P.y * squash, P.z) * veinscale;
+  float sum = 0.0;
+  float amp = 1.0;
+  float freq = veinfreq;
+  for (int oct = 0; oct < 9; oct = oct + 1) {
+    sum = sum + amp * noise(q * freq);
+    amp = amp * 0.5;
+    freq = freq * 2.07;
+  }
+  // Secondary displacement field at a fixed scale: warps the vein phase.
+  float disp = 0.0;
+  float damp = 0.6;
+  vec3 dq = P * 5.3;
+  for (int oct = 0; oct < 5; oct = oct + 1) {
+    disp = disp + damp * noise(dq);
+    damp = damp * 0.5;
+    dq = dq * 2.0;
+  }
+  float vein = sin((P.x + disp * 0.7 + contrast * sum) * 8.0);
+  vein = smoothstep(-0.9, 0.9, vein);
+  vec3 veincol = vec3(veinr, veing, veinb);
+  vec3 basecol = vec3(0.92, 0.9, 0.85);
+  vec3 surf = mix(veincol, basecol, vein);
+  vec3 Lv = normalize(vec3(lightx, lighty, lightz) - P);
+  float diff = max(dot(N, Lv), 0.0);
+  vec3 Hv = normalize(Lv + I);
+  float highlight = ks * pow(max(dot(N, Hv), 0.0), 1.0 / roughness);
+  vec3 col = surf * (ka + kd * diff) + vec3(highlight);
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 4: "wood" — concentric rings distorted by in-language
+// turbulence, plus grain flecks; the most expensive gallery shader.
+static const char *WoodSource = R"(
+// Wood: ring distance in the x/z plane, distorted by a turbulence loop,
+// quantized by smoothstep into early/late wood, with high-frequency
+// grain flecks layered on top.
+vec3 wood(vec2 uv, vec3 P, vec3 N, vec3 I,
+          float ka, float kd, float ks, float roughness,
+          float lightx, float lighty, float lightz,
+          float ringfreq, float grain, float turbscale,
+          float squish, float ringsharp,
+          float darkr, float darkg, float darkb) {
+  vec3 q = vec3(P.x, P.y * squish, P.z) * turbscale;
+  float turb = 0.0;
+  float amp = 1.0;
+  vec3 qq = q;
+  for (int oct = 0; oct < 9; oct = oct + 1) {
+    turb = turb + amp * abs(noise(qq));
+    amp = amp * 0.5;
+    qq = qq * 2.0;
+  }
+  float r = length(vec2(P.x, P.z)) * ringfreq + 4.0 * turb;
+  float ring = fract(r);
+  float band = smoothstep(0.2, 0.2 + ringsharp, ring)
+             - smoothstep(0.8 - ringsharp, 0.8, ring);
+  float fleck = grain * abs(noise(q * 23.0));
+  vec3 dark = vec3(darkr, darkg, darkb);
+  vec3 late = vec3(0.68, 0.45, 0.25);
+  vec3 surf = mix(late, dark, band);
+  surf = surf - vec3(fleck * 0.3);
+  vec3 Lv = normalize(vec3(lightx, lighty, lightz) - P);
+  float diff = max(dot(N, Lv), 0.0);
+  vec3 Hv = normalize(Lv + I);
+  float highlight = ks * pow(max(dot(N, Hv), 0.0), 1.0 / roughness);
+  vec3 col = surf * (ka + kd * diff) + vec3(highlight);
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 5: "granite" — turbulence-driven speckle with contrast shaping;
+// expensive like marble/wood but with a different dependence structure.
+static const char *GraniteSource = R"(
+// Granite: 5-octave in-language turbulence remapped by a contrast power
+// curve, tinted, and lit by one light.
+vec3 granite(vec2 uv, vec3 P, vec3 N, vec3 I,
+             float ka, float kd, float ks, float roughness,
+             float lightx, float lighty, float lightz,
+             float scale, float speckle, float contrast,
+             float tintr, float tintg, float tintb) {
+  vec3 q = P * scale;
+  float sum = 0.0;
+  float amp = 1.0;
+  for (int oct = 0; oct < 8; oct = oct + 1) {
+    sum = sum + amp * abs(noise(q));
+    amp = amp * 0.55;
+    q = q * 2.1;
+  }
+  // Fine mineral detail at a fixed frequency.
+  float detail = 0.0;
+  float damp = 0.4;
+  vec3 dq = P * 31.0;
+  for (int oct = 0; oct < 4; oct = oct + 1) {
+    detail = detail + damp * abs(noise(dq));
+    damp = damp * 0.5;
+    dq = dq * 2.0;
+  }
+  float g = pow(clamp(sum + 0.3 * detail, 0.0, 1.0), contrast);
+  g = mix(g, fract(g * 7.0), speckle * 0.2);
+  vec3 surf = vec3(tintr, tintg, tintb) * g;
+  vec3 Lv = normalize(vec3(lightx, lighty, lightz) - P);
+  float diff = max(dot(N, Lv), 0.0);
+  vec3 Hv = normalize(Lv + I);
+  float highlight = ks * pow(max(dot(N, Hv), 0.0), 1.0 / roughness);
+  vec3 col = surf * (ka + kd * diff) + vec3(highlight);
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 6: "checker" — an antialiased checkerboard in uv space; cheap
+// and non-iterative.
+static const char *CheckerSource = R"(
+// Smooth checkerboard: fuzzy square wave in u and v, xor-combined, over
+// two colors, Phong lit.
+vec3 checker(vec2 uv, vec3 P, vec3 N, vec3 I,
+             float checkfreq, float blur,
+             float ka, float kd, float ks, float roughness,
+             float lightx, float lighty, float lightz,
+             float r1, float g1) {
+  float fu = fract(uv.x * checkfreq);
+  float fv = fract(uv.y * checkfreq);
+  float su = smoothstep(0.0, blur, fu) - smoothstep(0.5, 0.5 + blur, fu);
+  float sv = smoothstep(0.0, blur, fv) - smoothstep(0.5, 0.5 + blur, fv);
+  float check = su + sv - 2.0 * su * sv;
+  vec3 c1 = vec3(r1, g1, 0.15);
+  vec3 c2 = vec3(0.95, 0.95, 0.9);
+  vec3 surf = mix(c1, c2, check);
+  vec3 Lv = normalize(vec3(lightx, lighty, lightz) - P);
+  float diff = max(dot(N, Lv), 0.0);
+  vec3 Hv = normalize(Lv + I);
+  float highlight = ks * pow(max(dot(N, Hv), 0.0), 1.0 / roughness);
+  vec3 col = surf * (ka + kd * diff) + vec3(highlight);
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 7: "metal" — a glossy conductor with a striped environment
+// approximation reflected through the view vector.
+static const char *MetalSource = R"(
+// Brushed metal: reflection vector samples a procedural striped
+// "environment"; anisotropy stretches the highlight.
+vec3 metal(vec2 uv, vec3 P, vec3 N, vec3 I,
+           float ka, float ks, float roughness, float aniso,
+           float envfreq, float envamp,
+           float lightx, float lighty, float lightz,
+           float tintr, float tintg, float tintb) {
+  vec3 R = reflect(-I, N);
+  float band = sin(R.y * envfreq) * 0.5 + 0.5;
+  float env = envamp * (0.4 + 0.6 * band);
+  vec3 Lv = normalize(vec3(lightx, lighty, lightz) - P);
+  vec3 Hv = normalize(Lv + I);
+  float hd = max(dot(N, Hv), 0.0);
+  float stretch = 1.0 + aniso * abs(Hv.x);
+  float highlight = ks * pow(hd, stretch / roughness);
+  vec3 tint = vec3(tintr, tintg, tintb);
+  vec3 col = tint * (ka + env) + tint * highlight;
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 8: "stripes" — rotated soft stripes (a RenderMan-companion
+// staple), Phong lit.
+static const char *StripesSource = R"(
+// Soft stripes: uv rotated by 'angle', a fuzzy pulse train across the
+// rotated coordinate, two colors, one light.
+vec3 stripes(vec2 uv, vec3 P, vec3 N, vec3 I,
+             float freq, float angle, float width, float fuzz,
+             float ka, float kd, float ks, float roughness,
+             float lightx, float lighty, float lightz,
+             float r1, float g1, float b1) {
+  float s = uv.x * cos(angle) + uv.y * sin(angle);
+  float t = fract(s * freq);
+  float stripe = smoothstep(0.0, fuzz, t)
+               - smoothstep(width, width + fuzz, t);
+  vec3 c1 = vec3(r1, g1, b1);
+  vec3 c2 = vec3(0.1, 0.1, 0.25);
+  vec3 surf = mix(c2, c1, stripe);
+  vec3 Lv = normalize(vec3(lightx, lighty, lightz) - P);
+  float diff = max(dot(N, Lv), 0.0);
+  vec3 Hv = normalize(Lv + I);
+  float highlight = ks * pow(max(dot(N, Hv), 0.0), 1.0 / roughness);
+  vec3 col = surf * (ka + kd * diff) + vec3(highlight);
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 9: "clouds" — a two-layer turbulent sky dome with a sun disc;
+// iterative and noise-heavy, no surface lighting.
+static const char *CloudsSource = R"(
+// Sky dome: two turbulence layers at different scales form cloud
+// coverage; a sun disc with haze is composited over the gradient sky.
+vec3 clouds(vec2 uv, vec3 P, vec3 N, vec3 I,
+            float scale1, float scale2, float offsetx, float offsety,
+            float density, float sharpness,
+            float sunx, float suny, float sunz,
+            float sunr, float sung, float sunb,
+            float skyr, float skyg, float skyb,
+            float haze) {
+  vec3 dir = normalize(vec3(uv.x * 2.0 - 1.0, uv.y * 2.0 - 1.0, 1.0));
+  vec3 q1 = vec3(uv.x * scale1 + offsetx, uv.y * scale1 + offsety, 0.5);
+  vec3 q2 = vec3(uv.x * scale2 - offsety, uv.y * scale2 + offsetx, 1.7);
+  float t1 = 0.0;
+  float amp = 1.0;
+  for (int oct = 0; oct < 7; oct = oct + 1) {
+    t1 = t1 + amp * abs(noise(q1));
+    amp = amp * 0.5;
+    q1 = q1 * 2.0;
+  }
+  float t2 = 0.0;
+  amp = 1.0;
+  for (int oct = 0; oct < 5; oct = oct + 1) {
+    t2 = t2 + amp * abs(noise(q2));
+    amp = amp * 0.5;
+    q2 = q2 * 2.0;
+  }
+  float cover = smoothstep(1.0 - density, 1.0 - density + sharpness,
+                           0.6 * t1 + 0.4 * t2);
+  vec3 sundir = normalize(vec3(sunx, suny, sunz));
+  float sunamt = pow(max(dot(dir, sundir), 0.0), 24.0);
+  vec3 sky = vec3(skyr, skyg, skyb) * (1.0 - 0.35 * uv.y);
+  vec3 suncol = vec3(sunr, sung, sunb);
+  vec3 col = mix(sky, vec3(1.0, 1.0, 1.0), cover);
+  col = col + suncol * (sunamt + haze * 0.2);
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+// Shader 10: "rings" — the 14-parameter shader of the Figure 9/10 cache
+// limiting study. Its parameter list mirrors the paper's legend
+// (light color channels, ringscale, roughness, ks, kd, ambient, light
+// position, grain, ...).
+static const char *RingsSource = R"(
+// Rings: concentric bands around the y axis perturbed by in-language
+// turbulence, lit by a colored Phong light.
+vec3 rings(vec2 uv, vec3 P, vec3 N, vec3 I,
+           float redl, float greenl, float bluel,
+           float ringscale, float roughness, float ks, float kd,
+           float ambient,
+           float lightx, float lighty, float lightz,
+           float grain, float squish, float txtscale) {
+  vec3 q = vec3(P.x, P.y * squish, P.z) * txtscale;
+  float turb = 0.0;
+  float amp = 1.0;
+  vec3 qq = q;
+  for (int oct = 0; oct < 6; oct = oct + 1) {
+    turb = turb + amp * abs(noise(qq));
+    amp = amp * 0.5;
+    qq = qq * 2.0;
+  }
+  float r = length(vec2(q.x, q.z)) * ringscale + grain * turb;
+  float ring = fract(r);
+  float band = smoothstep(0.25, 0.45, ring) - smoothstep(0.65, 0.85, ring);
+  vec3 dark = vec3(0.32, 0.18, 0.08);
+  vec3 light = vec3(0.66, 0.44, 0.24);
+  vec3 surf = mix(light, dark, band);
+  vec3 Lv = normalize(vec3(lightx, lighty, lightz) - P);
+  vec3 lcol = vec3(redl, greenl, bluel);
+  float diff = max(dot(N, Lv), 0.0);
+  vec3 Hv = normalize(Lv + I);
+  float highlight = pow(max(dot(N, Hv), 0.0), 1.0 / roughness);
+  vec3 col = surf * (ambient + kd * diff) * lcol + lcol * (ks * highlight);
+  return clamp(col, 0.0, 1.0);
+}
+)";
+
+static std::vector<ShaderInfo> makeGallery() {
+  std::vector<ShaderInfo> Gallery;
+
+  auto Add = [&](unsigned Index, const char *Name, const char *Source,
+                 std::vector<ControlParam> Controls) {
+    ShaderInfo Info;
+    Info.Index = Index;
+    Info.Name = Name;
+    Info.Source = Source;
+    Info.Controls = std::move(Controls);
+    Gallery.push_back(std::move(Info));
+  };
+
+  Add(1, "plastic", PlasticSource,
+      {{"ka", 0.2f, 0.0f, 0.6f},
+       {"kd", 0.6f, 0.1f, 1.0f},
+       {"ks", 0.5f, 0.0f, 1.0f},
+       {"roughness", 0.12f, 0.02f, 0.5f},
+       {"lightx", 2.0f, -4.0f, 4.0f},
+       {"lighty", 3.0f, -4.0f, 4.0f},
+       {"lightz", 4.0f, 1.0f, 8.0f},
+       {"baser", 0.8f, 0.0f, 1.0f},
+       {"baseg", 0.2f, 0.0f, 1.0f},
+       {"baseb", 0.25f, 0.0f, 1.0f}});
+
+  Add(2, "matte", MatteSource,
+      {{"ka", 0.15f, 0.0f, 0.5f},
+       {"kd", 0.8f, 0.1f, 1.2f},
+       {"i1", 0.9f, 0.0f, 1.5f},
+       {"i2", 0.4f, 0.0f, 1.5f},
+       {"l1x", 2.5f, -4.0f, 4.0f},
+       {"l1y", 2.0f, -4.0f, 4.0f},
+       {"l1z", 3.5f, 1.0f, 8.0f},
+       {"l2x", -3.0f, -4.0f, 4.0f},
+       {"l2y", -1.0f, -4.0f, 4.0f},
+       {"l2z", 2.0f, 1.0f, 8.0f},
+       {"gamma", 0.9f, 0.4f, 2.2f},
+       {"tint", 0.5f, 0.0f, 1.0f}});
+
+  Add(3, "marble", MarbleSource,
+      {{"ka", 0.25f, 0.0f, 0.6f},
+       {"kd", 0.7f, 0.1f, 1.0f},
+       {"ks", 0.3f, 0.0f, 1.0f},
+       {"roughness", 0.1f, 0.02f, 0.5f},
+       {"lightx", 2.0f, -4.0f, 4.0f},
+       {"lighty", 3.0f, -4.0f, 4.0f},
+       {"lightz", 4.0f, 1.0f, 8.0f},
+       {"veinscale", 2.2f, 0.5f, 6.0f},
+       {"veinfreq", 1.3f, 0.3f, 4.0f},
+       {"squash", 1.4f, 0.5f, 3.0f},
+       {"veinr", 0.25f, 0.0f, 1.0f},
+       {"veing", 0.22f, 0.0f, 1.0f},
+       {"veinb", 0.35f, 0.0f, 1.0f},
+       {"contrast", 0.8f, 0.1f, 2.5f}});
+
+  Add(4, "wood", WoodSource,
+      {{"ka", 0.2f, 0.0f, 0.6f},
+       {"kd", 0.75f, 0.1f, 1.0f},
+       {"ks", 0.25f, 0.0f, 1.0f},
+       {"roughness", 0.15f, 0.02f, 0.5f},
+       {"lightx", 2.0f, -4.0f, 4.0f},
+       {"lighty", 3.0f, -4.0f, 4.0f},
+       {"lightz", 4.0f, 1.0f, 8.0f},
+       {"ringfreq", 6.0f, 1.0f, 16.0f},
+       {"grain", 0.5f, 0.0f, 2.0f},
+       {"turbscale", 2.0f, 0.5f, 6.0f},
+       {"squish", 1.8f, 0.5f, 4.0f},
+       {"ringsharp", 0.12f, 0.02f, 0.4f},
+       {"darkr", 0.35f, 0.0f, 1.0f},
+       {"darkg", 0.2f, 0.0f, 1.0f},
+       {"darkb", 0.08f, 0.0f, 1.0f}});
+
+  Add(5, "granite", GraniteSource,
+      {{"ka", 0.2f, 0.0f, 0.6f},
+       {"kd", 0.7f, 0.1f, 1.0f},
+       {"ks", 0.35f, 0.0f, 1.0f},
+       {"roughness", 0.18f, 0.02f, 0.5f},
+       {"lightx", 2.0f, -4.0f, 4.0f},
+       {"lighty", 3.0f, -4.0f, 4.0f},
+       {"lightz", 4.0f, 1.0f, 8.0f},
+       {"scale", 4.0f, 1.0f, 10.0f},
+       {"speckle", 1.0f, 0.0f, 3.0f},
+       {"contrast", 1.4f, 0.3f, 3.0f},
+       {"tintr", 0.75f, 0.0f, 1.0f},
+       {"tintg", 0.72f, 0.0f, 1.0f},
+       {"tintb", 0.68f, 0.0f, 1.0f}});
+
+  Add(6, "checker", CheckerSource,
+      {{"checkfreq", 6.0f, 1.0f, 16.0f},
+       {"blur", 0.05f, 0.005f, 0.2f},
+       {"ka", 0.2f, 0.0f, 0.6f},
+       {"kd", 0.7f, 0.1f, 1.0f},
+       {"ks", 0.4f, 0.0f, 1.0f},
+       {"roughness", 0.14f, 0.02f, 0.5f},
+       {"lightx", 2.0f, -4.0f, 4.0f},
+       {"lighty", 3.0f, -4.0f, 4.0f},
+       {"lightz", 4.0f, 1.0f, 8.0f},
+       {"r1", 0.85f, 0.0f, 1.0f},
+       {"g1", 0.15f, 0.0f, 1.0f}});
+
+  Add(7, "metal", MetalSource,
+      {{"ka", 0.15f, 0.0f, 0.5f},
+       {"ks", 0.8f, 0.1f, 1.5f},
+       {"roughness", 0.08f, 0.02f, 0.4f},
+       {"aniso", 1.5f, 0.0f, 4.0f},
+       {"envfreq", 8.0f, 1.0f, 24.0f},
+       {"envamp", 0.5f, 0.0f, 1.5f},
+       {"lightx", 2.0f, -4.0f, 4.0f},
+       {"lighty", 3.0f, -4.0f, 4.0f},
+       {"lightz", 4.0f, 1.0f, 8.0f},
+       {"tintr", 0.9f, 0.0f, 1.0f},
+       {"tintg", 0.78f, 0.0f, 1.0f},
+       {"tintb", 0.5f, 0.0f, 1.0f}});
+
+  Add(8, "stripes", StripesSource,
+      {{"freq", 8.0f, 1.0f, 24.0f},
+       {"angle", 0.6f, 0.0f, 3.14f},
+       {"width", 0.5f, 0.1f, 0.9f},
+       {"fuzz", 0.08f, 0.01f, 0.3f},
+       {"ka", 0.2f, 0.0f, 0.6f},
+       {"kd", 0.7f, 0.1f, 1.0f},
+       {"ks", 0.3f, 0.0f, 1.0f},
+       {"roughness", 0.15f, 0.02f, 0.5f},
+       {"lightx", 2.0f, -4.0f, 4.0f},
+       {"lighty", 3.0f, -4.0f, 4.0f},
+       {"lightz", 4.0f, 1.0f, 8.0f},
+       {"r1", 0.9f, 0.0f, 1.0f},
+       {"g1", 0.8f, 0.0f, 1.0f},
+       {"b1", 0.3f, 0.0f, 1.0f}});
+
+  Add(9, "clouds", CloudsSource,
+      {{"scale1", 3.0f, 0.5f, 8.0f},
+       {"scale2", 7.0f, 2.0f, 16.0f},
+       {"offsetx", 0.0f, -4.0f, 4.0f},
+       {"offsety", 0.0f, -4.0f, 4.0f},
+       {"density", 0.55f, 0.1f, 0.95f},
+       {"sharpness", 0.25f, 0.05f, 0.6f},
+       {"sunx", 0.4f, -1.0f, 1.0f},
+       {"suny", 0.7f, 0.1f, 1.0f},
+       {"sunz", 0.6f, 0.1f, 1.0f},
+       {"sunr", 1.0f, 0.5f, 1.2f},
+       {"sung", 0.9f, 0.4f, 1.1f},
+       {"sunb", 0.7f, 0.2f, 1.0f},
+       {"skyr", 0.3f, 0.0f, 0.8f},
+       {"skyg", 0.5f, 0.1f, 0.9f},
+       {"skyb", 0.85f, 0.3f, 1.0f},
+       {"haze", 0.3f, 0.0f, 1.0f}});
+
+  Add(10, "rings", RingsSource,
+      {{"redl", 1.0f, 0.2f, 1.2f},
+       {"greenl", 0.95f, 0.2f, 1.2f},
+       {"bluel", 0.85f, 0.2f, 1.2f},
+       {"ringscale", 5.0f, 1.0f, 14.0f},
+       {"roughness", 0.12f, 0.02f, 0.5f},
+       {"ks", 0.35f, 0.0f, 1.0f},
+       {"kd", 0.7f, 0.1f, 1.0f},
+       {"ambient", 0.2f, 0.0f, 0.6f},
+       {"lightx", 2.0f, -4.0f, 4.0f},
+       {"lighty", 3.0f, -4.0f, 4.0f},
+       {"lightz", 4.0f, 1.0f, 8.0f},
+       {"grain", 0.6f, 0.0f, 2.0f},
+       {"squish", 1.5f, 0.5f, 4.0f},
+       {"txtscale", 2.0f, 0.5f, 6.0f}});
+
+  return Gallery;
+}
+
+const std::vector<ShaderInfo> &dspec::shaderGallery() {
+  static const std::vector<ShaderInfo> Gallery = makeGallery();
+  return Gallery;
+}
+
+const ShaderInfo *dspec::findShader(const std::string &Name) {
+  for (const ShaderInfo &Info : shaderGallery())
+    if (Info.Name == Name)
+      return &Info;
+  return nullptr;
+}
+
+unsigned dspec::totalPartitionCount() {
+  unsigned Count = 0;
+  for (const ShaderInfo &Info : shaderGallery())
+    Count += static_cast<unsigned>(Info.Controls.size());
+  return Count;
+}

@@ -1,0 +1,67 @@
+//===- shading/ShaderGallery.h - The ten benchmark shaders ------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gallery of ten shading procedures used by the Section 5 experiments.
+/// Mirroring the paper: they range from simple non-iterative lighting
+/// models (shaders 1, 6, 7, 8) to procedural-texture shaders invoking
+/// expensive fractal noise (shaders 3, 4, 5), span roughly 50-150 lines of
+/// dsc each, call the vector/noise math library, and expose about a dozen
+/// user-facing control parameters each. One input partition per control
+/// parameter yields the paper's 131 partitions. Shader 10 ("rings", 14
+/// parameters) is the subject of the Figure 9/10 cache-limiting study.
+///
+/// Every shader has the signature
+///   vec3 <name>(vec2 uv, vec3 P, vec3 N, vec3 I, <controls...>)
+/// where the first four parameters are the fixed per-pixel inputs from
+/// RenderContext and every control is a float.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SHADING_SHADERGALLERY_H
+#define DATASPEC_SHADING_SHADERGALLERY_H
+
+#include <string>
+#include <vector>
+
+namespace dspec {
+
+/// One user-facing control parameter of a shader.
+struct ControlParam {
+  std::string Name;
+  float Default;
+  /// Range the benchmarks sweep when this parameter varies.
+  float SweepMin;
+  float SweepMax;
+};
+
+/// One gallery shader.
+struct ShaderInfo {
+  /// 1-based index as used in the paper's figures.
+  unsigned Index;
+  std::string Name;
+  /// dsc source text; defines one function named \c Name.
+  std::string Source;
+  std::vector<ControlParam> Controls;
+
+  /// Number of standard (per-pixel) parameters preceding the controls.
+  static constexpr unsigned NumPixelParams = 4;
+};
+
+/// The ten shaders, in paper order. Total control-parameter count across
+/// the gallery is 131, matching the paper's partition count.
+const std::vector<ShaderInfo> &shaderGallery();
+
+/// Finds a gallery shader by name; returns null if absent.
+const ShaderInfo *findShader(const std::string &Name);
+
+/// Sum of control counts over the gallery (the number of distinct input
+/// partitions the Figure 7 experiment measures).
+unsigned totalPartitionCount();
+
+} // namespace dspec
+
+#endif // DATASPEC_SHADING_SHADERGALLERY_H

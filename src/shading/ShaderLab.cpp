@@ -1,0 +1,238 @@
+//===- shading/ShaderLab.cpp - Section 5 measurement driver ----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shading/ShaderLab.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+using namespace dspec;
+
+SpecializedShader::SpecializedShader(CompiledSpecialization Compiled,
+                                     const ShaderInfo &Info,
+                                     size_t VaryingIndex)
+    : Compiled(std::move(Compiled)), Info(Info), VaryingIndex(VaryingIndex) {}
+
+bool SpecializedShader::runChunkOverGrid(VM &Machine, const Chunk &Code,
+                                         const RenderGrid &Grid,
+                                         const std::vector<float> &Controls,
+                                         bool UseCaches, Framebuffer *Out) {
+  assert(Controls.size() == Info.Controls.size() &&
+         "control vector arity mismatch");
+  if (UseCaches && Caches.size() != Grid.pixelCount())
+    Caches.assign(Grid.pixelCount(), Cache());
+
+  std::vector<Value> Args(ShaderInfo::NumPixelParams + Controls.size());
+  for (size_t C = 0; C < Controls.size(); ++C)
+    Args[ShaderInfo::NumPixelParams + C] = Value::makeFloat(Controls[C]);
+
+  const auto &Pixels = Grid.pixels();
+  for (unsigned Index = 0; Index < Grid.pixelCount(); ++Index) {
+    const PixelInput &In = Pixels[Index];
+    Args[0] = In.UV;
+    Args[1] = In.P;
+    Args[2] = In.N;
+    Args[3] = In.I;
+    ExecResult R =
+        Machine.run(Code, Args, UseCaches ? &Caches[Index] : nullptr);
+    if (!R.ok())
+      return false;
+    if (Out)
+      Out->at(Index % Grid.width(), Index / Grid.width()) = R.Result;
+  }
+  return true;
+}
+
+bool SpecializedShader::load(VM &Machine, const RenderGrid &Grid,
+                             const std::vector<float> &Controls) {
+  return runChunkOverGrid(Machine, Compiled.LoaderChunk, Grid, Controls,
+                          /*UseCaches=*/true, nullptr);
+}
+
+bool SpecializedShader::readFrame(VM &Machine, const RenderGrid &Grid,
+                                  const std::vector<float> &Controls,
+                                  Framebuffer *Out) {
+  return runChunkOverGrid(Machine, Compiled.ReaderChunk, Grid, Controls,
+                          /*UseCaches=*/true, Out);
+}
+
+bool SpecializedShader::originalFrame(VM &Machine, const RenderGrid &Grid,
+                                      const std::vector<float> &Controls,
+                                      Framebuffer *Out) {
+  return runChunkOverGrid(Machine, Compiled.OriginalChunk, Grid, Controls,
+                          /*UseCaches=*/false, Out);
+}
+
+ShaderLab::ShaderLab(unsigned Width, unsigned Height,
+                     unsigned FramesPerMeasurement)
+    : Grid(Width, Height), FramesPerMeasurement(FramesPerMeasurement) {}
+
+CompilationUnit *ShaderLab::unitFor(const ShaderInfo &Info) {
+  for (auto &[Name, Unit] : Units)
+    if (Name == Info.Name)
+      return Unit.get();
+  auto Unit = parseUnit(Info.Source);
+  CompilationUnit *Raw = Unit.get();
+  Units.emplace_back(Info.Name, std::move(Unit));
+  return Raw;
+}
+
+bool ShaderLab::prepare(const ShaderInfo &Info) {
+  CompilationUnit *Unit = unitFor(Info);
+  if (!Unit->ok()) {
+    LastError = "shader '" + Info.Name + "': " + Unit->Diags.str();
+    return false;
+  }
+  return true;
+}
+
+std::vector<float> ShaderLab::defaultControls(const ShaderInfo &Info) {
+  std::vector<float> Out;
+  Out.reserve(Info.Controls.size());
+  for (const ControlParam &Param : Info.Controls)
+    Out.push_back(Param.Default);
+  return Out;
+}
+
+std::vector<float> ShaderLab::sweepValues(const ControlParam &Param,
+                                          unsigned Count) const {
+  std::vector<float> Out;
+  Out.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    float T = Count > 1 ? static_cast<float>(I) / (Count - 1) : 0.0f;
+    Out.push_back(Param.SweepMin + (Param.SweepMax - Param.SweepMin) * T);
+  }
+  return Out;
+}
+
+std::optional<SpecializedShader>
+ShaderLab::specializePartition(const ShaderInfo &Info, size_t VaryingIndex,
+                               const SpecializerOptions &Options) {
+  assert(VaryingIndex < Info.Controls.size() && "bad control index");
+  CompilationUnit *Unit = unitFor(Info);
+  if (!Unit->ok()) {
+    LastError = "shader '" + Info.Name + "': " + Unit->Diags.str();
+    return std::nullopt;
+  }
+  auto Compiled = specializeAndCompile(
+      *Unit, Info.Name, {Info.Controls[VaryingIndex].Name}, Options);
+  if (!Compiled) {
+    LastError = "specializing '" + Info.Name + "' on '" +
+                Info.Controls[VaryingIndex].Name +
+                "': " + Unit->Diags.str();
+    return std::nullopt;
+  }
+  return SpecializedShader(std::move(*Compiled), Info, VaryingIndex);
+}
+
+namespace {
+
+/// Times one call of \p Body in seconds.
+template <typename Fn> double timeSeconds(Fn &&Body) {
+  auto Start = std::chrono::steady_clock::now();
+  Body();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+double median(std::vector<double> Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
+} // namespace
+
+std::optional<PartitionReport>
+ShaderLab::measurePartition(const ShaderInfo &Info, size_t VaryingIndex,
+                            const SpecializerOptions &Options) {
+  auto Spec = specializePartition(Info, VaryingIndex, Options);
+  if (!Spec)
+    return std::nullopt;
+
+  PartitionReport Report;
+  Report.ShaderIndex = Info.Index;
+  Report.ShaderName = Info.Name;
+  Report.ParamName = Info.Controls[VaryingIndex].Name;
+  Report.CacheBytes = Spec->compiled().Spec.Layout.totalBytes();
+  Report.CacheSlots = Spec->compiled().Spec.Layout.slotCount();
+
+  VM Machine;
+  std::vector<float> Controls = defaultControls(Info);
+  std::vector<float> Sweep =
+      sweepValues(Info.Controls[VaryingIndex], FramesPerMeasurement);
+
+  // Warm up and verify one loader pass (also fills the caches).
+  if (!Spec->load(Machine, Grid, Controls)) {
+    LastError = "loader trapped for '" + Info.Name + "' / '" +
+                Report.ParamName + "'";
+    return std::nullopt;
+  }
+
+  std::vector<double> OrigTimes, LoadTimes, ReadTimes;
+  for (unsigned Frame = 0; Frame < FramesPerMeasurement; ++Frame) {
+    Controls[VaryingIndex] = Sweep[Frame];
+    bool OK = true;
+    OrigTimes.push_back(timeSeconds(
+        [&] { OK &= Spec->originalFrame(Machine, Grid, Controls); }));
+    ReadTimes.push_back(
+        timeSeconds([&] { OK &= Spec->readFrame(Machine, Grid, Controls); }));
+    if (!OK) {
+      LastError = "frame trapped for '" + Info.Name + "' / '" +
+                  Report.ParamName + "'";
+      return std::nullopt;
+    }
+  }
+  // Loader timing: reinvoked when the fixed context changes.
+  Controls = defaultControls(Info);
+  for (unsigned Frame = 0; Frame < FramesPerMeasurement; ++Frame) {
+    bool OK = true;
+    LoadTimes.push_back(
+        timeSeconds([&] { OK &= Spec->load(Machine, Grid, Controls); }));
+    if (!OK) {
+      LastError = "loader trapped for '" + Info.Name + "'";
+      return std::nullopt;
+    }
+  }
+
+  Report.OriginalSeconds = median(OrigTimes);
+  Report.LoaderSeconds = median(LoadTimes);
+  Report.ReaderSeconds = median(ReadTimes);
+  Report.Speedup = Report.OriginalSeconds / Report.ReaderSeconds;
+  Report.LoaderOverhead = Report.LoaderSeconds / Report.OriginalSeconds;
+
+  // Break-even: smallest k with loadT + (k-1)*readT <= k*origT. The first
+  // use runs the loader (which also produces the frame).
+  double LoadT = Report.LoaderSeconds;
+  double ReadT = Report.ReaderSeconds;
+  double OrigT = Report.OriginalSeconds;
+  if (LoadT <= OrigT) {
+    Report.BreakevenUses = 1;
+  } else if (ReadT < OrigT) {
+    double K = (LoadT - ReadT) / (OrigT - ReadT);
+    Report.BreakevenUses = static_cast<unsigned>(std::ceil(K - 1e-9));
+    if (Report.BreakevenUses < 1)
+      Report.BreakevenUses = 1;
+    if (Report.BreakevenUses > PartitionReport::BreakevenCap)
+      Report.BreakevenUses = PartitionReport::BreakevenCap;
+  } else {
+    Report.BreakevenUses = PartitionReport::BreakevenCap;
+  }
+  return Report;
+}
+
+std::vector<PartitionReport>
+ShaderLab::measureAllPartitions(const SpecializerOptions &Options) {
+  std::vector<PartitionReport> Reports;
+  for (const ShaderInfo &Info : shaderGallery()) {
+    for (size_t Index = 0; Index < Info.Controls.size(); ++Index) {
+      auto Report = measurePartition(Info, Index, Options);
+      if (Report)
+        Reports.push_back(std::move(*Report));
+    }
+  }
+  return Reports;
+}

@@ -1,0 +1,55 @@
+//===- specialize/CacheLayout.h - Cache slot layout -------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layout of one specialization's cache: an ordered list of typed
+/// slots with byte offsets. The byte total is the paper's Figure 8
+/// metric ("single-pixel cache sizes"). All dsc types are 4-byte aligned,
+/// so slots pack densely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SPECIALIZE_CACHELAYOUT_H
+#define DATASPEC_SPECIALIZE_CACHELAYOUT_H
+
+#include "lang/Type.h"
+
+#include <vector>
+
+namespace dspec {
+
+/// One cache slot.
+struct CacheSlot {
+  unsigned Index;
+  Type SlotType;
+  unsigned Offset;
+};
+
+/// Ordered slot list for one specialization.
+class CacheLayout {
+public:
+  /// Appends a slot of type \p T; returns its index.
+  unsigned addSlot(Type T) {
+    unsigned Index = static_cast<unsigned>(Slots.size());
+    Slots.push_back({Index, T, NextOffset});
+    NextOffset += T.sizeInBytes();
+    return Index;
+  }
+
+  const std::vector<CacheSlot> &slots() const { return Slots; }
+  unsigned slotCount() const { return static_cast<unsigned>(Slots.size()); }
+
+  /// Total cache bytes per specialization instance.
+  unsigned totalBytes() const { return NextOffset; }
+
+private:
+  std::vector<CacheSlot> Slots;
+  unsigned NextOffset = 0;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_SPECIALIZE_CACHELAYOUT_H

@@ -1,0 +1,298 @@
+//===- specialize/CachingAnalysis.cpp - Section 3.2 solver -----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "specialize/CachingAnalysis.h"
+
+#include "analysis/SingleValued.h"
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace dspec;
+
+CachingAnalysis::CachingAnalysis(Function *F, const DependenceAnalysis &Dep,
+                                 const ReachingDefs &RD,
+                                 const StructureInfo &SI, const CostModel &CM,
+                                 const SpecializerOptions &Opts,
+                                 uint32_t NumNodeIds)
+    : F(F), Dep(Dep), RD(RD), SI(SI), CM(CM), Opts(Opts) {
+  Labels.assign(NumNodeIds, CacheLabel::CL_Static); // Rule 8 default
+  NeedsStorage.assign(NumNodeIds, 0);
+  Slots.assign(NumNodeIds, -1);
+}
+
+bool CachingAnalysis::underDependentControl(uint32_t NodeId) const {
+  for (const GuardRecord &G : SI.guards(NodeId))
+    if (Dep.isDependent(G.Cond))
+      return true;
+  return false;
+}
+
+Stmt *CachingAnalysis::outermostDependentGuard(uint32_t NodeId) const {
+  for (const GuardRecord &G : SI.guards(NodeId)) // outermost first
+    if (Dep.isDependent(G.Cond))
+      return G.Construct;
+  return nullptr;
+}
+
+bool CachingAnalysis::isHoistableBefore(Expr *Op, const Stmt *Region) const {
+  // Every reaching definition of every free variable of Op must lie
+  // outside Region; then all of Op's context is available just before
+  // Region, so the loader may evaluate it there unconditionally.
+  bool Hoistable = true;
+  walkExpr(Op, [&](Expr *Sub) {
+    if (!Hoistable)
+      return;
+    auto *Ref = dyn_cast<VarRefExpr>(Sub);
+    if (!Ref)
+      return;
+    for (const Stmt *Def : RD.defs(Ref)) {
+      // Def is inside Region iff Region guards it.
+      for (const GuardRecord &G : SI.guards(Def->nodeId())) {
+        if (G.Construct == Region) {
+          Hoistable = false;
+          return;
+        }
+      }
+    }
+  });
+  return Hoistable;
+}
+
+bool CachingAnalysis::isTrivial(Expr *Op) const {
+  if (auto *Ref = dyn_cast<VarRefExpr>(Op)) {
+    if (Opts.EnableJoinNormalize) {
+      // Section 4.1: only phi-copy right-hand sides may be cached.
+      Stmt *Owner = SI.ownerStmt(Ref);
+      auto *Assign = dyn_cast<AssignStmt>(Owner);
+      bool IsPhiRHS = Assign && Assign->isPhiCopy() && Assign->value() == Ref;
+      return !IsPhiRHS;
+    }
+    // Naive mode (paper Figure 5): local references are worth caching,
+    // parameter references never are (the reader receives all inputs).
+    return !Ref->decl()->isLocal();
+  }
+  return CM.rawCost(Op) <= Opts.Cost.CacheRefCost;
+}
+
+bool CachingAnalysis::isCacheable(Expr *Op) const {
+  if (Dep.isDependent(Op))
+    return false;
+  if (Op->type().isVoid())
+    return false;
+  if (isTrivial(Op))
+    return false;
+  if (!isSingleValued(Op, SI, RD))
+    return false;
+  return true;
+}
+
+bool CachingAnalysis::isRootExpr(const Expr *E) const {
+  Stmt *Owner = SI.ownerStmt(E);
+  switch (Owner->kind()) {
+  case StmtKind::SK_Decl:
+    return cast<DeclStmt>(Owner)->init() == E;
+  case StmtKind::SK_Assign:
+    return cast<AssignStmt>(Owner)->value() == E;
+  case StmtKind::SK_ExprStmt:
+    return cast<ExprStmt>(Owner)->expr() == E;
+  case StmtKind::SK_If:
+    return cast<IfStmt>(Owner)->cond() == E;
+  case StmtKind::SK_While:
+    return cast<WhileStmt>(Owner)->cond() == E;
+  case StmtKind::SK_Return:
+    return cast<ReturnStmt>(Owner)->value() == E;
+  case StmtKind::SK_Block:
+    return false;
+  }
+  return false;
+}
+
+void CachingAnalysis::markDynamicExpr(Expr *E) {
+  if (Labels[E->nodeId()] == CacheLabel::CL_Dynamic)
+    return;
+  Labels[E->nodeId()] = CacheLabel::CL_Dynamic;
+  Worklist.push_back({/*IsExpr=*/true, E, nullptr});
+}
+
+void CachingAnalysis::markDynamicStmt(Stmt *S) {
+  if (Labels[S->nodeId()] == CacheLabel::CL_Dynamic)
+    return;
+  Labels[S->nodeId()] = CacheLabel::CL_Dynamic;
+  Worklist.push_back({/*IsExpr=*/false, nullptr, S});
+}
+
+void CachingAnalysis::makeCachedOrDynamic(Expr *Op) {
+  CacheLabel Current = Labels[Op->nodeId()];
+  if (Current != CacheLabel::CL_Static)
+    return; // already cached or dynamic
+
+  if (isCacheable(Op)) {
+    // Rule 3 / speculation interplay: in strict mode anything under a
+    // dependent guard is already dynamic and never reaches this point.
+    // In speculation mode it may, but the loader must be able to hoist
+    // the store out of the dependent region.
+    if (Opts.AllowSpeculation) {
+      if (Stmt *Region = outermostDependentGuard(Op->nodeId())) {
+        if (!isHoistableBefore(Op, Region)) {
+          markDynamicExpr(Op);
+          return;
+        }
+        Hoists[Region].push_back(Op);
+      }
+    }
+    Labels[Op->nodeId()] = CacheLabel::CL_Cached; // Rule 6
+    return;
+  }
+  markDynamicExpr(Op); // Rule 7
+}
+
+void CachingAnalysis::propagate() {
+  while (!Worklist.empty()) {
+    WorkItem Item = Worklist.front();
+    Worklist.pop_front();
+
+    if (Item.IsExpr) {
+      Expr *E = Item.E;
+      // Rule 4: a dynamic reference pulls its reaching definitions into
+      // the reader.
+      if (auto *Ref = dyn_cast<VarRefExpr>(E))
+        for (Stmt *Def : RD.defs(Ref))
+          markDynamicStmt(Def);
+      // Rule 5: guards of a dynamic term are dynamic.
+      for (const GuardRecord &G : SI.guards(E->nodeId()))
+        markDynamicStmt(G.Construct);
+      // Rules 6/7: operands must be available in the reader.
+      forEachChildExpr(E, [&](Expr *Child) { makeCachedOrDynamic(Child); });
+      // A dynamic root expression drags its owner statement into the
+      // reader (the reader must perform the assignment / test / return).
+      if (isRootExpr(E))
+        markDynamicStmt(SI.ownerStmt(E));
+      continue;
+    }
+
+    Stmt *S = Item.S;
+    // Rule 5 for statements.
+    for (const GuardRecord &G : SI.guards(S->nodeId()))
+      markDynamicStmt(G.Construct);
+
+    switch (S->kind()) {
+    case StmtKind::SK_Decl: {
+      auto *Decl = cast<DeclStmt>(S);
+      if (Decl->init())
+        makeCachedOrDynamic(Decl->init());
+      break;
+    }
+    case StmtKind::SK_Assign: {
+      auto *Assign = cast<AssignStmt>(S);
+      makeCachedOrDynamic(Assign->value());
+      // The reader performs this assignment, so the target's declaration
+      // must exist there (bare, if otherwise static).
+      if (Assign->target()->isLocal())
+        if (DeclStmt *Decl = SI.declStmtOf(Assign->target()))
+          NeedsStorage[Decl->nodeId()] = 1;
+      break;
+    }
+    case StmtKind::SK_If:
+      makeCachedOrDynamic(cast<IfStmt>(S)->cond());
+      break;
+    case StmtKind::SK_While:
+      makeCachedOrDynamic(cast<WhileStmt>(S)->cond());
+      break;
+    case StmtKind::SK_Return:
+      if (Expr *Value = cast<ReturnStmt>(S)->value())
+        makeCachedOrDynamic(Value);
+      break;
+    case StmtKind::SK_ExprStmt:
+      // The expression itself became dynamic first (that is the only way
+      // an ExprStmt enters the worklist); nothing further to do.
+      break;
+    case StmtKind::SK_Block:
+      break;
+    }
+  }
+}
+
+void CachingAnalysis::solve() {
+  // Rules 1-3 seed the worklist.
+  for (Expr *E : SI.allExprs()) {
+    bool Base = Dep.isDependent(E); // Rule 1 (includes global effects)
+    if (auto *Call = dyn_cast<CallExpr>(E))
+      Base |= getBuiltinInfo(Call->builtin()).HasGlobalEffect; // Rule 2
+    if (!Opts.AllowSpeculation)
+      Base |= underDependentControl(E->nodeId()); // Rule 3
+    if (Base)
+      markDynamicExpr(E);
+  }
+  for (Stmt *S : SI.allStmts()) {
+    bool Base = isa<ReturnStmt>(S); // the reader must produce the result
+    Base |= !isa<BlockStmt>(S) && Dep.isDependent(S);
+    if (!Opts.AllowSpeculation && !isa<BlockStmt>(S))
+      Base |= underDependentControl(S->nodeId());
+    if (Base)
+      markDynamicStmt(S);
+  }
+  propagate();
+}
+
+void CachingAnalysis::forceDynamic(Expr *Victim) {
+  assert(Labels[Victim->nodeId()] == CacheLabel::CL_Cached &&
+         "victim must be a cached term");
+  // Remove any hoist record for the victim.
+  for (auto &[Construct, List] : Hoists)
+    List.erase(std::remove(List.begin(), List.end(), Victim), List.end());
+  Labels[Victim->nodeId()] = CacheLabel::CL_Static; // let markDynamic run
+  markDynamicExpr(Victim);
+  propagate();
+}
+
+std::vector<Expr *> CachingAnalysis::cachedTerms() const {
+  std::vector<Expr *> Out;
+  for (Expr *E : SI.allExprs())
+    if (Labels[E->nodeId()] == CacheLabel::CL_Cached)
+      Out.push_back(E);
+  return Out;
+}
+
+unsigned CachingAnalysis::cacheBytes() const {
+  unsigned Bytes = 0;
+  for (Expr *E : SI.allExprs())
+    if (Labels[E->nodeId()] == CacheLabel::CL_Cached)
+      Bytes += E->type().sizeInBytes();
+  return Bytes;
+}
+
+const std::vector<Expr *> &
+CachingAnalysis::hoistsBefore(const Stmt *Construct) const {
+  static const std::vector<Expr *> Empty;
+  auto It = Hoists.find(Construct);
+  return It == Hoists.end() ? Empty : It->second;
+}
+
+CacheLayout CachingAnalysis::finalizeLayout() {
+  CacheLayout Layout;
+  for (Expr *E : SI.allExprs())
+    if (Labels[E->nodeId()] == CacheLabel::CL_Cached)
+      Slots[E->nodeId()] = static_cast<int>(Layout.addSlot(E->type()));
+  return Layout;
+}
+
+unsigned CachingAnalysis::countExprs(CacheLabel L) const {
+  unsigned Count = 0;
+  for (Expr *E : SI.allExprs())
+    if (Labels[E->nodeId()] == L)
+      ++Count;
+  return Count;
+}
+
+unsigned CachingAnalysis::countDynamicStmts() const {
+  unsigned Count = 0;
+  for (Stmt *S : SI.allStmts())
+    if (Labels[S->nodeId()] == CacheLabel::CL_Dynamic)
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,141 @@
+//===- specialize/CachingAnalysis.h - Section 3.2 solver --------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The caching analysis of Section 3.2: labels every term of a fragment
+/// Static, Cached, or Dynamic by solving the consistency constraints of
+/// Figure 3 as a demand-driven monotone rewrite system:
+///
+///   1. Dependent(t)              -> Dynamic(t)
+///   2. HasGlobalEffect(t)        -> Dynamic(t)
+///   3. UnderDependentControl(t)  -> Dynamic(t)   (strict; speculation opt)
+///   4. dynamic variable ref      -> its reaching definitions are Dynamic
+///   5. Dynamic(t)                -> guards of t are Dynamic
+///   6/7. operands of a Dynamic t -> Cached if possible, else Dynamic
+///   8. everything else           -> Static
+///
+/// An operand is cacheable (Rule 6) when it is not dependent, is
+/// single-valued in all enclosing loops, and is not trivial. Bare variable
+/// references are special-cased per Section 4.1: with join normalization
+/// enabled, only the right-hand side of a phi copy may be cached; without
+/// it, any local reference may (the paper's Figure 5 behavior).
+///
+/// Labels only move up the order static < cached < dynamic, so the solver
+/// is restartable: the cache limiter (Section 4.3) relabels victims to
+/// dynamic and re-propagates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SPECIALIZE_CACHINGANALYSIS_H
+#define DATASPEC_SPECIALIZE_CACHINGANALYSIS_H
+
+#include "analysis/DependenceAnalysis.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/StructureInfo.h"
+#include "analysis/CostModel.h"
+#include "specialize/CacheLayout.h"
+#include "specialize/SpecializerOptions.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace dspec {
+
+/// Term labels, ordered: a label may only ever increase.
+enum class CacheLabel : uint8_t {
+  CL_Static = 0,
+  CL_Cached = 1,
+  CL_Dynamic = 2,
+};
+
+/// Runs the Figure 3 constraint solver for one fragment.
+class CachingAnalysis {
+public:
+  CachingAnalysis(Function *F, const DependenceAnalysis &Dep,
+                  const ReachingDefs &RD, const StructureInfo &SI,
+                  const CostModel &CM, const SpecializerOptions &Opts,
+                  uint32_t NumNodeIds);
+
+  /// Establishes rules 1-3 and propagates to a fixed point.
+  void solve();
+
+  CacheLabel label(const Expr *E) const { return Labels[E->nodeId()]; }
+  CacheLabel label(const Stmt *S) const { return Labels[S->nodeId()]; }
+
+  /// Cached terms (the loader/reader frontier) in preorder.
+  std::vector<Expr *> cachedTerms() const;
+
+  /// Total bytes the currently cached terms would occupy.
+  unsigned cacheBytes() const;
+
+  /// Relabels a cached term as dynamic and re-propagates (the Section 4.3
+  /// restart). The frontier may widen as a result.
+  void forceDynamic(Expr *Victim);
+
+  /// Statements that need their declaration present in the reader for
+  /// storage even though the declaration itself is static (the reader
+  /// emits them without an initializer).
+  bool needsBareDecl(const DeclStmt *Decl) const {
+    return NeedsStorage[Decl->nodeId()] != 0;
+  }
+
+  /// Speculation support: cached terms to hoist in the loader immediately
+  /// before dependent guard construct \p Construct (empty unless
+  /// AllowSpeculation produced any).
+  const std::vector<Expr *> &hoistsBefore(const Stmt *Construct) const;
+
+  /// Assigns slot indices to the cached terms (preorder) and returns the
+  /// layout. Call after solving (and limiting) is complete.
+  CacheLayout finalizeLayout();
+
+  /// Slot index of a cached term after finalizeLayout (-1 if none).
+  int slotOf(const Expr *E) const { return Slots[E->nodeId()]; }
+
+  /// Label counters for stats and tests.
+  unsigned countExprs(CacheLabel L) const;
+  unsigned countDynamicStmts() const;
+
+private:
+  void markDynamicExpr(Expr *E);
+  void markDynamicStmt(Stmt *S);
+  void makeCachedOrDynamic(Expr *Op);
+  bool isCacheable(Expr *Op) const;
+  bool isTrivial(Expr *Op) const;
+  bool underDependentControl(uint32_t NodeId) const;
+  /// The outermost enclosing construct with a dependent predicate, or null.
+  Stmt *outermostDependentGuard(uint32_t NodeId) const;
+  /// True if every free variable of \p Op has all reaching definitions
+  /// outside \p Region (so the loader may hoist Op before Region).
+  bool isHoistableBefore(Expr *Op, const Stmt *Region) const;
+  void propagate();
+
+  /// True if \p E is the root expression of its owner statement.
+  bool isRootExpr(const Expr *E) const;
+
+  Function *F;
+  const DependenceAnalysis &Dep;
+  const ReachingDefs &RD;
+  const StructureInfo &SI;
+  const CostModel &CM;
+  const SpecializerOptions &Opts;
+
+  std::vector<CacheLabel> Labels;
+  std::vector<char> NeedsStorage;
+  std::vector<int> Slots;
+  std::map<const Stmt *, std::vector<Expr *>> Hoists;
+
+  struct WorkItem {
+    bool IsExpr;
+    Expr *E;
+    Stmt *S;
+  };
+  std::deque<WorkItem> Worklist;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_SPECIALIZE_CACHINGANALYSIS_H

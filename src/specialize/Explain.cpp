@@ -1,0 +1,175 @@
+//===- specialize/Explain.cpp - Human-readable reports ---------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "specialize/Explain.h"
+
+#include "lang/ASTPrinter.h"
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+#include "support/StringUtil.h"
+
+using namespace dspec;
+
+namespace {
+
+const char *labelName(CacheLabel Label) {
+  switch (Label) {
+  case CacheLabel::CL_Static:
+    return "static";
+  case CacheLabel::CL_Cached:
+    return "cached";
+  case CacheLabel::CL_Dynamic:
+    return "dynamic";
+  }
+  return "?";
+}
+
+/// One-line rendering of an expression, truncated for the table.
+std::string exprText(const Expr *E, size_t Limit = 48) {
+  std::string Text = printExpr(E);
+  if (Text.size() > Limit)
+    Text = Text.substr(0, Limit - 3) + "...";
+  return Text;
+}
+
+/// A short label for a statement kind in the annotated listing.
+const char *stmtKindName(const Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::SK_Block:
+    return "block";
+  case StmtKind::SK_Decl:
+    return "decl";
+  case StmtKind::SK_Assign:
+    return "assign";
+  case StmtKind::SK_ExprStmt:
+    return "expr";
+  case StmtKind::SK_If:
+    return "if";
+  case StmtKind::SK_While:
+    return "while";
+  case StmtKind::SK_Return:
+    return "return";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string dspec::explainSpecialization(Function *Normalized,
+                                         const std::vector<VarDecl *> &Varying,
+                                         const CachingAnalysis &CA,
+                                         const CostModel &CM,
+                                         const CacheLayout &Layout,
+                                         const StructureInfo &SI) {
+  std::string Out;
+  Out += "=== specialization report: " + Normalized->name() + " ===\n";
+
+  Out += "input partition: ";
+  Out += "fixed = {";
+  bool First = true;
+  for (VarDecl *Param : Normalized->params()) {
+    bool IsVarying = false;
+    for (VarDecl *V : Varying)
+      if (V == Param)
+        IsVarying = true;
+    if (IsVarying)
+      continue;
+    if (!First)
+      Out += ", ";
+    Out += Param->name();
+    First = false;
+  }
+  Out += "}, varying = {";
+  First = true;
+  for (VarDecl *V : Varying) {
+    if (!First)
+      Out += ", ";
+    Out += V->name();
+    First = false;
+  }
+  Out += "}\n\n";
+
+  // Slot table.
+  Out += formatString("cache: %u slot(s), %u byte(s)\n", Layout.slotCount(),
+                      Layout.totalBytes());
+  for (Expr *Term : CA.cachedTerms()) {
+    int Slot = CA.slotOf(Term);
+    Out += formatString("  slot%-3d %-6s %3uB  cost %4u (weighted %7.1f)  %s\n",
+                        Slot, Term->type().name(),
+                        Term->type().sizeInBytes(), CM.rawCost(Term),
+                        CM.weightedCost(Term), exprText(Term).c_str());
+  }
+  Out += '\n';
+
+  // Label census.
+  Out += formatString(
+      "expression labels: %u static, %u cached, %u dynamic\n",
+      CA.countExprs(CacheLabel::CL_Static),
+      CA.countExprs(CacheLabel::CL_Cached),
+      CA.countExprs(CacheLabel::CL_Dynamic));
+  Out += formatString("dynamic statements: %u\n\n", CA.countDynamicStmts());
+
+  // Hoisted speculative stores, if any.
+  bool AnyHoists = false;
+  for (Stmt *S : SI.allStmts()) {
+    const auto &Hoists = CA.hoistsBefore(S);
+    if (Hoists.empty())
+      continue;
+    if (!AnyHoists) {
+      Out += "speculative hoists (stores the loader executes before a "
+             "dependent guard):\n";
+      AnyHoists = true;
+    }
+    for (Expr *Hoist : Hoists)
+      Out += formatString("  before %s at %s: %s\n", stmtKindName(S),
+                          S->loc().str().c_str(), exprText(Hoist).c_str());
+  }
+  if (AnyHoists)
+    Out += '\n';
+
+  // Annotated statement listing (non-block statements).
+  Out += "statement labels:\n";
+  for (Stmt *S : SI.allStmts()) {
+    if (isa<BlockStmt>(S))
+      continue;
+    std::string Line;
+    switch (S->kind()) {
+    case StmtKind::SK_Decl: {
+      auto *Decl = cast<DeclStmt>(S);
+      Line = std::string(Decl->var()->type().name()) + " " +
+             Decl->var()->name();
+      if (Decl->init())
+        Line += " = " + exprText(Decl->init(), 36);
+      break;
+    }
+    case StmtKind::SK_Assign: {
+      auto *Assign = cast<AssignStmt>(S);
+      Line = Assign->targetName() + " = " + exprText(Assign->value(), 36);
+      if (Assign->isPhiCopy())
+        Line += "  /* phi */";
+      break;
+    }
+    case StmtKind::SK_If:
+      Line = "if (" + exprText(cast<IfStmt>(S)->cond(), 36) + ") ...";
+      break;
+    case StmtKind::SK_While:
+      Line = "while (" + exprText(cast<WhileStmt>(S)->cond(), 36) + ") ...";
+      break;
+    case StmtKind::SK_Return:
+      Line = "return";
+      if (Expr *Value = cast<ReturnStmt>(S)->value())
+        Line += " " + exprText(Value, 36);
+      break;
+    case StmtKind::SK_ExprStmt:
+      Line = exprText(cast<ExprStmt>(S)->expr(), 42);
+      break;
+    case StmtKind::SK_Block:
+      break;
+    }
+    Out += formatString("  %-8s %s\n", labelName(CA.label(S)), Line.c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- specialize/Explain.h - Human-readable reports -------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a specialization decision report: the input partition, the
+/// cache slot table (source text, cost, bytes), label counts, hoisted
+/// terms, and an annotated statement listing. Used by `dspec --explain`
+/// and handy when tuning shaders for specialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SPECIALIZE_EXPLAIN_H
+#define DATASPEC_SPECIALIZE_EXPLAIN_H
+
+#include "specialize/CachingAnalysis.h"
+
+#include <string>
+#include <vector>
+
+namespace dspec {
+
+/// Builds the report. \p Varying names the varying parameters;
+/// \p Normalized is the preprocessed fragment the labels refer to.
+std::string explainSpecialization(Function *Normalized,
+                                  const std::vector<VarDecl *> &Varying,
+                                  const CachingAnalysis &CA,
+                                  const CostModel &CM,
+                                  const CacheLayout &Layout,
+                                  const StructureInfo &SI);
+
+} // namespace dspec
+
+#endif // DATASPEC_SPECIALIZE_EXPLAIN_H

@@ -1,0 +1,106 @@
+//===- support/Arena.h - Arena allocation with destructors ------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena that also runs destructors for non-trivially
+/// destructible objects when the arena itself is destroyed. The AST context
+/// allocates all nodes here, so nodes are plain raw pointers with arena
+/// lifetime — no per-node ownership bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SUPPORT_ARENA_H
+#define DATASPEC_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dspec {
+
+/// Bump-pointer arena. Allocations are served from geometrically growing
+/// slabs; objects registered for destruction are destroyed in reverse
+/// allocation order when the arena dies.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  ~Arena() { reset(); }
+
+  /// Constructs a \p T in the arena and returns it. The object lives until
+  /// the arena is destroyed or reset.
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Obj = new (Mem) T(std::forward<Args>(CtorArgs)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Dtors.push_back({Obj, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Obj;
+  }
+
+  /// Raw aligned allocation.
+  void *allocate(size_t Size, size_t Align) {
+    uintptr_t Cur = reinterpret_cast<uintptr_t>(Next);
+    uintptr_t Aligned = (Cur + Align - 1) & ~(uintptr_t(Align) - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      newSlab(Size + Align);
+      Cur = reinterpret_cast<uintptr_t>(Next);
+      Aligned = (Cur + Align - 1) & ~(uintptr_t(Align) - 1);
+    }
+    Next = reinterpret_cast<char *>(Aligned + Size);
+    TotalAllocated += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Destroys every registered object (reverse order) and frees all slabs.
+  void reset() {
+    for (auto It = Dtors.rbegin(); It != Dtors.rend(); ++It)
+      It->Destroy(It->Object);
+    Dtors.clear();
+    Slabs.clear();
+    Next = End = nullptr;
+    TotalAllocated = 0;
+  }
+
+  /// Total bytes handed out (excluding alignment padding and slab slack).
+  size_t bytesAllocated() const { return TotalAllocated; }
+
+  /// Number of slabs currently held.
+  size_t slabCount() const { return Slabs.size(); }
+
+private:
+  struct DtorEntry {
+    void *Object;
+    void (*Destroy)(void *);
+  };
+
+  void newSlab(size_t MinSize) {
+    size_t Size = SlabSize;
+    while (Size < MinSize)
+      Size *= 2;
+    Slabs.push_back(std::make_unique<char[]>(Size));
+    Next = Slabs.back().get();
+    End = Next + Size;
+    SlabSize = Size * 2;
+  }
+
+  static constexpr size_t InitialSlabSize = 4096;
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  std::vector<DtorEntry> Dtors;
+  char *Next = nullptr;
+  char *End = nullptr;
+  size_t SlabSize = InitialSlabSize;
+  size_t TotalAllocated = 0;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_SUPPORT_ARENA_H

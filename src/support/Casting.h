@@ -1,0 +1,72 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight reimplementation of the LLVM casting templates (`isa<>`,
+/// `cast<>`, `dyn_cast<>`). A class hierarchy opts in by providing a static
+/// `classof(const Base *)` predicate on each derived class, typically
+/// implemented against a `Kind` discriminator stored in the base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SUPPORT_CASTING_H
+#define DATASPEC_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace dspec {
+
+/// Returns true if \p Val is an instance of \p To (or of any of the listed
+/// alternatives). \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returning false).
+template <typename To, typename From> bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagating it).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace dspec
+
+#endif // DATASPEC_SUPPORT_CASTING_H

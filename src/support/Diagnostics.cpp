@@ -1,0 +1,41 @@
+//===- support/Diagnostics.cpp - Diagnostic collection --------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace dspec;
+
+static const char *kindString(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::DK_Error:
+    return "error";
+  case DiagKind::DK_Warning:
+    return "warning";
+  case DiagKind::DK_Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = kindString(Kind);
+  Out += ": ";
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===- support/Diagnostics.h - Diagnostic collection ------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Frontend phases report errors and warnings
+/// here instead of printing or aborting; clients inspect the engine after
+/// each phase. No exceptions are used anywhere in the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SUPPORT_DIAGNOSTICS_H
+#define DATASPEC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace dspec {
+
+/// Severity of a diagnostic.
+enum class DiagKind {
+  DK_Error,
+  DK_Warning,
+  DK_Note,
+};
+
+/// A single reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:14: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one compilation unit.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::DK_Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::DK_Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::DK_Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Drops all collected diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Concatenates all diagnostics, one per line. Handy in tests and tools.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_SUPPORT_DIAGNOSTICS_H

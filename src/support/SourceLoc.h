@@ -1,0 +1,46 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations used by the lexer, parser, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SUPPORT_SOURCELOC_H
+#define DATASPEC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace dspec {
+
+/// A 1-based (line, column) position in a source buffer. A default
+/// constructed location is invalid (line 0).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Column == RHS.Column;
+  }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+
+  /// Renders as "line:col" (or "<unknown>" when invalid).
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,85 @@
+//===- support/StringUtil.cpp - String helpers ----------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+using namespace dspec;
+
+std::string dspec::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string dspec::formatFloat(float Value) {
+  // Find the shortest precision that round-trips through strtof.
+  char Buf[64];
+  for (int Precision = 1; Precision <= 9; ++Precision) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, Value);
+    if (std::strtof(Buf, nullptr) == Value)
+      break;
+  }
+  std::string Out = Buf;
+  // Ensure the literal re-lexes as a float, not an int.
+  if (Out.find_first_of(".eE") == std::string::npos &&
+      Out.find_first_of("nN") == std::string::npos)
+    Out += ".0";
+  return Out;
+}
+
+std::vector<std::string> dspec::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Out.emplace_back(Text.substr(Start));
+      return Out;
+    }
+    Out.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view dspec::trimString(std::string_view Text) {
+  const char *WS = " \t\r\n";
+  size_t Begin = Text.find_first_not_of(WS);
+  if (Begin == std::string_view::npos)
+    return std::string_view();
+  size_t Last = Text.find_last_not_of(WS);
+  return Text.substr(Begin, Last - Begin + 1);
+}
+
+bool dspec::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string dspec::joinStrings(const std::vector<std::string> &Parts,
+                               std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- support/StringUtil.h - String helpers --------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string formatting and splitting helpers shared across the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SUPPORT_STRINGUTIL_H
+#define DATASPEC_SUPPORT_STRINGUTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dspec {
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a float the way the pretty-printer wants it: shortest form that
+/// round-trips, always containing a '.' or exponent so it re-lexes as float.
+std::string formatFloat(float Value);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// True if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Joins \p Parts with \p Sep.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+} // namespace dspec
+
+#endif // DATASPEC_SUPPORT_STRINGUTIL_H

@@ -1,0 +1,110 @@
+//===- transform/JoinNormalize.cpp - Section 4.1 SSA-style copies ----------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/JoinNormalize.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+using namespace dspec;
+
+namespace {
+
+/// Collects, in source order, the variables assigned anywhere inside \p S
+/// that are declared outside \p S (those are the variables whose value is
+/// merged at the join point after \p S).
+std::vector<VarDecl *> outerAssignedVars(Stmt *S) {
+  std::vector<VarDecl *> Assigned;
+  std::unordered_set<VarDecl *> DeclaredInside;
+  walkStmts(S, [&](Stmt *Sub) {
+    if (auto *Decl = dyn_cast<DeclStmt>(Sub)) {
+      DeclaredInside.insert(Decl->var());
+      return;
+    }
+    if (auto *Assign = dyn_cast<AssignStmt>(Sub)) {
+      assert(Assign->target() && "join normalization requires resolved AST");
+      Assigned.push_back(Assign->target());
+    }
+  });
+
+  std::vector<VarDecl *> Result;
+  for (VarDecl *Var : Assigned) {
+    if (DeclaredInside.count(Var))
+      continue;
+    if (std::find(Result.begin(), Result.end(), Var) != Result.end())
+      continue;
+    Result.push_back(Var);
+  }
+  return Result;
+}
+
+class NormalizeImpl {
+public:
+  NormalizeImpl(ASTContext &Ctx) : Ctx(Ctx) {}
+
+  unsigned Inserted = 0;
+
+  AssignStmt *makePhiCopy(VarDecl *Var, SourceLoc Loc) {
+    auto *Ref = Ctx.create<VarRefExpr>(Var->name(), Loc);
+    Ref->setDecl(Var);
+    Ref->setType(Var->type());
+    auto *Phi = Ctx.create<AssignStmt>(Var->name(), Ref, Loc);
+    Phi->setTarget(Var);
+    Phi->setPhiCopy(true);
+    ++Inserted;
+    return Phi;
+  }
+
+  void processStmt(Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::SK_Block:
+      processBlock(cast<BlockStmt>(S));
+      return;
+    case StmtKind::SK_If: {
+      auto *If = cast<IfStmt>(S);
+      processStmt(If->thenStmt());
+      if (If->elseStmt())
+        processStmt(If->elseStmt());
+      return;
+    }
+    case StmtKind::SK_While:
+      processStmt(cast<WhileStmt>(S)->body());
+      return;
+    default:
+      return;
+    }
+  }
+
+  void processBlock(BlockStmt *Block) {
+    std::vector<Stmt *> NewBody;
+    NewBody.reserve(Block->body().size());
+    for (Stmt *Child : Block->body()) {
+      processStmt(Child);
+      NewBody.push_back(Child);
+      if (!isa<IfStmt>(Child) && !isa<WhileStmt>(Child))
+        continue;
+      // This is a join point: the paths through the construct merge here.
+      for (VarDecl *Var : outerAssignedVars(Child))
+        NewBody.push_back(makePhiCopy(Var, Child->loc()));
+    }
+    Block->body() = std::move(NewBody);
+  }
+
+private:
+  ASTContext &Ctx;
+};
+
+} // namespace
+
+unsigned dspec::joinNormalize(Function *F, ASTContext &Ctx) {
+  NormalizeImpl Impl(Ctx);
+  Impl.processBlock(F->body());
+  return Impl.Inserted;
+}

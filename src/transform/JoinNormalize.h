@@ -1,0 +1,35 @@
+//===- transform/JoinNormalize.h - Section 4.1 SSA-style copies -*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 4.1 preprocessing transform: after every control construct
+/// (if/while), insert a copy `v = v` for each variable that may have been
+/// modified inside the construct and is declared outside it. These copies
+/// are the analog of SSA phi nodes; they give the program unique
+/// definitions at join points. The caching analysis then only allows
+/// caching a bare variable reference when it is the right-hand side of
+/// such a phi copy, which collapses what would otherwise be several
+/// redundant cache slots (paper Figures 4-6) into one.
+///
+/// The transform mutates the function in place (the specializer runs it on
+/// a private clone) and requires a resolved (post-Sema) AST; inserted
+/// nodes are created fully resolved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_TRANSFORM_JOINNORMALIZE_H
+#define DATASPEC_TRANSFORM_JOINNORMALIZE_H
+
+#include "lang/ASTContext.h"
+
+namespace dspec {
+
+/// Runs the transform on \p F. Returns the number of phi copies inserted.
+unsigned joinNormalize(Function *F, ASTContext &Ctx);
+
+} // namespace dspec
+
+#endif // DATASPEC_TRANSFORM_JOINNORMALIZE_H

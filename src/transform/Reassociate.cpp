@@ -1,0 +1,181 @@
+//===- transform/Reassociate.cpp - Section 4.2 reassociation ---------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Reassociate.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace dspec;
+
+namespace {
+
+class ReassociateImpl {
+public:
+  ReassociateImpl(ASTContext &Ctx, const DependenceAnalysis &Dep,
+                  ReassociateOptions Options)
+      : Ctx(Ctx), Dep(Dep), Options(Options) {}
+
+  unsigned ChainsChanged = 0;
+
+  /// True if \p E may head (or extend) a reassociable chain of \p Op with
+  /// element type \p ChainType.
+  bool isChainable(Type ChainType) const {
+    if (!ChainType.isNumericScalar())
+      return false;
+    if (ChainType.isFloat() && !Options.AllowFloatReassociation)
+      return false;
+    return true;
+  }
+
+  /// Collects the leaves of the maximal same-op, same-type chain under
+  /// \p E (left-to-right source order).
+  void flatten(Expr *E, BinaryOp Op, Type ChainType,
+               std::vector<Expr *> &Leaves) {
+    if (auto *B = dyn_cast<BinaryExpr>(E)) {
+      if (B->op() == Op && B->type() == ChainType &&
+          B->lhs()->type() == ChainType && B->rhs()->type() == ChainType) {
+        flatten(B->lhs(), Op, ChainType, Leaves);
+        flatten(B->rhs(), Op, ChainType, Leaves);
+        return;
+      }
+    }
+    Leaves.push_back(E);
+  }
+
+  /// Rebuilds \p Leaves as a left-associated chain.
+  Expr *rebuild(const std::vector<Expr *> &Leaves, BinaryOp Op,
+                Type ChainType, SourceLoc Loc) {
+    Expr *Acc = Leaves.front();
+    for (size_t I = 1; I < Leaves.size(); ++I) {
+      auto *NewNode = Ctx.create<BinaryExpr>(Op, Acc, Leaves[I], Loc);
+      NewNode->setType(ChainType);
+      Acc = NewNode;
+    }
+    return Acc;
+  }
+
+  Expr *visit(Expr *E) {
+    // Reassociate children first so inner chains are already canonical.
+    rewriteChildren(E);
+
+    auto *B = dyn_cast<BinaryExpr>(E);
+    if (!B || !isAssociativeOp(B->op()) || !isChainable(B->type()))
+      return E;
+
+    std::vector<Expr *> Leaves;
+    flatten(B, B->op(), B->type(), Leaves);
+    if (Leaves.size() < 3)
+      return E;
+
+    // Stable partition: independent leaves first. This both groups the
+    // independent computation and leaves relative source order intact.
+    std::vector<Expr *> Ordered = Leaves;
+    std::stable_partition(Ordered.begin(), Ordered.end(), [&](Expr *Leaf) {
+      return !Dep.isDependent(Leaf);
+    });
+    if (Ordered == Leaves)
+      return E;
+
+    ++ChainsChanged;
+    return rebuild(Ordered, B->op(), B->type(), B->loc());
+  }
+
+  void rewriteChildren(Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::EK_Unary: {
+      auto *U = cast<UnaryExpr>(E);
+      U->setOperand(visit(U->operand()));
+      return;
+    }
+    case ExprKind::EK_Binary: {
+      auto *B = cast<BinaryExpr>(E);
+      B->setLHS(visit(B->lhs()));
+      B->setRHS(visit(B->rhs()));
+      return;
+    }
+    case ExprKind::EK_Cond: {
+      auto *C = cast<CondExpr>(E);
+      C->setCond(visit(C->cond()));
+      C->setTrueExpr(visit(C->trueExpr()));
+      C->setFalseExpr(visit(C->falseExpr()));
+      return;
+    }
+    case ExprKind::EK_Call: {
+      auto *Call = cast<CallExpr>(E);
+      for (Expr *&Arg : Call->args())
+        Arg = visit(Arg);
+      return;
+    }
+    case ExprKind::EK_Member: {
+      auto *M = cast<MemberExpr>(E);
+      M->setBase(visit(M->base()));
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void run(Function *F) {
+    walkStmts(F->body(), [&](Stmt *S) {
+      switch (S->kind()) {
+      case StmtKind::SK_Decl: {
+        auto *Decl = cast<DeclStmt>(S);
+        if (Decl->init())
+          Decl->setInit(visit(Decl->init()));
+        return;
+      }
+      case StmtKind::SK_Assign: {
+        auto *Assign = cast<AssignStmt>(S);
+        Assign->setValue(visit(Assign->value()));
+        return;
+      }
+      case StmtKind::SK_ExprStmt: {
+        auto *ES = cast<ExprStmt>(S);
+        ES->setExpr(visit(ES->expr()));
+        return;
+      }
+      case StmtKind::SK_If: {
+        auto *If = cast<IfStmt>(S);
+        If->setCond(visit(If->cond()));
+        return;
+      }
+      case StmtKind::SK_While: {
+        auto *While = cast<WhileStmt>(S);
+        While->setCond(visit(While->cond()));
+        return;
+      }
+      case StmtKind::SK_Return: {
+        auto *Ret = cast<ReturnStmt>(S);
+        if (Ret->value())
+          Ret->setValue(visit(Ret->value()));
+        return;
+      }
+      case StmtKind::SK_Block:
+        return;
+      }
+    });
+  }
+
+private:
+  ASTContext &Ctx;
+  const DependenceAnalysis &Dep;
+  ReassociateOptions Options;
+};
+
+} // namespace
+
+unsigned dspec::reassociate(Function *F, ASTContext &Ctx,
+                            const DependenceAnalysis &Dep,
+                            ReassociateOptions Options) {
+  ReassociateImpl Impl(Ctx, Dep, Options);
+  Impl.run(F);
+  return Impl.ChainsChanged;
+}

@@ -1,0 +1,43 @@
+//===- transform/Reassociate.h - Section 4.2 reassociation ------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 4.2 binding-time improvement: chains of the associative
+/// operators `+` and `*` are flattened and reordered so that operands
+/// independent of the varying inputs group together on the left. This
+/// maximizes the size of the independent subterm the caching analysis can
+/// place in the loader (e.g. with x1, x2 varying,
+/// `x1*x2 + y1*y2 + z1*z2` becomes `y1*y2 + z1*z2 + x1*x2`, letting the
+/// first addition be cached).
+///
+/// As the paper's footnote 2 notes, floating-point arithmetic is not truly
+/// associative; reassociating float chains is therefore opt-in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_TRANSFORM_REASSOCIATE_H
+#define DATASPEC_TRANSFORM_REASSOCIATE_H
+
+#include "analysis/DependenceAnalysis.h"
+#include "lang/ASTContext.h"
+
+namespace dspec {
+
+/// Controls which chains may be rebuilt.
+struct ReassociateOptions {
+  /// Permit reordering float chains (changes rounding, see above).
+  bool AllowFloatReassociation = true;
+};
+
+/// Runs the transform on \p F in place, consulting \p Dep for operand
+/// dependence. Returns the number of chains whose operand order changed.
+unsigned reassociate(Function *F, ASTContext &Ctx,
+                     const DependenceAnalysis &Dep,
+                     ReassociateOptions Options = {});
+
+} // namespace dspec
+
+#endif // DATASPEC_TRANSFORM_REASSOCIATE_H

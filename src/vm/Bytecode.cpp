@@ -1,0 +1,85 @@
+//===- vm/Bytecode.cpp - Bytecode representation ----------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include "support/StringUtil.h"
+
+using namespace dspec;
+
+const char *dspec::opcodeName(OpCode Op) {
+  switch (Op) {
+  case OpCode::OC_Const:
+    return "const";
+  case OpCode::OC_LoadLocal:
+    return "load";
+  case OpCode::OC_StoreLocal:
+    return "store";
+  case OpCode::OC_Convert:
+    return "convert";
+  case OpCode::OC_Pop:
+    return "pop";
+  case OpCode::OC_Neg:
+    return "neg";
+  case OpCode::OC_Not:
+    return "not";
+  case OpCode::OC_Add:
+    return "add";
+  case OpCode::OC_Sub:
+    return "sub";
+  case OpCode::OC_Mul:
+    return "mul";
+  case OpCode::OC_Div:
+    return "div";
+  case OpCode::OC_Mod:
+    return "mod";
+  case OpCode::OC_Lt:
+    return "lt";
+  case OpCode::OC_Le:
+    return "le";
+  case OpCode::OC_Gt:
+    return "gt";
+  case OpCode::OC_Ge:
+    return "ge";
+  case OpCode::OC_Eq:
+    return "eq";
+  case OpCode::OC_Ne:
+    return "ne";
+  case OpCode::OC_And:
+    return "and";
+  case OpCode::OC_Or:
+    return "or";
+  case OpCode::OC_Select:
+    return "select";
+  case OpCode::OC_Jump:
+    return "jump";
+  case OpCode::OC_JumpIfFalse:
+    return "jfalse";
+  case OpCode::OC_CallBuiltin:
+    return "call";
+  case OpCode::OC_Member:
+    return "member";
+  case OpCode::OC_CacheLoad:
+    return "cload";
+  case OpCode::OC_CacheStore:
+    return "cstore";
+  case OpCode::OC_Return:
+    return "ret";
+  case OpCode::OC_ReturnVoid:
+    return "retv";
+  }
+  return "???";
+}
+
+std::string Chunk::disassemble() const {
+  std::string Out = Name + ":\n";
+  for (size_t I = 0; I < Code.size(); ++I) {
+    const Instr &In = Code[I];
+    Out += formatString("  %4zu  %-8s %d %d\n", I, opcodeName(In.Op), In.A,
+                        In.B);
+  }
+  return Out;
+}

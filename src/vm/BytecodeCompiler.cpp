@@ -1,0 +1,249 @@
+//===- vm/BytecodeCompiler.cpp - AST to bytecode ---------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/BytecodeCompiler.h"
+
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+using namespace dspec;
+
+unsigned BytecodeCompiler::addConstant(Value V) {
+  Out.Constants.push_back(V);
+  return static_cast<unsigned>(Out.Constants.size() - 1);
+}
+
+unsigned BytecodeCompiler::emit(OpCode Op, int32_t A, int32_t B) {
+  Out.Code.push_back({Op, A, B});
+  return static_cast<unsigned>(Out.Code.size() - 1);
+}
+
+void BytecodeCompiler::patchJump(unsigned InstrIndex, unsigned Target) {
+  Out.Code[InstrIndex].A = static_cast<int32_t>(Target);
+}
+
+unsigned BytecodeCompiler::slotOf(const VarDecl *Var) {
+  auto It = SlotMap.find(Var);
+  assert(It != SlotMap.end() && "variable was never assigned a slot");
+  return It->second;
+}
+
+void BytecodeCompiler::emitConversion(Type From, Type To) {
+  if (From == To)
+    return;
+  assert(From.isInt() && To.isFloat() && "only int->float converts");
+  emit(OpCode::OC_Convert, static_cast<int32_t>(To.kind()));
+}
+
+Chunk BytecodeCompiler::compile(Function *F) {
+  Out = Chunk();
+  Out.Name = F->name();
+  Out.ReturnType = F->returnType();
+  ReturnType = F->returnType();
+  Out.NumParams = static_cast<unsigned>(F->params().size());
+  SlotMap.clear();
+
+  for (VarDecl *Param : F->params()) {
+    SlotMap[Param] = static_cast<unsigned>(Out.LocalTypes.size());
+    Out.LocalTypes.push_back(Param->type().kind());
+  }
+  // Assign every local declaration a slot up front (decl identity is
+  // variable identity, so shadowing works naturally).
+  walkStmts(F->body(), [&](Stmt *S) {
+    if (auto *Decl = dyn_cast<DeclStmt>(S)) {
+      SlotMap[Decl->var()] = static_cast<unsigned>(Out.LocalTypes.size());
+      Out.LocalTypes.push_back(Decl->var()->type().kind());
+    }
+  });
+
+  compileStmt(F->body());
+  // Falling off the end of a void function (or a malformed non-void one)
+  // halts cleanly; the VM reports the void result.
+  emit(OpCode::OC_ReturnVoid);
+  return std::move(Out);
+}
+
+void BytecodeCompiler::compileStmt(Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::SK_Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->body())
+      compileStmt(Child);
+    return;
+  case StmtKind::SK_Decl: {
+    auto *Decl = cast<DeclStmt>(S);
+    unsigned Slot = slotOf(Decl->var());
+    if (Decl->init()) {
+      compileExpr(Decl->init());
+      emitConversion(Decl->init()->type(), Decl->var()->type());
+    } else {
+      emit(OpCode::OC_Const, addConstant(Value::zeroOf(Decl->var()->type())));
+    }
+    emit(OpCode::OC_StoreLocal, static_cast<int32_t>(Slot));
+    return;
+  }
+  case StmtKind::SK_Assign: {
+    auto *Assign = cast<AssignStmt>(S);
+    compileExpr(Assign->value());
+    emitConversion(Assign->value()->type(), Assign->target()->type());
+    emit(OpCode::OC_StoreLocal, static_cast<int32_t>(slotOf(Assign->target())));
+    return;
+  }
+  case StmtKind::SK_ExprStmt:
+    compileExpr(cast<ExprStmt>(S)->expr());
+    emit(OpCode::OC_Pop);
+    return;
+  case StmtKind::SK_If: {
+    auto *If = cast<IfStmt>(S);
+    compileExpr(If->cond());
+    unsigned ToElse = emit(OpCode::OC_JumpIfFalse);
+    compileStmt(If->thenStmt());
+    if (If->elseStmt()) {
+      unsigned ToEnd = emit(OpCode::OC_Jump);
+      patchJump(ToElse, static_cast<unsigned>(Out.Code.size()));
+      compileStmt(If->elseStmt());
+      patchJump(ToEnd, static_cast<unsigned>(Out.Code.size()));
+    } else {
+      patchJump(ToElse, static_cast<unsigned>(Out.Code.size()));
+    }
+    return;
+  }
+  case StmtKind::SK_While: {
+    auto *While = cast<WhileStmt>(S);
+    unsigned Top = static_cast<unsigned>(Out.Code.size());
+    compileExpr(While->cond());
+    unsigned ToEnd = emit(OpCode::OC_JumpIfFalse);
+    compileStmt(While->body());
+    emit(OpCode::OC_Jump, static_cast<int32_t>(Top));
+    patchJump(ToEnd, static_cast<unsigned>(Out.Code.size()));
+    return;
+  }
+  case StmtKind::SK_Return: {
+    auto *Ret = cast<ReturnStmt>(S);
+    if (!Ret->value()) {
+      emit(OpCode::OC_ReturnVoid);
+      return;
+    }
+    compileExpr(Ret->value());
+    emitConversion(Ret->value()->type(), ReturnType);
+    emit(OpCode::OC_Return);
+    return;
+  }
+  }
+}
+
+void BytecodeCompiler::compileExpr(Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::EK_IntLiteral:
+    emit(OpCode::OC_Const,
+         addConstant(Value::makeInt(cast<IntLiteralExpr>(E)->value())));
+    return;
+  case ExprKind::EK_FloatLiteral:
+    emit(OpCode::OC_Const,
+         addConstant(Value::makeFloat(cast<FloatLiteralExpr>(E)->value())));
+    return;
+  case ExprKind::EK_BoolLiteral:
+    emit(OpCode::OC_Const,
+         addConstant(Value::makeBool(cast<BoolLiteralExpr>(E)->value())));
+    return;
+  case ExprKind::EK_VarRef:
+    emit(OpCode::OC_LoadLocal,
+         static_cast<int32_t>(slotOf(cast<VarRefExpr>(E)->decl())));
+    return;
+  case ExprKind::EK_Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    compileExpr(U->operand());
+    emit(U->op() == UnaryOp::UO_Neg ? OpCode::OC_Neg : OpCode::OC_Not);
+    return;
+  }
+  case ExprKind::EK_Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    compileExpr(B->lhs());
+    compileExpr(B->rhs());
+    switch (B->op()) {
+    case BinaryOp::BO_Add:
+      emit(OpCode::OC_Add);
+      return;
+    case BinaryOp::BO_Sub:
+      emit(OpCode::OC_Sub);
+      return;
+    case BinaryOp::BO_Mul:
+      emit(OpCode::OC_Mul);
+      return;
+    case BinaryOp::BO_Div:
+      emit(OpCode::OC_Div);
+      return;
+    case BinaryOp::BO_Mod:
+      emit(OpCode::OC_Mod);
+      return;
+    case BinaryOp::BO_Lt:
+      emit(OpCode::OC_Lt);
+      return;
+    case BinaryOp::BO_Le:
+      emit(OpCode::OC_Le);
+      return;
+    case BinaryOp::BO_Gt:
+      emit(OpCode::OC_Gt);
+      return;
+    case BinaryOp::BO_Ge:
+      emit(OpCode::OC_Ge);
+      return;
+    case BinaryOp::BO_Eq:
+      emit(OpCode::OC_Eq);
+      return;
+    case BinaryOp::BO_Ne:
+      emit(OpCode::OC_Ne);
+      return;
+    case BinaryOp::BO_And:
+      emit(OpCode::OC_And);
+      return;
+    case BinaryOp::BO_Or:
+      emit(OpCode::OC_Or);
+      return;
+    }
+    return;
+  }
+  case ExprKind::EK_Cond: {
+    // dsc's ?: is strict: all three operands evaluate (see lang/Expr.h).
+    auto *C = cast<CondExpr>(E);
+    compileExpr(C->cond());
+    compileExpr(C->trueExpr());
+    emitConversion(C->trueExpr()->type(), E->type());
+    compileExpr(C->falseExpr());
+    emitConversion(C->falseExpr()->type(), E->type());
+    emit(OpCode::OC_Select);
+    return;
+  }
+  case ExprKind::EK_Call: {
+    auto *Call = cast<CallExpr>(E);
+    const BuiltinInfo &Info = getBuiltinInfo(Call->builtin());
+    assert(Call->args().size() == Info.ParamTypes.size() &&
+           "builtin arity mismatch survived Sema");
+    for (size_t I = 0; I < Call->args().size(); ++I) {
+      compileExpr(Call->args()[I]);
+      emitConversion(Call->args()[I]->type(), Info.ParamTypes[I]);
+    }
+    emit(OpCode::OC_CallBuiltin, static_cast<int32_t>(Call->builtin()),
+         static_cast<int32_t>(Call->args().size()));
+    return;
+  }
+  case ExprKind::EK_Member: {
+    auto *M = cast<MemberExpr>(E);
+    compileExpr(M->base());
+    emit(OpCode::OC_Member, static_cast<int32_t>(M->componentIndex()));
+    return;
+  }
+  case ExprKind::EK_CacheRead:
+    emit(OpCode::OC_CacheLoad,
+         static_cast<int32_t>(cast<CacheReadExpr>(E)->slot()));
+    return;
+  case ExprKind::EK_CacheStore: {
+    auto *Store = cast<CacheStoreExpr>(E);
+    compileExpr(Store->operand());
+    emit(OpCode::OC_CacheStore, static_cast<int32_t>(Store->slot()));
+    return;
+  }
+  }
+}

@@ -1,0 +1,48 @@
+//===- vm/BytecodeCompiler.h - AST to bytecode ------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a resolved (post-Sema) dsc function — original fragment,
+/// loader, or reader — to a Chunk. Implicit int->float conversions are
+/// materialized as OC_Convert at assignments, initializers, builtin
+/// arguments, and returns; binary operators promote at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_VM_BYTECODECOMPILER_H
+#define DATASPEC_VM_BYTECODECOMPILER_H
+
+#include "lang/Function.h"
+#include "vm/Bytecode.h"
+
+#include <unordered_map>
+
+namespace dspec {
+
+/// One-shot compiler: construct and call compile().
+class BytecodeCompiler {
+public:
+  /// Compiles \p F. The AST must be fully resolved and type checked.
+  Chunk compile(Function *F);
+
+private:
+  unsigned slotOf(const VarDecl *Var);
+  void compileStmt(Stmt *S);
+  void compileExpr(Expr *E);
+  /// Emits a conversion if \p From and \p To differ (int->float only).
+  void emitConversion(Type From, Type To);
+  unsigned addConstant(Value V);
+  unsigned emit(OpCode Op, int32_t A = 0, int32_t B = 0);
+  void patchJump(unsigned InstrIndex, unsigned Target);
+
+  Chunk Out;
+  Type ReturnType;
+  std::unordered_map<const VarDecl *, unsigned> SlotMap;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_VM_BYTECODECOMPILER_H

@@ -1,0 +1,253 @@
+//===- vm/ChunkOptimizer.cpp - Bytecode peephole optimizer ------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ChunkOptimizer.h"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+using namespace dspec;
+
+namespace {
+
+/// Folds a binary operation over two scalar constants. Returns nullopt
+/// for anything unsafe or non-scalar (vectors only arise via builtin
+/// calls, which are never folded).
+std::optional<Value> foldBinary(OpCode Op, const Value &L, const Value &R) {
+  bool BothInt = L.isInt() && R.isInt();
+  bool Numeric = (L.isInt() || L.isFloat()) && (R.isInt() || R.isFloat());
+  bool BothBool = L.isBool() && R.isBool();
+
+  switch (Op) {
+  case OpCode::OC_Add:
+    if (BothInt)
+      return Value::makeInt(L.I + R.I);
+    if (Numeric)
+      return Value::makeFloat(L.asFloat() + R.asFloat());
+    return std::nullopt;
+  case OpCode::OC_Sub:
+    if (BothInt)
+      return Value::makeInt(L.I - R.I);
+    if (Numeric)
+      return Value::makeFloat(L.asFloat() - R.asFloat());
+    return std::nullopt;
+  case OpCode::OC_Mul:
+    if (BothInt)
+      return Value::makeInt(L.I * R.I);
+    if (Numeric)
+      return Value::makeFloat(L.asFloat() * R.asFloat());
+    return std::nullopt;
+  case OpCode::OC_Div:
+    if (BothInt)
+      return R.I == 0 ? std::nullopt // keep the runtime trap
+                      : std::optional<Value>(Value::makeInt(L.I / R.I));
+    if (Numeric)
+      return Value::makeFloat(L.asFloat() / R.asFloat());
+    return std::nullopt;
+  case OpCode::OC_Mod:
+    if (BothInt && R.I != 0)
+      return Value::makeInt(L.I % R.I);
+    return std::nullopt;
+  case OpCode::OC_Lt:
+    if (Numeric)
+      return Value::makeBool(L.asFloat() < R.asFloat());
+    return std::nullopt;
+  case OpCode::OC_Le:
+    if (Numeric)
+      return Value::makeBool(L.asFloat() <= R.asFloat());
+    return std::nullopt;
+  case OpCode::OC_Gt:
+    if (Numeric)
+      return Value::makeBool(L.asFloat() > R.asFloat());
+    return std::nullopt;
+  case OpCode::OC_Ge:
+    if (Numeric)
+      return Value::makeBool(L.asFloat() >= R.asFloat());
+    return std::nullopt;
+  case OpCode::OC_Eq:
+    if (Numeric)
+      return Value::makeBool(L.asFloat() == R.asFloat());
+    if (BothBool)
+      return Value::makeBool(L.I == R.I);
+    return std::nullopt;
+  case OpCode::OC_Ne:
+    if (Numeric)
+      return Value::makeBool(L.asFloat() != R.asFloat());
+    if (BothBool)
+      return Value::makeBool(L.I != R.I);
+    return std::nullopt;
+  case OpCode::OC_And:
+    if (BothBool)
+      return Value::makeBool(L.I != 0 && R.I != 0);
+    return std::nullopt;
+  case OpCode::OC_Or:
+    if (BothBool)
+      return Value::makeBool(L.I != 0 || R.I != 0);
+    return std::nullopt;
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Value> foldUnary(OpCode Op, const Value &V) {
+  if (Op == OpCode::OC_Neg) {
+    if (V.isInt())
+      return Value::makeInt(-V.I);
+    if (V.isFloat())
+      return Value::makeFloat(-V.F[0]);
+    return std::nullopt;
+  }
+  if (Op == OpCode::OC_Not && V.isBool())
+    return Value::makeBool(V.I == 0);
+  return std::nullopt;
+}
+
+bool isBinaryOp(OpCode Op) {
+  switch (Op) {
+  case OpCode::OC_Add:
+  case OpCode::OC_Sub:
+  case OpCode::OC_Mul:
+  case OpCode::OC_Div:
+  case OpCode::OC_Mod:
+  case OpCode::OC_Lt:
+  case OpCode::OC_Le:
+  case OpCode::OC_Gt:
+  case OpCode::OC_Ge:
+  case OpCode::OC_Eq:
+  case OpCode::OC_Ne:
+  case OpCode::OC_And:
+  case OpCode::OC_Or:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Marks every instruction that some jump lands on; peephole windows may
+/// not span such a boundary (except at their first instruction).
+std::vector<char> computeJumpTargets(const Chunk &C) {
+  std::vector<char> Targets(C.Code.size() + 1, 0);
+  for (const Instr &In : C.Code)
+    if (In.Op == OpCode::OC_Jump || In.Op == OpCode::OC_JumpIfFalse)
+      if (In.A >= 0 && static_cast<size_t>(In.A) < Targets.size())
+        Targets[In.A] = 1;
+  return Targets;
+}
+
+/// Removes instructions marked dead (OC_Pop reused as a NOP marker is
+/// too clever; we use an explicit side vector) and remaps jump targets.
+void compact(Chunk &C, const std::vector<char> &Dead) {
+  std::vector<int32_t> NewIndex(C.Code.size() + 1, 0);
+  int32_t Next = 0;
+  for (size_t I = 0; I < C.Code.size(); ++I) {
+    NewIndex[I] = Next;
+    if (!Dead[I])
+      ++Next;
+  }
+  NewIndex[C.Code.size()] = Next;
+
+  std::vector<Instr> NewCode;
+  NewCode.reserve(static_cast<size_t>(Next));
+  for (size_t I = 0; I < C.Code.size(); ++I) {
+    if (Dead[I])
+      continue;
+    Instr In = C.Code[I];
+    if (In.Op == OpCode::OC_Jump || In.Op == OpCode::OC_JumpIfFalse)
+      In.A = NewIndex[In.A];
+    NewCode.push_back(In);
+  }
+  C.Code = std::move(NewCode);
+}
+
+} // namespace
+
+OptimizeStats dspec::optimizeChunk(Chunk &C) {
+  OptimizeStats Stats;
+  Stats.InstructionsBefore = static_cast<unsigned>(C.Code.size());
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<char> Targets = computeJumpTargets(C);
+    std::vector<char> Dead(C.Code.size(), 0);
+
+    for (size_t I = 0; I < C.Code.size(); ++I) {
+      if (Dead[I])
+        continue;
+      const Instr &In = C.Code[I];
+
+      // const k; convert T        =>  const convert(k)
+      if (In.Op == OpCode::OC_Const && I + 1 < C.Code.size() &&
+          !Dead[I + 1] && !Targets[I + 1] &&
+          C.Code[I + 1].Op == OpCode::OC_Convert) {
+        Value V = C.Constants[In.A];
+        Type To(static_cast<TypeKind>(C.Code[I + 1].A));
+        if (V.Kind == To.kind() || (V.isInt() && To.isFloat())) {
+          C.Constants.push_back(V.convertTo(To));
+          C.Code[I] = {OpCode::OC_Const,
+                       static_cast<int32_t>(C.Constants.size() - 1), 0};
+          Dead[I + 1] = 1;
+          ++Stats.ConversionsFolded;
+          Changed = true;
+          continue;
+        }
+      }
+
+      // const k; pop              =>  (nothing)
+      if (In.Op == OpCode::OC_Const && I + 1 < C.Code.size() &&
+          !Dead[I + 1] && !Targets[I + 1] &&
+          C.Code[I + 1].Op == OpCode::OC_Pop) {
+        Dead[I] = 1;
+        Dead[I + 1] = 1;
+        ++Stats.PushPopsRemoved;
+        Changed = true;
+        continue;
+      }
+
+      // const k; neg/not          =>  const folded
+      if (In.Op == OpCode::OC_Const && I + 1 < C.Code.size() &&
+          !Dead[I + 1] && !Targets[I + 1]) {
+        OpCode Next = C.Code[I + 1].Op;
+        if (Next == OpCode::OC_Neg || Next == OpCode::OC_Not) {
+          if (auto Folded = foldUnary(Next, C.Constants[In.A])) {
+            C.Constants.push_back(*Folded);
+            C.Code[I] = {OpCode::OC_Const,
+                         static_cast<int32_t>(C.Constants.size() - 1), 0};
+            Dead[I + 1] = 1;
+            ++Stats.ConstantsFolded;
+            Changed = true;
+            continue;
+          }
+        }
+      }
+
+      // const a; const b; binop   =>  const folded
+      if (In.Op == OpCode::OC_Const && I + 2 < C.Code.size() &&
+          !Dead[I + 1] && !Dead[I + 2] && !Targets[I + 1] &&
+          !Targets[I + 2] && C.Code[I + 1].Op == OpCode::OC_Const &&
+          isBinaryOp(C.Code[I + 2].Op)) {
+        if (auto Folded = foldBinary(C.Code[I + 2].Op, C.Constants[In.A],
+                                     C.Constants[C.Code[I + 1].A])) {
+          C.Constants.push_back(*Folded);
+          C.Code[I] = {OpCode::OC_Const,
+                       static_cast<int32_t>(C.Constants.size() - 1), 0};
+          Dead[I + 1] = 1;
+          Dead[I + 2] = 1;
+          ++Stats.ConstantsFolded;
+          Changed = true;
+          continue;
+        }
+      }
+    }
+
+    if (Changed)
+      compact(C, Dead);
+  }
+
+  Stats.InstructionsAfter = static_cast<unsigned>(C.Code.size());
+  return Stats;
+}

@@ -1,0 +1,45 @@
+//===- vm/ChunkOptimizer.h - Bytecode peephole optimizer --------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small peephole optimizer over linear bytecode: scalar constant
+/// folding (`const a; const b; add` => `const a+b`), folding of
+/// conversions applied to constants, and elimination of pushes that are
+/// immediately popped. Windows containing a jump target are left alone;
+/// after rewriting, the chunk is compacted and all jump targets remapped.
+///
+/// The optimizer is semantics-preserving by construction (folds only
+/// total operations — division/modulo by a zero constant is left in
+/// place so it still traps at run time). It is optional infrastructure:
+/// the benchmark substrate runs *unoptimized* chunks so that loader,
+/// reader, and original are measured under identical execution rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_VM_CHUNKOPTIMIZER_H
+#define DATASPEC_VM_CHUNKOPTIMIZER_H
+
+#include "vm/Bytecode.h"
+
+namespace dspec {
+
+/// Statistics of one optimization run.
+struct OptimizeStats {
+  unsigned ConstantsFolded = 0;
+  unsigned ConversionsFolded = 0;
+  unsigned PushPopsRemoved = 0;
+  unsigned InstructionsBefore = 0;
+  unsigned InstructionsAfter = 0;
+
+  unsigned removed() const { return InstructionsBefore - InstructionsAfter; }
+};
+
+/// Optimizes \p C in place; iterates to a fixed point.
+OptimizeStats optimizeChunk(Chunk &C);
+
+} // namespace dspec
+
+#endif // DATASPEC_VM_CHUNKOPTIMIZER_H

@@ -1,0 +1,126 @@
+//===- vm/Noise.cpp - Gradient noise library --------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Noise.h"
+
+#include <cmath>
+#include <cstdint>
+
+using namespace dspec;
+
+namespace {
+
+/// Ken Perlin's reference permutation, doubled to avoid index wrapping.
+const uint8_t Perm[512] = {
+    151, 160, 137, 91,  90,  15,  131, 13,  201, 95,  96,  53,  194, 233, 7,
+    225, 140, 36,  103, 30,  69,  142, 8,   99,  37,  240, 21,  10,  23,  190,
+    6,   148, 247, 120, 234, 75,  0,   26,  197, 62,  94,  252, 219, 203, 117,
+    35,  11,  32,  57,  177, 33,  88,  237, 149, 56,  87,  174, 20,  125, 136,
+    171, 168, 68,  175, 74,  165, 71,  134, 139, 48,  27,  166, 77,  146, 158,
+    231, 83,  111, 229, 122, 60,  211, 133, 230, 220, 105, 92,  41,  55,  46,
+    245, 40,  244, 102, 143, 54,  65,  25,  63,  161, 1,   216, 80,  73,  209,
+    76,  132, 187, 208, 89,  18,  169, 200, 196, 135, 130, 116, 188, 159, 86,
+    164, 100, 109, 198, 173, 186, 3,   64,  52,  217, 226, 250, 124, 123, 5,
+    202, 38,  147, 118, 126, 255, 82,  85,  212, 207, 206, 59,  227, 47,  16,
+    58,  17,  182, 189, 28,  42,  223, 183, 170, 213, 119, 248, 152, 2,   44,
+    154, 163, 70,  221, 153, 101, 155, 167, 43,  172, 9,   129, 22,  39,  253,
+    19,  98,  108, 110, 79,  113, 224, 232, 178, 185, 112, 104, 218, 246, 97,
+    228, 251, 34,  242, 193, 238, 210, 144, 12,  191, 179, 162, 241, 81,  51,
+    145, 235, 249, 14,  239, 107, 49,  192, 214, 31,  181, 199, 106, 157, 184,
+    84,  204, 176, 115, 121, 50,  45,  127, 4,   150, 254, 138, 236, 205, 93,
+    222, 114, 67,  29,  24,  72,  243, 141, 128, 195, 78,  66,  215, 61,  156,
+    180,
+    // repeat
+    151, 160, 137, 91,  90,  15,  131, 13,  201, 95,  96,  53,  194, 233, 7,
+    225, 140, 36,  103, 30,  69,  142, 8,   99,  37,  240, 21,  10,  23,  190,
+    6,   148, 247, 120, 234, 75,  0,   26,  197, 62,  94,  252, 219, 203, 117,
+    35,  11,  32,  57,  177, 33,  88,  237, 149, 56,  87,  174, 20,  125, 136,
+    171, 168, 68,  175, 74,  165, 71,  134, 139, 48,  27,  166, 77,  146, 158,
+    231, 83,  111, 229, 122, 60,  211, 133, 230, 220, 105, 92,  41,  55,  46,
+    245, 40,  244, 102, 143, 54,  65,  25,  63,  161, 1,   216, 80,  73,  209,
+    76,  132, 187, 208, 89,  18,  169, 200, 196, 135, 130, 116, 188, 159, 86,
+    164, 100, 109, 198, 173, 186, 3,   64,  52,  217, 226, 250, 124, 123, 5,
+    202, 38,  147, 118, 126, 255, 82,  85,  212, 207, 206, 59,  227, 47,  16,
+    58,  17,  182, 189, 28,  42,  223, 183, 170, 213, 119, 248, 152, 2,   44,
+    154, 163, 70,  221, 153, 101, 155, 167, 43,  172, 9,   129, 22,  39,  253,
+    19,  98,  108, 110, 79,  113, 224, 232, 178, 185, 112, 104, 218, 246, 97,
+    228, 251, 34,  242, 193, 238, 210, 144, 12,  191, 179, 162, 241, 81,  51,
+    145, 235, 249, 14,  239, 107, 49,  192, 214, 31,  181, 199, 106, 157, 184,
+    84,  204, 176, 115, 121, 50,  45,  127, 4,   150, 254, 138, 236, 205, 93,
+    222, 114, 67,  29,  24,  72,  243, 141, 128, 195, 78,  66,  215, 61,  156,
+    180};
+
+inline float fade(float T) { return T * T * T * (T * (T * 6 - 15) + 10); }
+
+inline float lerp(float T, float A, float B) { return A + T * (B - A); }
+
+inline float grad(int Hash, float X, float Y, float Z) {
+  int H = Hash & 15;
+  float U = H < 8 ? X : Y;
+  float V = H < 4 ? Y : (H == 12 || H == 14 ? X : Z);
+  return ((H & 1) == 0 ? U : -U) + ((H & 2) == 0 ? V : -V);
+}
+
+} // namespace
+
+float dspec::perlinNoise3(float X, float Y, float Z) {
+  int XI = static_cast<int>(std::floor(X)) & 255;
+  int YI = static_cast<int>(std::floor(Y)) & 255;
+  int ZI = static_cast<int>(std::floor(Z)) & 255;
+  X -= std::floor(X);
+  Y -= std::floor(Y);
+  Z -= std::floor(Z);
+  float U = fade(X);
+  float V = fade(Y);
+  float W = fade(Z);
+
+  int A = Perm[XI] + YI;
+  int AA = Perm[A] + ZI;
+  int AB = Perm[A + 1] + ZI;
+  int B = Perm[XI + 1] + YI;
+  int BA = Perm[B] + ZI;
+  int BB = Perm[B + 1] + ZI;
+
+  return lerp(
+      W,
+      lerp(V, lerp(U, grad(Perm[AA], X, Y, Z), grad(Perm[BA], X - 1, Y, Z)),
+           lerp(U, grad(Perm[AB], X, Y - 1, Z),
+                grad(Perm[BB], X - 1, Y - 1, Z))),
+      lerp(V,
+           lerp(U, grad(Perm[AA + 1], X, Y, Z - 1),
+                grad(Perm[BA + 1], X - 1, Y, Z - 1)),
+           lerp(U, grad(Perm[AB + 1], X, Y - 1, Z - 1),
+                grad(Perm[BB + 1], X - 1, Y - 1, Z - 1))));
+}
+
+float dspec::fbm3(float X, float Y, float Z, int Octaves, float Lacunarity,
+                  float Gain) {
+  float Sum = 0.0f;
+  float Amplitude = 1.0f;
+  float FX = X, FY = Y, FZ = Z;
+  for (int Octave = 0; Octave < Octaves; ++Octave) {
+    Sum += Amplitude * perlinNoise3(FX, FY, FZ);
+    FX *= Lacunarity;
+    FY *= Lacunarity;
+    FZ *= Lacunarity;
+    Amplitude *= Gain;
+  }
+  return Sum;
+}
+
+float dspec::turbulence3(float X, float Y, float Z, int Octaves) {
+  float Sum = 0.0f;
+  float Amplitude = 1.0f;
+  float FX = X, FY = Y, FZ = Z;
+  for (int Octave = 0; Octave < Octaves; ++Octave) {
+    Sum += Amplitude * std::fabs(perlinNoise3(FX, FY, FZ));
+    FX *= 2.0f;
+    FY *= 2.0f;
+    FZ *= 2.0f;
+    Amplitude *= 0.5f;
+  }
+  return Sum;
+}

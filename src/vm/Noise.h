@@ -1,0 +1,41 @@
+//===- vm/Noise.h - Gradient noise library ----------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic Perlin-style gradient noise library — the expensive
+/// "noise functions" of the shaders' math library (the paper's shaders 3,
+/// 4, and 5 owe their up-to-100x speedups to caching noise values). All
+/// functions are pure and reproducible across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_VM_NOISE_H
+#define DATASPEC_VM_NOISE_H
+
+namespace dspec {
+
+/// 3-D gradient noise in roughly [-1, 1].
+float perlinNoise3(float X, float Y, float Z);
+
+/// 1-D convenience wrapper.
+inline float perlinNoise1(float X) { return perlinNoise3(X, 0.37f, 0.73f); }
+
+/// 2-D convenience wrapper.
+inline float perlinNoise2(float X, float Y) {
+  return perlinNoise3(X, Y, 0.5f);
+}
+
+/// Fractal Brownian motion: \p Octaves octaves of noise with frequency
+/// ratio \p Lacunarity and amplitude ratio \p Gain.
+float fbm3(float X, float Y, float Z, int Octaves, float Lacunarity,
+           float Gain);
+
+/// Turbulence: sum of absolute noise over \p Octaves octaves.
+float turbulence3(float X, float Y, float Z, int Octaves);
+
+} // namespace dspec
+
+#endif // DATASPEC_VM_NOISE_H

@@ -1,0 +1,302 @@
+//===- vm/VM.cpp - Bytecode interpreter -------------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "lang/Builtins.h"
+
+#include <cmath>
+
+using namespace dspec;
+
+namespace dspec {
+/// Implemented in Builtins.cpp.
+Value callBuiltinImpl(uint16_t Id, const Value *Args, VM &Machine);
+} // namespace dspec
+
+namespace {
+
+/// Componentwise binary arithmetic with scalar broadcasting. Sema
+/// guarantees the combinations are sensible.
+template <typename FloatOp, typename IntOp>
+Value arith(const Value &L, const Value &R, FloatOp FOp, IntOp IOp) {
+  if (L.isInt() && R.isInt())
+    return Value::makeInt(IOp(L.I, R.I));
+  if (!L.isVector() && !R.isVector())
+    return Value::makeFloat(FOp(L.asFloat(), R.asFloat()));
+
+  Value Out;
+  if (L.isVector() && R.isVector()) {
+    Out.Kind = L.Kind;
+    for (unsigned I = 0; I < L.width(); ++I)
+      Out.F[I] = FOp(L.F[I], R.F[I]);
+    return Out;
+  }
+  if (L.isVector()) {
+    float S = R.asFloat();
+    Out.Kind = L.Kind;
+    for (unsigned I = 0; I < L.width(); ++I)
+      Out.F[I] = FOp(L.F[I], S);
+    return Out;
+  }
+  float S = L.asFloat();
+  Out.Kind = R.Kind;
+  for (unsigned I = 0; I < R.width(); ++I)
+    Out.F[I] = FOp(S, R.F[I]);
+  return Out;
+}
+
+template <typename Cmp>
+Value compare(const Value &L, const Value &R, Cmp Op) {
+  if (L.isInt() && R.isInt())
+    return Value::makeBool(Op(static_cast<float>(L.I),
+                              static_cast<float>(R.I)));
+  return Value::makeBool(Op(L.asFloat(), R.asFloat()));
+}
+
+} // namespace
+
+ExecResult VM::run(const Chunk &C, const std::vector<Value> &Args,
+                   Cache *CacheMem) {
+  ExecResult Result;
+
+  auto Trap = [&](std::string Message) {
+    Result.Trapped = true;
+    Result.TrapMessage = std::move(Message);
+  };
+
+  if (Args.size() != C.NumParams) {
+    Trap("argument count mismatch calling '" + C.Name + "'");
+    return Result;
+  }
+
+  std::vector<Value> &Locals = LocalsScratch;
+  Locals.resize(C.numLocals());
+  for (unsigned I = 0; I < C.numLocals(); ++I)
+    Locals[I] = Value::zeroOf(Type(C.LocalTypes[I]));
+  for (unsigned I = 0; I < C.NumParams; ++I) {
+    Value Arg = Args[I];
+    if (Arg.Kind != C.LocalTypes[I]) {
+      if (Arg.isInt() && C.LocalTypes[I] == TypeKind::TK_Float) {
+        Arg = Value::makeFloat(static_cast<float>(Arg.I));
+      } else {
+        Trap("argument type mismatch calling '" + C.Name + "'");
+        return Result;
+      }
+    }
+    Locals[I] = Arg;
+  }
+
+  std::vector<Value> &Stack = StackScratch;
+  Stack.clear();
+  Stack.reserve(64);
+  uint64_t Executed = 0;
+  size_t IP = 0;
+
+  auto Pop = [&]() {
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+
+  while (IP < C.Code.size()) {
+    if (++Executed > InstructionBudget) {
+      Trap("instruction budget exceeded in '" + C.Name + "'");
+      Result.InstructionsExecuted = Executed;
+      return Result;
+    }
+    const Instr &In = C.Code[IP++];
+    switch (In.Op) {
+    case OpCode::OC_Const:
+      Stack.push_back(C.Constants[In.A]);
+      break;
+    case OpCode::OC_LoadLocal:
+      Stack.push_back(Locals[In.A]);
+      break;
+    case OpCode::OC_StoreLocal:
+      Locals[In.A] = Pop();
+      break;
+    case OpCode::OC_Convert: {
+      Value V = Pop();
+      Stack.push_back(V.convertTo(Type(static_cast<TypeKind>(In.A))));
+      break;
+    }
+    case OpCode::OC_Pop:
+      Pop();
+      break;
+    case OpCode::OC_Neg: {
+      Value V = Pop();
+      if (V.isInt()) {
+        Stack.push_back(Value::makeInt(-V.I));
+      } else if (V.isVector()) {
+        Value Out = V;
+        for (unsigned I = 0; I < V.width(); ++I)
+          Out.F[I] = -V.F[I];
+        Stack.push_back(Out);
+      } else {
+        Stack.push_back(Value::makeFloat(-V.asFloat()));
+      }
+      break;
+    }
+    case OpCode::OC_Not: {
+      Value V = Pop();
+      Stack.push_back(Value::makeBool(!V.asBool()));
+      break;
+    }
+    case OpCode::OC_Add: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(arith(
+          L, R, [](float A, float B) { return A + B; },
+          [](int32_t A, int32_t B) { return A + B; }));
+      break;
+    }
+    case OpCode::OC_Sub: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(arith(
+          L, R, [](float A, float B) { return A - B; },
+          [](int32_t A, int32_t B) { return A - B; }));
+      break;
+    }
+    case OpCode::OC_Mul: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(arith(
+          L, R, [](float A, float B) { return A * B; },
+          [](int32_t A, int32_t B) { return A * B; }));
+      break;
+    }
+    case OpCode::OC_Div: {
+      Value R = Pop(), L = Pop();
+      if (L.isInt() && R.isInt() && R.I == 0) {
+        Trap("integer division by zero in '" + C.Name + "'");
+        Result.InstructionsExecuted = Executed;
+        return Result;
+      }
+      Stack.push_back(arith(
+          L, R, [](float A, float B) { return A / B; },
+          [](int32_t A, int32_t B) { return A / B; }));
+      break;
+    }
+    case OpCode::OC_Mod: {
+      Value R = Pop(), L = Pop();
+      if (R.I == 0) {
+        Trap("integer modulo by zero in '" + C.Name + "'");
+        Result.InstructionsExecuted = Executed;
+        return Result;
+      }
+      Stack.push_back(Value::makeInt(L.I % R.I));
+      break;
+    }
+    case OpCode::OC_Lt: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(compare(L, R, [](float A, float B) { return A < B; }));
+      break;
+    }
+    case OpCode::OC_Le: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(compare(L, R, [](float A, float B) { return A <= B; }));
+      break;
+    }
+    case OpCode::OC_Gt: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(compare(L, R, [](float A, float B) { return A > B; }));
+      break;
+    }
+    case OpCode::OC_Ge: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(compare(L, R, [](float A, float B) { return A >= B; }));
+      break;
+    }
+    case OpCode::OC_Eq: {
+      Value R = Pop(), L = Pop();
+      if (L.isBool() && R.isBool())
+        Stack.push_back(Value::makeBool(L.I == R.I));
+      else
+        Stack.push_back(
+            compare(L, R, [](float A, float B) { return A == B; }));
+      break;
+    }
+    case OpCode::OC_Ne: {
+      Value R = Pop(), L = Pop();
+      if (L.isBool() && R.isBool())
+        Stack.push_back(Value::makeBool(L.I != R.I));
+      else
+        Stack.push_back(
+            compare(L, R, [](float A, float B) { return A != B; }));
+      break;
+    }
+    case OpCode::OC_And: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(Value::makeBool(L.asBool() && R.asBool()));
+      break;
+    }
+    case OpCode::OC_Or: {
+      Value R = Pop(), L = Pop();
+      Stack.push_back(Value::makeBool(L.asBool() || R.asBool()));
+      break;
+    }
+    case OpCode::OC_Select: {
+      Value F = Pop(), T = Pop(), Cond = Pop();
+      Stack.push_back(Cond.asBool() ? T : F);
+      break;
+    }
+    case OpCode::OC_Jump:
+      IP = static_cast<size_t>(In.A);
+      break;
+    case OpCode::OC_JumpIfFalse: {
+      Value Cond = Pop();
+      if (!Cond.asBool())
+        IP = static_cast<size_t>(In.A);
+      break;
+    }
+    case OpCode::OC_CallBuiltin: {
+      unsigned Argc = static_cast<unsigned>(In.B);
+      assert(Stack.size() >= Argc && "stack underflow in builtin call");
+      const Value *ArgsBegin = Stack.data() + (Stack.size() - Argc);
+      Value Out =
+          callBuiltinImpl(static_cast<uint16_t>(In.A), ArgsBegin, *this);
+      Stack.resize(Stack.size() - Argc);
+      Stack.push_back(Out);
+      break;
+    }
+    case OpCode::OC_Member: {
+      Value V = Pop();
+      Stack.push_back(Value::makeFloat(V.F[In.A]));
+      break;
+    }
+    case OpCode::OC_CacheLoad: {
+      if (!CacheMem || static_cast<size_t>(In.A) >= CacheMem->size()) {
+        Trap("cache read without a loaded cache in '" + C.Name + "'");
+        Result.InstructionsExecuted = Executed;
+        return Result;
+      }
+      Stack.push_back((*CacheMem)[In.A]);
+      break;
+    }
+    case OpCode::OC_CacheStore: {
+      if (!CacheMem) {
+        Trap("cache write without cache storage in '" + C.Name + "'");
+        Result.InstructionsExecuted = Executed;
+        return Result;
+      }
+      if (static_cast<size_t>(In.A) >= CacheMem->size())
+        CacheMem->resize(In.A + 1);
+      (*CacheMem)[In.A] = Stack.back(); // value stays on the stack
+      break;
+    }
+    case OpCode::OC_Return:
+      Result.Result = Pop();
+      Result.InstructionsExecuted = Executed;
+      return Result;
+    case OpCode::OC_ReturnVoid:
+      Result.Result = Value::makeVoid();
+      Result.InstructionsExecuted = Executed;
+      return Result;
+    }
+  }
+
+  Result.InstructionsExecuted = Executed;
+  return Result;
+}

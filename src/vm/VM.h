@@ -1,0 +1,70 @@
+//===- vm/VM.h - Bytecode interpreter ---------------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stack-machine interpreter that executes compiled fragments. A run
+/// optionally binds a cache (slot array): loaders write it, readers read
+/// it, plain fragments ignore it. Runaway programs are stopped by an
+/// instruction budget; errors (division by zero, missing cache) trap with
+/// a message instead of crashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_VM_VM_H
+#define DATASPEC_VM_VM_H
+
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dspec {
+
+/// A specialization's data cache: one Value per slot.
+using Cache = std::vector<Value>;
+
+/// Outcome of one execution.
+struct ExecResult {
+  Value Result;
+  bool Trapped = false;
+  std::string TrapMessage;
+  uint64_t InstructionsExecuted = 0;
+
+  bool ok() const { return !Trapped; }
+};
+
+/// The interpreter. Holds the global state that the effectful builtins
+/// (dsc_trace / dsc_clock) touch, so Rule 2 scenarios are observable.
+class VM {
+public:
+  /// Runs \p C on \p Args. \p CacheMem may be null for fragments that
+  /// perform no cache access; loaders grow it to the slot count they
+  /// need.
+  ExecResult run(const Chunk &C, const std::vector<Value> &Args,
+                 Cache *CacheMem = nullptr);
+
+  /// Values recorded by dsc_trace, in call order.
+  const std::vector<float> &traceLog() const { return TraceLog; }
+  void clearTraceLog() { TraceLog.clear(); }
+
+  /// Aborts executions that exceed this many instructions.
+  uint64_t InstructionBudget = 500'000'000;
+
+private:
+  friend Value callBuiltinImpl(uint16_t Id, const Value *Args, VM &Machine);
+
+  std::vector<float> TraceLog;
+  uint64_t ClockCounter = 0;
+  /// Frame scratch reused across runs so that per-pixel invocations do not
+  /// allocate (runs are not reentrant).
+  std::vector<Value> LocalsScratch;
+  std::vector<Value> StackScratch;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_VM_VM_H

@@ -1,0 +1,66 @@
+//===- vm/Value.cpp - Runtime values ---------------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Value.h"
+
+#include "support/StringUtil.h"
+
+using namespace dspec;
+
+Value Value::convertTo(Type T) const {
+  if (Kind == T.kind())
+    return *this;
+  if (isInt() && T.isFloat())
+    return makeFloat(static_cast<float>(I));
+  assert(false && "invalid runtime conversion");
+  return zeroOf(T);
+}
+
+bool Value::equals(const Value &RHS) const {
+  if (Kind != RHS.Kind)
+    return false;
+  switch (Kind) {
+  case TypeKind::TK_Void:
+    return true;
+  case TypeKind::TK_Bool:
+  case TypeKind::TK_Int:
+    return I == RHS.I;
+  case TypeKind::TK_Float:
+    return F[0] == RHS.F[0];
+  case TypeKind::TK_Vec2:
+    return F[0] == RHS.F[0] && F[1] == RHS.F[1];
+  case TypeKind::TK_Vec3:
+    return F[0] == RHS.F[0] && F[1] == RHS.F[1] && F[2] == RHS.F[2];
+  case TypeKind::TK_Vec4:
+    return F[0] == RHS.F[0] && F[1] == RHS.F[1] && F[2] == RHS.F[2] &&
+           F[3] == RHS.F[3];
+  }
+  return false;
+}
+
+std::string Value::str() const {
+  switch (Kind) {
+  case TypeKind::TK_Void:
+    return "void";
+  case TypeKind::TK_Bool:
+    return I ? "true" : "false";
+  case TypeKind::TK_Int:
+    return std::to_string(I);
+  case TypeKind::TK_Float:
+    return formatFloat(F[0]);
+  case TypeKind::TK_Vec2:
+    return formatString("vec2(%s, %s)", formatFloat(F[0]).c_str(),
+                        formatFloat(F[1]).c_str());
+  case TypeKind::TK_Vec3:
+    return formatString("vec3(%s, %s, %s)", formatFloat(F[0]).c_str(),
+                        formatFloat(F[1]).c_str(), formatFloat(F[2]).c_str());
+  case TypeKind::TK_Vec4:
+    return formatString("vec4(%s, %s, %s, %s)", formatFloat(F[0]).c_str(),
+                        formatFloat(F[1]).c_str(), formatFloat(F[2]).c_str(),
+                        formatFloat(F[3]).c_str());
+  }
+  return "<invalid>";
+}

@@ -1,0 +1,140 @@
+//===- vm/Value.h - Runtime values ------------------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM's tagged runtime value: int, float, bool, or vec2/3/4. Scalars
+/// occupy component 0 of the payload; equality is exact (the equivalence
+/// tests rely on loader/reader/original computing bit-identical floats,
+/// which they do because they execute the same operations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_VM_VALUE_H
+#define DATASPEC_VM_VALUE_H
+
+#include "lang/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace dspec {
+
+/// A runtime value.
+struct Value {
+  TypeKind Kind = TypeKind::TK_Void;
+  float F[4] = {0, 0, 0, 0};
+  int32_t I = 0;
+
+  static Value makeVoid() { return Value(); }
+
+  static Value makeInt(int32_t V) {
+    Value Out;
+    Out.Kind = TypeKind::TK_Int;
+    Out.I = V;
+    return Out;
+  }
+
+  static Value makeBool(bool V) {
+    Value Out;
+    Out.Kind = TypeKind::TK_Bool;
+    Out.I = V ? 1 : 0;
+    return Out;
+  }
+
+  static Value makeFloat(float V) {
+    Value Out;
+    Out.Kind = TypeKind::TK_Float;
+    Out.F[0] = V;
+    return Out;
+  }
+
+  static Value makeVec2(float X, float Y) {
+    Value Out;
+    Out.Kind = TypeKind::TK_Vec2;
+    Out.F[0] = X;
+    Out.F[1] = Y;
+    return Out;
+  }
+
+  static Value makeVec3(float X, float Y, float Z) {
+    Value Out;
+    Out.Kind = TypeKind::TK_Vec3;
+    Out.F[0] = X;
+    Out.F[1] = Y;
+    Out.F[2] = Z;
+    return Out;
+  }
+
+  static Value makeVec4(float X, float Y, float Z, float W) {
+    Value Out;
+    Out.Kind = TypeKind::TK_Vec4;
+    Out.F[0] = X;
+    Out.F[1] = Y;
+    Out.F[2] = Z;
+    Out.F[3] = W;
+    return Out;
+  }
+
+  /// Zero value of the given type (dsc's default initialization).
+  static Value zeroOf(Type T) {
+    Value Out;
+    Out.Kind = T.kind();
+    return Out;
+  }
+
+  bool isInt() const { return Kind == TypeKind::TK_Int; }
+  bool isBool() const { return Kind == TypeKind::TK_Bool; }
+  bool isFloat() const { return Kind == TypeKind::TK_Float; }
+  bool isVector() const {
+    return Kind == TypeKind::TK_Vec2 || Kind == TypeKind::TK_Vec3 ||
+           Kind == TypeKind::TK_Vec4;
+  }
+
+  unsigned width() const {
+    switch (Kind) {
+    case TypeKind::TK_Vec2:
+      return 2;
+    case TypeKind::TK_Vec3:
+      return 3;
+    case TypeKind::TK_Vec4:
+      return 4;
+    default:
+      return 1;
+    }
+  }
+
+  int32_t asInt() const {
+    assert(isInt() && "not an int");
+    return I;
+  }
+
+  bool asBool() const {
+    assert(isBool() && "not a bool");
+    return I != 0;
+  }
+
+  /// Numeric scalar as float (ints promote).
+  float asFloat() const {
+    if (isInt())
+      return static_cast<float>(I);
+    assert(isFloat() && "not a numeric scalar");
+    return F[0];
+  }
+
+  /// Converts to \p T (the implicit int->float conversion plus identity).
+  Value convertTo(Type T) const;
+
+  /// Exact structural equality.
+  bool equals(const Value &RHS) const;
+
+  /// Debug rendering, e.g. "vec3(1, 2, 3)".
+  std::string str() const;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_VM_VALUE_H

@@ -1,0 +1,498 @@
+//===- tests/TestAnalysis.cpp - Analysis infrastructure tests -----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for StructureInfo, ReachingDefs, DependenceAnalysis,
+/// SingleValued, and the CostModel — the inputs to the caching analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+#include "analysis/DependenceAnalysis.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/SingleValued.h"
+#include "analysis/StructureInfo.h"
+#include "driver/Pipeline.h"
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dspec;
+
+namespace {
+
+/// Test fixture bundling a parsed function with all analyses.
+struct Analyzed {
+  std::unique_ptr<CompilationUnit> Unit;
+  Function *F = nullptr;
+  StructureInfo SI;
+  ReachingDefs RD;
+  DependenceAnalysis Dep;
+  CostModel CM;
+
+  static Analyzed make(const std::string &Source,
+                       const std::vector<std::string> &Varying = {},
+                       const std::string &Name = "f") {
+    Analyzed A;
+    A.Unit = parseUnit(Source);
+    EXPECT_TRUE(A.Unit->ok()) << A.Unit->Diags.str();
+    A.F = A.Unit->Prog->findFunction(Name);
+    EXPECT_NE(A.F, nullptr);
+    uint32_t N = A.Unit->Ctx.numNodeIds();
+    A.SI.build(A.F, N);
+    A.RD.run(A.F, N);
+    std::vector<VarDecl *> VaryingDecls;
+    for (const std::string &V : Varying)
+      VaryingDecls.push_back(A.F->findParam(V));
+    A.Dep.run(A.F, VaryingDecls, N);
+    A.CM.build(A.F, A.SI, CostOptions{}, N);
+    return A;
+  }
+
+  /// Finds the first VarRef with the given spelling, in preorder.
+  VarRefExpr *refOf(const std::string &Name, unsigned Skip = 0) {
+    VarRefExpr *Found = nullptr;
+    walkExprsInStmt(F->body(), [&](Expr *E) {
+      if (Found)
+        return;
+      if (auto *Ref = dyn_cast<VarRefExpr>(E))
+        if (Ref->name() == Name) {
+          if (Skip == 0)
+            Found = Ref;
+          else
+            --Skip;
+        }
+    });
+    EXPECT_NE(Found, nullptr) << "no ref of " << Name;
+    return Found;
+  }
+
+  /// Finds the first statement assigning (or declaring) \p Name.
+  Stmt *defOf(const std::string &Name, unsigned Skip = 0) {
+    Stmt *Found = nullptr;
+    walkStmts(F->body(), [&](Stmt *S) {
+      if (Found)
+        return;
+      std::string Target;
+      if (auto *Decl = dyn_cast<DeclStmt>(S))
+        Target = Decl->var()->name();
+      else if (auto *Assign = dyn_cast<AssignStmt>(S))
+        Target = Assign->targetName();
+      if (Target == Name) {
+        if (Skip == 0)
+          Found = S;
+        else
+          --Skip;
+      }
+    });
+    EXPECT_NE(Found, nullptr) << "no def of " << Name;
+    return Found;
+  }
+};
+
+// ---------------------------------------------------------------- Structure
+
+TEST(StructureInfo, GuardsAndLoops) {
+  auto A = Analyzed::make(R"(
+float f(float a, float b) {
+  float x = a;
+  if (a > 0.0) {
+    while (x < b) {
+      x = x + 1.0;
+    }
+  }
+  return x;
+})");
+  // 'x + 1.0' is guarded by the if and the while, inside one loop.
+  VarRefExpr *InnerRef = A.refOf("x", 1); // 0: while cond; 1: x + 1.0
+  const auto &Guards = A.SI.guards(InnerRef->nodeId());
+  ASSERT_EQ(Guards.size(), 2u);
+  EXPECT_FALSE(Guards[0].IsLoop);
+  EXPECT_TRUE(Guards[1].IsLoop);
+  EXPECT_EQ(A.SI.loops(InnerRef->nodeId()).size(), 1u);
+  EXPECT_EQ(A.SI.conditionalDepth(InnerRef->nodeId()), 1u);
+
+  // The while condition counts as inside the loop but guarded only by if.
+  VarRefExpr *CondRef = A.refOf("x", 0);
+  EXPECT_EQ(A.SI.loops(CondRef->nodeId()).size(), 1u);
+  EXPECT_EQ(A.SI.guards(CondRef->nodeId()).size(), 1u);
+
+  // The return is outside everything.
+  VarRefExpr *RetRef = A.refOf("x", 2);
+  EXPECT_TRUE(A.SI.guards(RetRef->nodeId()).empty());
+  EXPECT_TRUE(A.SI.loops(RetRef->nodeId()).empty());
+}
+
+TEST(StructureInfo, OwnerStatements) {
+  auto A = Analyzed::make("float f(float a) { float x = a; return x; }");
+  VarRefExpr *InitRef = A.refOf("a");
+  EXPECT_TRUE(isa<DeclStmt>(A.SI.ownerStmt(InitRef)));
+  VarRefExpr *RetRef = A.refOf("x");
+  EXPECT_TRUE(isa<ReturnStmt>(A.SI.ownerStmt(RetRef)));
+}
+
+TEST(StructureInfo, DeclStmtLookup) {
+  auto A = Analyzed::make("float f(float a) { float x = a; return x; }");
+  VarDecl *X = A.refOf("x")->decl();
+  ASSERT_NE(A.SI.declStmtOf(X), nullptr);
+  EXPECT_EQ(A.SI.declStmtOf(X)->var(), X);
+  // Parameters have no DeclStmt.
+  EXPECT_EQ(A.SI.declStmtOf(A.F->params()[0]), nullptr);
+}
+
+TEST(StructureInfo, TraversalCoversEveryNodeOnce) {
+  auto A = Analyzed::make(
+      "float f(float a) { float x = a; if (a > 0.0) { x = 1.0; } return x; }");
+  // Node ids are assigned in creation order (bottom-up in the parser), so
+  // the preorder traversal is not id-sorted — but it must visit every
+  // statement exactly once, deterministically.
+  std::set<uint32_t> Seen;
+  for (const Stmt *S : A.SI.allStmts())
+    EXPECT_TRUE(Seen.insert(S->nodeId()).second);
+  unsigned Direct = 0;
+  walkStmts(A.F->body(), [&](Stmt *) { ++Direct; });
+  EXPECT_EQ(Seen.size(), Direct);
+}
+
+// ------------------------------------------------------------ Reaching defs
+
+TEST(ReachingDefs, StraightLineStrongUpdate) {
+  auto A = Analyzed::make(R"(
+float f(float a) {
+  float x = a;
+  x = 2.0;
+  return x;
+})");
+  VarRefExpr *Ret = A.refOf("x");
+  ASSERT_EQ(A.RD.defs(Ret).size(), 1u);
+  EXPECT_EQ(A.RD.defs(Ret)[0], A.defOf("x", 1)); // the assignment
+  EXPECT_FALSE(A.RD.reachedByEntry(Ret));
+}
+
+TEST(ReachingDefs, BranchesMerge) {
+  auto A = Analyzed::make(R"(
+float f(float a, float p) {
+  float x = a;
+  if (p > 0.0) {
+    x = 2.0;
+  }
+  return x;
+})");
+  VarRefExpr *Ret = A.refOf("x");
+  EXPECT_EQ(A.RD.defs(Ret).size(), 2u); // decl and conditional assign
+}
+
+TEST(ReachingDefs, BothBranchesKill) {
+  auto A = Analyzed::make(R"(
+float f(float a, float p) {
+  float x = a;
+  if (p > 0.0) { x = 1.0; } else { x = 2.0; }
+  return x;
+})");
+  VarRefExpr *Ret = A.refOf("x");
+  EXPECT_EQ(A.RD.defs(Ret).size(), 2u); // the two assignments; decl killed
+  for (const Stmt *Def : A.RD.defs(Ret))
+    EXPECT_TRUE(isa<AssignStmt>(Def));
+}
+
+TEST(ReachingDefs, LoopBackEdge) {
+  auto A = Analyzed::make(R"(
+float f(float n) {
+  float x = 0.0;
+  while (x < n) {
+    x = x + 1.0;
+  }
+  return x;
+})");
+  // The ref inside the loop body sees both the decl and the back edge.
+  VarRefExpr *Body = A.refOf("x", 1);
+  EXPECT_EQ(A.RD.defs(Body).size(), 2u);
+  // And so does the post-loop ref.
+  VarRefExpr *Ret = A.refOf("x", 2);
+  EXPECT_EQ(A.RD.defs(Ret).size(), 2u);
+}
+
+TEST(ReachingDefs, ParamsReachAsEntry) {
+  auto A = Analyzed::make("float f(float a) { return a; }");
+  VarRefExpr *Ref = A.refOf("a");
+  EXPECT_TRUE(A.RD.defs(Ref).empty());
+  EXPECT_TRUE(A.RD.reachedByEntry(Ref));
+}
+
+TEST(ReachingDefs, ParamReassignment) {
+  auto A = Analyzed::make("float f(float a) { a = a * 2.0; return a; }");
+  VarRefExpr *Ret = A.refOf("a", 1);
+  ASSERT_EQ(A.RD.defs(Ret).size(), 1u);
+  EXPECT_FALSE(A.RD.reachedByEntry(Ret));
+}
+
+TEST(ReachingDefs, AllDefsOfCollects) {
+  auto A = Analyzed::make(R"(
+float f(float p) {
+  float x = 1.0;
+  if (p > 0.0) { x = 2.0; }
+  x = 3.0;
+  return x;
+})");
+  VarDecl *X = A.refOf("x")->decl();
+  EXPECT_EQ(A.RD.allDefsOf(X).size(), 3u);
+}
+
+// -------------------------------------------------------------- Dependence
+
+TEST(Dependence, VaryingParamSeeds) {
+  auto A = Analyzed::make("float f(float a, float b) { return a + b; }",
+                          {"b"});
+  EXPECT_FALSE(A.Dep.isDependent(A.refOf("a")));
+  EXPECT_TRUE(A.Dep.isDependent(A.refOf("b")));
+}
+
+TEST(Dependence, FlowsThroughAssignments) {
+  auto A = Analyzed::make(R"(
+float f(float a, float b) {
+  float x = b * 2.0;
+  float y = a * 2.0;
+  return x + y;
+})",
+                          {"b"});
+  EXPECT_TRUE(A.Dep.isDependent(A.refOf("x")));
+  EXPECT_FALSE(A.Dep.isDependent(A.refOf("y")));
+  EXPECT_TRUE(A.Dep.isDependent(A.defOf("x")));
+  EXPECT_FALSE(A.Dep.isDependent(A.defOf("y")));
+}
+
+TEST(Dependence, StrongUpdateClears) {
+  auto A = Analyzed::make(R"(
+float f(float b) {
+  float x = b;
+  x = 1.0;
+  return x;
+})",
+                          {"b"});
+  EXPECT_FALSE(A.Dep.isDependent(A.refOf("x")));
+}
+
+TEST(Dependence, Case4JoinForcing) {
+  // x is assigned an independent value, but under dependent control: the
+  // paper's case (4).
+  auto A = Analyzed::make(R"(
+float f(float a, float b) {
+  float x = 1.0;
+  if (b > 0.0) {
+    x = 2.0;
+  }
+  return x + a;
+})",
+                          {"b"});
+  EXPECT_TRUE(A.Dep.isDependent(A.refOf("x")));
+  // The conditional assignment itself is dependent (its effect is).
+  EXPECT_TRUE(A.Dep.isDependent(A.defOf("x", 1)));
+}
+
+TEST(Dependence, LoopFixpoint) {
+  // Dependence enters the loop through the guard: iteration count depends
+  // on b, so every value accumulated inside is dependent.
+  auto A = Analyzed::make(R"(
+float f(float b) {
+  float sum = 0.0;
+  float i = 0.0;
+  while (i < b) {
+    sum = sum + 1.0;
+    i = i + 1.0;
+  }
+  return sum;
+})",
+                          {"b"});
+  EXPECT_TRUE(A.Dep.isDependent(A.refOf("sum", 1))); // post-loop would be 2?
+  EXPECT_TRUE(A.Dep.isDependent(A.defOf("sum", 1)));
+}
+
+TEST(Dependence, IndependentLoopStaysIndependent) {
+  auto A = Analyzed::make(R"(
+float f(float a, float b) {
+  float sum = 0.0;
+  for (int i = 0; i < 8; i = i + 1) {
+    sum = sum + a;
+  }
+  return sum * b;
+})",
+                          {"b"});
+  EXPECT_FALSE(A.Dep.isDependent(A.defOf("sum", 1)));
+  EXPECT_FALSE(A.Dep.isDependent(A.refOf("sum", 1)));
+}
+
+TEST(Dependence, GlobalEffectCallsAreDependent) {
+  auto A = Analyzed::make(
+      "float f(float a) { float t = dsc_clock(); return a + t; }", {});
+  EXPECT_TRUE(A.Dep.isDependent(A.refOf("t")));
+  EXPECT_TRUE(A.Dep.isDependent(A.defOf("t")));
+}
+
+TEST(Dependence, CountIsMonotoneInPartitionSize) {
+  const char *Source = R"(
+float f(float a, float b, float c) {
+  float x = a * b;
+  float y = x + c;
+  return y * a;
+})";
+  auto None = Analyzed::make(Source, {});
+  auto One = Analyzed::make(Source, {"b"});
+  auto Two = Analyzed::make(Source, {"b", "c"});
+  EXPECT_EQ(None.Dep.dependentCount(), 0u);
+  EXPECT_LT(One.Dep.dependentCount(), Two.Dep.dependentCount());
+}
+
+// ------------------------------------------------------------ SingleValued
+
+TEST(SingleValued, OutsideLoopsAlways) {
+  auto A = Analyzed::make("float f(float a) { float x = a * a; return x; }");
+  EXPECT_TRUE(isSingleValued(A.refOf("a"), A.SI, A.RD));
+}
+
+TEST(SingleValued, LoopVariantRejected) {
+  auto A = Analyzed::make(R"(
+float f(float n) {
+  float sum = 0.0;
+  float i = 0.0;
+  while (i < n) {
+    sum = sum + i * i;
+    i = i + 1.0;
+  }
+  return sum;
+})");
+  // 'i * i' inside the loop takes a new value each iteration.
+  Expr *Mul = nullptr;
+  walkExprsInStmt(A.F->body(), [&](Expr *E) {
+    if (auto *B = dyn_cast<BinaryExpr>(E))
+      if (B->op() == BinaryOp::BO_Mul && !Mul)
+        Mul = B;
+  });
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_FALSE(isSingleValued(Mul, A.SI, A.RD));
+}
+
+TEST(SingleValued, LoopInvariantAccepted) {
+  auto A = Analyzed::make(R"(
+float f(float a, float n) {
+  float k = a * 3.0;
+  float sum = 0.0;
+  float i = 0.0;
+  while (i < n) {
+    sum = sum + k * 2.0;
+    i = i + 1.0;
+  }
+  return sum;
+})");
+  // 'k * 2.0' only references k, defined before the loop.
+  Expr *KTimes2 = nullptr;
+  walkExprsInStmt(A.F->body(), [&](Expr *E) {
+    if (auto *B = dyn_cast<BinaryExpr>(E)) {
+      if (B->op() != BinaryOp::BO_Mul)
+        return;
+      if (auto *L = dyn_cast<VarRefExpr>(B->lhs()))
+        if (L->name() == "k")
+          KTimes2 = B;
+    }
+  });
+  ASSERT_NE(KTimes2, nullptr);
+  EXPECT_TRUE(isSingleValued(KTimes2, A.SI, A.RD));
+}
+
+// ---------------------------------------------------------------- CostModel
+
+TEST(CostModel, OperatorCosts) {
+  auto A = Analyzed::make("float f(float a, float b) { return a / b; }");
+  Expr *Div = nullptr;
+  walkExprsInStmt(A.F->body(), [&](Expr *E) {
+    if (isa<BinaryExpr>(E))
+      Div = E;
+  });
+  ASSERT_NE(Div, nullptr);
+  // div(9) + two refs (1 each)
+  EXPECT_EQ(A.CM.rawCost(Div), 11u);
+}
+
+TEST(CostModel, AddCheaperThanDiv) {
+  auto Add = Analyzed::make("float f(float a, float b) { return a + b; }");
+  auto Div = Analyzed::make("float f(float a, float b) { return a / b; }");
+  Expr *AddE = nullptr, *DivE = nullptr;
+  walkExprsInStmt(Add.F->body(), [&](Expr *E) {
+    if (isa<BinaryExpr>(E))
+      AddE = E;
+  });
+  walkExprsInStmt(Div.F->body(), [&](Expr *E) {
+    if (isa<BinaryExpr>(E))
+      DivE = E;
+  });
+  EXPECT_LT(Add.CM.rawCost(AddE), Div.CM.rawCost(DivE));
+}
+
+TEST(CostModel, VectorOpsScaleWithWidth) {
+  auto A = Analyzed::make(
+      "vec3 f(vec3 a, vec3 b, float x, float y) { return a + b; }");
+  auto B = Analyzed::make(
+      "float f(vec3 a, vec3 b, float x, float y) { return x + y; }");
+  Expr *VecAdd = nullptr, *ScalarAdd = nullptr;
+  walkExprsInStmt(A.F->body(), [&](Expr *E) {
+    if (isa<BinaryExpr>(E))
+      VecAdd = E;
+  });
+  walkExprsInStmt(B.F->body(), [&](Expr *E) {
+    if (isa<BinaryExpr>(E))
+      ScalarAdd = E;
+  });
+  EXPECT_GT(A.CM.rawCost(VecAdd), B.CM.rawCost(ScalarAdd));
+}
+
+TEST(CostModel, LoopMultiplierAndGuardDivisor) {
+  auto A = Analyzed::make(R"(
+float f(float a, float n) {
+  float s = 0.0;
+  float i = 0.0;
+  while (i < n) {
+    s = s + a * a;
+    i = i + 1.0;
+  }
+  if (a > 0.0) {
+    s = s + a * a;
+  }
+  return s;
+})");
+  Expr *InLoop = nullptr, *InIf = nullptr;
+  walkExprsInStmt(A.F->body(), [&](Expr *E) {
+    auto *B = dyn_cast<BinaryExpr>(E);
+    if (!B || B->op() != BinaryOp::BO_Mul)
+      return;
+    if (!InLoop)
+      InLoop = B;
+    else if (!InIf)
+      InIf = B;
+  });
+  ASSERT_NE(InLoop, nullptr);
+  ASSERT_NE(InIf, nullptr);
+  EXPECT_EQ(A.CM.rawCost(InLoop), A.CM.rawCost(InIf));
+  // x5 in the loop, /2 under the conditional.
+  EXPECT_DOUBLE_EQ(A.CM.weightedCost(InLoop),
+                   5.0 * A.CM.rawCost(InLoop));
+  EXPECT_DOUBLE_EQ(A.CM.weightedCost(InIf), A.CM.rawCost(InIf) / 2.0);
+}
+
+TEST(CostModel, BuiltinCostsUsed) {
+  auto A = Analyzed::make("float f(vec3 p) { return noise(p); }");
+  Expr *Call = nullptr;
+  walkExprsInStmt(A.F->body(), [&](Expr *E) {
+    if (isa<CallExpr>(E))
+      Call = E;
+  });
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(A.CM.rawCost(Call),
+            getBuiltinInfo(BuiltinId::BI_Noise3).Cost + 1 /* p ref */);
+}
+
+} // namespace

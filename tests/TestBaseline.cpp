@@ -1,0 +1,151 @@
+//===- tests/TestBaseline.cpp - Memoization baseline tests --------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Memoizer.h"
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace dspec;
+
+namespace {
+
+const char *FragmentSource =
+    "float f(float a, float v) { return pow(a, 2.0) * v + sqrt(a); }";
+
+struct Fixture {
+  std::unique_ptr<CompilationUnit> Unit;
+  Chunk Code;
+
+  Fixture() {
+    Unit = parseUnit(FragmentSource);
+    Code = *compileFunction(*Unit, "f");
+  }
+};
+
+TEST(MemoTable, LookupAndInsert) {
+  MemoTable Table(4);
+  EXPECT_EQ(Table.lookup({1.0f}), nullptr);
+  Table.insert({1.0f}, Value::makeFloat(42.0f));
+  const Value *Hit = Table.lookup({1.0f});
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_FLOAT_EQ(Hit->asFloat(), 42.0f);
+  EXPECT_EQ(Table.lookup({2.0f}), nullptr);
+}
+
+TEST(MemoTable, MultiComponentKeys) {
+  MemoTable Table(4);
+  Table.insert({1.0f, 2.0f}, Value::makeFloat(1.0f));
+  EXPECT_NE(Table.lookup({1.0f, 2.0f}), nullptr);
+  EXPECT_EQ(Table.lookup({2.0f, 1.0f}), nullptr);
+  EXPECT_EQ(Table.lookup({1.0f}), nullptr);
+}
+
+TEST(MemoTable, BoundedEviction) {
+  MemoTable Table(2);
+  Table.insert({1.0f}, Value::makeFloat(1.0f));
+  Table.insert({2.0f}, Value::makeFloat(2.0f));
+  Table.insert({3.0f}, Value::makeFloat(3.0f)); // evicts the oldest
+  EXPECT_EQ(Table.size(), 2u);
+  EXPECT_EQ(Table.lookup({1.0f}), nullptr);
+  EXPECT_NE(Table.lookup({2.0f}), nullptr);
+  EXPECT_NE(Table.lookup({3.0f}), nullptr);
+}
+
+TEST(MemoizedFragment, MissThenHit) {
+  Fixture F;
+  MemoizedFragment Memo(F.Code, {1}); // v is the varying argument
+  MemoTable Table(4);
+  VM Machine;
+
+  std::vector<Value> Args = {Value::makeFloat(3.0f), Value::makeFloat(2.0f)};
+  bool Hit = true;
+  auto First = Memo.run(Machine, Args, Table, &Hit);
+  ASSERT_TRUE(First.ok());
+  EXPECT_FALSE(Hit);
+  auto Second = Memo.run(Machine, Args, Table, &Hit);
+  EXPECT_TRUE(Hit);
+  EXPECT_TRUE(First.Result.equals(Second.Result));
+  EXPECT_EQ(Memo.hits(), 1u);
+  EXPECT_EQ(Memo.misses(), 1u);
+}
+
+TEST(MemoizedFragment, HitSkipsExecution) {
+  Fixture F;
+  MemoizedFragment Memo(F.Code, {1});
+  MemoTable Table(4);
+  VM Machine;
+  std::vector<Value> Args = {Value::makeFloat(3.0f), Value::makeFloat(2.0f)};
+  Memo.run(Machine, Args, Table);
+  auto Hit = Memo.run(Machine, Args, Table);
+  EXPECT_EQ(Hit.InstructionsExecuted, 0u); // pure table probe
+}
+
+TEST(MemoizedFragment, DistinctVaryingValuesMiss) {
+  Fixture F;
+  MemoizedFragment Memo(F.Code, {1});
+  MemoTable Table(8);
+  VM Machine;
+  for (float V : {1.0f, 2.0f, 3.0f, 4.0f}) {
+    std::vector<Value> Args = {Value::makeFloat(3.0f), Value::makeFloat(V)};
+    bool Hit = true;
+    auto R = Memo.run(Machine, Args, Table, &Hit);
+    ASSERT_TRUE(R.ok());
+    EXPECT_FALSE(Hit) << V;
+  }
+  EXPECT_EQ(Memo.misses(), 4u);
+}
+
+TEST(MemoizedFragment, MatchesDirectExecution) {
+  Fixture F;
+  MemoizedFragment Memo(F.Code, {1});
+  MemoTable Table(8);
+  VM Machine;
+  for (float V : {0.5f, -1.0f, 0.5f, 7.0f, -1.0f}) {
+    std::vector<Value> Args = {Value::makeFloat(2.5f), Value::makeFloat(V)};
+    auto Memoized = Memo.run(Machine, Args, Table);
+    auto Direct = Machine.run(F.Code, Args);
+    ASSERT_TRUE(Memoized.ok());
+    EXPECT_TRUE(Memoized.Result.equals(Direct.Result)) << V;
+  }
+}
+
+TEST(MemoizedFragment, SeparateTablesPerInstance) {
+  // Two "pixels" with different fixed inputs must not share results even
+  // for identical varying values.
+  Fixture F;
+  MemoizedFragment Memo(F.Code, {1});
+  MemoTable PixelA(4), PixelB(4);
+  VM Machine;
+  std::vector<Value> ArgsA = {Value::makeFloat(2.0f), Value::makeFloat(1.0f)};
+  std::vector<Value> ArgsB = {Value::makeFloat(5.0f), Value::makeFloat(1.0f)};
+  auto RA = Memo.run(Machine, ArgsA, PixelA);
+  auto RB = Memo.run(Machine, ArgsB, PixelB);
+  EXPECT_FALSE(RA.Result.equals(RB.Result));
+  // Re-running each against its own table hits and stays correct.
+  auto RA2 = Memo.run(Machine, ArgsA, PixelA);
+  EXPECT_TRUE(RA.Result.equals(RA2.Result));
+}
+
+TEST(MemoizedFragment, VectorKeyedMemoization) {
+  auto Unit = parseUnit("float g(vec3 p, float s) { return noise(p) * s; }");
+  Chunk Code = *compileFunction(*Unit, "g");
+  MemoizedFragment Memo(Code, {0}); // key on the vec3
+  MemoTable Table(4);
+  VM Machine;
+  std::vector<Value> Args = {Value::makeVec3(1, 2, 3),
+                             Value::makeFloat(2.0f)};
+  bool Hit = true;
+  Memo.run(Machine, Args, Table, &Hit);
+  EXPECT_FALSE(Hit);
+  Memo.run(Machine, Args, Table, &Hit);
+  EXPECT_TRUE(Hit);
+  Args[0] = Value::makeVec3(1, 2, 3.5f);
+  Memo.run(Machine, Args, Table, &Hit);
+  EXPECT_FALSE(Hit);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/TestChunkOptimizer.cpp - Peephole optimizer tests ----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "shading/ShaderLab.h"
+#include "vm/ChunkOptimizer.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace dspec;
+
+namespace {
+
+Chunk compile(const std::string &Source, const std::string &Name = "f") {
+  auto Unit = parseUnit(Source);
+  EXPECT_TRUE(Unit->ok()) << Unit->Diags.str();
+  return *compileFunction(*Unit, Name);
+}
+
+TEST(ChunkOptimizer, FoldsLiteralArithmetic) {
+  Chunk C = compile("float f(float x) { return x * (2.0 * 3.0); }");
+  auto Stats = optimizeChunk(C);
+  EXPECT_GE(Stats.ConstantsFolded, 1u);
+  EXPECT_LT(Stats.InstructionsAfter, Stats.InstructionsBefore);
+  VM Machine;
+  auto R = Machine.run(C, {Value::makeFloat(1.5f)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), 9.0f);
+}
+
+TEST(ChunkOptimizer, FoldsConversionOfConstant) {
+  // 'float x = 3;' emits const(int 3); convert(float).
+  Chunk C = compile("float f() { float x = 3; return x; }");
+  auto Stats = optimizeChunk(C);
+  EXPECT_GE(Stats.ConversionsFolded, 1u);
+  VM Machine;
+  auto R = Machine.run(C, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), 3.0f);
+}
+
+TEST(ChunkOptimizer, FoldsUnaryAndComparisons) {
+  Chunk C = compile("bool f() { return -(2) < 3 && !(false); }");
+  optimizeChunk(C);
+  VM Machine;
+  auto R = Machine.run(C, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Result.asBool());
+}
+
+TEST(ChunkOptimizer, KeepsDivisionByZeroTrap) {
+  Chunk C = compile("int f() { return 1 / 0; }");
+  optimizeChunk(C);
+  VM Machine;
+  auto R = Machine.run(C, {});
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("division by zero"), std::string::npos);
+}
+
+TEST(ChunkOptimizer, RemapsJumpTargets) {
+  // Folding inside both branches shifts instruction indices; control flow
+  // must survive.
+  Chunk C = compile(R"(
+float f(float p) {
+  float r = 0.0;
+  if (p > 0.0) {
+    r = 2.0 * 3.0;
+  } else {
+    r = 4.0 + 5.0;
+  }
+  return r;
+})");
+  auto Stats = optimizeChunk(C);
+  EXPECT_GT(Stats.removed(), 0u);
+  VM Machine;
+  auto Pos = Machine.run(C, {Value::makeFloat(1.0f)});
+  auto Neg = Machine.run(C, {Value::makeFloat(-1.0f)});
+  ASSERT_TRUE(Pos.ok());
+  ASSERT_TRUE(Neg.ok());
+  EXPECT_FLOAT_EQ(Pos.Result.asFloat(), 6.0f);
+  EXPECT_FLOAT_EQ(Neg.Result.asFloat(), 9.0f);
+}
+
+TEST(ChunkOptimizer, LoopsStillTerminate) {
+  Chunk C = compile(R"(
+int f() {
+  int total = 0;
+  for (int i = 0; i < 4 * 2; i = i + 1) {
+    total = total + 3 - 1;
+  }
+  return total;
+})");
+  auto Stats = optimizeChunk(C);
+  EXPECT_GE(Stats.ConstantsFolded, 1u);
+  VM Machine;
+  auto R = Machine.run(C, {});
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Result.asInt(), 16);
+}
+
+TEST(ChunkOptimizer, IdempotentAtFixedPoint) {
+  Chunk C = compile("float f(float x) { return x * (2.0 * 3.0) + (1.0 - "
+                    "4.0); }");
+  optimizeChunk(C);
+  auto Second = optimizeChunk(C);
+  EXPECT_EQ(Second.removed(), 0u);
+}
+
+TEST(ChunkOptimizer, GalleryShadersStayEquivalent) {
+  // Property: optimizing any gallery shader's chunk never changes its
+  // output and never increases its instruction count.
+  ShaderLab Lab(4, 3);
+  VM Machine;
+  for (const ShaderInfo &Info : shaderGallery()) {
+    auto Spec = Lab.specializePartition(Info, 0);
+    ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
+    Chunk Optimized = Spec->compiled().OriginalChunk;
+    auto Stats = optimizeChunk(Optimized);
+    EXPECT_LE(Stats.InstructionsAfter, Stats.InstructionsBefore);
+
+    auto Controls = ShaderLab::defaultControls(Info);
+    std::vector<Value> Args(ShaderInfo::NumPixelParams + Controls.size());
+    for (size_t P = 0; P < Controls.size(); ++P)
+      Args[ShaderInfo::NumPixelParams + P] = Value::makeFloat(Controls[P]);
+    for (const PixelInput &Pixel : Lab.grid().pixels()) {
+      Args[0] = Pixel.UV;
+      Args[1] = Pixel.P;
+      Args[2] = Pixel.N;
+      Args[3] = Pixel.I;
+      auto Plain = Machine.run(Spec->compiled().OriginalChunk, Args);
+      auto Fast = Machine.run(Optimized, Args);
+      ASSERT_TRUE(Plain.ok());
+      ASSERT_TRUE(Fast.ok()) << Fast.TrapMessage;
+      ASSERT_TRUE(Plain.Result.equals(Fast.Result)) << Info.Name;
+      EXPECT_LE(Fast.InstructionsExecuted, Plain.InstructionsExecuted);
+    }
+  }
+}
+
+} // namespace

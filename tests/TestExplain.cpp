@@ -1,0 +1,139 @@
+//===- tests/TestExplain.cpp - Decision report tests --------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace dspec;
+
+namespace {
+
+const char *Source = R"(
+float f(float a, float b, float v) {
+  float heavy = pow(a, b) + sqrt(a);
+  if (v > 0.0) {
+    return heavy * v;
+  }
+  return v;
+})";
+
+TEST(Explain, EmptyUnlessRequested) {
+  auto Unit = parseUnit(Source);
+  auto Spec = specializeAndCompile(*Unit, "f", {"v"});
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_TRUE(Spec->Spec.Explanation.empty());
+}
+
+TEST(Explain, ReportsPartitionAndSlots) {
+  auto Unit = parseUnit(Source);
+  SpecializerOptions Options;
+  Options.CollectExplanation = true;
+  auto Spec = specializeAndCompile(*Unit, "f", {"v"}, Options);
+  ASSERT_TRUE(Spec.has_value());
+  const std::string &Report = Spec->Spec.Explanation;
+  EXPECT_NE(Report.find("varying = {v}"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("fixed = {a, b}"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("slot0"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("pow(a, b) + sqrt(a)"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("expression labels:"), std::string::npos);
+  EXPECT_NE(Report.find("statement labels:"), std::string::npos);
+}
+
+TEST(Explain, LabelsMatchStatsCounts) {
+  auto Unit = parseUnit(Source);
+  SpecializerOptions Options;
+  Options.CollectExplanation = true;
+  auto Spec = specializeAndCompile(*Unit, "f", {"v"}, Options);
+  ASSERT_TRUE(Spec.has_value());
+  const auto &S = Spec->Spec.Stats;
+  std::string Expected = std::to_string(S.StaticExprs) + " static, " +
+                         std::to_string(S.CachedExprs) + " cached, " +
+                         std::to_string(S.DynamicExprs) + " dynamic";
+  EXPECT_NE(Spec->Spec.Explanation.find(Expected), std::string::npos)
+      << Spec->Spec.Explanation;
+}
+
+TEST(Explain, MentionsPhiCopies) {
+  auto Unit = parseUnit(R"(
+float f(float a, float p, float v) {
+  float x = sqrt(a);
+  if (p > 0.0) { x = pow(a, 3.0); }
+  return x * v;
+})");
+  SpecializerOptions Options;
+  Options.CollectExplanation = true;
+  auto Spec = specializeAndCompile(*Unit, "f", {"v"}, Options);
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_NE(Spec->Spec.Explanation.find("/* phi */"), std::string::npos)
+      << Spec->Spec.Explanation;
+}
+
+TEST(Explain, ReportsSpeculativeHoists) {
+  auto Unit = parseUnit(R"(
+float f(float a, float v) {
+  float r = 1.0;
+  if (v > 0.0) { r = pow(a, 4.0) + sqrt(a); }
+  return r;
+})");
+  SpecializerOptions Options;
+  Options.CollectExplanation = true;
+  Options.AllowSpeculation = true;
+  auto Spec = specializeAndCompile(*Unit, "f", {"v"}, Options);
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_NE(Spec->Spec.Explanation.find("speculative hoists"),
+            std::string::npos)
+      << Spec->Spec.Explanation;
+}
+
+TEST(Explain, GoldenFigure2Listings) {
+  // The generated loader and reader for the paper's Figure 1 fragment
+  // must match Figure 2 structurally, token for token.
+  auto Unit = parseUnit(R"(
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+  if (scale != 0.0) {
+    return (x1*x2 + y1*y2 + z1*z2) / scale;
+  } else {
+    return -1.0;
+  }
+})");
+  SpecializerOptions Options;
+  Options.EnableReassociate = true;
+  auto Spec = specializeAndCompile(*Unit, "dotprod", {"z1", "z2"}, Options);
+  ASSERT_TRUE(Spec.has_value());
+
+  const char *ExpectedLoader =
+      "float dotprod_load(float x1, float y1, float z1, float x2, float y2, "
+      "float z2, float scale, cache)\n"
+      "{\n"
+      "  if (scale != 0.0)\n"
+      "  {\n"
+      "    return ((cache->slot0 = x1 * x2 + y1 * y2) + z1 * z2) / scale;\n"
+      "  }\n"
+      "  else\n"
+      "  {\n"
+      "    return -1.0;\n"
+      "  }\n"
+      "}\n";
+  const char *ExpectedReader =
+      "float dotprod_read(float x1, float y1, float z1, float x2, float y2, "
+      "float z2, float scale, cache)\n"
+      "{\n"
+      "  if (scale != 0.0)\n"
+      "  {\n"
+      "    return (cache->slot0 + z1 * z2) / scale;\n"
+      "  }\n"
+      "  else\n"
+      "  {\n"
+      "    return -1.0;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(Spec->loaderSource(), ExpectedLoader);
+  EXPECT_EQ(Spec->readerSource(), ExpectedReader);
+}
+
+} // namespace

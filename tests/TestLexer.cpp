@@ -1,0 +1,164 @@
+//===- tests/TestLexer.cpp - Lexer tests -------------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dspec;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Source, Diags))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, EmptyInput) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("", Diags);
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::TK_EOF));
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, Identifiers) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("foo _bar x1 veryLongName_42", Diags);
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "x1");
+  EXPECT_EQ(Tokens[3].Text, "veryLongName_42");
+}
+
+TEST(Lexer, Keywords) {
+  auto K = kinds("void bool int float vec2 vec3 vec4 if else while for "
+                 "return true false");
+  std::vector<TokenKind> Expected = {
+      TokenKind::TK_KwVoid,  TokenKind::TK_KwBool,   TokenKind::TK_KwInt,
+      TokenKind::TK_KwFloat, TokenKind::TK_KwVec2,   TokenKind::TK_KwVec3,
+      TokenKind::TK_KwVec4,  TokenKind::TK_KwIf,     TokenKind::TK_KwElse,
+      TokenKind::TK_KwWhile, TokenKind::TK_KwFor,    TokenKind::TK_KwReturn,
+      TokenKind::TK_KwTrue,  TokenKind::TK_KwFalse,  TokenKind::TK_EOF};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, IntLiterals) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("0 42 2147483647", Diags);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 2147483647);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, IntOverflowDiagnosed) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("99999999999", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[0].IntValue, INT32_MAX);
+}
+
+TEST(Lexer, FloatLiterals) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("1.5 0.25 3f 2.0f 1e3 2.5e-2 7E+2", Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 8u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::TK_FloatLiteral));
+  EXPECT_FLOAT_EQ(Tokens[0].FloatValue, 1.5f);
+  EXPECT_FLOAT_EQ(Tokens[1].FloatValue, 0.25f);
+  EXPECT_TRUE(Tokens[2].is(TokenKind::TK_FloatLiteral)); // 'f' suffix
+  EXPECT_FLOAT_EQ(Tokens[2].FloatValue, 3.0f);
+  EXPECT_FLOAT_EQ(Tokens[3].FloatValue, 2.0f);
+  EXPECT_FLOAT_EQ(Tokens[4].FloatValue, 1000.0f);
+  EXPECT_FLOAT_EQ(Tokens[5].FloatValue, 0.025f);
+  EXPECT_FLOAT_EQ(Tokens[6].FloatValue, 700.0f);
+}
+
+TEST(Lexer, DotAfterIntIsMemberNotFloat) {
+  // "v.x" style accesses must not swallow the dot of "3.x" as a float.
+  auto K = kinds("3 . x");
+  std::vector<TokenKind> Expected = {TokenKind::TK_IntLiteral,
+                                     TokenKind::TK_Dot,
+                                     TokenKind::TK_Identifier,
+                                     TokenKind::TK_EOF};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, Operators) {
+  auto K = kinds("+ - * / % = += -= *= /= == != < <= > >= && || ! ? :");
+  std::vector<TokenKind> Expected = {
+      TokenKind::TK_Plus,       TokenKind::TK_Minus,
+      TokenKind::TK_Star,       TokenKind::TK_Slash,
+      TokenKind::TK_Percent,    TokenKind::TK_Assign,
+      TokenKind::TK_PlusAssign, TokenKind::TK_MinusAssign,
+      TokenKind::TK_StarAssign, TokenKind::TK_SlashAssign,
+      TokenKind::TK_EqEq,       TokenKind::TK_NotEq,
+      TokenKind::TK_Less,       TokenKind::TK_LessEq,
+      TokenKind::TK_Greater,    TokenKind::TK_GreaterEq,
+      TokenKind::TK_AmpAmp,     TokenKind::TK_PipePipe,
+      TokenKind::TK_Bang,       TokenKind::TK_Question,
+      TokenKind::TK_Colon,      TokenKind::TK_EOF};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, Comments) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a // line comment\nb /* block\ncomment */ c", Diags);
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a\n  b\n    c", Diags);
+  EXPECT_EQ(Tokens[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Tokens[1].Loc, SourceLoc(2, 3));
+  EXPECT_EQ(Tokens[2].Loc, SourceLoc(3, 5));
+}
+
+TEST(Lexer, UnknownCharacterRecovers) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a @ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 4u); // a, error, b, EOF
+  EXPECT_TRUE(Tokens[1].is(TokenKind::TK_Error));
+  EXPECT_EQ(Tokens[2].Text, "b");
+}
+
+TEST(Lexer, SingleAmpOrPipeIsError) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a & b | c", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 2u);
+  EXPECT_EQ(Tokens.size(), 6u); // a err b err c EOF
+}
+
+TEST(Lexer, TokenKindNamesAreStable) {
+  EXPECT_STREQ(tokenKindName(TokenKind::TK_EOF), "end of input");
+  EXPECT_STREQ(tokenKindName(TokenKind::TK_KwWhile), "'while'");
+  EXPECT_STREQ(tokenKindName(TokenKind::TK_PlusAssign), "'+='");
+}
+
+} // namespace

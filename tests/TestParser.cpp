@@ -1,0 +1,255 @@
+//===- tests/TestParser.cpp - Parser tests -----------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+#include "lang/ASTWalk.h"
+#include "lang/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace dspec;
+
+namespace {
+
+struct Parsed {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Program *Prog = nullptr;
+};
+
+std::unique_ptr<Parsed> parse(std::string_view Source) {
+  auto Out = std::make_unique<Parsed>();
+  Parser P(Source, Out->Ctx, Out->Diags);
+  Out->Prog = P.parseProgram();
+  return Out;
+}
+
+Expr *parseExpr(Parsed &Storage, std::string_view Source) {
+  Parser P(Source, Storage.Ctx, Storage.Diags);
+  return P.parseExpression();
+}
+
+TEST(Parser, EmptyProgram) {
+  auto R = parse("");
+  EXPECT_FALSE(R->Diags.hasErrors());
+  EXPECT_TRUE(R->Prog->functions().empty());
+}
+
+TEST(Parser, FunctionSignature) {
+  auto R = parse("float f(int a, vec3 b) { return 1.0; }");
+  ASSERT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  Function *F = R->Prog->findFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->returnType(), Type::floatTy());
+  ASSERT_EQ(F->params().size(), 2u);
+  EXPECT_EQ(F->params()[0]->name(), "a");
+  EXPECT_EQ(F->params()[0]->type(), Type::intTy());
+  EXPECT_EQ(F->params()[1]->type(), Type::vec3Ty());
+  EXPECT_TRUE(F->params()[0]->isParam());
+}
+
+TEST(Parser, MultipleFunctions) {
+  auto R = parse("int a() { return 1; } int b() { return 2; }");
+  EXPECT_FALSE(R->Diags.hasErrors());
+  EXPECT_EQ(R->Prog->functions().size(), 2u);
+  EXPECT_NE(R->Prog->findFunction("b"), nullptr);
+  EXPECT_EQ(R->Prog->findFunction("c"), nullptr);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  Parsed Storage;
+  Expr *E = parseExpr(Storage, "1 + 2 * 3");
+  auto *Add = dyn_cast<BinaryExpr>(E);
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->op(), BinaryOp::BO_Add);
+  auto *Mul = dyn_cast<BinaryExpr>(Add->rhs());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->op(), BinaryOp::BO_Mul);
+}
+
+TEST(Parser, LeftAssociativity) {
+  Parsed Storage;
+  Expr *E = parseExpr(Storage, "1 - 2 - 3");
+  auto *Outer = dyn_cast<BinaryExpr>(E);
+  ASSERT_NE(Outer, nullptr);
+  // (1 - 2) - 3
+  auto *Inner = dyn_cast<BinaryExpr>(Outer->lhs());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(cast<IntLiteralExpr>(Outer->rhs())->value(), 3);
+}
+
+TEST(Parser, ComparisonAndLogicalPrecedence) {
+  Parsed Storage;
+  // Parses as (a < b) && (c == d) || (e)
+  Expr *E = parseExpr(Storage, "a < b && c == d || e");
+  auto *Or = dyn_cast<BinaryExpr>(E);
+  ASSERT_NE(Or, nullptr);
+  EXPECT_EQ(Or->op(), BinaryOp::BO_Or);
+  auto *And = dyn_cast<BinaryExpr>(Or->lhs());
+  ASSERT_NE(And, nullptr);
+  EXPECT_EQ(And->op(), BinaryOp::BO_And);
+}
+
+TEST(Parser, UnaryChains) {
+  Parsed Storage;
+  Expr *E = parseExpr(Storage, "--x");
+  auto *Outer = dyn_cast<UnaryExpr>(E);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->op(), UnaryOp::UO_Neg);
+  EXPECT_TRUE(isa<UnaryExpr>(Outer->operand()));
+}
+
+TEST(Parser, TernaryRightAssociative) {
+  Parsed Storage;
+  Expr *E = parseExpr(Storage, "a ? b : c ? d : e");
+  auto *Outer = dyn_cast<CondExpr>(E);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_TRUE(isa<CondExpr>(Outer->falseExpr()));
+  EXPECT_TRUE(isa<VarRefExpr>(Outer->trueExpr()));
+}
+
+TEST(Parser, CallsAndMembers) {
+  Parsed Storage;
+  Expr *E = parseExpr(Storage, "dot(a, b) + v.x * v.w");
+  auto *Add = cast<BinaryExpr>(E);
+  auto *Call = dyn_cast<CallExpr>(Add->lhs());
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->callee(), "dot");
+  EXPECT_EQ(Call->args().size(), 2u);
+  auto *Mul = cast<BinaryExpr>(Add->rhs());
+  auto *MX = dyn_cast<MemberExpr>(Mul->lhs());
+  ASSERT_NE(MX, nullptr);
+  EXPECT_EQ(MX->componentIndex(), 0u);
+  EXPECT_EQ(cast<MemberExpr>(Mul->rhs())->componentIndex(), 3u);
+}
+
+TEST(Parser, VectorConstructorKeyword) {
+  Parsed Storage;
+  Expr *E = parseExpr(Storage, "vec3(1.0, 2.0, 3.0)");
+  auto *Call = dyn_cast<CallExpr>(E);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->callee(), "vec3");
+  EXPECT_EQ(Call->args().size(), 3u);
+}
+
+TEST(Parser, BadVectorComponent) {
+  Parsed Storage;
+  EXPECT_EQ(parseExpr(Storage, "v.q"), nullptr);
+  EXPECT_TRUE(Storage.Diags.hasErrors());
+}
+
+TEST(Parser, ForLoopDesugarsToWhile) {
+  auto R = parse(R"(
+int f(int n) {
+  int total = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    total = total + i;
+  }
+  return total;
+}
+)");
+  ASSERT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  // No ForStmt kind exists; the loop must appear as a While inside a
+  // Block with the init preceding it.
+  bool FoundWhile = false;
+  walkStmts(R->Prog->findFunction("f")->body(), [&](Stmt *S) {
+    if (isa<WhileStmt>(S))
+      FoundWhile = true;
+  });
+  EXPECT_TRUE(FoundWhile);
+  std::string Printed = printFunction(R->Prog->findFunction("f"));
+  EXPECT_NE(Printed.find("while (i < n)"), std::string::npos) << Printed;
+}
+
+TEST(Parser, ForWithoutCondition) {
+  auto R = parse("int f() { for (;;) { return 1; } }");
+  ASSERT_FALSE(R->Diags.hasErrors()) << R->Diags.str();
+  std::string Printed = printFunction(R->Prog->findFunction("f"));
+  EXPECT_NE(Printed.find("while (true)"), std::string::npos) << Printed;
+}
+
+TEST(Parser, CompoundAssignDesugars) {
+  auto R = parse("int f(int x) { x += 2; x *= 3; return x; }");
+  ASSERT_FALSE(R->Diags.hasErrors());
+  std::string Printed = printFunction(R->Prog->findFunction("f"));
+  EXPECT_NE(Printed.find("x = x + 2"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("x = x * 3"), std::string::npos) << Printed;
+}
+
+TEST(Parser, DeclWithoutInitializer) {
+  auto R = parse("int f() { float x; return 1; }");
+  ASSERT_FALSE(R->Diags.hasErrors());
+  bool Found = false;
+  walkStmts(R->Prog->findFunction("f")->body(), [&](Stmt *S) {
+    if (auto *Decl = dyn_cast<DeclStmt>(S)) {
+      EXPECT_EQ(Decl->init(), nullptr);
+      Found = true;
+    }
+  });
+  EXPECT_TRUE(Found);
+}
+
+TEST(Parser, IfElseChains) {
+  auto R = parse(R"(
+int f(int x) {
+  if (x > 2) { return 2; }
+  else if (x > 1) { return 1; }
+  else { return 0; }
+}
+)");
+  ASSERT_FALSE(R->Diags.hasErrors());
+  unsigned Ifs = 0;
+  walkStmts(R->Prog->findFunction("f")->body(), [&](Stmt *S) {
+    if (isa<IfStmt>(S))
+      ++Ifs;
+  });
+  EXPECT_EQ(Ifs, 2u);
+}
+
+TEST(Parser, ErrorsAreReportedWithRecovery) {
+  auto R = parse(R"(
+int f() {
+  int x = ;
+  return 1;
+}
+int g() { return 2; }
+)");
+  EXPECT_TRUE(R->Diags.hasErrors());
+  // Recovery keeps parsing: g still exists.
+  EXPECT_NE(R->Prog->findFunction("g"), nullptr);
+}
+
+TEST(Parser, MissingSemicolonDiagnosed) {
+  auto R = parse("int f() { return 1 }");
+  EXPECT_TRUE(R->Diags.hasErrors());
+  EXPECT_NE(R->Diags.str().find("';'"), std::string::npos);
+}
+
+TEST(Parser, VoidParameterRejected) {
+  auto R = parse("int f(void x) { return 1; }");
+  EXPECT_TRUE(R->Diags.hasErrors());
+}
+
+TEST(Parser, NodeIdsAreUniqueAndDense) {
+  auto R = parse("int f(int a) { int b = a + 1; return b * 2; }");
+  ASSERT_FALSE(R->Diags.hasErrors());
+  std::vector<bool> Seen(R->Ctx.numNodeIds(), false);
+  walkStmts(R->Prog->findFunction("f")->body(), [&](Stmt *S) {
+    ASSERT_LT(S->nodeId(), Seen.size());
+    EXPECT_FALSE(Seen[S->nodeId()]);
+    Seen[S->nodeId()] = true;
+    forEachExprOfStmt(S, [&](Expr *Root) {
+      walkExpr(Root, [&](Expr *E) {
+        ASSERT_LT(E->nodeId(), Seen.size());
+        EXPECT_FALSE(Seen[E->nodeId()]);
+        Seen[E->nodeId()] = true;
+      });
+    });
+  });
+}
+
+} // namespace

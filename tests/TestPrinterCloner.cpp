@@ -1,0 +1,219 @@
+//===- tests/TestPrinterCloner.cpp - Printer and cloner tests -----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "lang/ASTCloner.h"
+#include "lang/ASTPrinter.h"
+#include "lang/ASTWalk.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "support/Casting.h"
+#include "vm/BytecodeCompiler.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dspec;
+
+namespace {
+
+/// Parses, prints, re-parses, re-prints: the two printed forms must agree
+/// (print/parse round-trip stability).
+void expectRoundTrip(const std::string &Source) {
+  auto First = parseUnit(Source);
+  ASSERT_TRUE(First->ok()) << First->Diags.str();
+  ASSERT_EQ(First->Prog->functions().size(), 1u);
+  std::string Printed = printFunction(First->Prog->functions()[0]);
+
+  auto Second = parseUnit(Printed);
+  ASSERT_TRUE(Second->ok()) << "re-parse failed for:\n"
+                            << Printed << Second->Diags.str();
+  std::string Reprinted = printFunction(Second->Prog->functions()[0]);
+  EXPECT_EQ(Printed, Reprinted);
+}
+
+TEST(Printer, RoundTripsSimpleFunctions) {
+  expectRoundTrip("float f(float a, float b) { return a * b + 1.5; }");
+  expectRoundTrip("int f(int a) { if (a > 0) { return 1; } return 0; }");
+  expectRoundTrip(
+      "vec3 f(vec3 p) { return normalize(p) * length(p) + vec3(1.0); }");
+}
+
+TEST(Printer, RoundTripsControlFlow) {
+  expectRoundTrip(R"(
+float f(float n) {
+  float total = 0.0;
+  float i = 0.0;
+  while (i < n) {
+    if (i > 2.0) {
+      total = total + i;
+    } else {
+      total = total - i;
+    }
+    i = i + 1.0;
+  }
+  return total;
+})");
+}
+
+TEST(Printer, ParenthesizationPreservesSemantics) {
+  // Printing must add parentheses exactly where precedence demands.
+  const char *Source =
+      "float f(float a, float b, float c) "
+      "{ return (a + b) * c - a / (b - c) + -(a * -b); }";
+  auto Unit = parseUnit(Source);
+  ASSERT_TRUE(Unit->ok());
+  std::string Printed = printFunction(Unit->Prog->functions()[0]);
+  auto Reparsed = parseUnit(Printed);
+  ASSERT_TRUE(Reparsed->ok()) << Printed;
+
+  auto C1 = compileFunction(*Unit, "f");
+  auto C2 = compileFunction(*Reparsed, "f");
+  VM Machine;
+  std::vector<Value> Args = {Value::makeFloat(1.7f), Value::makeFloat(-2.3f),
+                             Value::makeFloat(0.9f)};
+  EXPECT_TRUE(Machine.run(*C1, Args).Result.equals(
+      Machine.run(*C2, Args).Result));
+}
+
+TEST(Printer, TernaryAndLogicalRoundTrip) {
+  expectRoundTrip("float f(bool c, bool d, float a, float b) "
+                  "{ return c && d || !c ? a : b; }");
+}
+
+TEST(Printer, FloatLiteralsStayFloats) {
+  auto Unit = parseUnit("float f() { return 2.0 + 1e9 + 0.5; }");
+  std::string Printed = printFunction(Unit->Prog->functions()[0]);
+  EXPECT_NE(Printed.find("2.0"), std::string::npos) << Printed;
+  auto Reparsed = parseUnit(Printed);
+  EXPECT_TRUE(Reparsed->ok()) << Printed;
+}
+
+TEST(Printer, CacheNotationMatchesFigure2) {
+  auto Unit = parseUnit("float f(float a, float v) { return pow(a, 2.0) * v; }");
+  auto Spec = specializeAndCompile(*Unit, "f", {"v"});
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_NE(Spec->loaderSource().find("(cache->slot0 = pow(a, 2.0))"),
+            std::string::npos)
+      << Spec->loaderSource();
+  EXPECT_NE(Spec->readerSource().find("cache->slot0 * v"),
+            std::string::npos)
+      << Spec->readerSource();
+  // Both signatures advertise the cache parameter.
+  EXPECT_NE(Spec->loaderSource().find(", cache)"), std::string::npos);
+  EXPECT_NE(Spec->readerSource().find(", cache)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Cloner
+
+TEST(Cloner, DeepCopyIsDisjoint) {
+  auto Unit = parseUnit(
+      "float f(float a) { float x = a * 2.0; return x + a; }");
+  Function *F = Unit->Prog->functions()[0];
+  ASTCloner Cloner(Unit->Ctx);
+  Function *Copy = Cloner.cloneFunction(F, "g");
+
+  // No node is shared.
+  std::set<const Stmt *> Original;
+  walkStmts(F->body(), [&](Stmt *S) { Original.insert(S); });
+  walkStmts(Copy->body(), [&](Stmt *S) {
+    EXPECT_EQ(Original.count(S), 0u);
+  });
+  // Parameters were re-created and references remapped.
+  ASSERT_EQ(Copy->params().size(), 1u);
+  EXPECT_NE(Copy->params()[0], F->params()[0]);
+  walkExprsInStmt(Copy->body(), [&](Expr *E) {
+    if (auto *Ref = dyn_cast<VarRefExpr>(E)) {
+      if (Ref->name() == "a") {
+        EXPECT_EQ(Ref->decl(), Copy->params()[0]);
+      }
+    }
+  });
+}
+
+TEST(Cloner, LocalDeclsRemapped) {
+  auto Unit = parseUnit(
+      "float f(float a) { float x = a; x = x + 1.0; return x; }");
+  Function *F = Unit->Prog->functions()[0];
+  ASTCloner Cloner(Unit->Ctx);
+  Function *Copy = Cloner.cloneFunction(F, "g");
+
+  VarDecl *NewX = nullptr;
+  walkStmts(Copy->body(), [&](Stmt *S) {
+    if (auto *Decl = dyn_cast<DeclStmt>(S))
+      NewX = Decl->var();
+  });
+  ASSERT_NE(NewX, nullptr);
+  walkStmts(Copy->body(), [&](Stmt *S) {
+    if (auto *Assign = dyn_cast<AssignStmt>(S)) {
+      EXPECT_EQ(Assign->target(), NewX);
+    }
+  });
+  walkExprsInStmt(Copy->body(), [&](Expr *E) {
+    if (auto *Ref = dyn_cast<VarRefExpr>(E)) {
+      if (Ref->name() == "x") {
+        EXPECT_EQ(Ref->decl(), NewX);
+      }
+    }
+  });
+}
+
+TEST(Cloner, PreservesTypesAndBuiltins) {
+  auto Unit = parseUnit("float f(vec3 p) { return length(p * 2.0); }");
+  Function *F = Unit->Prog->functions()[0];
+  ASTCloner Cloner(Unit->Ctx);
+  Function *Copy = Cloner.cloneFunction(F, "g");
+  walkExprsInStmt(Copy->body(), [&](Expr *E) {
+    EXPECT_FALSE(E->type().isVoid());
+    if (auto *Call = dyn_cast<CallExpr>(E)) {
+      EXPECT_TRUE(Call->isResolved());
+      EXPECT_EQ(Call->builtin(), BuiltinId::BI_LengthV3);
+    }
+  });
+}
+
+TEST(Cloner, CloneIsExecutableAndEquivalent) {
+  const char *Source = R"(
+float f(float a, float n) {
+  float total = 0.0;
+  for (int i = 0; toFloat(i) < n; i = i + 1) {
+    if (a > 1.0) { total = total + a; } else { total = total - 1.0; }
+  }
+  return total;
+})";
+  auto Unit = parseUnit(Source);
+  Function *F = Unit->Prog->functions()[0];
+  ASTCloner Cloner(Unit->Ctx);
+  Function *Copy = Cloner.cloneFunction(F, "g");
+
+  Chunk C1 = BytecodeCompiler().compile(F);
+  Chunk C2 = BytecodeCompiler().compile(Copy);
+  VM Machine;
+  for (float A : {0.5f, 2.0f}) {
+    std::vector<Value> Args = {Value::makeFloat(A), Value::makeFloat(6.0f)};
+    auto R1 = Machine.run(C1, Args);
+    auto R2 = Machine.run(C2, Args);
+    ASSERT_TRUE(R1.ok());
+    ASSERT_TRUE(R2.ok());
+    EXPECT_TRUE(R1.Result.equals(R2.Result));
+  }
+}
+
+TEST(Cloner, FreshNodeIds) {
+  auto Unit = parseUnit("float f(float a) { return a + 1.0; }");
+  Function *F = Unit->Prog->functions()[0];
+  uint32_t Before = Unit->Ctx.numNodeIds();
+  ASTCloner Cloner(Unit->Ctx);
+  Function *Copy = Cloner.cloneFunction(F, "g");
+  EXPECT_GT(Unit->Ctx.numNodeIds(), Before);
+  walkExprsInStmt(Copy->body(), [&](Expr *E) {
+    EXPECT_GE(E->nodeId(), Before);
+  });
+}
+
+} // namespace

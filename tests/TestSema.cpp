@@ -1,0 +1,210 @@
+//===- tests/TestSema.cpp - Semantic analysis tests ---------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace dspec;
+
+namespace {
+
+/// Expects the wrapped body to fail Sema with a message containing
+/// \p Fragment.
+void expectError(const std::string &Source, const std::string &Fragment) {
+  auto Unit = parseUnit(Source);
+  EXPECT_FALSE(Unit->ok()) << "expected error containing '" << Fragment
+                           << "' for:\n"
+                           << Source;
+  EXPECT_NE(Unit->Diags.str().find(Fragment), std::string::npos)
+      << Unit->Diags.str();
+}
+
+void expectOK(const std::string &Source) {
+  auto Unit = parseUnit(Source);
+  EXPECT_TRUE(Unit->ok()) << Unit->Diags.str();
+}
+
+TEST(Sema, ResolvesVariablesToDecls) {
+  auto Unit = parseUnit("int f(int a) { int b = a; return b; }");
+  ASSERT_TRUE(Unit->ok());
+  Function *F = Unit->Prog->findFunction("f");
+  VarDecl *A = F->params()[0];
+  unsigned Bound = 0;
+  walkExprsInStmt(F->body(), [&](Expr *E) {
+    if (auto *Ref = dyn_cast<VarRefExpr>(E)) {
+      EXPECT_NE(Ref->decl(), nullptr);
+      if (Ref->name() == "a") {
+        EXPECT_EQ(Ref->decl(), A);
+      }
+      ++Bound;
+    }
+  });
+  EXPECT_EQ(Bound, 2u);
+}
+
+TEST(Sema, UndeclaredVariable) {
+  expectError("int f() { return nope; }", "undeclared variable 'nope'");
+}
+
+TEST(Sema, UseBeforeDeclaration) {
+  expectError("int f() { int x = x; return x; }", "undeclared");
+}
+
+TEST(Sema, RedeclarationSameScope) {
+  expectError("int f() { int x = 1; float x = 2.0; return x; }",
+              "redeclaration");
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  expectOK("int f(int x) { if (x > 0) { int x = 2; return x; } return x; }");
+}
+
+TEST(Sema, BlockScopeEnds) {
+  expectError("int f(int p) { if (p > 0) { int y = 1; } return y; }",
+              "undeclared variable 'y'");
+}
+
+TEST(Sema, AssignToUndeclared) {
+  expectError("void f() { q = 1; }", "undeclared variable 'q'");
+}
+
+TEST(Sema, IntToFloatImplicit) {
+  expectOK("float f(int a) { float x = a; x = 3; return x + 1; }");
+}
+
+TEST(Sema, FloatToIntRejected) {
+  expectError("int f(float a) { int x = a; return x; }",
+              "cannot convert 'float' to 'int'");
+}
+
+TEST(Sema, VectorArithmetic) {
+  expectOK(R"(
+vec3 f(vec3 a, vec3 b, float s) {
+  vec3 c = a + b;
+  c = c - a;
+  c = c * b;
+  c = c * s;
+  c = s * c;
+  c = c / s;
+  c = c / b;
+  return -c;
+})");
+}
+
+TEST(Sema, VectorScalarAddRejected) {
+  expectError("vec3 f(vec3 a, float s) { return a + s; }",
+              "invalid operands to '+'");
+}
+
+TEST(Sema, MixedVectorWidthsRejected) {
+  expectError("vec3 f(vec3 a, vec2 b) { return a + b; }",
+              "invalid operands");
+}
+
+TEST(Sema, ModuloIntOnly) {
+  expectOK("int f(int a, int b) { return a % (b + 1); }");
+  expectError("float f(float a) { return a % 2.0; }", "invalid operands");
+}
+
+TEST(Sema, ComparisonsYieldBool) {
+  auto Unit = parseUnit("bool f(int a, float b) { return a < b; }");
+  ASSERT_TRUE(Unit->ok()) << Unit->Diags.str();
+}
+
+TEST(Sema, VectorComparisonRejected) {
+  expectError("bool f(vec3 a, vec3 b) { return a < b; }", "invalid operands");
+}
+
+TEST(Sema, LogicalRequireBool) {
+  expectError("bool f(int a) { return a && true; }", "invalid operands");
+  expectOK("bool f(int a) { return a > 0 && a < 10; }");
+}
+
+TEST(Sema, ConditionMustBeBool) {
+  expectError("int f(int a) { if (a) { return 1; } return 0; }",
+              "must be 'bool'");
+  expectError("int f(int a) { while (a + 1) { a = 0; } return a; }",
+              "must be 'bool'");
+}
+
+TEST(Sema, TernaryTypes) {
+  expectOK("float f(bool c, int a, float b) { return c ? a : b; }");
+  expectError("float f(bool c, vec3 a, float b) { return c ? a : b; }",
+              "mismatched types");
+  expectError("float f(int c, float a, float b) { return c ? a : b; }",
+              "must be 'bool'");
+}
+
+TEST(Sema, MemberAccess) {
+  expectOK("float f(vec2 v) { return v.x + v.y; }");
+  expectError("float f(vec2 v) { return v.z; }", "has no component 'z'");
+  expectError("float f(float v) { return v.x; }",
+              "component access on non-vector");
+}
+
+TEST(Sema, BuiltinResolution) {
+  expectOK("float f(vec3 a, vec3 b) { return dot(a, b); }");
+  expectOK("float f(float x) { return sqrt(x) + abs(x); }");
+  // int argument promotes to float.
+  expectOK("float f(int x) { return sqrt(x); }");
+}
+
+TEST(Sema, BuiltinOverloadByWidth) {
+  auto Unit = parseUnit(R"(
+float f(vec2 a, vec3 b, vec4 c) {
+  return length(a) + length(b) + length(c);
+})");
+  ASSERT_TRUE(Unit->ok()) << Unit->Diags.str();
+  std::vector<BuiltinId> Resolved;
+  walkExprsInStmt(Unit->Prog->findFunction("f")->body(), [&](Expr *E) {
+    if (auto *Call = dyn_cast<CallExpr>(E))
+      Resolved.push_back(Call->builtin());
+  });
+  ASSERT_EQ(Resolved.size(), 3u);
+  EXPECT_EQ(Resolved[0], BuiltinId::BI_LengthV2);
+  EXPECT_EQ(Resolved[1], BuiltinId::BI_LengthV3);
+  EXPECT_EQ(Resolved[2], BuiltinId::BI_LengthV4);
+}
+
+TEST(Sema, UnknownFunction) {
+  expectError("float f() { return frobnicate(1.0); }", "unknown function");
+}
+
+TEST(Sema, NoMatchingOverload) {
+  expectError("float f(vec3 a) { return sqrt(a); }", "no overload");
+}
+
+TEST(Sema, ReturnChecks) {
+  expectError("int f() { return; }", "must return a value");
+  expectError("void f() { return 1; }", "may not return a value");
+  expectError("int f(float x) { return x; }", "cannot convert");
+  expectOK("void f() { return; }");
+  expectOK("float f(int x) { return x; }");
+}
+
+TEST(Sema, DuplicateFunction) {
+  expectError("int f() { return 1; } int f() { return 2; }", "redefinition");
+}
+
+TEST(Sema, NegationTypeRules) {
+  expectOK("vec3 f(vec3 v) { return -v; }");
+  expectError("bool f(bool b) { return -b; }", "cannot negate");
+  expectError("float f(float x) { return !x; }", "must be 'bool'");
+}
+
+TEST(Sema, TypesAnnotatedOnAllExprs) {
+  auto Unit = parseUnit(
+      "float f(vec3 a, float s) { return length(a * s) + a.x; }");
+  ASSERT_TRUE(Unit->ok());
+  walkExprsInStmt(Unit->Prog->findFunction("f")->body(), [&](Expr *E) {
+    EXPECT_FALSE(E->type().isVoid()) << "untyped expr survived Sema";
+  });
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- tests/TestShading.cpp - Shading substrate tests ------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shading/ShaderLab.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dspec;
+
+namespace {
+
+TEST(RenderGrid, DimensionsAndCount) {
+  RenderGrid Grid(8, 5);
+  EXPECT_EQ(Grid.width(), 8u);
+  EXPECT_EQ(Grid.height(), 5u);
+  EXPECT_EQ(Grid.pixelCount(), 40u);
+  EXPECT_EQ(Grid.pixels().size(), 40u);
+}
+
+TEST(RenderGrid, UVCoversUnitSquare) {
+  RenderGrid Grid(4, 4);
+  const auto &First = Grid.pixels().front();
+  const auto &Last = Grid.pixels().back();
+  EXPECT_FLOAT_EQ(First.UV.F[0], 0.0f);
+  EXPECT_FLOAT_EQ(First.UV.F[1], 0.0f);
+  EXPECT_FLOAT_EQ(Last.UV.F[0], 1.0f);
+  EXPECT_FLOAT_EQ(Last.UV.F[1], 1.0f);
+}
+
+TEST(RenderGrid, NormalsAndViewAreUnit) {
+  RenderGrid Grid(7, 5);
+  for (const PixelInput &In : Grid.pixels()) {
+    float NLen = std::sqrt(In.N.F[0] * In.N.F[0] + In.N.F[1] * In.N.F[1] +
+                           In.N.F[2] * In.N.F[2]);
+    float ILen = std::sqrt(In.I.F[0] * In.I.F[0] + In.I.F[1] * In.I.F[1] +
+                           In.I.F[2] * In.I.F[2]);
+    EXPECT_NEAR(NLen, 1.0f, 1e-5f);
+    EXPECT_NEAR(ILen, 1.0f, 1e-5f);
+    // The normal of this height field always points up-ish, and the view
+    // vector points toward the eye (positive z).
+    EXPECT_GT(In.N.F[2], 0.0f);
+    EXPECT_GT(In.I.F[2], 0.0f);
+  }
+}
+
+TEST(RenderGrid, PixelsAreDistinct) {
+  RenderGrid Grid(6, 3);
+  for (size_t I = 1; I < Grid.pixels().size(); ++I)
+    EXPECT_FALSE(Grid.pixels()[I].P.equals(Grid.pixels()[I - 1].P));
+}
+
+TEST(Framebuffer, StoresAndRenders) {
+  Framebuffer FB(3, 2);
+  FB.at(0, 0) = Value::makeVec3(1, 1, 1);
+  FB.at(2, 1) = Value::makeVec3(0, 0, 0);
+  std::string Art = FB.asciiArt();
+  // 3 chars + newline per row, 2 rows.
+  EXPECT_EQ(Art.size(), 8u);
+  EXPECT_EQ(Art[0], '@'); // white pixel
+  EXPECT_EQ(Art[6], ' '); // black pixel
+}
+
+TEST(Framebuffer, WritesPPM) {
+  Framebuffer FB(2, 2);
+  FB.at(0, 0) = Value::makeVec3(1, 0, 0);
+  std::string Path = ::testing::TempDir() + "/dspec_test.ppm";
+  ASSERT_TRUE(FB.writePPM(Path));
+  FILE *File = fopen(Path.c_str(), "rb");
+  ASSERT_NE(File, nullptr);
+  char Header[3] = {};
+  ASSERT_EQ(fread(Header, 1, 2, File), 2u);
+  EXPECT_EQ(Header[0], 'P');
+  EXPECT_EQ(Header[1], '6');
+  fclose(File);
+  remove(Path.c_str());
+}
+
+TEST(ShaderLab, DefaultControlsMatchMetadata) {
+  const ShaderInfo *Info = findShader("plastic");
+  ASSERT_NE(Info, nullptr);
+  auto Controls = ShaderLab::defaultControls(*Info);
+  ASSERT_EQ(Controls.size(), Info->Controls.size());
+  for (size_t I = 0; I < Controls.size(); ++I)
+    EXPECT_FLOAT_EQ(Controls[I], Info->Controls[I].Default);
+}
+
+TEST(ShaderLab, SweepValuesSpanRange) {
+  ShaderLab Lab(2, 2);
+  ControlParam Param{"p", 0.5f, 1.0f, 3.0f};
+  auto Sweep = Lab.sweepValues(Param, 5);
+  ASSERT_EQ(Sweep.size(), 5u);
+  EXPECT_FLOAT_EQ(Sweep.front(), 1.0f);
+  EXPECT_FLOAT_EQ(Sweep.back(), 3.0f);
+  for (size_t I = 1; I < Sweep.size(); ++I)
+    EXPECT_GT(Sweep[I], Sweep[I - 1]);
+}
+
+TEST(ShaderLab, MeasurePartitionProducesSaneReport) {
+  ShaderLab Lab(12, 8, 3);
+  const ShaderInfo *Info = findShader("plastic");
+  auto Report = Lab.measurePartition(*Info, 0); // vary ka
+  ASSERT_TRUE(Report.has_value()) << Lab.lastError();
+  EXPECT_EQ(Report->ShaderIndex, 1u);
+  EXPECT_EQ(Report->ShaderName, "plastic");
+  EXPECT_EQ(Report->ParamName, "ka");
+  EXPECT_GT(Report->Speedup, 0.5); // non-degenerate timing
+  EXPECT_GT(Report->CacheBytes, 0u);
+  EXPECT_GE(Report->BreakevenUses, 1u);
+  EXPECT_GT(Report->OriginalSeconds, 0.0);
+  EXPECT_GT(Report->ReaderSeconds, 0.0);
+  EXPECT_GT(Report->LoaderSeconds, 0.0);
+}
+
+TEST(ShaderLab, CachesAreIndependentPerPixel) {
+  ShaderLab Lab(4, 3);
+  const ShaderInfo *Info = findShader("marble");
+  auto Spec = Lab.specializePartition(*Info, 0);
+  ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
+  VM Machine;
+  auto Controls = ShaderLab::defaultControls(*Info);
+  ASSERT_TRUE(Spec->load(Machine, Lab.grid(), Controls));
+  ASSERT_EQ(Spec->caches().size(), Lab.grid().pixelCount());
+  // Marble's cached values depend on per-pixel data, so neighbouring
+  // caches differ.
+  bool AnyDifferent = false;
+  for (size_t I = 1; I < Spec->caches().size(); ++I) {
+    const Cache &A = Spec->caches()[I - 1];
+    const Cache &B = Spec->caches()[I];
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t S = 0; S < A.size(); ++S)
+      if (!A[S].equals(B[S]))
+        AnyDifferent = true;
+  }
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(ShaderLab, LoaderFrameEqualsOriginalFrame) {
+  ShaderLab Lab(5, 4);
+  const ShaderInfo *Info = findShader("checker");
+  auto Spec = Lab.specializePartition(*Info, 2); // ka
+  ASSERT_TRUE(Spec.has_value());
+  VM Machine;
+  auto Controls = ShaderLab::defaultControls(*Info);
+  Framebuffer Reference(5, 4);
+  ASSERT_TRUE(
+      Spec->originalFrame(Machine, Lab.grid(), Controls, &Reference));
+  ASSERT_TRUE(Spec->load(Machine, Lab.grid(), Controls));
+  // Loading again and reading with unchanged controls reproduces the
+  // original image.
+  Framebuffer FromReader(5, 4);
+  ASSERT_TRUE(Spec->readFrame(Machine, Lab.grid(), Controls, &FromReader));
+  for (unsigned Y = 0; Y < 4; ++Y)
+    for (unsigned X = 0; X < 5; ++X)
+      EXPECT_TRUE(FromReader.at(X, Y).equals(Reference.at(X, Y)));
+}
+
+TEST(ShaderLab, GalleryImagesAreNonTrivial) {
+  // Every shader should produce an image with some variation (not a
+  // constant color) at default controls.
+  ShaderLab Lab(8, 6);
+  VM Machine;
+  for (const ShaderInfo &Info : shaderGallery()) {
+    auto Spec = Lab.specializePartition(Info, 0);
+    ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
+    Framebuffer FB(8, 6);
+    auto Controls = ShaderLab::defaultControls(Info);
+    ASSERT_TRUE(Spec->originalFrame(Machine, Lab.grid(), Controls, &FB));
+    bool Varies = false;
+    for (unsigned Y = 0; Y < 6 && !Varies; ++Y)
+      for (unsigned X = 1; X < 8 && !Varies; ++X)
+        if (!FB.at(X, Y).equals(FB.at(0, 0)))
+          Varies = true;
+    EXPECT_TRUE(Varies) << Info.Name << " renders a constant image";
+    // Colors are clamped to [0, 1].
+    for (unsigned Y = 0; Y < 6; ++Y)
+      for (unsigned X = 0; X < 8; ++X)
+        for (int C = 0; C < 3; ++C) {
+          EXPECT_GE(FB.at(X, Y).F[C], 0.0f);
+          EXPECT_LE(FB.at(X, Y).F[C], 1.0f);
+        }
+  }
+}
+
+TEST(ShaderLab, VaryingParamActuallyChangesImages) {
+  // Guards against dead control parameters: sweeping any control must
+  // change at least one pixel somewhere in the sweep.
+  ShaderLab Lab(8, 6);
+  VM Machine;
+  for (const ShaderInfo &Info : shaderGallery()) {
+    for (size_t C = 0; C < Info.Controls.size(); ++C) {
+      auto Spec = Lab.specializePartition(Info, C);
+      ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
+      auto Controls = ShaderLab::defaultControls(Info);
+      Framebuffer Base(8, 6);
+      Controls[C] = Info.Controls[C].SweepMin;
+      ASSERT_TRUE(
+          Spec->originalFrame(Machine, Lab.grid(), Controls, &Base));
+      Controls[C] = Info.Controls[C].SweepMax;
+      Framebuffer Swept(8, 6);
+      ASSERT_TRUE(
+          Spec->originalFrame(Machine, Lab.grid(), Controls, &Swept));
+      bool Changed = false;
+      for (unsigned Y = 0; Y < 6 && !Changed; ++Y)
+        for (unsigned X = 0; X < 8 && !Changed; ++X)
+          if (!Base.at(X, Y).equals(Swept.at(X, Y)))
+            Changed = true;
+      EXPECT_TRUE(Changed) << Info.Name << "/" << Info.Controls[C].Name
+                           << " appears to be a dead control";
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- tests/TestTransforms.cpp - Section 4.1 / 4.2 transform tests -----------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceAnalysis.h"
+#include "driver/Pipeline.h"
+#include "lang/ASTPrinter.h"
+#include "lang/ASTWalk.h"
+#include "support/Casting.h"
+#include "transform/JoinNormalize.h"
+#include "transform/Reassociate.h"
+#include "vm/BytecodeCompiler.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace dspec;
+
+namespace {
+
+unsigned countPhiCopies(Function *F) {
+  unsigned Count = 0;
+  walkStmts(F->body(), [&](Stmt *S) {
+    if (auto *Assign = dyn_cast<AssignStmt>(S))
+      if (Assign->isPhiCopy())
+        ++Count;
+  });
+  return Count;
+}
+
+TEST(JoinNormalize, InsertsAfterIf) {
+  auto Unit = parseUnit(R"(
+float f(float a, float p) {
+  float x = a;
+  if (p > 0.0) {
+    x = 2.0;
+  }
+  return x;
+})");
+  ASSERT_TRUE(Unit->ok());
+  Function *F = Unit->Prog->findFunction("f");
+  unsigned Inserted = joinNormalize(F, Unit->Ctx);
+  EXPECT_EQ(Inserted, 1u);
+  EXPECT_EQ(countPhiCopies(F), 1u);
+  PrintOptions Options;
+  Options.AnnotatePhiCopies = true;
+  std::string Printed = printFunction(F, Options);
+  EXPECT_NE(Printed.find("x = x; /* phi */"), std::string::npos) << Printed;
+}
+
+TEST(JoinNormalize, InsertsAfterWhile) {
+  auto Unit = parseUnit(R"(
+float f(float n) {
+  float x = 0.0;
+  while (x < n) {
+    x = x + 1.0;
+  }
+  return x;
+})");
+  Function *F = Unit->Prog->findFunction("f");
+  EXPECT_EQ(joinNormalize(F, Unit->Ctx), 1u);
+}
+
+TEST(JoinNormalize, SkipsVarsDeclaredInside) {
+  auto Unit = parseUnit(R"(
+float f(float p) {
+  if (p > 0.0) {
+    float t = 1.0;
+    t = t + 1.0;
+  }
+  return p;
+})");
+  Function *F = Unit->Prog->findFunction("f");
+  // t is scoped to the branch: no merge survives the join.
+  EXPECT_EQ(joinNormalize(F, Unit->Ctx), 0u);
+}
+
+TEST(JoinNormalize, OneCopyPerVariablePerJoin) {
+  auto Unit = parseUnit(R"(
+float f(float p) {
+  float x = 0.0;
+  float y = 0.0;
+  if (p > 0.0) {
+    x = 1.0;
+    x = 2.0;
+    y = 3.0;
+  } else {
+    x = 4.0;
+  }
+  return x + y;
+})");
+  Function *F = Unit->Prog->findFunction("f");
+  EXPECT_EQ(joinNormalize(F, Unit->Ctx), 2u); // one for x, one for y
+}
+
+TEST(JoinNormalize, NestedConstructs) {
+  auto Unit = parseUnit(R"(
+float f(float p, float q) {
+  float x = 0.0;
+  if (p > 0.0) {
+    if (q > 0.0) {
+      x = 1.0;
+    }
+  }
+  return x;
+})");
+  Function *F = Unit->Prog->findFunction("f");
+  // Inner if sits directly in the outer branch block: one phi there plus
+  // one after the outer if.
+  EXPECT_EQ(joinNormalize(F, Unit->Ctx), 2u);
+}
+
+TEST(JoinNormalize, InsertedCopiesAreResolved) {
+  auto Unit = parseUnit(R"(
+float f(float p) {
+  float x = 0.0;
+  if (p > 0.0) { x = 1.0; }
+  return x;
+})");
+  Function *F = Unit->Prog->findFunction("f");
+  joinNormalize(F, Unit->Ctx);
+  walkStmts(F->body(), [&](Stmt *S) {
+    auto *Assign = dyn_cast<AssignStmt>(S);
+    if (!Assign || !Assign->isPhiCopy())
+      return;
+    EXPECT_NE(Assign->target(), nullptr);
+    auto *RHS = cast<VarRefExpr>(Assign->value());
+    EXPECT_EQ(RHS->decl(), Assign->target());
+    EXPECT_EQ(RHS->type(), Assign->target()->type());
+  });
+}
+
+TEST(JoinNormalize, PreservesBehavior) {
+  const char *Source = R"(
+float f(float a, float p) {
+  float x = a;
+  if (p > 0.0) { x = x * 2.0; } else { x = x - 1.0; }
+  float y = abs(x) + 1.0;
+  while (y < 10.0) { y = y * 2.0; }
+  return y;
+})";
+  auto Unit = parseUnit(Source);
+  Function *F = Unit->Prog->findFunction("f");
+  auto Before = compileFunction(*Unit, "f");
+  joinNormalize(F, Unit->Ctx);
+  Chunk After = BytecodeCompiler().compile(F);
+  VM Machine;
+  for (float A : {-2.0f, 0.5f, 3.0f}) {
+    for (float P : {-1.0f, 1.0f}) {
+      std::vector<Value> Args = {Value::makeFloat(A), Value::makeFloat(P)};
+      auto R1 = Machine.run(*Before, Args);
+      auto R2 = Machine.run(After, Args);
+      ASSERT_TRUE(R1.ok());
+      ASSERT_TRUE(R2.ok());
+      EXPECT_TRUE(R1.Result.equals(R2.Result));
+    }
+  }
+}
+
+// ----------------------------------------------------------- Reassociation
+
+struct ReassocFixture {
+  std::unique_ptr<CompilationUnit> Unit;
+  Function *F = nullptr;
+  DependenceAnalysis Dep;
+
+  ReassocFixture(const std::string &Source,
+                 const std::vector<std::string> &Varying) {
+    Unit = parseUnit(Source);
+    EXPECT_TRUE(Unit->ok()) << Unit->Diags.str();
+    F = Unit->Prog->findFunction("f");
+    std::vector<VarDecl *> Decls;
+    for (const auto &Name : Varying)
+      Decls.push_back(F->findParam(Name));
+    Dep.run(F, Decls, Unit->Ctx.numNodeIds());
+  }
+};
+
+TEST(Reassociate, GroupsIndependentsFirst) {
+  // The paper's example: x1, x2 dependent.
+  ReassocFixture Fix(
+      "float f(float x1, float y1, float z1, float x2, float y2, float z2) "
+      "{ return x1*x2 + y1*y2 + z1*z2; }",
+      {"x1", "x2"});
+  unsigned Changed = reassociate(Fix.F, Fix.Unit->Ctx, Fix.Dep);
+  EXPECT_EQ(Changed, 1u);
+  std::string Printed = printFunction(Fix.F);
+  // Independent products now come first.
+  size_t YPos = Printed.find("y1 * y2");
+  size_t XPos = Printed.find("x1 * x2");
+  ASSERT_NE(YPos, std::string::npos) << Printed;
+  ASSERT_NE(XPos, std::string::npos);
+  EXPECT_LT(YPos, XPos) << Printed;
+}
+
+TEST(Reassociate, AlreadyGroupedUntouched) {
+  ReassocFixture Fix(
+      "float f(float x1, float y1, float z1, float x2, float y2, float z2) "
+      "{ return x1*x2 + y1*y2 + z1*z2; }",
+      {"z1", "z2"}); // left-associated chain already isolates z
+  EXPECT_EQ(reassociate(Fix.F, Fix.Unit->Ctx, Fix.Dep), 0u);
+}
+
+TEST(Reassociate, FloatGateRespected) {
+  ReassocFixture Fix("float f(float a, float b) { return a + b + a; }",
+                     {"a"});
+  ReassociateOptions NoFloat;
+  NoFloat.AllowFloatReassociation = false;
+  EXPECT_EQ(reassociate(Fix.F, Fix.Unit->Ctx, Fix.Dep, NoFloat), 0u);
+}
+
+TEST(Reassociate, IntChains) {
+  ReassocFixture Fix("int f(int a, int b, int c) { return a + b + c; }",
+                     {"a"});
+  EXPECT_EQ(reassociate(Fix.F, Fix.Unit->Ctx, Fix.Dep), 1u);
+  std::string Printed = printFunction(Fix.F);
+  EXPECT_NE(Printed.find("b + c + a"), std::string::npos) << Printed;
+}
+
+TEST(Reassociate, MulChains) {
+  ReassocFixture Fix("float f(float a, float b, float c) "
+                     "{ return a * b * c; }",
+                     {"b"});
+  EXPECT_EQ(reassociate(Fix.F, Fix.Unit->Ctx, Fix.Dep), 1u);
+  std::string Printed = printFunction(Fix.F);
+  EXPECT_NE(Printed.find("a * c * b"), std::string::npos) << Printed;
+}
+
+TEST(Reassociate, SubtractionNotTouched) {
+  ReassocFixture Fix("float f(float a, float b, float c) "
+                     "{ return a - b - c; }",
+                     {"a"});
+  EXPECT_EQ(reassociate(Fix.F, Fix.Unit->Ctx, Fix.Dep), 0u);
+}
+
+TEST(Reassociate, MixedTypeChainsNotFlattened) {
+  // (i + j) is an int subchain inside a float chain; moving leaves across
+  // the promotion would change semantics, so the int subtree stays a leaf.
+  ReassocFixture Fix("float f(int i, int j, float a, float b) "
+                     "{ return a + (i + j) + b; }",
+                     {"a"});
+  reassociate(Fix.F, Fix.Unit->Ctx, Fix.Dep);
+  std::string Printed = printFunction(Fix.F);
+  EXPECT_NE(Printed.find("i + j"), std::string::npos) << Printed;
+}
+
+TEST(Reassociate, PreservesIntSemanticsExactly) {
+  const char *Source =
+      "int f(int a, int b, int c, int d) { return a + b + c + d; }";
+  ReassocFixture Fix(Source, {"b"});
+  auto Before = compileFunction(*Fix.Unit, "f");
+  reassociate(Fix.F, Fix.Unit->Ctx, Fix.Dep);
+  Chunk After = BytecodeCompiler().compile(Fix.F);
+  VM Machine;
+  std::vector<Value> Args = {Value::makeInt(11), Value::makeInt(-7),
+                             Value::makeInt(5), Value::makeInt(100)};
+  EXPECT_EQ(Machine.run(*Before, Args).Result.asInt(),
+            Machine.run(After, Args).Result.asInt());
+}
+
+} // namespace

@@ -1,0 +1,321 @@
+//===- tests/TestVM.cpp - Bytecode compiler and VM tests ----------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "vm/Noise.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dspec;
+
+namespace {
+
+/// Compiles one function and runs it.
+ExecResult runSource(const std::string &Source, const std::string &Name,
+                     const std::vector<Value> &Args, VM *Machine = nullptr) {
+  auto Unit = parseUnit(Source);
+  EXPECT_TRUE(Unit->ok()) << Unit->Diags.str();
+  auto Code = compileFunction(*Unit, Name);
+  EXPECT_TRUE(Code.has_value());
+  VM Local;
+  return (Machine ? *Machine : Local).run(*Code, Args);
+}
+
+TEST(VM, IntArithmetic) {
+  auto R = runSource("int f(int a, int b) { return (a + b) * 2 - b / 2 + "
+                     "b % 3; }",
+                     "f", {Value::makeInt(5), Value::makeInt(7)});
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Result.asInt(), (5 + 7) * 2 - 7 / 2 + 7 % 3);
+}
+
+TEST(VM, FloatArithmeticAndPromotion) {
+  auto R = runSource("float f(float a, int b) { return a * b + b / 2; }",
+                     "f", {Value::makeFloat(1.5f), Value::makeInt(5)});
+  ASSERT_TRUE(R.ok());
+  // b / 2 is *integer* division (both operands int), then promotes.
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), 1.5f * 5 + 2);
+}
+
+TEST(VM, IntDivisionByZeroTraps) {
+  auto R = runSource("int f(int a) { return 1 / a; }", "f",
+                     {Value::makeInt(0)});
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("division by zero"), std::string::npos);
+}
+
+TEST(VM, FloatDivisionByZeroIsInf) {
+  auto R = runSource("float f(float a) { return 1.0 / a; }", "f",
+                     {Value::makeFloat(0.0f)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(std::isinf(R.Result.asFloat()));
+}
+
+TEST(VM, ModByZeroTraps) {
+  auto R = runSource("int f(int a) { return 7 % a; }", "f",
+                     {Value::makeInt(0)});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(VM, Comparisons) {
+  auto R = runSource("bool f(int a, float b) { return a <= b; }", "f",
+                     {Value::makeInt(2), Value::makeFloat(2.0f)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Result.asBool());
+}
+
+TEST(VM, StrictLogicalOperators) {
+  // Both sides evaluate (dsc && is strict); semantics still boolean.
+  auto R = runSource(
+      "bool f(bool a, bool b) { return a && b || !a && !b; }", "f",
+      {Value::makeBool(true), Value::makeBool(false)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R.Result.asBool());
+}
+
+TEST(VM, TernarySelectsButEvaluatesBoth) {
+  auto R = runSource("float f(bool c) { return c ? 1.0 : 2.0; }", "f",
+                     {Value::makeBool(false)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), 2.0f);
+}
+
+TEST(VM, WhileLoopAccumulates) {
+  auto R = runSource(R"(
+int f(int n) {
+  int total = 0;
+  int i = 0;
+  while (i < n) {
+    total = total + i * i;
+    i = i + 1;
+  }
+  return total;
+})",
+                     "f", {Value::makeInt(5)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 0 + 1 + 4 + 9 + 16);
+}
+
+TEST(VM, NestedLoops) {
+  auto R = runSource(R"(
+int f(int n) {
+  int total = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    for (int j = 0; j <= i; j = j + 1) {
+      total = total + 1;
+    }
+  }
+  return total;
+})",
+                     "f", {Value::makeInt(4)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 1 + 2 + 3 + 4);
+}
+
+TEST(VM, InstructionBudgetStopsRunaways) {
+  auto Unit = parseUnit("int f() { while (true) { int x = 0; } return 0; }");
+  ASSERT_TRUE(Unit->ok());
+  auto Code = compileFunction(*Unit, "f");
+  VM Machine;
+  Machine.InstructionBudget = 10000;
+  auto R = Machine.run(*Code, {});
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("budget"), std::string::npos);
+}
+
+TEST(VM, VectorOpsAndMembers) {
+  auto R = runSource(R"(
+float f(vec3 a, vec3 b, float s) {
+  vec3 c = (a + b) * s;
+  vec3 d = c / 2.0;
+  return d.x + d.y * 10.0 + d.z * 100.0;
+})",
+                     "f",
+                     {Value::makeVec3(1, 2, 3), Value::makeVec3(4, 5, 6),
+                      Value::makeFloat(2.0f)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), 5.0f + 70.0f + 900.0f);
+}
+
+TEST(VM, ZeroInitializedDecl) {
+  auto R = runSource("float f() { float x; return x + 1.0; }", "f", {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), 1.0f);
+}
+
+TEST(VM, ShadowedVariablesGetDistinctSlots) {
+  auto R = runSource(R"(
+int f(int p) {
+  int x = 1;
+  if (p > 0) {
+    int x = 100;
+    x = x + 1;
+  }
+  return x;
+})",
+                     "f", {Value::makeInt(5)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Result.asInt(), 1);
+}
+
+TEST(VM, ParamCountMismatchTraps) {
+  auto Unit = parseUnit("int f(int a) { return a; }");
+  auto Code = compileFunction(*Unit, "f");
+  VM Machine;
+  auto R = Machine.run(*Code, {});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(VM, IntArgPromotesToFloatParam) {
+  auto Unit = parseUnit("float f(float a) { return a * 2.0; }");
+  auto Code = compileFunction(*Unit, "f");
+  VM Machine;
+  auto R = Machine.run(*Code, {Value::makeInt(3)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), 6.0f);
+}
+
+TEST(VM, CacheAccessWithoutCacheTraps) {
+  // A reader requires its cache: build one via the specializer, then run
+  // it with no cache bound.
+  auto Unit = parseUnit("float f(float a, float b) { return sqrt(a) * b; }");
+  auto Spec = specializeAndCompile(*Unit, "f", {"b"});
+  ASSERT_TRUE(Spec.has_value());
+  VM Machine;
+  auto R = Machine.run(Spec->ReaderChunk,
+                       {Value::makeFloat(4.0f), Value::makeFloat(2.0f)});
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("cache"), std::string::npos);
+}
+
+TEST(VM, TraceBuiltinRecords) {
+  VM Machine;
+  auto R = runSource("void f(float x) { dsc_trace(x); dsc_trace(x * 2.0); }",
+                     "f", {Value::makeFloat(3.0f)}, &Machine);
+  ASSERT_TRUE(R.ok());
+  ASSERT_EQ(Machine.traceLog().size(), 2u);
+  EXPECT_FLOAT_EQ(Machine.traceLog()[0], 3.0f);
+  EXPECT_FLOAT_EQ(Machine.traceLog()[1], 6.0f);
+}
+
+TEST(VM, ClockAdvances) {
+  VM Machine;
+  auto Unit = parseUnit("float f() { return dsc_clock(); }");
+  auto Code = compileFunction(*Unit, "f");
+  auto First = Machine.run(*Code, {});
+  auto Second = Machine.run(*Code, {});
+  ASSERT_TRUE(First.ok());
+  ASSERT_TRUE(Second.ok());
+  EXPECT_LT(First.Result.asFloat(), Second.Result.asFloat());
+}
+
+TEST(VM, InstructionCountIsReported) {
+  auto R = runSource("int f() { return 1 + 2; }", "f", {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_GT(R.InstructionsExecuted, 0u);
+  EXPECT_LT(R.InstructionsExecuted, 10u);
+}
+
+TEST(VM, DisassemblyMentionsOpcodes) {
+  auto Unit = parseUnit("int f(int a) { if (a > 0) { return 1; } return 0; }");
+  auto Code = compileFunction(*Unit, "f");
+  std::string Text = Code->disassemble();
+  EXPECT_NE(Text.find("jfalse"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(Builtins, ScalarMathMatchesLibm) {
+  auto R = runSource(
+      "float f(float x) { return sqrt(x) + sin(x) + cos(x) + exp(x) + "
+      "log(x) + pow(x, 2.5) + floor(x) + ceil(x) + fract(x) + tan(x); }",
+      "f", {Value::makeFloat(1.75f)});
+  ASSERT_TRUE(R.ok());
+  float X = 1.75f;
+  float Expected = std::sqrt(X) + std::sin(X) + std::cos(X) + std::exp(X) +
+                   std::log(X) + std::pow(X, 2.5f) + std::floor(X) +
+                   std::ceil(X) + (X - std::floor(X)) + std::tan(X);
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), Expected);
+}
+
+TEST(Builtins, MinMaxClampMixStep) {
+  auto R = runSource(
+      "float f(float a, float b) { return min(a, b) + max(a, b) * 10.0 + "
+      "clamp(a, 0.0, 1.0) * 100.0 + mix(a, b, 0.5) * 1000.0 + "
+      "step(a, b) * 10000.0 + smoothstep(0.0, 1.0, 0.5) * 100000.0; }",
+      "f", {Value::makeFloat(2.0f), Value::makeFloat(3.0f)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FLOAT_EQ(R.Result.asFloat(),
+                  2.0f + 30.0f + 100.0f + 2500.0f + 10000.0f + 50000.0f);
+}
+
+TEST(Builtins, VectorOps) {
+  auto R = runSource(R"(
+float f(vec3 a, vec3 b) {
+  vec3 c = cross(a, b);
+  float d = dot(a, b);
+  float l = length(b);
+  vec3 n = normalize(b);
+  return c.x + d + l + length(n);
+})",
+                     "f",
+                     {Value::makeVec3(1, 0, 0), Value::makeVec3(0, 2, 0)});
+  ASSERT_TRUE(R.ok());
+  // cross((1,0,0),(0,2,0)) = (0,0,2); dot = 0; |b| = 2; |n| = 1.
+  EXPECT_FLOAT_EQ(R.Result.asFloat(), 0.0f + 0.0f + 2.0f + 1.0f);
+}
+
+TEST(Builtins, ReflectAndRotate) {
+  auto R = runSource(R"(
+float f(vec3 v, vec3 n) {
+  vec3 r = reflect(v, n);
+  vec3 rx = rotateZ(vec3(1.0, 0.0, 0.0), 1.5707964);
+  return r.y + rx.y;
+})",
+                     "f",
+                     {Value::makeVec3(1, -1, 0), Value::makeVec3(0, 1, 0)});
+  ASSERT_TRUE(R.ok());
+  // reflect((1,-1,0), (0,1,0)) = (1,1,0); rotateZ(x-axis, pi/2) = y-axis.
+  EXPECT_NEAR(R.Result.asFloat(), 1.0f + 1.0f, 1e-5f);
+}
+
+TEST(Noise, DeterministicAndBounded) {
+  float A = perlinNoise3(0.3f, 1.7f, -2.2f);
+  float B = perlinNoise3(0.3f, 1.7f, -2.2f);
+  EXPECT_EQ(A, B);
+  for (float X = -3.0f; X < 3.0f; X += 0.37f) {
+    float N = perlinNoise3(X, X * 0.5f, -X);
+    EXPECT_GE(N, -1.2f);
+    EXPECT_LE(N, 1.2f);
+  }
+}
+
+TEST(Noise, LatticeZeros) {
+  // Gradient noise vanishes on integer lattice points.
+  EXPECT_FLOAT_EQ(perlinNoise3(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(perlinNoise3(1, 2, 3), 0.0f);
+  EXPECT_FLOAT_EQ(perlinNoise3(-4, 7, 11), 0.0f);
+}
+
+TEST(Noise, NotConstant) {
+  float A = perlinNoise3(0.5f, 0.5f, 0.5f);
+  float B = perlinNoise3(0.9f, 0.1f, 0.4f);
+  EXPECT_NE(A, B);
+}
+
+TEST(Noise, FbmAndTurbulence) {
+  float Single = perlinNoise3(0.4f, 0.6f, 0.8f);
+  float One = fbm3(0.4f, 0.6f, 0.8f, 1, 2.0f, 0.5f);
+  EXPECT_FLOAT_EQ(Single, One);
+  float Turb = turbulence3(0.4f, 0.6f, 0.8f, 6);
+  EXPECT_GE(Turb, 0.0f);
+  // Adding octaves adds magnitude (absolute noise sums).
+  EXPECT_GE(turbulence3(0.4f, 0.6f, 0.8f, 8), Turb - 1e-6f);
+}
+
+} // namespace

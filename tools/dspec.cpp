@@ -1,0 +1,155 @@
+//===- tools/dspec.cpp - Command-line data specializer -----------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `dspec` command-line tool: reads a dsc source file, specializes one
+/// of its functions on a user-supplied input partition, and prints the
+/// cache loader and cache reader (Figure 2 style) plus the cache layout.
+///
+///   dspec FILE --fragment NAME --vary a,b[,c...]
+///         [--limit BYTES] [--reassoc] [--no-phi] [--speculate]
+///         [--show-normalized] [--stats]
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "lang/ASTPrinter.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace dspec;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s FILE --fragment NAME --vary P1[,P2...]\n"
+      "            [--limit BYTES] [--reassoc] [--no-phi] [--speculate]\n"
+      "            [--explain]\n"
+      "            [--show-normalized] [--stats]\n"
+      "\n"
+      "Splits the named dsc function into a cache loader and cache reader\n"
+      "for the input partition where P1, P2, ... vary and every other\n"
+      "parameter is fixed (Knoblock & Ruf, PLDI 1996).\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *FilePath = nullptr;
+  const char *FragmentName = nullptr;
+  std::vector<std::string> Varying;
+  SpecializerOptions Options;
+  bool ShowNormalized = false;
+  bool ShowStats = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Arg);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--fragment") == 0) {
+      FragmentName = NextValue();
+    } else if (std::strcmp(Arg, "--vary") == 0) {
+      for (const std::string &Name : splitString(NextValue(), ','))
+        if (!Name.empty())
+          Varying.push_back(Name);
+    } else if (std::strcmp(Arg, "--limit") == 0) {
+      Options.CacheByteLimit = std::strtoul(NextValue(), nullptr, 10);
+    } else if (std::strcmp(Arg, "--reassoc") == 0) {
+      Options.EnableReassociate = true;
+    } else if (std::strcmp(Arg, "--no-phi") == 0) {
+      Options.EnableJoinNormalize = false;
+    } else if (std::strcmp(Arg, "--speculate") == 0) {
+      Options.AllowSpeculation = true;
+    } else if (std::strcmp(Arg, "--show-normalized") == 0) {
+      ShowNormalized = true;
+    } else if (std::strcmp(Arg, "--explain") == 0) {
+      Options.CollectExplanation = true;
+    } else if (std::strcmp(Arg, "--stats") == 0) {
+      ShowStats = true;
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      usage(Argv[0]);
+      return 0;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      usage(Argv[0]);
+      return 2;
+    } else if (!FilePath) {
+      FilePath = Arg;
+    } else {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return 2;
+    }
+  }
+
+  if (!FilePath || !FragmentName || Varying.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::ifstream File(FilePath);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", FilePath);
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  std::string Source = Buffer.str();
+
+  auto Unit = parseUnit(Source);
+  if (!Unit->ok()) {
+    std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
+    return 1;
+  }
+
+  auto Spec = specializeAndCompile(*Unit, FragmentName, Varying, Options);
+  if (!Spec) {
+    std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
+    return 1;
+  }
+
+  if (ShowNormalized)
+    std::printf("// normalized fragment (after Section 4.1/4.2 "
+                "preprocessing)\n%s\n",
+                Spec->normalizedSource().c_str());
+  std::printf("// cache loader\n%s\n", Spec->loaderSource().c_str());
+  std::printf("// cache reader\n%s\n", Spec->readerSource().c_str());
+
+  std::printf("// cache layout: %u slot(s), %u byte(s)\n",
+              Spec->Spec.Layout.slotCount(), Spec->Spec.Layout.totalBytes());
+  for (const CacheSlot &Slot : Spec->Spec.Layout.slots())
+    std::printf("//   slot%-3u %-6s offset %u\n", Slot.Index,
+                Slot.SlotType.name(), Slot.Offset);
+
+  if (Options.CollectExplanation)
+    std::printf("\n%s", Spec->Spec.Explanation.c_str());
+
+  if (ShowStats) {
+    const SpecializationStats &S = Spec->Spec.Stats;
+    std::printf("// stats: fragment %u terms (normalized %u), loader %u, "
+                "reader %u\n"
+                "//        exprs: %u static / %u cached / %u dynamic; "
+                "%u dependent terms\n"
+                "//        phi copies %u, chains reassociated %u, limiter "
+                "victims %u\n",
+                S.FragmentTerms, S.NormalizedTerms, S.LoaderTerms,
+                S.ReaderTerms, S.StaticExprs, S.CachedExprs, S.DynamicExprs,
+                S.DependentTerms, S.PhiCopiesInserted, S.ChainsReassociated,
+                S.LimiterVictims);
+  }
+  return 0;
+}
