@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dotprod.dir/bench_dotprod.cpp.o"
+  "CMakeFiles/bench_dotprod.dir/bench_dotprod.cpp.o.d"
+  "bench_dotprod"
+  "bench_dotprod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dotprod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_normalized.cpp" "bench/CMakeFiles/bench_fig10_normalized.dir/bench_fig10_normalized.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_normalized.dir/bench_fig10_normalized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shading/CMakeFiles/dspec_shading.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/dspec_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/specialize/CMakeFiles/dspec_specialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/dspec_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dspec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dspec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dspec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cachelimit.dir/bench_fig9_cachelimit.cpp.o"
+  "CMakeFiles/bench_fig9_cachelimit.dir/bench_fig9_cachelimit.cpp.o.d"
+  "bench_fig9_cachelimit"
+  "bench_fig9_cachelimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cachelimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_budget.dir/cache_budget.cpp.o"
+  "CMakeFiles/cache_budget.dir/cache_budget.cpp.o.d"
+  "cache_budget"
+  "cache_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shader_playground.dir/shader_playground.cpp.o"
+  "CMakeFiles/shader_playground.dir/shader_playground.cpp.o.d"
+  "shader_playground"
+  "shader_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shader_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CostModel.cpp" "src/analysis/CMakeFiles/dspec_analysis.dir/CostModel.cpp.o" "gcc" "src/analysis/CMakeFiles/dspec_analysis.dir/CostModel.cpp.o.d"
+  "/root/repo/src/analysis/DependenceAnalysis.cpp" "src/analysis/CMakeFiles/dspec_analysis.dir/DependenceAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/dspec_analysis.dir/DependenceAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/ReachingDefs.cpp" "src/analysis/CMakeFiles/dspec_analysis.dir/ReachingDefs.cpp.o" "gcc" "src/analysis/CMakeFiles/dspec_analysis.dir/ReachingDefs.cpp.o.d"
+  "/root/repo/src/analysis/SingleValued.cpp" "src/analysis/CMakeFiles/dspec_analysis.dir/SingleValued.cpp.o" "gcc" "src/analysis/CMakeFiles/dspec_analysis.dir/SingleValued.cpp.o.d"
+  "/root/repo/src/analysis/StructureInfo.cpp" "src/analysis/CMakeFiles/dspec_analysis.dir/StructureInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/dspec_analysis.dir/StructureInfo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/dspec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

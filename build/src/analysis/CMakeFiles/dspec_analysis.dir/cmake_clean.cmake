@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_analysis.dir/CostModel.cpp.o"
+  "CMakeFiles/dspec_analysis.dir/CostModel.cpp.o.d"
+  "CMakeFiles/dspec_analysis.dir/DependenceAnalysis.cpp.o"
+  "CMakeFiles/dspec_analysis.dir/DependenceAnalysis.cpp.o.d"
+  "CMakeFiles/dspec_analysis.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/dspec_analysis.dir/ReachingDefs.cpp.o.d"
+  "CMakeFiles/dspec_analysis.dir/SingleValued.cpp.o"
+  "CMakeFiles/dspec_analysis.dir/SingleValued.cpp.o.d"
+  "CMakeFiles/dspec_analysis.dir/StructureInfo.cpp.o"
+  "CMakeFiles/dspec_analysis.dir/StructureInfo.cpp.o.d"
+  "libdspec_analysis.a"
+  "libdspec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

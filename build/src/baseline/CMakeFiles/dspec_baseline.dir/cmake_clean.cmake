@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_baseline.dir/Memoizer.cpp.o"
+  "CMakeFiles/dspec_baseline.dir/Memoizer.cpp.o.d"
+  "libdspec_baseline.a"
+  "libdspec_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

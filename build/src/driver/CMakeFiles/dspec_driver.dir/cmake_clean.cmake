@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/dspec_driver.dir/Pipeline.cpp.o.d"
+  "libdspec_driver.a"
+  "libdspec_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

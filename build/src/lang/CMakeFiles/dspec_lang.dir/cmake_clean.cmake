@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_lang.dir/AST.cpp.o"
+  "CMakeFiles/dspec_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/dspec_lang.dir/ASTCloner.cpp.o"
+  "CMakeFiles/dspec_lang.dir/ASTCloner.cpp.o.d"
+  "CMakeFiles/dspec_lang.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/dspec_lang.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/dspec_lang.dir/Builtins.cpp.o"
+  "CMakeFiles/dspec_lang.dir/Builtins.cpp.o.d"
+  "CMakeFiles/dspec_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/dspec_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/dspec_lang.dir/Parser.cpp.o"
+  "CMakeFiles/dspec_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/dspec_lang.dir/Sema.cpp.o"
+  "CMakeFiles/dspec_lang.dir/Sema.cpp.o.d"
+  "libdspec_lang.a"
+  "libdspec_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_shading.dir/RenderContext.cpp.o"
+  "CMakeFiles/dspec_shading.dir/RenderContext.cpp.o.d"
+  "CMakeFiles/dspec_shading.dir/ShaderGallery.cpp.o"
+  "CMakeFiles/dspec_shading.dir/ShaderGallery.cpp.o.d"
+  "CMakeFiles/dspec_shading.dir/ShaderLab.cpp.o"
+  "CMakeFiles/dspec_shading.dir/ShaderLab.cpp.o.d"
+  "libdspec_shading.a"
+  "libdspec_shading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_shading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

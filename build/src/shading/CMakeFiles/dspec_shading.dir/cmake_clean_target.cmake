@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdspec_shading.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specialize/CacheLimiter.cpp" "src/specialize/CMakeFiles/dspec_specialize.dir/CacheLimiter.cpp.o" "gcc" "src/specialize/CMakeFiles/dspec_specialize.dir/CacheLimiter.cpp.o.d"
+  "/root/repo/src/specialize/CachingAnalysis.cpp" "src/specialize/CMakeFiles/dspec_specialize.dir/CachingAnalysis.cpp.o" "gcc" "src/specialize/CMakeFiles/dspec_specialize.dir/CachingAnalysis.cpp.o.d"
+  "/root/repo/src/specialize/DataSpecializer.cpp" "src/specialize/CMakeFiles/dspec_specialize.dir/DataSpecializer.cpp.o" "gcc" "src/specialize/CMakeFiles/dspec_specialize.dir/DataSpecializer.cpp.o.d"
+  "/root/repo/src/specialize/Explain.cpp" "src/specialize/CMakeFiles/dspec_specialize.dir/Explain.cpp.o" "gcc" "src/specialize/CMakeFiles/dspec_specialize.dir/Explain.cpp.o.d"
+  "/root/repo/src/specialize/Splitter.cpp" "src/specialize/CMakeFiles/dspec_specialize.dir/Splitter.cpp.o" "gcc" "src/specialize/CMakeFiles/dspec_specialize.dir/Splitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/dspec_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dspec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dspec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

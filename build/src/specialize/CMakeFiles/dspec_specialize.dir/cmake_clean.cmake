@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_specialize.dir/CacheLimiter.cpp.o"
+  "CMakeFiles/dspec_specialize.dir/CacheLimiter.cpp.o.d"
+  "CMakeFiles/dspec_specialize.dir/CachingAnalysis.cpp.o"
+  "CMakeFiles/dspec_specialize.dir/CachingAnalysis.cpp.o.d"
+  "CMakeFiles/dspec_specialize.dir/DataSpecializer.cpp.o"
+  "CMakeFiles/dspec_specialize.dir/DataSpecializer.cpp.o.d"
+  "CMakeFiles/dspec_specialize.dir/Explain.cpp.o"
+  "CMakeFiles/dspec_specialize.dir/Explain.cpp.o.d"
+  "CMakeFiles/dspec_specialize.dir/Splitter.cpp.o"
+  "CMakeFiles/dspec_specialize.dir/Splitter.cpp.o.d"
+  "libdspec_specialize.a"
+  "libdspec_specialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

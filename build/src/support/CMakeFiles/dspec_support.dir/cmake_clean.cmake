@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/dspec_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/dspec_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/dspec_support.dir/StringUtil.cpp.o.d"
+  "libdspec_support.a"
+  "libdspec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/JoinNormalize.cpp" "src/transform/CMakeFiles/dspec_transform.dir/JoinNormalize.cpp.o" "gcc" "src/transform/CMakeFiles/dspec_transform.dir/JoinNormalize.cpp.o.d"
+  "/root/repo/src/transform/Reassociate.cpp" "src/transform/CMakeFiles/dspec_transform.dir/Reassociate.cpp.o" "gcc" "src/transform/CMakeFiles/dspec_transform.dir/Reassociate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dspec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dspec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

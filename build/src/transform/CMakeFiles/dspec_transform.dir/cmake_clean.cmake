@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_transform.dir/JoinNormalize.cpp.o"
+  "CMakeFiles/dspec_transform.dir/JoinNormalize.cpp.o.d"
+  "CMakeFiles/dspec_transform.dir/Reassociate.cpp.o"
+  "CMakeFiles/dspec_transform.dir/Reassociate.cpp.o.d"
+  "libdspec_transform.a"
+  "libdspec_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

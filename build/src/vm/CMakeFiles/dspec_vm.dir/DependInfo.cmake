@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Builtins.cpp" "src/vm/CMakeFiles/dspec_vm.dir/Builtins.cpp.o" "gcc" "src/vm/CMakeFiles/dspec_vm.dir/Builtins.cpp.o.d"
+  "/root/repo/src/vm/Bytecode.cpp" "src/vm/CMakeFiles/dspec_vm.dir/Bytecode.cpp.o" "gcc" "src/vm/CMakeFiles/dspec_vm.dir/Bytecode.cpp.o.d"
+  "/root/repo/src/vm/BytecodeCompiler.cpp" "src/vm/CMakeFiles/dspec_vm.dir/BytecodeCompiler.cpp.o" "gcc" "src/vm/CMakeFiles/dspec_vm.dir/BytecodeCompiler.cpp.o.d"
+  "/root/repo/src/vm/ChunkOptimizer.cpp" "src/vm/CMakeFiles/dspec_vm.dir/ChunkOptimizer.cpp.o" "gcc" "src/vm/CMakeFiles/dspec_vm.dir/ChunkOptimizer.cpp.o.d"
+  "/root/repo/src/vm/Noise.cpp" "src/vm/CMakeFiles/dspec_vm.dir/Noise.cpp.o" "gcc" "src/vm/CMakeFiles/dspec_vm.dir/Noise.cpp.o.d"
+  "/root/repo/src/vm/VM.cpp" "src/vm/CMakeFiles/dspec_vm.dir/VM.cpp.o" "gcc" "src/vm/CMakeFiles/dspec_vm.dir/VM.cpp.o.d"
+  "/root/repo/src/vm/Value.cpp" "src/vm/CMakeFiles/dspec_vm.dir/Value.cpp.o" "gcc" "src/vm/CMakeFiles/dspec_vm.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/dspec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

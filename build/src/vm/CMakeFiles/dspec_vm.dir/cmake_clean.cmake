@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec_vm.dir/Builtins.cpp.o"
+  "CMakeFiles/dspec_vm.dir/Builtins.cpp.o.d"
+  "CMakeFiles/dspec_vm.dir/Bytecode.cpp.o"
+  "CMakeFiles/dspec_vm.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/dspec_vm.dir/BytecodeCompiler.cpp.o"
+  "CMakeFiles/dspec_vm.dir/BytecodeCompiler.cpp.o.d"
+  "CMakeFiles/dspec_vm.dir/ChunkOptimizer.cpp.o"
+  "CMakeFiles/dspec_vm.dir/ChunkOptimizer.cpp.o.d"
+  "CMakeFiles/dspec_vm.dir/Noise.cpp.o"
+  "CMakeFiles/dspec_vm.dir/Noise.cpp.o.d"
+  "CMakeFiles/dspec_vm.dir/VM.cpp.o"
+  "CMakeFiles/dspec_vm.dir/VM.cpp.o.d"
+  "CMakeFiles/dspec_vm.dir/Value.cpp.o"
+  "CMakeFiles/dspec_vm.dir/Value.cpp.o.d"
+  "libdspec_vm.a"
+  "libdspec_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/TestAnalysis.cpp" "tests/CMakeFiles/dspec_tests.dir/TestAnalysis.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestAnalysis.cpp.o.d"
+  "/root/repo/tests/TestBaseline.cpp" "tests/CMakeFiles/dspec_tests.dir/TestBaseline.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestBaseline.cpp.o.d"
+  "/root/repo/tests/TestCacheLimiter.cpp" "tests/CMakeFiles/dspec_tests.dir/TestCacheLimiter.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestCacheLimiter.cpp.o.d"
+  "/root/repo/tests/TestCachingAnalysis.cpp" "tests/CMakeFiles/dspec_tests.dir/TestCachingAnalysis.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestCachingAnalysis.cpp.o.d"
+  "/root/repo/tests/TestChunkOptimizer.cpp" "tests/CMakeFiles/dspec_tests.dir/TestChunkOptimizer.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestChunkOptimizer.cpp.o.d"
+  "/root/repo/tests/TestDotprod.cpp" "tests/CMakeFiles/dspec_tests.dir/TestDotprod.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestDotprod.cpp.o.d"
+  "/root/repo/tests/TestEarlyReturn.cpp" "tests/CMakeFiles/dspec_tests.dir/TestEarlyReturn.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestEarlyReturn.cpp.o.d"
+  "/root/repo/tests/TestEquivalenceProperties.cpp" "tests/CMakeFiles/dspec_tests.dir/TestEquivalenceProperties.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestEquivalenceProperties.cpp.o.d"
+  "/root/repo/tests/TestExplain.cpp" "tests/CMakeFiles/dspec_tests.dir/TestExplain.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestExplain.cpp.o.d"
+  "/root/repo/tests/TestLexer.cpp" "tests/CMakeFiles/dspec_tests.dir/TestLexer.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestLexer.cpp.o.d"
+  "/root/repo/tests/TestMultiSpecialize.cpp" "tests/CMakeFiles/dspec_tests.dir/TestMultiSpecialize.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestMultiSpecialize.cpp.o.d"
+  "/root/repo/tests/TestPaperClaims.cpp" "tests/CMakeFiles/dspec_tests.dir/TestPaperClaims.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestPaperClaims.cpp.o.d"
+  "/root/repo/tests/TestParser.cpp" "tests/CMakeFiles/dspec_tests.dir/TestParser.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestParser.cpp.o.d"
+  "/root/repo/tests/TestPrinterCloner.cpp" "tests/CMakeFiles/dspec_tests.dir/TestPrinterCloner.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestPrinterCloner.cpp.o.d"
+  "/root/repo/tests/TestSema.cpp" "tests/CMakeFiles/dspec_tests.dir/TestSema.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestSema.cpp.o.d"
+  "/root/repo/tests/TestShaderGallery.cpp" "tests/CMakeFiles/dspec_tests.dir/TestShaderGallery.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestShaderGallery.cpp.o.d"
+  "/root/repo/tests/TestShading.cpp" "tests/CMakeFiles/dspec_tests.dir/TestShading.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestShading.cpp.o.d"
+  "/root/repo/tests/TestSpeculation.cpp" "tests/CMakeFiles/dspec_tests.dir/TestSpeculation.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestSpeculation.cpp.o.d"
+  "/root/repo/tests/TestSupport.cpp" "tests/CMakeFiles/dspec_tests.dir/TestSupport.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestSupport.cpp.o.d"
+  "/root/repo/tests/TestTransforms.cpp" "tests/CMakeFiles/dspec_tests.dir/TestTransforms.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestTransforms.cpp.o.d"
+  "/root/repo/tests/TestVM.cpp" "tests/CMakeFiles/dspec_tests.dir/TestVM.cpp.o" "gcc" "tests/CMakeFiles/dspec_tests.dir/TestVM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shading/CMakeFiles/dspec_shading.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/dspec_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dspec_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/specialize/CMakeFiles/dspec_specialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/dspec_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dspec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dspec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dspec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

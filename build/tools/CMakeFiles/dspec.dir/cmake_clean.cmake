@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dspec.dir/dspec.cpp.o"
+  "CMakeFiles/dspec.dir/dspec.cpp.o.d"
+  "dspec"
+  "dspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
