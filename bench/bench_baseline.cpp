@@ -83,13 +83,14 @@ void printComparison() {
          "original while the reader keeps its speedup");
 
   Setup S = Setup::make();
-  VM Machine;
+  RenderEngine &Engine = S.Lab.engine();
+  VM Machine; // the memoizer runs on a bare VM
   auto Controls = ShaderLab::defaultControls(*S.Info);
   unsigned Frames = benchFrames();
   auto Sweep = S.Lab.sweepValues(S.Info->Controls[S.ParamIndex], Frames);
 
   // Data specialization: loader once, reader per frame.
-  S.Spec.load(Machine, S.Lab.grid(), Controls);
+  S.Spec.load(Engine, S.Lab.grid(), Controls);
 
   std::vector<double> OrigT, ReadT, MemoFreshT, MemoRepeatT;
 
@@ -97,9 +98,9 @@ void printComparison() {
   for (unsigned F = 0; F < Frames; ++F) {
     Controls[S.ParamIndex] = Sweep[F];
     auto T0 = std::chrono::steady_clock::now();
-    S.Spec.originalFrame(Machine, S.Lab.grid(), Controls);
+    S.Spec.originalFrame(Engine, S.Lab.grid(), Controls);
     auto T1 = std::chrono::steady_clock::now();
-    S.Spec.readFrame(Machine, S.Lab.grid(), Controls);
+    S.Spec.readFrame(Engine, S.Lab.grid(), Controls);
     auto T2 = std::chrono::steady_clock::now();
     OrigT.push_back(std::chrono::duration<double>(T1 - T0).count());
     ReadT.push_back(std::chrono::duration<double>(T2 - T1).count());

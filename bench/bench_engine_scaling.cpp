@@ -1,0 +1,208 @@
+//===- bench/bench_engine_scaling.cpp - Engine data-path scaling -------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the render-engine data path against the seed's: reader-pass
+/// throughput (pixels/second) for
+///
+///   boxed-serial    the pre-engine path — one std::vector<Value> cache
+///                   per pixel (24-byte tagged boxes, a heap allocation
+///                   per pixel), one VM, a plain loop;
+///   packed-serial   the engine at 1 thread over the packed CacheArena
+///                   (one contiguous allocation, Figure 8 byte counts);
+///   packed-Nt       the engine at 2/4/8 threads.
+///
+/// Prints a table plus one machine-readable JSON line per configuration
+/// (and a summary object), so the scaling curve can be tracked over time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace dspec;
+using namespace dspec::bench;
+
+namespace {
+
+double timeSeconds(const std::function<void()> &Body) {
+  auto Start = std::chrono::steady_clock::now();
+  Body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// The seed's data path: per-pixel boxed caches, one VM, a serial loop.
+struct BoxedSerialPath {
+  const CompiledSpecialization &Compiled;
+  const RenderGrid &Grid;
+  VM Machine;
+  std::vector<Cache> Caches;
+
+  BoxedSerialPath(const CompiledSpecialization &Compiled,
+                  const RenderGrid &Grid)
+      : Compiled(Compiled), Grid(Grid), Caches(Grid.pixelCount()) {}
+
+  bool runChunk(const Chunk &Code, const std::vector<float> &Controls) {
+    std::vector<Value> Args(RenderEngine::NumPixelParams + Controls.size());
+    for (size_t C = 0; C < Controls.size(); ++C)
+      Args[RenderEngine::NumPixelParams + C] = Value::makeFloat(Controls[C]);
+    const auto &Pixels = Grid.pixels();
+    for (unsigned I = 0; I < Grid.pixelCount(); ++I) {
+      Args[0] = Pixels[I].UV;
+      Args[1] = Pixels[I].P;
+      Args[2] = Pixels[I].N;
+      Args[3] = Pixels[I].I;
+      auto R = Machine.run(Code, Args, &Caches[I]);
+      if (!R.ok()) {
+        std::fprintf(stderr, "boxed path trapped: %s\n",
+                     R.TrapMessage.c_str());
+        return false;
+      }
+      benchmark::DoNotOptimize(R.Result);
+    }
+    return true;
+  }
+
+  bool load(const std::vector<float> &Controls) {
+    return runChunk(Compiled.LoaderChunk, Controls);
+  }
+  bool read(const std::vector<float> &Controls) {
+    return runChunk(Compiled.ReaderChunk, Controls);
+  }
+};
+
+struct ScalingRow {
+  std::string Config;
+  unsigned Threads = 1;
+  double FrameSeconds = 0.0;
+  double PixelsPerSecond = 0.0;
+  double SpeedupVsBoxed = 1.0;
+};
+
+void printScaling() {
+  banner("Engine scaling: reader throughput, boxed-serial vs packed arena",
+         "packing the per-pixel caches (Figure 8 byte counts, one "
+         "contiguous arena) and tiling pixels over a thread pool "
+         "compounds the paper's per-frame reader speedup");
+
+  ShaderLab Lab(benchWidth(), benchHeight(), benchFrames());
+  const ShaderInfo *Info = findShader("marble");
+  const size_t ParamIndex = 0; // vary ka
+  auto Spec = Lab.specializePartition(*Info, ParamIndex);
+  if (!Spec) {
+    std::fprintf(stderr, "%s\n", Lab.lastError().c_str());
+    std::abort();
+  }
+  const unsigned Frames = benchFrames();
+  const unsigned Pixels = Lab.grid().pixelCount();
+  auto Controls = ShaderLab::defaultControls(*Info);
+  auto Sweep = Lab.sweepValues(Info->Controls[ParamIndex], Frames);
+
+  std::vector<ScalingRow> Rows;
+
+  // Boxed-serial: the seed's per-pixel std::vector<Value> data path.
+  {
+    BoxedSerialPath Boxed(Spec->compiled(), Lab.grid());
+    if (!Boxed.load(Controls))
+      std::abort();
+    std::vector<double> Times;
+    for (unsigned F = 0; F < Frames; ++F) {
+      Controls[ParamIndex] = Sweep[F];
+      Times.push_back(timeSeconds([&] { Boxed.read(Controls); }));
+    }
+    double T = median(Times);
+    Rows.push_back({"boxed-serial", 1, T, Pixels / T, 1.0});
+  }
+
+  // Packed: the engine over the CacheArena at 1/2/4/8 threads.
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    RenderEngine Engine(Threads);
+    Controls = ShaderLab::defaultControls(*Info);
+    if (!Spec->load(Engine, Lab.grid(), Controls)) {
+      std::fprintf(stderr, "loader trapped: %s\n", Engine.lastTrap().c_str());
+      std::abort();
+    }
+    std::vector<double> Times;
+    for (unsigned F = 0; F < Frames; ++F) {
+      Controls[ParamIndex] = Sweep[F];
+      Times.push_back(timeSeconds(
+          [&] { Spec->readFrame(Engine, Lab.grid(), Controls); }));
+    }
+    double T = median(Times);
+    std::string Name =
+        Threads == 1 ? "packed-serial" : "packed-" + std::to_string(Threads) + "t";
+    Rows.push_back({Name, Threads, T, Pixels / T, Rows[0].FrameSeconds / T});
+  }
+
+  std::printf("marble / vary ka, %ux%u pixels, median of %u frames:\n\n",
+              Lab.grid().width(), Lab.grid().height(), Frames);
+  std::printf("%-14s %8s %12s %14s %10s\n", "config", "threads", "frame ms",
+              "pixels/sec", "vs boxed");
+  for (const ScalingRow &R : Rows)
+    std::printf("%-14s %8u %12.3f %14.0f %9.2fx\n", R.Config.c_str(),
+                R.Threads, R.FrameSeconds * 1e3, R.PixelsPerSecond,
+                R.SpeedupVsBoxed);
+
+  std::printf("\nJSON:\n");
+  std::printf("{\"bench\":\"engine_scaling\",\"shader\":\"marble\","
+              "\"partition\":\"ka\",\"width\":%u,\"height\":%u,"
+              "\"frames\":%u,\"rows\":[",
+              Lab.grid().width(), Lab.grid().height(), Frames);
+  for (size_t I = 0; I < Rows.size(); ++I)
+    std::printf("%s{\"config\":\"%s\",\"threads\":%u,"
+                "\"frame_seconds\":%.9f,\"pixels_per_second\":%.1f,"
+                "\"speedup_vs_boxed\":%.3f}",
+                I ? "," : "", Rows[I].Config.c_str(), Rows[I].Threads,
+                Rows[I].FrameSeconds, Rows[I].PixelsPerSecond,
+                Rows[I].SpeedupVsBoxed);
+  std::printf("]}\n");
+}
+
+// Micro-benchmarks of the same passes for google-benchmark tracking.
+void BM_ReaderFramePacked(benchmark::State &State) {
+  ShaderLab Lab(benchWidth(), benchHeight(), 2);
+  const ShaderInfo *Info = findShader("marble");
+  auto Spec = Lab.specializePartition(*Info, 0);
+  RenderEngine Engine(static_cast<unsigned>(State.range(0)));
+  auto Controls = ShaderLab::defaultControls(*Info);
+  Spec->load(Engine, Lab.grid(), Controls);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Spec->readFrame(Engine, Lab.grid(), Controls));
+  State.SetItemsProcessed(State.iterations() * Lab.grid().pixelCount());
+}
+BENCHMARK(BM_ReaderFramePacked)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReaderFrameBoxed(benchmark::State &State) {
+  ShaderLab Lab(benchWidth(), benchHeight(), 2);
+  const ShaderInfo *Info = findShader("marble");
+  auto Spec = Lab.specializePartition(*Info, 0);
+  BoxedSerialPath Boxed(Spec->compiled(), Lab.grid());
+  auto Controls = ShaderLab::defaultControls(*Info);
+  Boxed.load(Controls);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Boxed.read(Controls));
+  State.SetItemsProcessed(State.iterations() * Lab.grid().pixelCount());
+}
+BENCHMARK(BM_ReaderFrameBoxed)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printScaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

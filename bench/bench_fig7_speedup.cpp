@@ -74,11 +74,11 @@ void BM_MarbleOriginalFrame(benchmark::State &State) {
   ShaderLab Lab(benchWidth(), benchHeight(), 2);
   const ShaderInfo *Info = findShader("marble");
   auto Spec = Lab.specializePartition(*Info, 0);
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   auto Controls = ShaderLab::defaultControls(*Info);
   for (auto _ : State)
     benchmark::DoNotOptimize(
-        Spec->originalFrame(Machine, Lab.grid(), Controls));
+        Spec->originalFrame(Engine, Lab.grid(), Controls));
 }
 BENCHMARK(BM_MarbleOriginalFrame)->Unit(benchmark::kMillisecond);
 
@@ -86,11 +86,11 @@ void BM_MarbleReaderFrame(benchmark::State &State) {
   ShaderLab Lab(benchWidth(), benchHeight(), 2);
   const ShaderInfo *Info = findShader("marble");
   auto Spec = Lab.specializePartition(*Info, 0); // vary ka
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   auto Controls = ShaderLab::defaultControls(*Info);
-  Spec->load(Machine, Lab.grid(), Controls);
+  Spec->load(Engine, Lab.grid(), Controls);
   for (auto _ : State)
-    benchmark::DoNotOptimize(Spec->readFrame(Machine, Lab.grid(), Controls));
+    benchmark::DoNotOptimize(Spec->readFrame(Engine, Lab.grid(), Controls));
 }
 BENCHMARK(BM_MarbleReaderFrame)->Unit(benchmark::kMillisecond);
 

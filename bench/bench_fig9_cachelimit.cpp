@@ -77,11 +77,11 @@ void BM_RingsReaderLimited16B(benchmark::State &State) {
   SpecializerOptions Options;
   Options.CacheByteLimit = 16;
   auto Spec = Lab.specializePartition(*Info, 8, Options); // lightx
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   auto Controls = ShaderLab::defaultControls(*Info);
-  Spec->load(Machine, Lab.grid(), Controls);
+  Spec->load(Engine, Lab.grid(), Controls);
   for (auto _ : State)
-    benchmark::DoNotOptimize(Spec->readFrame(Machine, Lab.grid(), Controls));
+    benchmark::DoNotOptimize(Spec->readFrame(Engine, Lab.grid(), Controls));
 }
 BENCHMARK(BM_RingsReaderLimited16B)->Unit(benchmark::kMillisecond);
 

@@ -23,7 +23,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
-#include "shading/RenderContext.h"
+#include "engine/CacheArena.h"
+#include "engine/RenderContext.h"
 #include "vm/VM.h"
 
 #include <chrono>
@@ -99,7 +100,9 @@ int main(int Argc, char **Argv) {
                 Spec->Spec.Layout.totalBytes() * Width * Height / 1024.0);
 
     VM Machine;
-    std::vector<Cache> Caches(static_cast<size_t>(Width) * Height);
+    // One contiguous packed allocation for every pixel's cache: exactly
+    // layout-bytes x pixels, instead of one boxed vector per pixel.
+    CacheArena Arena(Width * Height, Spec->Spec.Layout);
     Framebuffer Image(Width, Height);
 
     // Control values: center/zoom/angle fixed, the varying one sweeps.
@@ -119,7 +122,7 @@ int main(int Argc, char **Argv) {
     for (unsigned Y = 0; Y < Height; ++Y)
       for (unsigned X = 0; X < Width; ++X)
         Machine.run(Spec->LoaderChunk, ArgsFor(X, Y),
-                    &Caches[size_t(Y) * Width + X]);
+                    Arena.view(Y * Width + X));
     T.LoaderMs = msSince(Start);
 
     for (float V : S.SweepValues) {
@@ -131,7 +134,7 @@ int main(int Argc, char **Argv) {
       for (unsigned Y = 0; Y < Height; ++Y)
         for (unsigned X = 0; X < Width; ++X) {
           auto R = Machine.run(Spec->ReaderChunk, ArgsFor(X, Y),
-                               &Caches[size_t(Y) * Width + X]);
+                               Arena.view(Y * Width + X));
           float G = R.Result.asFloat();
           Image.at(X, Y) = Value::makeVec3(G, G, G);
         }

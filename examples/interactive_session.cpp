@@ -68,7 +68,7 @@ int main(int Argc, char **Argv) {
       {7, 6}, {3, 4}, {7, 3}, {11, 8}, {0, 5}, {3, 2},
   };
 
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   auto Controls = ShaderLab::defaultControls(*Info);
   double StagedSeconds = 0.0, OriginalSeconds = 0.0;
   unsigned Frames = 0;
@@ -83,7 +83,7 @@ int main(int Argc, char **Argv) {
     // Grabbing the slider: the fixed context for this partition is the
     // current value of everything else -> run the loader once.
     auto Start = std::chrono::steady_clock::now();
-    if (!Spec.load(Machine, Lab.grid(), Controls)) {
+    if (!Spec.load(Engine, Lab.grid(), Controls)) {
       std::fprintf(stderr, "loader trapped\n");
       return 1;
     }
@@ -95,7 +95,7 @@ int main(int Argc, char **Argv) {
     for (unsigned T = 0; T < Tweaks; ++T) {
       Controls[ParamIndex] = Sweep[T];
       Start = std::chrono::steady_clock::now();
-      if (!Spec.readFrame(Machine, Lab.grid(), Controls)) {
+      if (!Spec.readFrame(Engine, Lab.grid(), Controls)) {
         std::fprintf(stderr, "reader trapped\n");
         return 1;
       }
@@ -103,7 +103,7 @@ int main(int Argc, char **Argv) {
 
       // Baseline: what the unstaged renderer would have done.
       Start = std::chrono::steady_clock::now();
-      Spec.originalFrame(Machine, Lab.grid(), Controls);
+      Spec.originalFrame(Engine, Lab.grid(), Controls);
       OriginalSeconds += secondsSince(Start);
       ++Frames;
     }

@@ -63,13 +63,13 @@ int main(int Argc, char **Argv) {
               Spec->compiled().Spec.Layout.totalBytes(),
               Lab.grid().pixelCount());
 
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   auto Controls = ShaderLab::defaultControls(*Info);
 
   // Early phase: one loader pass fills every pixel's cache (this also
   // renders the first frame).
   auto T0 = std::chrono::steady_clock::now();
-  if (!Spec->load(Machine, Lab.grid(), Controls)) {
+  if (!Spec->load(Engine, Lab.grid(), Controls)) {
     std::fprintf(stderr, "loader trapped\n");
     return 1;
   }
@@ -83,13 +83,13 @@ int main(int Argc, char **Argv) {
     Controls[ParamIndex] = V;
     Framebuffer Frame(Width, Height);
     auto R0 = std::chrono::steady_clock::now();
-    if (!Spec->readFrame(Machine, Lab.grid(), Controls, &Frame)) {
+    if (!Spec->readFrame(Engine, Lab.grid(), Controls, &Frame)) {
       std::fprintf(stderr, "reader trapped\n");
       return 1;
     }
     auto R1 = std::chrono::steady_clock::now();
     Framebuffer Reference(Width, Height);
-    if (!Spec->originalFrame(Machine, Lab.grid(), Controls, &Reference)) {
+    if (!Spec->originalFrame(Engine, Lab.grid(), Controls, &Reference)) {
       std::fprintf(stderr, "original trapped\n");
       return 1;
     }

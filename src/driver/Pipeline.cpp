@@ -11,6 +11,8 @@
 #include "lang/Sema.h"
 #include "vm/BytecodeCompiler.h"
 
+#include <cassert>
+
 using namespace dspec;
 
 std::unique_ptr<CompilationUnit> dspec::parseUnit(std::string_view Source) {
@@ -64,6 +66,21 @@ dspec::specializeAndCompile(CompilationUnit &Unit,
   Out.OriginalChunk = BytecodeCompiler().compile(F);
   Out.LoaderChunk = BytecodeCompiler().compile(Out.Spec.Loader);
   Out.ReaderChunk = BytecodeCompiler().compile(Out.Spec.Reader);
+
+  // The CacheLayout is the authoritative runtime layout: stamp both cache
+  // chunks with its full extent (the compiler only sees the slots each
+  // chunk touches) so caches are always sized for the whole layout.
+  const CacheLayout &Layout = Out.Spec.Layout;
+  assert(Out.LoaderChunk.CacheSlotCount <= Layout.slotCount() &&
+         Out.LoaderChunk.CacheBytes <= Layout.totalBytes() &&
+         "loader accesses slots outside the finalized layout");
+  assert(Out.ReaderChunk.CacheSlotCount <= Layout.slotCount() &&
+         Out.ReaderChunk.CacheBytes <= Layout.totalBytes() &&
+         "reader accesses slots outside the finalized layout");
+  Out.LoaderChunk.CacheSlotCount = Layout.slotCount();
+  Out.LoaderChunk.CacheBytes = Layout.totalBytes();
+  Out.ReaderChunk.CacheSlotCount = Layout.slotCount();
+  Out.ReaderChunk.CacheBytes = Layout.totalBytes();
   return Out;
 }
 

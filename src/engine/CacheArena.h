@@ -1,0 +1,87 @@
+//===- engine/CacheArena.h - Packed per-pixel cache storage -----*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One contiguous allocation holding every pixel's packed specialization
+/// cache for a full render grid: pixelCount x CacheLayout::totalBytes()
+/// bytes, pixel-major. This replaces the seed's per-pixel
+/// std::vector<Value> caches (24-byte tagged boxes, one heap allocation
+/// per pixel) with exactly the densely packed buffers the paper's
+/// Figure 8 byte counts describe, so the reader pass's working set equals
+/// the reported cache size and scans memory linearly.
+///
+/// The arena copies the layout it was built from, so views and decoding
+/// stay valid regardless of where the owning specialization moves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_ENGINE_CACHEARENA_H
+#define DATASPEC_ENGINE_CACHEARENA_H
+
+#include "specialize/CacheLayout.h"
+#include "vm/CacheView.h"
+
+#include <vector>
+
+namespace dspec {
+
+/// Packed cache storage for a whole pixel grid.
+class CacheArena {
+public:
+  CacheArena() = default;
+
+  CacheArena(unsigned PixelCount, const CacheLayout &CacheShape) {
+    reset(PixelCount, CacheShape);
+  }
+
+  /// (Re)shapes the arena: one stride of CacheShape.totalBytes() per
+  /// pixel, zero-initialized, in a single allocation.
+  void reset(unsigned PixelCount, const CacheLayout &CacheShape) {
+    Shape = CacheShape;
+    Pixels = PixelCount;
+    Stride = CacheShape.totalBytes();
+    Storage.assign(static_cast<size_t>(Pixels) * Stride, 0);
+  }
+
+  unsigned pixelCount() const { return Pixels; }
+  unsigned strideBytes() const { return Stride; }
+  size_t totalBytes() const { return Storage.size(); }
+  const CacheLayout &layout() const { return Shape; }
+
+  /// The packed cache of one pixel.
+  CacheView view(unsigned Pixel) {
+    return CacheView(Storage.data() + static_cast<size_t>(Pixel) * Stride,
+                     Stride);
+  }
+  CacheView view(unsigned Pixel) const {
+    // Loads only; the VM never writes through a loader-less pass.
+    return CacheView(
+        const_cast<unsigned char *>(Storage.data()) +
+            static_cast<size_t>(Pixel) * Stride,
+        Stride);
+  }
+
+  /// Decodes one pixel's cache into boxed values, slot by slot (test and
+  /// debugging aid; the render path never boxes).
+  std::vector<Value> decode(unsigned Pixel) const {
+    std::vector<Value> Out;
+    Out.reserve(Shape.slotCount());
+    CacheView View = view(Pixel);
+    for (const CacheSlot &Slot : Shape.slots())
+      Out.push_back(View.load(Slot.Offset, Slot.SlotType.kind()));
+    return Out;
+  }
+
+private:
+  std::vector<unsigned char> Storage;
+  CacheLayout Shape;
+  unsigned Pixels = 0;
+  unsigned Stride = 0;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_ENGINE_CACHEARENA_H

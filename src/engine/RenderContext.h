@@ -1,0 +1,85 @@
+//===- engine/RenderContext.h - Per-pixel fixed inputs ---------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic per-pixel rendering contexts. The paper's shaders receive
+/// "the pixel coordinates [and] various rendering information specific to
+/// the pixel" from the interactive renderer of [GKR95]; we substitute a
+/// procedural scene — a wavy height-field patch with analytic normals and
+/// a fixed eye point — that produces the same four standard inputs every
+/// gallery shader takes:
+///
+///   vec2 uv   texture coordinates in [0,1]^2
+///   vec3 P    surface position
+///   vec3 N    unit surface normal
+///   vec3 I    unit direction from the surface point toward the eye
+///
+/// These are *fixed* inputs in every input partition (the user only drags
+/// control parameters), which is what makes one cache per pixel viable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_ENGINE_RENDERCONTEXT_H
+#define DATASPEC_ENGINE_RENDERCONTEXT_H
+
+#include "vm/Value.h"
+
+#include <vector>
+
+namespace dspec {
+
+/// The fixed inputs of one pixel.
+struct PixelInput {
+  Value UV;
+  Value P;
+  Value N;
+  Value I;
+};
+
+/// A W x H grid of per-pixel fixed inputs over the procedural patch.
+class RenderGrid {
+public:
+  RenderGrid(unsigned Width, unsigned Height);
+
+  unsigned width() const { return W; }
+  unsigned height() const { return H; }
+  unsigned pixelCount() const { return static_cast<unsigned>(Inputs.size()); }
+  const std::vector<PixelInput> &pixels() const { return Inputs; }
+
+private:
+  unsigned W;
+  unsigned H;
+  std::vector<PixelInput> Inputs;
+};
+
+/// A trivially small framebuffer for the examples: vec3 colors.
+class Framebuffer {
+public:
+  Framebuffer(unsigned Width, unsigned Height)
+      : W(Width), H(Height), Pixels(static_cast<size_t>(Width) * Height) {}
+
+  unsigned width() const { return W; }
+  unsigned height() const { return H; }
+  Value &at(unsigned X, unsigned Y) { return Pixels[size_t(Y) * W + X]; }
+  const Value &at(unsigned X, unsigned Y) const {
+    return Pixels[size_t(Y) * W + X];
+  }
+
+  /// Renders the luminance of the image as ASCII art (examples print it).
+  std::string asciiArt() const;
+
+  /// Writes a binary PPM (P6) image file. Returns false on I/O failure.
+  bool writePPM(const std::string &Path) const;
+
+private:
+  unsigned W;
+  unsigned H;
+  std::vector<Value> Pixels;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_ENGINE_RENDERCONTEXT_H

@@ -1,0 +1,121 @@
+//===- engine/RenderEngine.cpp - Batched multi-threaded renderer -----------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/RenderEngine.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace dspec;
+
+RenderEngine::RenderEngine(unsigned Threads, unsigned TilePixels)
+    : Pool(std::make_unique<ThreadPool>(Threads)),
+      TileSize(TilePixels == 0 ? 1 : TilePixels) {
+  Machines.resize(Pool->workerCount());
+}
+
+bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
+                           const std::vector<float> &Controls,
+                           CacheArena *Arena, Framebuffer *Out) {
+  assert((!Out || (Out->width() == Grid.width() &&
+                   Out->height() == Grid.height())) &&
+         "framebuffer does not match the grid");
+
+  const std::vector<PixelInput> &Pixels = Grid.pixels();
+  const size_t Count = Grid.pixelCount();
+  const size_t Tiles = (Count + TileSize - 1) / TileSize;
+  const unsigned Width = Grid.width();
+
+  /// Per-worker frame state: the reusable argument vector plus the first
+  /// trap this worker hit.
+  struct WorkerState {
+    std::vector<Value> Args;
+    size_t TrapPixel = SIZE_MAX;
+    std::string TrapMessage;
+  };
+  std::vector<WorkerState> States(Pool->workerCount());
+  for (WorkerState &S : States) {
+    S.Args.resize(NumPixelParams + Controls.size());
+    for (size_t C = 0; C < Controls.size(); ++C)
+      S.Args[NumPixelParams + C] = Value::makeFloat(Controls[C]);
+  }
+
+  std::atomic<bool> AnyTrap{false};
+
+  Pool->parallelFor(Tiles, [&](unsigned Worker, size_t Tile) {
+    if (AnyTrap.load(std::memory_order_relaxed))
+      return; // the pass already failed; stop starting new tiles
+    WorkerState &S = States[Worker];
+    VM &Machine = Machines[Worker];
+    const size_t Begin = Tile * TileSize;
+    const size_t End = Begin + TileSize < Count ? Begin + TileSize : Count;
+    for (size_t Index = Begin; Index < End; ++Index) {
+      const PixelInput &In = Pixels[Index];
+      S.Args[0] = In.UV;
+      S.Args[1] = In.P;
+      S.Args[2] = In.N;
+      S.Args[3] = In.I;
+      ExecResult R =
+          Arena ? Machine.run(Code, S.Args,
+                              Arena->view(static_cast<unsigned>(Index)))
+                : Machine.run(Code, S.Args);
+      if (!R.ok()) {
+        if (Index < S.TrapPixel) {
+          S.TrapPixel = Index;
+          S.TrapMessage = R.TrapMessage;
+        }
+        AnyTrap.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (Out)
+        Out->at(static_cast<unsigned>(Index) % Width,
+                static_cast<unsigned>(Index) / Width) = R.Result;
+    }
+  });
+
+  if (AnyTrap.load(std::memory_order_relaxed)) {
+    // Report the lowest-numbered trapping pixel so failures read the same
+    // at every thread count.
+    size_t Best = SIZE_MAX;
+    for (const WorkerState &S : States)
+      if (S.TrapPixel < Best) {
+        Best = S.TrapPixel;
+        LastTrap = "pixel " + std::to_string(Best) + ": " + S.TrapMessage;
+      }
+    return false;
+  }
+  return true;
+}
+
+bool RenderEngine::loaderPass(const Chunk &Loader, const CacheLayout &Layout,
+                              const RenderGrid &Grid,
+                              const std::vector<float> &Controls,
+                              CacheArena &Arena, Framebuffer *Out) {
+  assert(Loader.CacheBytes <= Layout.totalBytes() &&
+         "loader was compiled against a larger layout");
+  if (Arena.pixelCount() != Grid.pixelCount() ||
+      Arena.strideBytes() != Layout.totalBytes())
+    Arena.reset(Grid.pixelCount(), Layout);
+  return runPass(Loader, Grid, Controls, &Arena, Out);
+}
+
+bool RenderEngine::readerPass(const Chunk &Reader, const RenderGrid &Grid,
+                              const std::vector<float> &Controls,
+                              const CacheArena &Arena, Framebuffer *Out) {
+  assert(Arena.pixelCount() == Grid.pixelCount() &&
+         Arena.strideBytes() >= Reader.CacheBytes &&
+         "arena was not loaded for this grid and layout");
+  // Readers contain cache loads only (the splitter never emits stores in
+  // the dynamic projection), so the arena stays untouched.
+  return runPass(Reader, Grid, Controls, const_cast<CacheArena *>(&Arena),
+                 Out);
+}
+
+bool RenderEngine::plainPass(const Chunk &Original, const RenderGrid &Grid,
+                             const std::vector<float> &Controls,
+                             Framebuffer *Out) {
+  return runPass(Original, Grid, Controls, nullptr, Out);
+}

@@ -1,0 +1,93 @@
+//===- engine/RenderEngine.h - Batched multi-threaded renderer --*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched render engine: executes a compiled chunk over every pixel
+/// of a RenderGrid in tile-sized work items on a small thread pool, one
+/// VM per worker. Three pass kinds mirror the paper's phases:
+///
+///   loaderPass    runs the cache loader once per fixed-input change,
+///                 filling the grid's packed CacheArena (and optionally a
+///                 framebuffer — the loader also computes the result);
+///   readerPass    runs the cache reader once per parameter edit against
+///                 the loaded arena;
+///   plainPass     runs the unspecialized original (the baseline).
+///
+/// Determinism: a pixel's output depends only on its own inputs and its
+/// own cache stride, every pixel is computed exactly once, and workers
+/// write to disjoint framebuffer/arena regions — so the framebuffer is
+/// bit-identical for every thread count and tile size. (Per-VM effects
+/// like dsc_trace logs land on whichever worker ran the pixel; the
+/// gallery shaders use none.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_ENGINE_RENDERENGINE_H
+#define DATASPEC_ENGINE_RENDERENGINE_H
+
+#include "engine/CacheArena.h"
+#include "engine/RenderContext.h"
+#include "engine/ThreadPool.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dspec {
+
+/// Runs chunks over pixel grids. Reusable across shaders and frames; the
+/// pool and per-worker VMs are created once.
+class RenderEngine {
+public:
+  /// Number of standard per-pixel parameters every renderable fragment
+  /// takes before its controls: (uv, P, N, I) from the PixelInput.
+  static constexpr unsigned NumPixelParams = 4;
+
+  /// \p Threads workers (0 = one per hardware thread); pixels are handed
+  /// out in tiles of \p TilePixels.
+  explicit RenderEngine(unsigned Threads = 1, unsigned TilePixels = 128);
+
+  unsigned threadCount() const { return Pool->workerCount(); }
+  unsigned tilePixels() const { return TileSize; }
+
+  /// Runs the loader over every pixel, filling \p Arena (which is reshaped
+  /// to the grid and the chunk's layout extent if it does not match).
+  /// Returns false on any trap; lastTrap() has the message.
+  bool loaderPass(const Chunk &Loader, const CacheLayout &Layout,
+                  const RenderGrid &Grid, const std::vector<float> &Controls,
+                  CacheArena &Arena, Framebuffer *Out = nullptr);
+
+  /// Runs the reader over every pixel against a loaded \p Arena.
+  bool readerPass(const Chunk &Reader, const RenderGrid &Grid,
+                  const std::vector<float> &Controls, const CacheArena &Arena,
+                  Framebuffer *Out = nullptr);
+
+  /// Runs an unspecialized fragment over every pixel.
+  bool plainPass(const Chunk &Original, const RenderGrid &Grid,
+                 const std::vector<float> &Controls,
+                 Framebuffer *Out = nullptr);
+
+  /// Trap message of the last failing pass (first trapping pixel in pixel
+  /// order, so failures are deterministic too).
+  const std::string &lastTrap() const { return LastTrap; }
+
+private:
+  bool runPass(const Chunk &Code, const RenderGrid &Grid,
+               const std::vector<float> &Controls, CacheArena *Arena,
+               Framebuffer *Out);
+
+  // Held by pointer so the engine stays movable (the pool owns mutexes
+  // and worker threads, which pin it in place).
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<VM> Machines; // one per worker
+  unsigned TileSize;
+  std::string LastTrap;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_ENGINE_RENDERENGINE_H

@@ -1,0 +1,88 @@
+//===- engine/ThreadPool.cpp - Small worker pool ---------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ThreadPool.h"
+
+using namespace dspec;
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+  Threads.reserve(Workers - 1);
+  for (unsigned I = 1; I < Workers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::drain(unsigned WorkerIndex) {
+  size_t Item;
+  while ((Item = NextItem.fetch_add(1, std::memory_order_relaxed)) <
+         JobItemCount)
+    (*Job)(WorkerIndex, Item);
+}
+
+void ThreadPool::workerLoop(unsigned WorkerIndex) {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+    }
+    drain(WorkerIndex);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--ActiveWorkers == 0)
+        JobDone.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(
+    size_t ItemCount, const std::function<void(unsigned, size_t)> &Fn) {
+  if (ItemCount == 0)
+    return;
+
+  // Serial pool: run inline with zero synchronization.
+  if (Threads.empty()) {
+    for (size_t Item = 0; Item < ItemCount; ++Item)
+      Fn(0, Item);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Job = &Fn;
+    JobItemCount = ItemCount;
+    NextItem.store(0, std::memory_order_relaxed);
+    ActiveWorkers = static_cast<unsigned>(Threads.size());
+    ++Generation;
+  }
+  WakeWorkers.notify_all();
+
+  // The calling thread is worker 0 and helps drain the items.
+  drain(0);
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  JobDone.wait(Lock, [&] { return ActiveWorkers == 0; });
+  Job = nullptr;
+}

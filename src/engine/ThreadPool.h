@@ -1,0 +1,73 @@
+//===- engine/ThreadPool.h - Small worker pool ------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed pool of workers driving parallelFor over an index space.
+/// Items are handed out through an atomic counter, so any worker can take
+/// any item; callers must make items write to disjoint state (the render
+/// engine's tiles do). With one worker the calling thread runs everything
+/// inline — no threads, no synchronization — which keeps the serial
+/// configuration an honest baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_ENGINE_THREADPOOL_H
+#define DATASPEC_ENGINE_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dspec {
+
+/// Persistent worker pool. Workers sleep between parallelFor calls.
+class ThreadPool {
+public:
+  /// \p Workers total workers including the calling thread; 0 means one
+  /// per hardware thread. A pool of size 1 spawns no threads.
+  explicit ThreadPool(unsigned Workers = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total workers participating in parallelFor (spawned threads + the
+  /// calling thread).
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Threads.size()) + 1;
+  }
+
+  /// Runs Fn(WorkerIndex, Item) for every Item in [0, ItemCount), spread
+  /// over all workers. WorkerIndex is in [0, workerCount()); index 0 is
+  /// the calling thread. Blocks until every item has completed.
+  void parallelFor(size_t ItemCount,
+                   const std::function<void(unsigned, size_t)> &Fn);
+
+private:
+  void workerLoop(unsigned WorkerIndex);
+  void drain(unsigned WorkerIndex);
+
+  std::vector<std::thread> Threads;
+
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable JobDone;
+  const std::function<void(unsigned, size_t)> *Job = nullptr;
+  size_t JobItemCount = 0;
+  std::atomic<size_t> NextItem{0};
+  unsigned ActiveWorkers = 0;
+  uint64_t Generation = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_ENGINE_THREADPOOL_H

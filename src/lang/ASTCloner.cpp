@@ -71,13 +71,15 @@ Expr *ASTCloner::cloneExprStructure(Expr *E) {
   }
   case ExprKind::EK_CacheRead: {
     auto *Read = cast<CacheReadExpr>(E);
-    Out = Ctx.create<CacheReadExpr>(Read->slot(), Read->type(), E->loc());
+    Out = Ctx.create<CacheReadExpr>(Read->slot(), Read->type(), E->loc(),
+                                    Read->byteOffset());
     break;
   }
   case ExprKind::EK_CacheStore: {
     auto *Store = cast<CacheStoreExpr>(E);
     Out = Ctx.create<CacheStoreExpr>(Store->slot(),
-                                     cloneExpr(Store->operand()), E->loc());
+                                     cloneExpr(Store->operand()), E->loc(),
+                                     Store->byteOffset());
     break;
   }
   }

@@ -319,12 +319,19 @@ private:
 /// splitting transformation.
 class CacheReadExpr : public Expr {
 public:
-  CacheReadExpr(unsigned Slot, Type SlotType, SourceLoc Loc)
-      : Expr(ExprKind::EK_CacheRead, Loc), Slot(Slot) {
+  CacheReadExpr(unsigned Slot, Type SlotType, SourceLoc Loc,
+                unsigned ByteOffset = 0)
+      : Expr(ExprKind::EK_CacheRead, Loc), Slot(Slot),
+        ByteOffset(ByteOffset) {
     setType(SlotType);
   }
 
   unsigned slot() const { return Slot; }
+
+  /// Byte offset of the slot in the packed cache buffer, as assigned by
+  /// the specialization's CacheLayout (the authoritative runtime layout).
+  unsigned byteOffset() const { return ByteOffset; }
+  void setByteOffset(unsigned Offset) { ByteOffset = Offset; }
 
   static bool classof(const Expr *E) {
     return E->kind() == ExprKind::EK_CacheRead;
@@ -332,6 +339,7 @@ public:
 
 private:
   unsigned Slot;
+  unsigned ByteOffset;
 };
 
 /// Loader-side store to a cache slot: `cache->slotN = (operand)`. Evaluates
@@ -339,14 +347,21 @@ private:
 /// by the splitting transformation.
 class CacheStoreExpr : public Expr {
 public:
-  CacheStoreExpr(unsigned Slot, Expr *Operand, SourceLoc Loc)
-      : Expr(ExprKind::EK_CacheStore, Loc), Slot(Slot), Operand(Operand) {
+  CacheStoreExpr(unsigned Slot, Expr *Operand, SourceLoc Loc,
+                 unsigned ByteOffset = 0)
+      : Expr(ExprKind::EK_CacheStore, Loc), Slot(Slot), Operand(Operand),
+        ByteOffset(ByteOffset) {
     setType(Operand->type());
   }
 
   unsigned slot() const { return Slot; }
   Expr *operand() const { return Operand; }
   void setOperand(Expr *E) { Operand = E; }
+
+  /// Byte offset of the slot in the packed cache buffer, as assigned by
+  /// the specialization's CacheLayout (the authoritative runtime layout).
+  unsigned byteOffset() const { return ByteOffset; }
+  void setByteOffset(unsigned Offset) { ByteOffset = Offset; }
 
   static bool classof(const Expr *E) {
     return E->kind() == ExprKind::EK_CacheStore;
@@ -355,6 +370,7 @@ public:
 private:
   unsigned Slot;
   Expr *Operand;
+  unsigned ByteOffset;
 };
 
 } // namespace dspec

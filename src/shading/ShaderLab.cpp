@@ -12,64 +12,45 @@
 
 using namespace dspec;
 
+static_assert(ShaderInfo::NumPixelParams == RenderEngine::NumPixelParams,
+              "gallery shaders and the engine must agree on the per-pixel "
+              "parameter convention");
+
 SpecializedShader::SpecializedShader(CompiledSpecialization Compiled,
                                      const ShaderInfo &Info,
                                      size_t VaryingIndex)
     : Compiled(std::move(Compiled)), Info(Info), VaryingIndex(VaryingIndex) {}
 
-bool SpecializedShader::runChunkOverGrid(VM &Machine, const Chunk &Code,
-                                         const RenderGrid &Grid,
-                                         const std::vector<float> &Controls,
-                                         bool UseCaches, Framebuffer *Out) {
+bool SpecializedShader::load(RenderEngine &Engine, const RenderGrid &Grid,
+                             const std::vector<float> &Controls,
+                             Framebuffer *Out) {
   assert(Controls.size() == Info.Controls.size() &&
          "control vector arity mismatch");
-  if (UseCaches && Caches.size() != Grid.pixelCount())
-    Caches.assign(Grid.pixelCount(), Cache());
-
-  std::vector<Value> Args(ShaderInfo::NumPixelParams + Controls.size());
-  for (size_t C = 0; C < Controls.size(); ++C)
-    Args[ShaderInfo::NumPixelParams + C] = Value::makeFloat(Controls[C]);
-
-  const auto &Pixels = Grid.pixels();
-  for (unsigned Index = 0; Index < Grid.pixelCount(); ++Index) {
-    const PixelInput &In = Pixels[Index];
-    Args[0] = In.UV;
-    Args[1] = In.P;
-    Args[2] = In.N;
-    Args[3] = In.I;
-    ExecResult R =
-        Machine.run(Code, Args, UseCaches ? &Caches[Index] : nullptr);
-    if (!R.ok())
-      return false;
-    if (Out)
-      Out->at(Index % Grid.width(), Index / Grid.width()) = R.Result;
-  }
-  return true;
+  return Engine.loaderPass(Compiled.LoaderChunk, Compiled.Spec.Layout, Grid,
+                           Controls, Arena, Out);
 }
 
-bool SpecializedShader::load(VM &Machine, const RenderGrid &Grid,
-                             const std::vector<float> &Controls) {
-  return runChunkOverGrid(Machine, Compiled.LoaderChunk, Grid, Controls,
-                          /*UseCaches=*/true, nullptr);
-}
-
-bool SpecializedShader::readFrame(VM &Machine, const RenderGrid &Grid,
+bool SpecializedShader::readFrame(RenderEngine &Engine, const RenderGrid &Grid,
                                   const std::vector<float> &Controls,
                                   Framebuffer *Out) {
-  return runChunkOverGrid(Machine, Compiled.ReaderChunk, Grid, Controls,
-                          /*UseCaches=*/true, Out);
+  assert(Controls.size() == Info.Controls.size() &&
+         "control vector arity mismatch");
+  return Engine.readerPass(Compiled.ReaderChunk, Grid, Controls, Arena, Out);
 }
 
-bool SpecializedShader::originalFrame(VM &Machine, const RenderGrid &Grid,
+bool SpecializedShader::originalFrame(RenderEngine &Engine,
+                                      const RenderGrid &Grid,
                                       const std::vector<float> &Controls,
                                       Framebuffer *Out) {
-  return runChunkOverGrid(Machine, Compiled.OriginalChunk, Grid, Controls,
-                          /*UseCaches=*/false, Out);
+  assert(Controls.size() == Info.Controls.size() &&
+         "control vector arity mismatch");
+  return Engine.plainPass(Compiled.OriginalChunk, Grid, Controls, Out);
 }
 
 ShaderLab::ShaderLab(unsigned Width, unsigned Height,
-                     unsigned FramesPerMeasurement)
-    : Grid(Width, Height), FramesPerMeasurement(FramesPerMeasurement) {}
+                     unsigned FramesPerMeasurement, unsigned Threads)
+    : Grid(Width, Height), Engine(Threads),
+      FramesPerMeasurement(FramesPerMeasurement) {}
 
 CompilationUnit *ShaderLab::unitFor(const ShaderInfo &Info) {
   for (auto &[Name, Unit] : Units)
@@ -160,15 +141,14 @@ ShaderLab::measurePartition(const ShaderInfo &Info, size_t VaryingIndex,
   Report.CacheBytes = Spec->compiled().Spec.Layout.totalBytes();
   Report.CacheSlots = Spec->compiled().Spec.Layout.slotCount();
 
-  VM Machine;
   std::vector<float> Controls = defaultControls(Info);
   std::vector<float> Sweep =
       sweepValues(Info.Controls[VaryingIndex], FramesPerMeasurement);
 
-  // Warm up and verify one loader pass (also fills the caches).
-  if (!Spec->load(Machine, Grid, Controls)) {
+  // Warm up and verify one loader pass (also fills the arena).
+  if (!Spec->load(Engine, Grid, Controls)) {
     LastError = "loader trapped for '" + Info.Name + "' / '" +
-                Report.ParamName + "'";
+                Report.ParamName + "': " + Engine.lastTrap();
     return std::nullopt;
   }
 
@@ -177,12 +157,12 @@ ShaderLab::measurePartition(const ShaderInfo &Info, size_t VaryingIndex,
     Controls[VaryingIndex] = Sweep[Frame];
     bool OK = true;
     OrigTimes.push_back(timeSeconds(
-        [&] { OK &= Spec->originalFrame(Machine, Grid, Controls); }));
+        [&] { OK &= Spec->originalFrame(Engine, Grid, Controls); }));
     ReadTimes.push_back(
-        timeSeconds([&] { OK &= Spec->readFrame(Machine, Grid, Controls); }));
+        timeSeconds([&] { OK &= Spec->readFrame(Engine, Grid, Controls); }));
     if (!OK) {
       LastError = "frame trapped for '" + Info.Name + "' / '" +
-                  Report.ParamName + "'";
+                  Report.ParamName + "': " + Engine.lastTrap();
       return std::nullopt;
     }
   }
@@ -191,9 +171,10 @@ ShaderLab::measurePartition(const ShaderInfo &Info, size_t VaryingIndex,
   for (unsigned Frame = 0; Frame < FramesPerMeasurement; ++Frame) {
     bool OK = true;
     LoadTimes.push_back(
-        timeSeconds([&] { OK &= Spec->load(Machine, Grid, Controls); }));
+        timeSeconds([&] { OK &= Spec->load(Engine, Grid, Controls); }));
     if (!OK) {
-      LastError = "loader trapped for '" + Info.Name + "'";
+      LastError = "loader trapped for '" + Info.Name +
+                  "': " + Engine.lastTrap();
       return std::nullopt;
     }
   }

@@ -20,9 +20,10 @@
 #define DATASPEC_SHADING_SHADERLAB_H
 
 #include "driver/Pipeline.h"
-#include "shading/RenderContext.h"
+#include "engine/CacheArena.h"
+#include "engine/RenderContext.h"
+#include "engine/RenderEngine.h"
 #include "shading/ShaderGallery.h"
-#include "vm/VM.h"
 
 #include <memory>
 #include <optional>
@@ -55,45 +56,46 @@ struct PartitionReport {
 };
 
 /// A compiled (shader, partition) specialization bound to a pixel grid,
-/// with one cache per pixel. Reusable across frames.
+/// with one packed CacheArena holding every pixel's cache. Reusable
+/// across frames; all passes run on a RenderEngine.
 class SpecializedShader {
 public:
   SpecializedShader(CompiledSpecialization Compiled, const ShaderInfo &Info,
                     size_t VaryingIndex);
 
   /// Runs the loader over every pixel (the early phase), filling the
-  /// per-pixel caches. \p Controls must contain one value per control
-  /// parameter. Returns false on any trap.
-  bool load(VM &Machine, const RenderGrid &Grid,
-            const std::vector<float> &Controls);
+  /// grid's packed cache arena. \p Controls must contain one value per
+  /// control parameter. Returns false on any trap.
+  bool load(RenderEngine &Engine, const RenderGrid &Grid,
+            const std::vector<float> &Controls, Framebuffer *Out = nullptr);
 
-  /// Runs the reader over every pixel. The caches must have been loaded
+  /// Runs the reader over every pixel. The arena must have been loaded
   /// with identical fixed inputs (only the varying control may differ).
-  bool readFrame(VM &Machine, const RenderGrid &Grid,
+  bool readFrame(RenderEngine &Engine, const RenderGrid &Grid,
                  const std::vector<float> &Controls,
                  Framebuffer *Out = nullptr);
 
   /// Runs the *original* program over every pixel (baseline).
-  bool originalFrame(VM &Machine, const RenderGrid &Grid,
+  bool originalFrame(RenderEngine &Engine, const RenderGrid &Grid,
                      const std::vector<float> &Controls,
                      Framebuffer *Out = nullptr);
 
   const CompiledSpecialization &compiled() const { return Compiled; }
   size_t varyingIndex() const { return VaryingIndex; }
 
-  /// Per-pixel caches (for inspection in tests).
-  const std::vector<Cache> &caches() const { return Caches; }
+  /// The packed per-pixel cache storage (for inspection in tests).
+  const CacheArena &arena() const { return Arena; }
+
+  /// One pixel's cache decoded into boxed values (test/debug aid).
+  std::vector<Value> cacheValuesAt(unsigned Pixel) const {
+    return Arena.decode(Pixel);
+  }
 
 private:
-  bool runChunkOverGrid(VM &Machine, const Chunk &Code,
-                        const RenderGrid &Grid,
-                        const std::vector<float> &Controls, bool UseCaches,
-                        Framebuffer *Out);
-
   CompiledSpecialization Compiled;
   const ShaderInfo &Info;
   size_t VaryingIndex;
-  std::vector<Cache> Caches;
+  CacheArena Arena;
 };
 
 /// Top-level experiment driver. Owns the pixel grid and parsed shaders.
@@ -101,8 +103,10 @@ class ShaderLab {
 public:
   /// \p Width x \p Height pixels per frame; \p FramesPerMeasurement
   /// frames are timed per phase and the *median* frame time is used.
+  /// \p Threads sizes the lab's render engine; the default of 1 keeps the
+  /// paper's per-frame measurements serial and comparable.
   ShaderLab(unsigned Width = 48, unsigned Height = 32,
-            unsigned FramesPerMeasurement = 5);
+            unsigned FramesPerMeasurement = 5, unsigned Threads = 1);
 
   /// Parses and prepares a gallery shader (cached across calls).
   /// Returns false (and records the message) when the shader does not
@@ -125,6 +129,7 @@ public:
   measureAllPartitions(const SpecializerOptions &Options = {});
 
   const RenderGrid &grid() const { return Grid; }
+  RenderEngine &engine() { return Engine; }
   const std::string &lastError() const { return LastError; }
 
   /// Sweep values used for the varying control across frames.
@@ -138,6 +143,7 @@ private:
   CompilationUnit *unitFor(const ShaderInfo &Info);
 
   RenderGrid Grid;
+  RenderEngine Engine;
   unsigned FramesPerMeasurement;
   std::string LastError;
   std::vector<std::pair<std::string, std::unique_ptr<CompilationUnit>>> Units;

@@ -42,6 +42,9 @@ public:
   const std::vector<CacheSlot> &slots() const { return Slots; }
   unsigned slotCount() const { return static_cast<unsigned>(Slots.size()); }
 
+  /// Slot descriptor by index.
+  const CacheSlot &slot(unsigned Index) const { return Slots[Index]; }
+
   /// Total cache bytes per specialization instance.
   unsigned totalBytes() const { return NextOffset; }
 

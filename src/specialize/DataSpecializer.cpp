@@ -88,8 +88,9 @@ DataSpecializer::specialize(Function *F,
     Result.Explanation =
         explainSpecialization(Work, Varying, CA, CM, Result.Layout, SI);
 
-  // Section 3.3 splitting.
-  Splitter Split(Ctx, CA);
+  // Section 3.3 splitting. The finalized layout drives the byte offsets
+  // embedded in the emitted cache accesses.
+  Splitter Split(Ctx, CA, Result.Layout);
   Result.Loader = Split.buildLoader(Work, F->name() + "_load");
   Result.Reader = Split.buildReader(Work, F->name() + "_read");
   Result.NormalizedFragment = Work;

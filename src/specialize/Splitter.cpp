@@ -16,7 +16,8 @@ namespace {
 /// Clones the fragment, wrapping each cached term in a cache store.
 class LoaderCloner : public ASTCloner {
 public:
-  LoaderCloner(ASTContext &Ctx, CachingAnalysis &CA) : ASTCloner(Ctx), CA(CA) {}
+  LoaderCloner(ASTContext &Ctx, CachingAnalysis &CA, const CacheLayout &Layout)
+      : ASTCloner(Ctx), CA(CA), Layout(Layout) {}
 
   Expr *cloneExpr(Expr *E) override {
     int Slot = CA.slotOf(E);
@@ -25,8 +26,9 @@ public:
     // Frontier property: a cached term has no cached subterms, so the
     // structural clone below cannot produce nested stores.
     Expr *Inner = cloneExprStructure(E);
-    return Ctx.create<CacheStoreExpr>(static_cast<unsigned>(Slot), Inner,
-                                      E->loc());
+    return Ctx.create<CacheStoreExpr>(
+        static_cast<unsigned>(Slot), Inner, E->loc(),
+        Layout.slot(static_cast<unsigned>(Slot)).Offset);
   }
 
   Stmt *cloneStmt(Stmt *S) override {
@@ -50,20 +52,23 @@ public:
 
 private:
   CachingAnalysis &CA;
+  const CacheLayout &Layout;
 };
 
 /// Clones only the dynamic projection of the fragment, replacing cached
 /// terms by cache reads.
 class ReaderCloner : public ASTCloner {
 public:
-  ReaderCloner(ASTContext &Ctx, CachingAnalysis &CA) : ASTCloner(Ctx), CA(CA) {}
+  ReaderCloner(ASTContext &Ctx, CachingAnalysis &CA, const CacheLayout &Layout)
+      : ASTCloner(Ctx), CA(CA), Layout(Layout) {}
 
   Expr *cloneExpr(Expr *E) override {
     if (CA.label(E) == CacheLabel::CL_Cached) {
       int Slot = CA.slotOf(E);
       assert(Slot >= 0 && "cached term without a slot");
-      return Ctx.create<CacheReadExpr>(static_cast<unsigned>(Slot), E->type(),
-                                       E->loc());
+      return Ctx.create<CacheReadExpr>(
+          static_cast<unsigned>(Slot), E->type(), E->loc(),
+          Layout.slot(static_cast<unsigned>(Slot)).Offset);
     }
     assert(CA.label(E) == CacheLabel::CL_Dynamic &&
            "reader reached a static expression");
@@ -100,16 +105,17 @@ public:
 
 private:
   CachingAnalysis &CA;
+  const CacheLayout &Layout;
 };
 
 } // namespace
 
 Function *Splitter::buildLoader(Function *F, const std::string &Name) {
-  LoaderCloner Cloner(Ctx, CA);
+  LoaderCloner Cloner(Ctx, CA, Layout);
   return Cloner.cloneFunction(F, Name);
 }
 
 Function *Splitter::buildReader(Function *F, const std::string &Name) {
-  ReaderCloner Cloner(Ctx, CA);
+  ReaderCloner Cloner(Ctx, CA, Layout);
   return Cloner.cloneFunction(F, Name);
 }

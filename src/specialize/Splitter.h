@@ -24,16 +24,21 @@
 #define DATASPEC_SPECIALIZE_SPLITTER_H
 
 #include "lang/ASTContext.h"
+#include "specialize/CacheLayout.h"
 #include "specialize/CachingAnalysis.h"
 
 #include <string>
 
 namespace dspec {
 
-/// Emits loader and reader functions from a labeled fragment.
+/// Emits loader and reader functions from a labeled fragment. The
+/// finalized CacheLayout is the single authoritative runtime layout: the
+/// splitter stamps each emitted cache access with the slot's byte offset
+/// so the compiled code addresses the packed cache buffer directly.
 class Splitter {
 public:
-  Splitter(ASTContext &Ctx, CachingAnalysis &CA) : Ctx(Ctx), CA(CA) {}
+  Splitter(ASTContext &Ctx, CachingAnalysis &CA, const CacheLayout &Layout)
+      : Ctx(Ctx), CA(CA), Layout(Layout) {}
 
   /// Builds the cache loader: the original fragment instrumented with
   /// cache stores (and, under speculation, hoisted stores before
@@ -48,6 +53,7 @@ public:
 private:
   ASTContext &Ctx;
   CachingAnalysis &CA;
+  const CacheLayout &Layout;
 };
 
 } // namespace dspec

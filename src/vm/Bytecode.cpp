@@ -78,8 +78,13 @@ std::string Chunk::disassemble() const {
   std::string Out = Name + ":\n";
   for (size_t I = 0; I < Code.size(); ++I) {
     const Instr &In = Code[I];
-    Out += formatString("  %4zu  %-8s %d %d\n", I, opcodeName(In.Op), In.A,
-                        In.B);
+    if (In.Op == OpCode::OC_CacheLoad || In.Op == OpCode::OC_CacheStore)
+      Out += formatString("  %4zu  %-8s %d @%d %s\n", I, opcodeName(In.Op),
+                          In.A, In.B,
+                          Type(static_cast<TypeKind>(In.C)).name());
+    else
+      Out += formatString("  %4zu  %-8s %d %d\n", I, opcodeName(In.Op), In.A,
+                          In.B);
   }
   return Out;
 }

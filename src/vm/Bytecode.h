@@ -50,8 +50,9 @@ enum class OpCode : uint8_t {
   OC_JumpIfFalse, ///< pop bool; if false ip = A
   OC_CallBuiltin, ///< pop B args; push result of builtin A
   OC_Member,      ///< pop vector; push component A
-  OC_CacheLoad,   ///< push Cache[A]
-  OC_CacheStore,  ///< Cache[A] = top of stack (value stays on the stack)
+  OC_CacheLoad,   ///< push cache slot A (packed: TypeKind(C) at byte B)
+  OC_CacheStore,  ///< cache slot A = top of stack, which stays on the
+                  ///< stack (packed: TypeKind(C) at byte offset B)
   OC_Return,      ///< pop result and halt
   OC_ReturnVoid,  ///< halt with void result
 };
@@ -59,11 +60,15 @@ enum class OpCode : uint8_t {
 /// Mnemonic for disassembly.
 const char *opcodeName(OpCode Op);
 
-/// One fixed-width instruction.
+/// One fixed-width instruction. Cache instructions carry the full slot
+/// description: A = slot index (boxed compatibility path), B = byte
+/// offset in the packed cache buffer, C = the slot's TypeKind — both
+/// assigned from the specialization's CacheLayout.
 struct Instr {
   OpCode Op;
   int32_t A = 0;
   int32_t B = 0;
+  int32_t C = 0;
 };
 
 /// A compiled function.
@@ -76,6 +81,12 @@ struct Chunk {
   std::vector<TypeKind> LocalTypes;
   unsigned NumParams = 0;
   Type ReturnType;
+  /// Cache requirements of this chunk, derived from the CacheLayout the
+  /// cache instructions were compiled against. Zero for plain fragments.
+  /// The VM pre-sizes boxed caches to CacheSlotCount and traps on any
+  /// access past it; packed CacheViews must span CacheBytes.
+  unsigned CacheSlotCount = 0;
+  unsigned CacheBytes = 0;
 
   unsigned numLocals() const {
     return static_cast<unsigned>(LocalTypes.size());

@@ -9,6 +9,8 @@
 #include "lang/ASTWalk.h"
 #include "support/Casting.h"
 
+#include <algorithm>
+
 using namespace dspec;
 
 unsigned BytecodeCompiler::addConstant(Value V) {
@@ -16,9 +18,15 @@ unsigned BytecodeCompiler::addConstant(Value V) {
   return static_cast<unsigned>(Out.Constants.size() - 1);
 }
 
-unsigned BytecodeCompiler::emit(OpCode Op, int32_t A, int32_t B) {
-  Out.Code.push_back({Op, A, B});
+unsigned BytecodeCompiler::emit(OpCode Op, int32_t A, int32_t B, int32_t C) {
+  Out.Code.push_back({Op, A, B, C});
   return static_cast<unsigned>(Out.Code.size() - 1);
+}
+
+void BytecodeCompiler::noteCacheAccess(unsigned Slot, unsigned Offset,
+                                       Type SlotType) {
+  Out.CacheSlotCount = std::max(Out.CacheSlotCount, Slot + 1);
+  Out.CacheBytes = std::max(Out.CacheBytes, Offset + SlotType.sizeInBytes());
 }
 
 void BytecodeCompiler::patchJump(unsigned InstrIndex, unsigned Target) {
@@ -235,14 +243,21 @@ void BytecodeCompiler::compileExpr(Expr *E) {
     emit(OpCode::OC_Member, static_cast<int32_t>(M->componentIndex()));
     return;
   }
-  case ExprKind::EK_CacheRead:
-    emit(OpCode::OC_CacheLoad,
-         static_cast<int32_t>(cast<CacheReadExpr>(E)->slot()));
+  case ExprKind::EK_CacheRead: {
+    auto *Read = cast<CacheReadExpr>(E);
+    noteCacheAccess(Read->slot(), Read->byteOffset(), Read->type());
+    emit(OpCode::OC_CacheLoad, static_cast<int32_t>(Read->slot()),
+         static_cast<int32_t>(Read->byteOffset()),
+         static_cast<int32_t>(Read->type().kind()));
     return;
+  }
   case ExprKind::EK_CacheStore: {
     auto *Store = cast<CacheStoreExpr>(E);
     compileExpr(Store->operand());
-    emit(OpCode::OC_CacheStore, static_cast<int32_t>(Store->slot()));
+    noteCacheAccess(Store->slot(), Store->byteOffset(), Store->type());
+    emit(OpCode::OC_CacheStore, static_cast<int32_t>(Store->slot()),
+         static_cast<int32_t>(Store->byteOffset()),
+         static_cast<int32_t>(Store->type().kind()));
     return;
   }
   }

@@ -35,7 +35,10 @@ private:
   /// Emits a conversion if \p From and \p To differ (int->float only).
   void emitConversion(Type From, Type To);
   unsigned addConstant(Value V);
-  unsigned emit(OpCode Op, int32_t A = 0, int32_t B = 0);
+  unsigned emit(OpCode Op, int32_t A = 0, int32_t B = 0, int32_t C = 0);
+  /// Accumulates the chunk's cache requirements (slot count and packed
+  /// byte span) from one cache instruction.
+  void noteCacheAccess(unsigned Slot, unsigned Offset, Type SlotType);
   void patchJump(unsigned InstrIndex, unsigned Target);
 
   Chunk Out;

@@ -1,0 +1,110 @@
+//===- vm/CacheView.h - Packed cache buffer view ----------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A non-owning view over one specialization instance's packed cache: a
+/// raw byte buffer whose typed slots live at the byte offsets computed by
+/// the specializer's CacheLayout. This is the runtime realization of the
+/// paper's Figure 8 byte counts — a float slot really is 4 bytes, a vec3
+/// slot 12 — instead of an array of tagged boxes. Cache instructions
+/// carry (offset, type), so loads and stores are single bounds-checked
+/// memcpys with no tag dispatch on the hot path.
+///
+/// Views are cheap value objects. The bytes they point at are typically
+/// one pixel's stride inside a CacheArena (see engine/CacheArena.h), but
+/// any buffer of at least the layout's totalBytes() works.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_VM_CACHEVIEW_H
+#define DATASPEC_VM_CACHEVIEW_H
+
+#include "vm/Value.h"
+
+#include <cstring>
+
+namespace dspec {
+
+/// A typed window onto one packed cache instance.
+class CacheView {
+public:
+  CacheView() = default;
+  CacheView(unsigned char *Data, unsigned SizeBytes)
+      : Bytes(Data), Size(SizeBytes) {}
+
+  bool valid() const { return Bytes != nullptr || Size == 0; }
+  unsigned sizeInBytes() const { return Size; }
+  unsigned char *data() { return Bytes; }
+  const unsigned char *data() const { return Bytes; }
+
+  /// True iff a slot of \p Kind at byte \p Offset lies inside the buffer.
+  bool inBounds(unsigned Offset, TypeKind Kind) const {
+    unsigned Width = Type(Kind).sizeInBytes();
+    return Offset + Width <= Size && Width != 0;
+  }
+
+  /// Reads the slot of \p Kind at \p Offset. The caller must have
+  /// bounds-checked via inBounds.
+  Value load(unsigned Offset, TypeKind Kind) const {
+    Value Out;
+    Out.Kind = Kind;
+    switch (Kind) {
+    case TypeKind::TK_Bool:
+    case TypeKind::TK_Int:
+      std::memcpy(&Out.I, Bytes + Offset, sizeof(int32_t));
+      break;
+    case TypeKind::TK_Float:
+      std::memcpy(&Out.F[0], Bytes + Offset, sizeof(float));
+      break;
+    case TypeKind::TK_Vec2:
+      std::memcpy(Out.F, Bytes + Offset, 2 * sizeof(float));
+      break;
+    case TypeKind::TK_Vec3:
+      std::memcpy(Out.F, Bytes + Offset, 3 * sizeof(float));
+      break;
+    case TypeKind::TK_Vec4:
+      std::memcpy(Out.F, Bytes + Offset, 4 * sizeof(float));
+      break;
+    case TypeKind::TK_Void:
+      break;
+    }
+    return Out;
+  }
+
+  /// Writes \p V into the slot at \p Offset. \p V's runtime kind selects
+  /// the byte width; the caller must have bounds-checked via inBounds and
+  /// verified the kind matches the layout's slot type.
+  void store(unsigned Offset, const Value &V) {
+    switch (V.Kind) {
+    case TypeKind::TK_Bool:
+    case TypeKind::TK_Int:
+      std::memcpy(Bytes + Offset, &V.I, sizeof(int32_t));
+      break;
+    case TypeKind::TK_Float:
+      std::memcpy(Bytes + Offset, &V.F[0], sizeof(float));
+      break;
+    case TypeKind::TK_Vec2:
+      std::memcpy(Bytes + Offset, V.F, 2 * sizeof(float));
+      break;
+    case TypeKind::TK_Vec3:
+      std::memcpy(Bytes + Offset, V.F, 3 * sizeof(float));
+      break;
+    case TypeKind::TK_Vec4:
+      std::memcpy(Bytes + Offset, V.F, 4 * sizeof(float));
+      break;
+    case TypeKind::TK_Void:
+      break;
+    }
+  }
+
+private:
+  unsigned char *Bytes = nullptr;
+  unsigned Size = 0;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_VM_CACHEVIEW_H

@@ -6,8 +6,13 @@
 ///
 /// \file
 /// The stack-machine interpreter that executes compiled fragments. A run
-/// optionally binds a cache (slot array): loaders write it, readers read
-/// it, plain fragments ignore it. Runaway programs are stopped by an
+/// optionally binds a cache: loaders write it, readers read it, plain
+/// fragments ignore it. Two cache representations are supported: the
+/// packed CacheView (typed slots at byte offsets, the render engine's
+/// native format) and the boxed Cache (one tagged Value per slot, kept as
+/// a thin compatibility adapter for single-pixel callers). Both are
+/// pre-sized from the chunk's CacheLayout-derived requirements and trap
+/// on accesses past the layout. Runaway programs are stopped by an
 /// instruction budget; errors (division by zero, missing cache) trap with
 /// a message instead of crashing.
 ///
@@ -17,6 +22,7 @@
 #define DATASPEC_VM_VM_H
 
 #include "vm/Bytecode.h"
+#include "vm/CacheView.h"
 
 #include <cstdint>
 #include <string>
@@ -24,7 +30,8 @@
 
 namespace dspec {
 
-/// A specialization's data cache: one Value per slot.
+/// A specialization's boxed data cache: one Value per slot. Compatibility
+/// representation; the render path uses packed CacheViews instead.
 using Cache = std::vector<Value>;
 
 /// Outcome of one execution.
@@ -41,11 +48,16 @@ struct ExecResult {
 /// (dsc_trace / dsc_clock) touch, so Rule 2 scenarios are observable.
 class VM {
 public:
-  /// Runs \p C on \p Args. \p CacheMem may be null for fragments that
-  /// perform no cache access; loaders grow it to the slot count they
-  /// need.
+  /// Runs \p C on \p Args with a boxed cache. \p CacheMem may be null for
+  /// fragments that perform no cache access; otherwise it is pre-sized to
+  /// the chunk's CacheSlotCount and any access past the layout traps.
   ExecResult run(const Chunk &C, const std::vector<Value> &Args,
                  Cache *CacheMem = nullptr);
+
+  /// Runs \p C on \p Args against a packed cache buffer. \p View must
+  /// span at least the chunk's CacheBytes; accesses outside it trap.
+  ExecResult run(const Chunk &C, const std::vector<Value> &Args,
+                 CacheView View);
 
   /// Values recorded by dsc_trace, in call order.
   const std::vector<float> &traceLog() const { return TraceLog; }
@@ -56,6 +68,9 @@ public:
 
 private:
   friend Value callBuiltinImpl(uint16_t Id, const Value *Args, VM &Machine);
+
+  ExecResult runImpl(const Chunk &C, const std::vector<Value> &Args,
+                     Cache *Boxed, CacheView Packed);
 
   std::vector<float> TraceLog;
   uint64_t ClockCounter = 0;

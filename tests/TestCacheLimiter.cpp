@@ -187,14 +187,14 @@ TEST_P(LimiterEquivalenceOnRings, ReaderStillMatchesOriginal) {
   auto Spec = Lab.specializePartition(*Info, 3 /* ringscale */, Options);
   ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
 
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   auto Controls = ShaderLab::defaultControls(*Info);
-  ASSERT_TRUE(Spec->load(Machine, Lab.grid(), Controls));
+  ASSERT_TRUE(Spec->load(Engine, Lab.grid(), Controls));
   Controls[3] = 9.5f; // drag ringscale
   Framebuffer FromReader(5, 3), Reference(5, 3);
-  ASSERT_TRUE(Spec->readFrame(Machine, Lab.grid(), Controls, &FromReader));
+  ASSERT_TRUE(Spec->readFrame(Engine, Lab.grid(), Controls, &FromReader));
   ASSERT_TRUE(
-      Spec->originalFrame(Machine, Lab.grid(), Controls, &Reference));
+      Spec->originalFrame(Engine, Lab.grid(), Controls, &Reference));
   for (unsigned Y = 0; Y < 3; ++Y)
     for (unsigned X = 0; X < 5; ++X)
       EXPECT_TRUE(FromReader.at(X, Y).equals(Reference.at(X, Y)))

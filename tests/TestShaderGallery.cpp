@@ -75,15 +75,15 @@ TEST_P(PartitionEquivalence, LoaderAndReaderMatchOriginal) {
   auto Spec = Lab.specializePartition(Info, ControlIndex);
   ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
 
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   std::vector<float> Controls = ShaderLab::defaultControls(Info);
 
   // The loader must agree with the original on the load-time inputs.
   Framebuffer FromLoader(Lab.grid().width(), Lab.grid().height());
   Framebuffer FromOriginal(Lab.grid().width(), Lab.grid().height());
-  ASSERT_TRUE(Spec->load(Machine, Lab.grid(), Controls));
+  ASSERT_TRUE(Spec->load(Engine, Lab.grid(), Controls));
   ASSERT_TRUE(
-      Spec->originalFrame(Machine, Lab.grid(), Controls, &FromOriginal));
+      Spec->originalFrame(Engine, Lab.grid(), Controls, &FromOriginal));
 
   // Sweep the varying parameter: the reader must match the original
   // everywhere, using the caches loaded above.
@@ -92,9 +92,9 @@ TEST_P(PartitionEquivalence, LoaderAndReaderMatchOriginal) {
     Controls[ControlIndex] = V;
     Framebuffer FromReader(Lab.grid().width(), Lab.grid().height());
     Framebuffer Reference(Lab.grid().width(), Lab.grid().height());
-    ASSERT_TRUE(Spec->readFrame(Machine, Lab.grid(), Controls, &FromReader));
+    ASSERT_TRUE(Spec->readFrame(Engine, Lab.grid(), Controls, &FromReader));
     ASSERT_TRUE(
-        Spec->originalFrame(Machine, Lab.grid(), Controls, &Reference));
+        Spec->originalFrame(Engine, Lab.grid(), Controls, &Reference));
     for (unsigned Y = 0; Y < Lab.grid().height(); ++Y) {
       for (unsigned X = 0; X < Lab.grid().width(); ++X) {
         ASSERT_TRUE(FromReader.at(X, Y).equals(Reference.at(X, Y)))

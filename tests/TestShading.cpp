@@ -121,16 +121,16 @@ TEST(ShaderLab, CachesAreIndependentPerPixel) {
   const ShaderInfo *Info = findShader("marble");
   auto Spec = Lab.specializePartition(*Info, 0);
   ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   auto Controls = ShaderLab::defaultControls(*Info);
-  ASSERT_TRUE(Spec->load(Machine, Lab.grid(), Controls));
-  ASSERT_EQ(Spec->caches().size(), Lab.grid().pixelCount());
+  ASSERT_TRUE(Spec->load(Engine, Lab.grid(), Controls));
+  ASSERT_EQ(Spec->arena().pixelCount(), Lab.grid().pixelCount());
   // Marble's cached values depend on per-pixel data, so neighbouring
   // caches differ.
   bool AnyDifferent = false;
-  for (size_t I = 1; I < Spec->caches().size(); ++I) {
-    const Cache &A = Spec->caches()[I - 1];
-    const Cache &B = Spec->caches()[I];
+  for (unsigned I = 1; I < Spec->arena().pixelCount(); ++I) {
+    std::vector<Value> A = Spec->cacheValuesAt(I - 1);
+    std::vector<Value> B = Spec->cacheValuesAt(I);
     ASSERT_EQ(A.size(), B.size());
     for (size_t S = 0; S < A.size(); ++S)
       if (!A[S].equals(B[S]))
@@ -144,16 +144,16 @@ TEST(ShaderLab, LoaderFrameEqualsOriginalFrame) {
   const ShaderInfo *Info = findShader("checker");
   auto Spec = Lab.specializePartition(*Info, 2); // ka
   ASSERT_TRUE(Spec.has_value());
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   auto Controls = ShaderLab::defaultControls(*Info);
   Framebuffer Reference(5, 4);
   ASSERT_TRUE(
-      Spec->originalFrame(Machine, Lab.grid(), Controls, &Reference));
-  ASSERT_TRUE(Spec->load(Machine, Lab.grid(), Controls));
+      Spec->originalFrame(Engine, Lab.grid(), Controls, &Reference));
+  ASSERT_TRUE(Spec->load(Engine, Lab.grid(), Controls));
   // Loading again and reading with unchanged controls reproduces the
   // original image.
   Framebuffer FromReader(5, 4);
-  ASSERT_TRUE(Spec->readFrame(Machine, Lab.grid(), Controls, &FromReader));
+  ASSERT_TRUE(Spec->readFrame(Engine, Lab.grid(), Controls, &FromReader));
   for (unsigned Y = 0; Y < 4; ++Y)
     for (unsigned X = 0; X < 5; ++X)
       EXPECT_TRUE(FromReader.at(X, Y).equals(Reference.at(X, Y)));
@@ -163,13 +163,13 @@ TEST(ShaderLab, GalleryImagesAreNonTrivial) {
   // Every shader should produce an image with some variation (not a
   // constant color) at default controls.
   ShaderLab Lab(8, 6);
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   for (const ShaderInfo &Info : shaderGallery()) {
     auto Spec = Lab.specializePartition(Info, 0);
     ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
     Framebuffer FB(8, 6);
     auto Controls = ShaderLab::defaultControls(Info);
-    ASSERT_TRUE(Spec->originalFrame(Machine, Lab.grid(), Controls, &FB));
+    ASSERT_TRUE(Spec->originalFrame(Engine, Lab.grid(), Controls, &FB));
     bool Varies = false;
     for (unsigned Y = 0; Y < 6 && !Varies; ++Y)
       for (unsigned X = 1; X < 8 && !Varies; ++X)
@@ -190,7 +190,7 @@ TEST(ShaderLab, VaryingParamActuallyChangesImages) {
   // Guards against dead control parameters: sweeping any control must
   // change at least one pixel somewhere in the sweep.
   ShaderLab Lab(8, 6);
-  VM Machine;
+  RenderEngine &Engine = Lab.engine();
   for (const ShaderInfo &Info : shaderGallery()) {
     for (size_t C = 0; C < Info.Controls.size(); ++C) {
       auto Spec = Lab.specializePartition(Info, C);
@@ -199,11 +199,11 @@ TEST(ShaderLab, VaryingParamActuallyChangesImages) {
       Framebuffer Base(8, 6);
       Controls[C] = Info.Controls[C].SweepMin;
       ASSERT_TRUE(
-          Spec->originalFrame(Machine, Lab.grid(), Controls, &Base));
+          Spec->originalFrame(Engine, Lab.grid(), Controls, &Base));
       Controls[C] = Info.Controls[C].SweepMax;
       Framebuffer Swept(8, 6);
       ASSERT_TRUE(
-          Spec->originalFrame(Machine, Lab.grid(), Controls, &Swept));
+          Spec->originalFrame(Engine, Lab.grid(), Controls, &Swept));
       bool Changed = false;
       for (unsigned Y = 0; Y < 6 && !Changed; ++Y)
         for (unsigned X = 0; X < 8 && !Changed; ++X)
