@@ -24,7 +24,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dspec {
@@ -89,6 +91,103 @@ runCacheLimitSweep(ShaderLab &Lab, unsigned MaxBytes = 40,
     }
   }
   return Rows;
+}
+
+/// Minimal JSON string quoting (benchmark names and paths are ASCII).
+inline std::string jsonQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Builds the shared BENCH_*.json document every benchmark emits:
+///
+///   {"bench": NAME, "schema_version": 1, "config": {...}, "rows": [...]}
+///
+/// Config entries and rows keep insertion order; rows are preformatted
+/// JSON objects (the benches already format their own fields).
+class BenchJson {
+public:
+  explicit BenchJson(std::string BenchName) : Name(std::move(BenchName)) {}
+
+  void config(const std::string &Key, const std::string &RawJson) {
+    Config.push_back({Key, RawJson});
+  }
+  void configString(const std::string &Key, const std::string &V) {
+    config(Key, jsonQuote(V));
+  }
+  void configUnsigned(const std::string &Key, unsigned V) {
+    config(Key, std::to_string(V));
+  }
+
+  void addRow(std::string RowJson) { Rows.push_back(std::move(RowJson)); }
+
+  std::string str() const {
+    std::string Out =
+        "{\"bench\":" + jsonQuote(Name) + ",\"schema_version\":1,\"config\":{";
+    for (size_t I = 0; I < Config.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += jsonQuote(Config[I].first) + ':' + Config[I].second;
+    }
+    Out += "},\"rows\":[";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += Rows[I];
+    }
+    Out += "]}";
+    return Out;
+  }
+
+  /// Prints the document to stdout and, when \p OutPath is non-null,
+  /// writes it there too. Returns false on I/O failure.
+  bool emit(const char *OutPath) const {
+    std::string Doc = str();
+    std::printf("\nJSON:\n%s\n", Doc.c_str());
+    if (!OutPath)
+      return true;
+    std::FILE *File = std::fopen(OutPath, "w");
+    if (!File) {
+      std::fprintf(stderr, "!! cannot open '%s' for writing\n", OutPath);
+      return false;
+    }
+    bool Ok = std::fwrite(Doc.data(), 1, Doc.size(), File) == Doc.size() &&
+              std::fputc('\n', File) != EOF;
+    Ok = std::fclose(File) == 0 && Ok;
+    if (Ok)
+      std::printf("wrote %s\n", OutPath);
+    else
+      std::fprintf(stderr, "!! short write to '%s'\n", OutPath);
+    return Ok;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Config;
+  std::vector<std::string> Rows;
+};
+
+/// Extracts `--out PATH` from argv (removing both tokens, so the
+/// remaining flags can go to benchmark::Initialize untouched). Returns
+/// null when absent.
+inline const char *takeOutPathArg(int *Argc, char **Argv) {
+  const char *Out = nullptr;
+  int W = 1;
+  for (int I = 1; I < *Argc; ++I) {
+    if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < *Argc) {
+      Out = Argv[++I];
+      continue;
+    }
+    Argv[W++] = Argv[I];
+  }
+  *Argc = W;
+  return Out;
 }
 
 /// Prints the standard banner for one reproduced figure/table.

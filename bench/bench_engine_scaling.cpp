@@ -87,7 +87,7 @@ struct ScalingRow {
   double SpeedupVsBoxed = 1.0;
 };
 
-void printScaling() {
+void printScaling(const char *OutPath) {
   banner("Engine scaling: reader throughput, boxed-serial vs packed arena",
          "packing the per-pixel caches (Figure 8 byte counts, one "
          "contiguous arena) and tiling pixels over a thread pool "
@@ -151,19 +151,23 @@ void printScaling() {
                 R.Threads, R.FrameSeconds * 1e3, R.PixelsPerSecond,
                 R.SpeedupVsBoxed);
 
-  std::printf("\nJSON:\n");
-  std::printf("{\"bench\":\"engine_scaling\",\"shader\":\"marble\","
-              "\"partition\":\"ka\",\"width\":%u,\"height\":%u,"
-              "\"frames\":%u,\"rows\":[",
-              Lab.grid().width(), Lab.grid().height(), Frames);
-  for (size_t I = 0; I < Rows.size(); ++I)
-    std::printf("%s{\"config\":\"%s\",\"threads\":%u,"
-                "\"frame_seconds\":%.9f,\"pixels_per_second\":%.1f,"
-                "\"speedup_vs_boxed\":%.3f}",
-                I ? "," : "", Rows[I].Config.c_str(), Rows[I].Threads,
-                Rows[I].FrameSeconds, Rows[I].PixelsPerSecond,
-                Rows[I].SpeedupVsBoxed);
-  std::printf("]}\n");
+  BenchJson Json("engine_scaling");
+  Json.configString("shader", "marble");
+  Json.configString("partition", "ka");
+  Json.configUnsigned("width", Lab.grid().width());
+  Json.configUnsigned("height", Lab.grid().height());
+  Json.configUnsigned("frames", Frames);
+  char Row[256];
+  for (const ScalingRow &R : Rows) {
+    std::snprintf(Row, sizeof(Row),
+                  "{\"config\":%s,\"threads\":%u,"
+                  "\"frame_seconds\":%.9f,\"pixels_per_second\":%.1f,"
+                  "\"speedup_vs_boxed\":%.3f}",
+                  jsonQuote(R.Config).c_str(), R.Threads, R.FrameSeconds,
+                  R.PixelsPerSecond, R.SpeedupVsBoxed);
+    Json.addRow(Row);
+  }
+  Json.emit(OutPath);
 }
 
 // Micro-benchmarks of the same passes for google-benchmark tracking.
@@ -201,7 +205,8 @@ BENCHMARK(BM_ReaderFrameBoxed)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
-  printScaling();
+  const char *OutPath = takeOutPathArg(&argc, argv);
+  printScaling(OutPath ? OutPath : "BENCH_engine_scaling.json");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -60,9 +60,15 @@ float dotprod(float x1, float y1, float z1,
               Spec->Spec.Layout.slotCount(), Spec->Spec.Layout.totalBytes());
 
   // 3. Execute. The loader runs once when the fixed inputs become known;
-  //    the reader runs every time the varying inputs change.
+  //    the reader runs every time the varying inputs change. The cache is
+  //    a packed byte buffer of exactly the layout's size, accessed through
+  //    a CacheView — the same representation the render engine's arena
+  //    uses per pixel (the boxed std::vector<Value> cache still exists,
+  //    but only as a compatibility adapter).
   VM Machine;
-  Cache Slots;
+  std::vector<unsigned char> CacheBytes(Spec->Spec.Layout.totalBytes());
+  CacheView View(CacheBytes.data(),
+                 static_cast<unsigned>(CacheBytes.size()));
   auto Args = [](float Z1, float Z2) {
     return std::vector<Value>{
         Value::makeFloat(1.0f), Value::makeFloat(2.0f), Value::makeFloat(Z1),
@@ -70,13 +76,15 @@ float dotprod(float x1, float y1, float z1,
         Value::makeFloat(2.0f)};
   };
 
-  ExecResult First = Machine.run(Spec->LoaderChunk, Args(3.0f, 6.0f), &Slots);
+  ExecResult First = Machine.run(Spec->LoaderChunk, Args(3.0f, 6.0f), View);
+  const CacheSlot &Slot0 = Spec->Spec.Layout.slot(0);
   std::printf("loader(z1=3, z2=6)  = %s   (fills the cache: slot0 = %s)\n",
-              First.Result.str().c_str(), Slots[0].str().c_str());
+              First.Result.str().c_str(),
+              View.load(Slot0.Offset, Slot0.SlotType.kind()).str().c_str());
 
   for (float Z1 : {10.0f, -1.0f, 0.5f}) {
     ExecResult FromReader =
-        Machine.run(Spec->ReaderChunk, Args(Z1, 6.0f), &Slots);
+        Machine.run(Spec->ReaderChunk, Args(Z1, 6.0f), View);
     ExecResult Reference =
         Machine.run(Spec->OriginalChunk, Args(Z1, 6.0f));
     std::printf("reader(z1=%5.1f)    = %-10s original = %-10s  (%s, "

@@ -46,10 +46,31 @@ public:
     Storage.assign(static_cast<size_t>(Pixels) * Stride, 0);
   }
 
+  /// Reshapes the arena and fills it from \p Bytes — the snapshot
+  /// warm-start path. \p Size must be exactly PixelCount x
+  /// CacheShape.totalBytes(); returns false (leaving the arena empty)
+  /// otherwise.
+  bool restore(unsigned PixelCount, const CacheLayout &CacheShape,
+               const unsigned char *Bytes, size_t Size) {
+    if (Size != static_cast<size_t>(PixelCount) * CacheShape.totalBytes()) {
+      reset(0, CacheLayout());
+      return false;
+    }
+    Shape = CacheShape;
+    Pixels = PixelCount;
+    Stride = CacheShape.totalBytes();
+    Storage.assign(Bytes, Bytes + Size);
+    return true;
+  }
+
   unsigned pixelCount() const { return Pixels; }
   unsigned strideBytes() const { return Stride; }
   size_t totalBytes() const { return Storage.size(); }
   const CacheLayout &layout() const { return Shape; }
+
+  /// The packed bytes of every pixel, pixel-major (what a snapshot's
+  /// ARENA section stores verbatim).
+  const unsigned char *raw() const { return Storage.data(); }
 
   /// The packed cache of one pixel.
   CacheView view(unsigned Pixel) {

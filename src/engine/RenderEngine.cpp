@@ -119,3 +119,58 @@ bool RenderEngine::plainPass(const Chunk &Original, const RenderGrid &Grid,
                              Framebuffer *Out) {
   return runPass(Original, Grid, Controls, nullptr, Out);
 }
+
+bool RenderEngine::saveSnapshot(const std::string &Path,
+                                const SnapshotMeta &Meta, const Chunk &Loader,
+                                const Chunk &Reader, const CacheLayout &Layout,
+                                const CacheArena &Arena, std::string *Error) {
+  if (Arena.strideBytes() != Layout.totalBytes() ||
+      Arena.pixelCount() != Meta.GridWidth * Meta.GridHeight) {
+    if (Error)
+      *Error = "snapshot: arena does not match the layout and grid (was "
+               "loaderPass run?)";
+    return false;
+  }
+  SpecializationSnapshot Snap;
+  Snap.Meta = Meta;
+  Snap.Loader = Loader;
+  Snap.Reader = Reader;
+  Snap.Layout = Layout;
+  Snap.ArenaPixels = Arena.pixelCount();
+  Snap.ArenaStride = Arena.strideBytes();
+  Snap.ArenaBytes.assign(Arena.raw(), Arena.raw() + Arena.totalBytes());
+  return writeSnapshotFile(Path, Snap, Error);
+}
+
+std::optional<RenderEngine::WarmStart>
+RenderEngine::fromSnapshot(const std::string &Path, std::string *Error) {
+  SpecializationSnapshot Snap;
+  if (!readSnapshotFile(Path, Snap, Error))
+    return std::nullopt;
+  // The reader's signature must fit the engine's calling convention:
+  // the four per-pixel inputs plus the recorded controls.
+  if (Snap.Reader.NumParams !=
+      NumPixelParams + static_cast<unsigned>(Snap.Meta.Controls.size())) {
+    if (Error)
+      *Error = "snapshot: reader takes " +
+               std::to_string(Snap.Reader.NumParams) +
+               " parameters but the snapshot records " +
+               std::to_string(Snap.Meta.Controls.size()) +
+               " controls (+4 pixel inputs)";
+    return std::nullopt;
+  }
+
+  std::optional<WarmStart> Warm;
+  Warm.emplace(Snap.Meta.GridWidth, Snap.Meta.GridHeight);
+  Warm->Meta = std::move(Snap.Meta);
+  Warm->Loader = std::move(Snap.Loader);
+  Warm->Reader = std::move(Snap.Reader);
+  Warm->Layout = Snap.Layout;
+  if (!Warm->Arena.restore(Snap.ArenaPixels, Snap.Layout,
+                           Snap.ArenaBytes.data(), Snap.ArenaBytes.size())) {
+    if (Error)
+      *Error = "snapshot: arena payload does not match pixels x stride";
+    return std::nullopt;
+  }
+  return Warm;
+}

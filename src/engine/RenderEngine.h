@@ -31,9 +31,11 @@
 #include "engine/CacheArena.h"
 #include "engine/RenderContext.h"
 #include "engine/ThreadPool.h"
+#include "snapshot/Snapshot.h"
 #include "vm/VM.h"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -74,6 +76,43 @@ public:
   /// Trap message of the last failing pass (first trapping pixel in pixel
   /// order, so failures are deterministic too).
   const std::string &lastTrap() const { return LastTrap; }
+
+  //===--------------------------------------------------------------------===//
+  // Warm start: persist a loader pass, resume in a fresh process.
+  //===--------------------------------------------------------------------===//
+
+  /// Everything fromSnapshot restores: the specialization unit plus the
+  /// loader-filled arena, with the grid rebuilt procedurally from the
+  /// snapshot's dimensions. readerPass(Warm.Reader, Warm.Grid, Controls,
+  /// Warm.Arena) then serves frames without ever running the loader.
+  struct WarmStart {
+    SnapshotMeta Meta;
+    Chunk Loader;
+    Chunk Reader;
+    CacheLayout Layout;
+    RenderGrid Grid;
+    CacheArena Arena;
+
+    WarmStart(unsigned Width, unsigned Height) : Grid(Width, Height) {}
+  };
+
+  /// Writes \p Path: the specialization unit (\p Loader, \p Reader,
+  /// \p Layout, provenance in \p Meta) and the loader-filled \p Arena.
+  /// Call after a successful loaderPass over a grid whose dimensions are
+  /// recorded in \p Meta. Returns false with \p Error set on
+  /// inconsistent state or I/O failure.
+  static bool saveSnapshot(const std::string &Path, const SnapshotMeta &Meta,
+                           const Chunk &Loader, const Chunk &Reader,
+                           const CacheLayout &Layout, const CacheArena &Arena,
+                           std::string *Error = nullptr);
+
+  /// Validates and loads \p Path (header/version checks, per-section
+  /// CRCs, bytecode verification — a truncated or corrupt file yields a
+  /// diagnostic, never a crash) and rebuilds the grid and arena. Reader
+  /// passes over the result are bit-identical to an in-process
+  /// loader+reader run at any thread count.
+  static std::optional<WarmStart> fromSnapshot(const std::string &Path,
+                                               std::string *Error = nullptr);
 
 private:
   bool runPass(const Chunk &Code, const RenderGrid &Grid,

@@ -1,0 +1,426 @@
+//===- snapshot/Snapshot.cpp - Persisted specialization snapshots ------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "snapshot/Snapshot.h"
+
+#include "specialize/LayoutSerde.h"
+#include "support/ByteStream.h"
+#include "support/Crc32.h"
+#include "vm/Serde.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+
+using namespace dspec;
+
+namespace {
+
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kTableEntryBytes = 28;
+constexpr size_t kArenaAlignment = 64;
+/// Snapshots hold one shader's programs plus one grid's caches; a file
+/// claiming more than this is not one of ours.
+constexpr uint64_t kMaxFileBytes = 1ull << 30;
+constexpr uint32_t kMaxSections = 64;
+/// No-limit encoding of SnapshotMeta::CacheByteLimit.
+constexpr uint32_t kNoCacheLimit = 0xFFFFFFFFu;
+
+bool setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = "snapshot: " + Message;
+  return false;
+}
+
+/// Reads a whole file; empty optional on I/O failure.
+bool readWholeFile(const std::string &Path, std::vector<unsigned char> &Out,
+                   std::string *Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return setError(Error, "cannot open '" + Path + "'");
+  std::fseek(File, 0, SEEK_END);
+  long Size = std::ftell(File);
+  std::fseek(File, 0, SEEK_SET);
+  if (Size < 0 || static_cast<uint64_t>(Size) > kMaxFileBytes) {
+    std::fclose(File);
+    return setError(Error, "'" + Path + "' is not a plausible snapshot size");
+  }
+  Out.resize(static_cast<size_t>(Size));
+  size_t Read = Size == 0 ? 0 : std::fread(Out.data(), 1, Out.size(), File);
+  std::fclose(File);
+  if (Read != Out.size())
+    return setError(Error, "short read from '" + Path + "'");
+  return true;
+}
+
+void serializeMeta(ByteWriter &Writer, const SpecializationSnapshot &Snap) {
+  const SnapshotMeta &Meta = Snap.Meta;
+  Writer.writeU32(kChunkSerdeVersion);
+  Writer.writeU32(kLayoutSerdeVersion);
+  Writer.writeString(Meta.FragmentName);
+  Writer.writeU32(static_cast<uint32_t>(Meta.VaryingParams.size()));
+  for (const std::string &Name : Meta.VaryingParams)
+    Writer.writeString(Name);
+  Writer.writeU8(Meta.JoinNormalize ? 1 : 0);
+  Writer.writeU8(Meta.Reassociate ? 1 : 0);
+  Writer.writeU8(Meta.Speculation ? 1 : 0);
+  Writer.writeU8(Meta.WeightVictimBySize ? 1 : 0);
+  Writer.writeU32(Meta.CacheByteLimit ? *Meta.CacheByteLimit : kNoCacheLimit);
+  Writer.writeU32(Meta.GridWidth);
+  Writer.writeU32(Meta.GridHeight);
+  Writer.writeU32(static_cast<uint32_t>(Meta.Controls.size()));
+  for (float Control : Meta.Controls)
+    Writer.writeF32(Control);
+  Writer.writeU32(Snap.ArenaPixels);
+  Writer.writeU32(Snap.ArenaStride);
+}
+
+bool deserializeMeta(ByteReader &Reader, SpecializationSnapshot &Snap,
+                     std::string *Error) {
+  uint32_t ChunkVersion = Reader.readU32();
+  uint32_t LayoutVersion = Reader.readU32();
+  if (Reader.ok() && ChunkVersion != kChunkSerdeVersion)
+    return setError(Error, "bytecode format version " +
+                               std::to_string(ChunkVersion) +
+                               " does not match this build (expected " +
+                               std::to_string(kChunkSerdeVersion) + ")");
+  if (Reader.ok() && LayoutVersion != kLayoutSerdeVersion)
+    return setError(Error, "cache layout format version " +
+                               std::to_string(LayoutVersion) +
+                               " does not match this build (expected " +
+                               std::to_string(kLayoutSerdeVersion) + ")");
+
+  SnapshotMeta &Meta = Snap.Meta;
+  Meta.FragmentName = Reader.readString();
+  uint32_t VaryingCount = Reader.readU32();
+  if (Reader.ok() &&
+      static_cast<uint64_t>(VaryingCount) * 4 > Reader.remaining())
+    Reader.fail("varying parameter count exceeds the remaining data");
+  for (uint32_t I = 0; I < VaryingCount && Reader.ok(); ++I)
+    Meta.VaryingParams.push_back(Reader.readString());
+  Meta.JoinNormalize = Reader.readU8() != 0;
+  Meta.Reassociate = Reader.readU8() != 0;
+  Meta.Speculation = Reader.readU8() != 0;
+  Meta.WeightVictimBySize = Reader.readU8() != 0;
+  uint32_t Limit = Reader.readU32();
+  Meta.CacheByteLimit =
+      Limit == kNoCacheLimit ? std::nullopt : std::optional<unsigned>(Limit);
+  Meta.GridWidth = Reader.readU32();
+  Meta.GridHeight = Reader.readU32();
+  uint32_t ControlCount = Reader.readU32();
+  if (Reader.ok() &&
+      static_cast<uint64_t>(ControlCount) * 4 > Reader.remaining())
+    Reader.fail("control count exceeds the remaining data");
+  for (uint32_t I = 0; I < ControlCount && Reader.ok(); ++I)
+    Meta.Controls.push_back(Reader.readF32());
+  Snap.ArenaPixels = Reader.readU32();
+  Snap.ArenaStride = Reader.readU32();
+
+  if (!Reader.ok())
+    return setError(Error, "malformed META section: " + Reader.error());
+  if (!Reader.atEnd())
+    return setError(Error, "trailing bytes in META section");
+  return true;
+}
+
+/// Parsed header + bounds/CRC-validated section table over a file image.
+struct ParsedContainer {
+  uint32_t FormatVersion = 0;
+  std::vector<SnapshotSectionInfo> Sections;
+
+  const SnapshotSectionInfo *find(SnapshotSection Id) const {
+    for (const SnapshotSectionInfo &S : Sections)
+      if (S.Id == static_cast<uint32_t>(Id))
+        return &S;
+    return nullptr;
+  }
+};
+
+bool parseContainer(const std::vector<unsigned char> &Image,
+                    ParsedContainer &Out, std::string *Error) {
+  if (Image.size() < kHeaderBytes)
+    return setError(Error, "file is too short to hold a snapshot header");
+  if (std::memcmp(Image.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
+    return setError(Error, "bad magic; not a dataspec snapshot");
+
+  ByteReader Header(Image.data() + sizeof(kSnapshotMagic),
+                    kHeaderBytes - sizeof(kSnapshotMagic));
+  Out.FormatVersion = Header.readU32();
+  uint32_t SectionCount = Header.readU32();
+  if (Out.FormatVersion != kSnapshotFormatVersion)
+    return setError(Error, "snapshot format version " +
+                               std::to_string(Out.FormatVersion) +
+                               " is not supported by this build (expected " +
+                               std::to_string(kSnapshotFormatVersion) + ")");
+  if (SectionCount == 0 || SectionCount > kMaxSections)
+    return setError(Error, "implausible section count " +
+                               std::to_string(SectionCount));
+  uint64_t TableEnd =
+      kHeaderBytes + static_cast<uint64_t>(SectionCount) * kTableEntryBytes;
+  if (TableEnd > Image.size())
+    return setError(Error, "section table is truncated");
+
+  ByteReader Table(Image.data() + kHeaderBytes,
+                   static_cast<size_t>(TableEnd) - kHeaderBytes);
+  for (uint32_t I = 0; I < SectionCount; ++I) {
+    SnapshotSectionInfo Section;
+    Section.Id = Table.readU32();
+    Table.readU32(); // reserved
+    Section.Offset = Table.readU64();
+    Section.Bytes = Table.readU64();
+    Section.StoredCrc = Table.readU32();
+    if (Section.Offset < TableEnd || Section.Offset > Image.size() ||
+        Section.Bytes > Image.size() - Section.Offset)
+      return setError(Error, std::string(snapshotSectionName(Section.Id)) +
+                                 " section lies outside the file");
+    Section.CrcOk =
+        crc32(Image.data() + Section.Offset,
+              static_cast<size_t>(Section.Bytes)) == Section.StoredCrc;
+    Out.Sections.push_back(Section);
+  }
+  return true;
+}
+
+/// Locates a required section and rejects CRC mismatches.
+const SnapshotSectionInfo *requireSection(const ParsedContainer &Container,
+                                          SnapshotSection Id,
+                                          std::string *Error) {
+  const SnapshotSectionInfo *Section = Container.find(Id);
+  const char *Name = snapshotSectionName(static_cast<uint32_t>(Id));
+  if (!Section) {
+    setError(Error, std::string("missing ") + Name + " section");
+    return nullptr;
+  }
+  if (!Section->CrcOk) {
+    setError(Error, std::string(Name) +
+                        " section fails its CRC-32 check (corrupt file)");
+    return nullptr;
+  }
+  return Section;
+}
+
+} // namespace
+
+const char *dspec::snapshotSectionName(uint32_t Id) {
+  switch (static_cast<SnapshotSection>(Id)) {
+  case SnapshotSection::Meta:
+    return "META";
+  case SnapshotSection::Layout:
+    return "LAYOUT";
+  case SnapshotSection::Loader:
+    return "LOADER";
+  case SnapshotSection::Reader:
+    return "READER";
+  case SnapshotSection::Arena:
+    return "ARENA";
+  }
+  return "UNKNOWN";
+}
+
+SnapshotMeta SnapshotMeta::fromOptions(const SpecializerOptions &Options) {
+  SnapshotMeta Meta;
+  Meta.JoinNormalize = Options.EnableJoinNormalize;
+  Meta.Reassociate = Options.EnableReassociate;
+  Meta.Speculation = Options.AllowSpeculation;
+  Meta.WeightVictimBySize = Options.WeightVictimBySize;
+  Meta.CacheByteLimit = Options.CacheByteLimit;
+  return Meta;
+}
+
+std::string SnapshotMeta::optionsSummary() const {
+  std::string Out = JoinNormalize ? "phi" : "no-phi";
+  if (Reassociate)
+    Out += ", reassoc";
+  if (Speculation)
+    Out += ", speculate";
+  if (CacheByteLimit)
+    Out += ", limit=" + std::to_string(*CacheByteLimit) + "B";
+  if (WeightVictimBySize)
+    Out += ", weight-by-size";
+  return Out;
+}
+
+bool dspec::writeSnapshotFile(const std::string &Path,
+                              const SpecializationSnapshot &Snap,
+                              std::string *Error) {
+  // Refuse to persist inconsistent state; the reader enforces the same
+  // invariants, so a file we write always loads.
+  if (Snap.ArenaStride != Snap.Layout.totalBytes())
+    return setError(Error, "arena stride does not match the cache layout");
+  if (Snap.ArenaBytes.size() !=
+      static_cast<size_t>(Snap.ArenaPixels) * Snap.ArenaStride)
+    return setError(Error, "arena byte count does not match pixels x stride");
+  if (Snap.Meta.GridWidth * Snap.Meta.GridHeight != Snap.ArenaPixels)
+    return setError(Error, "grid dimensions do not match the arena");
+  std::string VerifyError;
+  if (!verifyChunk(Snap.Loader, VerifyError) ||
+      !verifyChunk(Snap.Reader, VerifyError))
+    return setError(Error, "refusing to persist a broken chunk: " +
+                               VerifyError);
+
+  ByteWriter Meta, Layout, Loader, Reader;
+  serializeMeta(Meta, Snap);
+  serializeLayout(Layout, Snap.Layout);
+  serializeChunk(Loader, Snap.Loader);
+  serializeChunk(Reader, Snap.Reader);
+
+  struct Pending {
+    SnapshotSection Id;
+    const unsigned char *Data;
+    size_t Bytes;
+  };
+  const Pending Sections[] = {
+      {SnapshotSection::Meta, Meta.bytes().data(), Meta.size()},
+      {SnapshotSection::Layout, Layout.bytes().data(), Layout.size()},
+      {SnapshotSection::Loader, Loader.bytes().data(), Loader.size()},
+      {SnapshotSection::Reader, Reader.bytes().data(), Reader.size()},
+      {SnapshotSection::Arena, Snap.ArenaBytes.data(),
+       Snap.ArenaBytes.size()},
+  };
+  const size_t SectionCount = std::size(Sections);
+
+  ByteWriter File;
+  File.writeBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  File.writeU32(kSnapshotFormatVersion);
+  File.writeU32(static_cast<uint32_t>(SectionCount));
+
+  // Lay out payload offsets: sequential after the table, with the arena
+  // (always last) aligned so an mmap'd file exposes 64-byte-aligned
+  // cache strides.
+  uint64_t Offset = kHeaderBytes + SectionCount * kTableEntryBytes;
+  std::vector<uint64_t> Offsets(SectionCount);
+  for (size_t I = 0; I < SectionCount; ++I) {
+    if (Sections[I].Id == SnapshotSection::Arena)
+      Offset = (Offset + kArenaAlignment - 1) / kArenaAlignment *
+               kArenaAlignment;
+    Offsets[I] = Offset;
+    Offset += Sections[I].Bytes;
+  }
+
+  for (size_t I = 0; I < SectionCount; ++I) {
+    File.writeU32(static_cast<uint32_t>(Sections[I].Id));
+    File.writeU32(0); // reserved
+    File.writeU64(Offsets[I]);
+    File.writeU64(Sections[I].Bytes);
+    File.writeU32(crc32(Sections[I].Data, Sections[I].Bytes));
+  }
+  for (size_t I = 0; I < SectionCount; ++I) {
+    while (File.size() < Offsets[I])
+      File.writeU8(0);
+    File.writeBytes(Sections[I].Data, Sections[I].Bytes);
+  }
+
+  std::FILE *Out = std::fopen(Path.c_str(), "wb");
+  if (!Out)
+    return setError(Error, "cannot open '" + Path + "' for writing");
+  size_t Written =
+      std::fwrite(File.bytes().data(), 1, File.size(), Out);
+  bool Flushed = std::fclose(Out) == 0;
+  if (Written != File.size() || !Flushed)
+    return setError(Error, "short write to '" + Path + "'");
+  return true;
+}
+
+bool dspec::readSnapshotFile(const std::string &Path,
+                             SpecializationSnapshot &Out, std::string *Error) {
+  Out = SpecializationSnapshot();
+  std::vector<unsigned char> Image;
+  if (!readWholeFile(Path, Image, Error))
+    return false;
+
+  ParsedContainer Container;
+  if (!parseContainer(Image, Container, Error))
+    return false;
+
+  const SnapshotSectionInfo *Meta =
+      requireSection(Container, SnapshotSection::Meta, Error);
+  const SnapshotSectionInfo *Layout =
+      requireSection(Container, SnapshotSection::Layout, Error);
+  const SnapshotSectionInfo *Loader =
+      requireSection(Container, SnapshotSection::Loader, Error);
+  const SnapshotSectionInfo *Reader =
+      requireSection(Container, SnapshotSection::Reader, Error);
+  const SnapshotSectionInfo *Arena =
+      requireSection(Container, SnapshotSection::Arena, Error);
+  if (!Meta || !Layout || !Loader || !Reader || !Arena)
+    return false;
+
+  {
+    ByteReader R(Image.data() + Meta->Offset,
+                 static_cast<size_t>(Meta->Bytes));
+    if (!deserializeMeta(R, Out, Error))
+      return false;
+  }
+  std::string SectionError;
+  {
+    ByteReader R(Image.data() + Layout->Offset,
+                 static_cast<size_t>(Layout->Bytes));
+    if (!deserializeLayout(R, Out.Layout, SectionError))
+      return setError(Error, SectionError);
+  }
+  {
+    ByteReader R(Image.data() + Loader->Offset,
+                 static_cast<size_t>(Loader->Bytes));
+    if (!deserializeChunk(R, Out.Loader, SectionError))
+      return setError(Error, "LOADER section: " + SectionError);
+  }
+  {
+    ByteReader R(Image.data() + Reader->Offset,
+                 static_cast<size_t>(Reader->Bytes));
+    if (!deserializeChunk(R, Out.Reader, SectionError))
+      return setError(Error, "READER section: " + SectionError);
+  }
+
+  // Cross-section consistency: the layout is authoritative; the arena
+  // and both chunks must agree with it.
+  if (Out.ArenaStride != Out.Layout.totalBytes())
+    return setError(Error, "arena stride " + std::to_string(Out.ArenaStride) +
+                               " does not match the cache layout (" +
+                               std::to_string(Out.Layout.totalBytes()) +
+                               " bytes)");
+  // Bounds the procedural grid a warm start rebuilds (the arena section
+  // itself cannot vouch for the pixel count when the layout has zero
+  // slots and the stride is zero). 16M pixels is a 4096x4096 frame.
+  if (Out.ArenaPixels > (1u << 24))
+    return setError(Error, "implausible arena pixel count");
+  if (static_cast<uint64_t>(Out.Meta.GridWidth) * Out.Meta.GridHeight !=
+      Out.ArenaPixels)
+    return setError(Error, "grid dimensions do not match the arena pixel "
+                           "count");
+  if (Arena->Bytes !=
+      static_cast<uint64_t>(Out.ArenaPixels) * Out.ArenaStride)
+    return setError(Error, "ARENA section size does not equal pixels x "
+                           "stride");
+  for (const Chunk *C : {&Out.Loader, &Out.Reader}) {
+    if (C->CacheBytes > Out.Layout.totalBytes() ||
+        C->CacheSlotCount > Out.Layout.slotCount())
+      return setError(Error, "chunk '" + C->Name +
+                                 "' was compiled against a larger cache "
+                                 "layout than the snapshot's");
+  }
+  if (Out.Loader.NumParams != Out.Reader.NumParams)
+    return setError(Error, "loader and reader disagree on the parameter "
+                           "count");
+
+  Out.ArenaBytes.assign(Image.data() + Arena->Offset,
+                        Image.data() + Arena->Offset + Arena->Bytes);
+  return true;
+}
+
+bool dspec::inspectSnapshotFile(const std::string &Path, SnapshotFileInfo &Out,
+                                std::string *Error) {
+  Out = SnapshotFileInfo();
+  std::vector<unsigned char> Image;
+  if (!readWholeFile(Path, Image, Error))
+    return false;
+  ParsedContainer Container;
+  if (!parseContainer(Image, Container, Error))
+    return false;
+  Out.FormatVersion = Container.FormatVersion;
+  Out.FileBytes = Image.size();
+  Out.Sections = Container.Sections;
+  return true;
+}

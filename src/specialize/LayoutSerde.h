@@ -1,0 +1,42 @@
+//===- specialize/LayoutSerde.h - CacheLayout binary serde ------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned binary serialization for CacheLayout, used by the snapshot
+/// subsystem. The layout is the authoritative description of the packed
+/// cache bytes, so deserialization is strict: slot types must be valid
+/// non-void kinds and the stored offsets must equal the offsets the
+/// layout computes for those types — a mismatch means the bytes were
+/// written by a different packing rule (or corrupted) and the arena
+/// payload cannot be trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SPECIALIZE_LAYOUTSERDE_H
+#define DATASPEC_SPECIALIZE_LAYOUTSERDE_H
+
+#include "specialize/CacheLayout.h"
+#include "support/ByteStream.h"
+
+#include <string>
+
+namespace dspec {
+
+/// Bump when the encoded shape of CacheLayout (or the packing rule it
+/// implies) changes.
+constexpr uint32_t kLayoutSerdeVersion = 1;
+
+/// Appends \p Layout to \p Writer.
+void serializeLayout(ByteWriter &Writer, const CacheLayout &Layout);
+
+/// Decodes one CacheLayout. Returns false with \p Error set on invalid
+/// slot types, offset mismatches, or truncation.
+bool deserializeLayout(ByteReader &Reader, CacheLayout &Out,
+                       std::string &Error);
+
+} // namespace dspec
+
+#endif // DATASPEC_SPECIALIZE_LAYOUTSERDE_H

@@ -1,0 +1,36 @@
+//===- support/Crc32.cpp - CRC-32 checksums ----------------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32.h"
+
+#include <array>
+
+using namespace dspec;
+
+namespace {
+
+/// The reflected IEEE 802.3 polynomial table (same one zlib and PNG use).
+std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t N = 0; N < 256; ++N) {
+    uint32_t C = N;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[N] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t dspec::crc32(const void *Data, size_t Size, uint32_t Seed) {
+  static const std::array<uint32_t, 256> Table = makeTable();
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+  for (size_t I = 0; I < Size; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xFFu] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}

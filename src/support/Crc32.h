@@ -1,0 +1,28 @@
+//===- support/Crc32.h - CRC-32 checksums -----------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) used to checksum
+/// snapshot file sections. Table-driven, byte at a time — snapshot files
+/// are small and read once per process, so simplicity wins over speed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SUPPORT_CRC32_H
+#define DATASPEC_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dspec {
+
+/// CRC-32 of \p Size bytes at \p Data. \p Seed allows incremental use:
+/// crc32(B, crc32(A)) == crc32(A ++ B).
+uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0);
+
+} // namespace dspec
+
+#endif // DATASPEC_SUPPORT_CRC32_H

@@ -51,6 +51,12 @@ public:
   /// Runs \p C on \p Args with a boxed cache. \p CacheMem may be null for
   /// fragments that perform no cache access; otherwise it is pre-sized to
   /// the chunk's CacheSlotCount and any access past the layout traps.
+  ///
+  /// [[deprecated]] in spirit: the boxed cache is a compatibility adapter
+  /// for single-invocation callers (kept un-annotated so benchmarks can
+  /// still measure it against the packed path without warnings). New code
+  /// should use the CacheView overload below — it is the render engine's
+  /// native representation and the only one snapshots persist.
   ExecResult run(const Chunk &C, const std::vector<Value> &Args,
                  Cache *CacheMem = nullptr);
 

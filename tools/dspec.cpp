@@ -13,10 +13,23 @@
 ///         [--limit BYTES] [--reassoc] [--no-phi] [--speculate]
 ///         [--show-normalized] [--stats]
 ///
+/// Snapshot subcommands persist a specialization (and its loader-filled
+/// cache arena) across processes:
+///
+///   dspec snapshot save (--gallery SHADER | FILE --fragment NAME)
+///         --out SNAP [--vary P1[,P2...]] [--width W] [--height H]
+///         [--controls v1,v2,...] [--limit BYTES] [--reassoc] [--no-phi]
+///         [--speculate]
+///   dspec snapshot info SNAP
+///   dspec snapshot verify SNAP
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "engine/RenderEngine.h"
 #include "lang/ASTPrinter.h"
+#include "shading/ShaderGallery.h"
+#include "snapshot/Snapshot.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
@@ -35,16 +48,283 @@ void usage(const char *Argv0) {
       "            [--limit BYTES] [--reassoc] [--no-phi] [--speculate]\n"
       "            [--explain]\n"
       "            [--show-normalized] [--stats]\n"
+      "       %s snapshot save (--gallery SHADER | FILE --fragment NAME)\n"
+      "            --out SNAP [--vary P1[,P2...]] [--width W] [--height H]\n"
+      "            [--controls v1,v2,...] [--limit BYTES] [--reassoc]\n"
+      "            [--no-phi] [--speculate]\n"
+      "       %s snapshot info SNAP\n"
+      "       %s snapshot verify SNAP\n"
       "\n"
       "Splits the named dsc function into a cache loader and cache reader\n"
       "for the input partition where P1, P2, ... vary and every other\n"
-      "parameter is fixed (Knoblock & Ruf, PLDI 1996).\n",
-      Argv0);
+      "parameter is fixed (Knoblock & Ruf, PLDI 1996). The snapshot\n"
+      "subcommands persist the split programs plus a loader-filled cache\n"
+      "arena so fresh processes warm-start straight into reader frames.\n",
+      Argv0, Argv0, Argv0, Argv0);
+}
+
+bool readFileToString(const char *Path, std::string &Out) {
+  std::ifstream File(Path);
+  if (!File)
+    return false;
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+int snapshotSave(int Argc, char **Argv) {
+  const char *FilePath = nullptr;
+  const char *GalleryName = nullptr;
+  const char *FragmentName = nullptr;
+  const char *OutPath = nullptr;
+  std::vector<std::string> Varying;
+  std::vector<float> UserControls;
+  bool HaveUserControls = false;
+  unsigned Width = 48, Height = 32;
+  SpecializerOptions Options;
+
+  for (int I = 0; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Arg);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--gallery") == 0) {
+      GalleryName = NextValue();
+    } else if (std::strcmp(Arg, "--fragment") == 0) {
+      FragmentName = NextValue();
+    } else if (std::strcmp(Arg, "--out") == 0 || std::strcmp(Arg, "-o") == 0) {
+      OutPath = NextValue();
+    } else if (std::strcmp(Arg, "--vary") == 0) {
+      for (const std::string &Name : splitString(NextValue(), ','))
+        if (!Name.empty())
+          Varying.push_back(Name);
+    } else if (std::strcmp(Arg, "--width") == 0) {
+      Width = static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
+    } else if (std::strcmp(Arg, "--height") == 0) {
+      Height = static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
+    } else if (std::strcmp(Arg, "--controls") == 0) {
+      HaveUserControls = true;
+      for (const std::string &Text : splitString(NextValue(), ','))
+        if (!Text.empty())
+          UserControls.push_back(std::strtof(Text.c_str(), nullptr));
+    } else if (std::strcmp(Arg, "--limit") == 0) {
+      Options.CacheByteLimit = std::strtoul(NextValue(), nullptr, 10);
+    } else if (std::strcmp(Arg, "--reassoc") == 0) {
+      Options.EnableReassociate = true;
+    } else if (std::strcmp(Arg, "--no-phi") == 0) {
+      Options.EnableJoinNormalize = false;
+    } else if (std::strcmp(Arg, "--speculate") == 0) {
+      Options.AllowSpeculation = true;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      return 2;
+    } else if (!FilePath) {
+      FilePath = Arg;
+    } else {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return 2;
+    }
+  }
+
+  if (!OutPath || (!GalleryName && (!FilePath || !FragmentName)) ||
+      (GalleryName && FilePath)) {
+    std::fprintf(stderr,
+                 "error: snapshot save needs --out and either --gallery "
+                 "SHADER or FILE --fragment NAME\n");
+    return 2;
+  }
+  if (Width == 0 || Height == 0) {
+    std::fprintf(stderr, "error: --width/--height must be positive\n");
+    return 2;
+  }
+
+  std::string Source;
+  std::string Fragment;
+  std::vector<float> DefaultControls;
+  if (GalleryName) {
+    const ShaderInfo *Info = findShader(GalleryName);
+    if (!Info) {
+      std::fprintf(stderr, "error: no gallery shader named '%s'\n",
+                   GalleryName);
+      return 1;
+    }
+    Source = Info->Source;
+    Fragment = Info->Name;
+    for (const ControlParam &Control : Info->Controls)
+      DefaultControls.push_back(Control.Default);
+    if (Varying.empty())
+      Varying.push_back(Info->Controls.front().Name);
+  } else {
+    if (!readFileToString(FilePath, Source)) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", FilePath);
+      return 1;
+    }
+    Fragment = FragmentName;
+    if (Varying.empty()) {
+      std::fprintf(stderr, "error: --vary is required with a FILE input\n");
+      return 2;
+    }
+  }
+
+  auto Unit = parseUnit(Source);
+  if (!Unit->ok()) {
+    std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
+    return 1;
+  }
+  auto Spec = specializeAndCompile(*Unit, Fragment, Varying, Options);
+  if (!Spec) {
+    std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
+    return 1;
+  }
+
+  if (Spec->LoaderChunk.NumParams < RenderEngine::NumPixelParams) {
+    std::fprintf(stderr,
+                 "error: '%s' takes %u parameters; a renderable fragment "
+                 "needs the %u per-pixel inputs (uv, P, N, I) first\n",
+                 Fragment.c_str(), Spec->LoaderChunk.NumParams,
+                 RenderEngine::NumPixelParams);
+    return 1;
+  }
+  unsigned NumControls =
+      Spec->LoaderChunk.NumParams - RenderEngine::NumPixelParams;
+  std::vector<float> Controls(NumControls, 1.0f);
+  if (!DefaultControls.empty() && DefaultControls.size() == NumControls)
+    Controls = DefaultControls;
+  if (HaveUserControls) {
+    if (UserControls.size() != NumControls) {
+      std::fprintf(stderr,
+                   "error: --controls has %zu value(s); '%s' takes %u\n",
+                   UserControls.size(), Fragment.c_str(), NumControls);
+      return 2;
+    }
+    Controls = UserControls;
+  }
+
+  RenderGrid Grid(Width, Height);
+  RenderEngine Engine(1);
+  CacheArena Arena;
+  if (!Engine.loaderPass(Spec->LoaderChunk, Spec->Spec.Layout, Grid, Controls,
+                         Arena)) {
+    std::fprintf(stderr, "error: loader pass trapped: %s\n",
+                 Engine.lastTrap().c_str());
+    return 1;
+  }
+
+  SnapshotMeta Meta = SnapshotMeta::fromOptions(Options);
+  Meta.FragmentName = Fragment;
+  Meta.VaryingParams = Varying;
+  Meta.GridWidth = Width;
+  Meta.GridHeight = Height;
+  Meta.Controls = Controls;
+
+  std::string Error;
+  if (!RenderEngine::saveSnapshot(OutPath, Meta, Spec->LoaderChunk,
+                                  Spec->ReaderChunk, Spec->Spec.Layout, Arena,
+                                  &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::printf("wrote %s: '%s' vary ", OutPath, Fragment.c_str());
+  for (size_t I = 0; I < Varying.size(); ++I)
+    std::printf("%s%s", I ? "," : "", Varying[I].c_str());
+  std::printf("; %ux%u pixels x %uB cache = %zu arena bytes (%s)\n", Width,
+              Height, Spec->Spec.Layout.totalBytes(), Arena.totalBytes(),
+              Meta.optionsSummary().c_str());
+  return 0;
+}
+
+int snapshotInfo(const char *Path) {
+  SnapshotFileInfo Info;
+  std::string Error;
+  if (!inspectSnapshotFile(Path, Info, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%s: snapshot format v%u, %llu bytes, %zu sections\n", Path,
+              Info.FormatVersion,
+              static_cast<unsigned long long>(Info.FileBytes),
+              Info.Sections.size());
+  std::printf("  %-8s %10s %12s %12s %s\n", "section", "offset", "bytes",
+              "crc32", "check");
+  for (const SnapshotSectionInfo &Section : Info.Sections)
+    std::printf("  %-8s %10llu %12llu     %08x %s\n",
+                snapshotSectionName(Section.Id),
+                static_cast<unsigned long long>(Section.Offset),
+                static_cast<unsigned long long>(Section.Bytes),
+                Section.StoredCrc, Section.CrcOk ? "ok" : "FAIL");
+
+  // Decode the payloads too when they are intact; info stays useful on a
+  // partially corrupt file by degrading to the table above.
+  SpecializationSnapshot Snap;
+  if (!readSnapshotFile(Path, Snap, &Error)) {
+    std::printf("  (payloads not decoded: %s)\n", Error.c_str());
+    return 0;
+  }
+  std::printf("  fragment '%s', vary ", Snap.Meta.FragmentName.c_str());
+  for (size_t I = 0; I < Snap.Meta.VaryingParams.size(); ++I)
+    std::printf("%s%s", I ? "," : "", Snap.Meta.VaryingParams[I].c_str());
+  std::printf("; options: %s\n", Snap.Meta.optionsSummary().c_str());
+  std::printf("  grid %ux%u, %u controls; loader %zu instrs, reader %zu "
+              "instrs\n",
+              Snap.Meta.GridWidth, Snap.Meta.GridHeight,
+              static_cast<unsigned>(Snap.Meta.Controls.size()),
+              Snap.Loader.Code.size(), Snap.Reader.Code.size());
+  std::printf("  cache layout: %u slot(s), %u byte(s)/pixel\n",
+              Snap.Layout.slotCount(), Snap.Layout.totalBytes());
+  for (const CacheSlot &Slot : Snap.Layout.slots())
+    std::printf("    slot%-3u %-6s offset %u\n", Slot.Index,
+                Slot.SlotType.name(), Slot.Offset);
+  return 0;
+}
+
+int snapshotVerify(const char *Path) {
+  SpecializationSnapshot Snap;
+  std::string Error;
+  if (!readSnapshotFile(Path, Snap, &Error)) {
+    std::fprintf(stderr, "%s: FAILED\n  %s\n", Path, Error.c_str());
+    return 1;
+  }
+  std::printf("%s: OK ('%s', %u pixels x %uB cache, all CRCs and chunk "
+              "verification passed)\n",
+              Path, Snap.Meta.FragmentName.c_str(), Snap.ArenaPixels,
+              Snap.ArenaStride);
+  return 0;
+}
+
+int snapshotMain(int Argc, char **Argv) {
+  if (Argc < 1) {
+    std::fprintf(stderr,
+                 "error: snapshot needs a subcommand (save|info|verify)\n");
+    return 2;
+  }
+  const char *Sub = Argv[0];
+  if (std::strcmp(Sub, "save") == 0)
+    return snapshotSave(Argc - 1, Argv + 1);
+  if (std::strcmp(Sub, "info") == 0 || std::strcmp(Sub, "verify") == 0) {
+    if (Argc != 2) {
+      std::fprintf(stderr, "error: snapshot %s takes exactly one file\n",
+                   Sub);
+      return 2;
+    }
+    return std::strcmp(Sub, "info") == 0 ? snapshotInfo(Argv[1])
+                                         : snapshotVerify(Argv[1]);
+  }
+  std::fprintf(stderr, "error: unknown snapshot subcommand '%s'\n", Sub);
+  return 2;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "snapshot") == 0)
+    return snapshotMain(Argc - 2, Argv + 2);
+
   const char *FilePath = nullptr;
   const char *FragmentName = nullptr;
   std::vector<std::string> Varying;
@@ -101,14 +381,11 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  std::ifstream File(FilePath);
-  if (!File) {
+  std::string Source;
+  if (!readFileToString(FilePath, Source)) {
     std::fprintf(stderr, "error: cannot open '%s'\n", FilePath);
     return 1;
   }
-  std::stringstream Buffer;
-  Buffer << File.rdbuf();
-  std::string Source = Buffer.str();
 
   auto Unit = parseUnit(Source);
   if (!Unit->ok()) {
