@@ -60,6 +60,40 @@ inline double mean(const std::vector<double> &Samples) {
   return Sum / static_cast<double>(Samples.size());
 }
 
+/// Nearest-rank percentile (\p Pct in [0, 100]) over a copy of the
+/// samples; matches the service's /statsz percentile definition.
+inline double percentile(std::vector<double> Samples, double Pct) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  if (Pct <= 0.0)
+    return Samples.front();
+  if (Pct >= 100.0)
+    return Samples.back();
+  size_t Rank = static_cast<size_t>(
+      Pct / 100.0 * static_cast<double>(Samples.size()) + 0.5);
+  if (Rank > 0)
+    --Rank;
+  if (Rank >= Samples.size())
+    Rank = Samples.size() - 1;
+  return Samples[Rank];
+}
+
+inline double p50(const std::vector<double> &S) { return percentile(S, 50); }
+inline double p95(const std::vector<double> &S) { return percentile(S, 95); }
+inline double p99(const std::vector<double> &S) { return percentile(S, 99); }
+
+/// Formats the standard latency-percentile JSON fragment appended to
+/// benchmark rows: `"p50_us":...,"p95_us":...,"p99_us":...` (samples in
+/// seconds, reported in microseconds).
+inline std::string latencyPercentilesJson(const std::vector<double> &Seconds) {
+  char Buffer[160];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "\"p50_us\":%.3f,\"p95_us\":%.3f,\"p99_us\":%.3f",
+                p50(Seconds) * 1e6, p95(Seconds) * 1e6, p99(Seconds) * 1e6);
+  return Buffer;
+}
+
 /// One (partition, byte-bound) measurement of the Figure 9/10 study.
 struct LimitSweepRow {
   std::string ParamName;

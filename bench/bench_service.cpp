@@ -1,0 +1,243 @@
+//===- bench/bench_service.cpp - Service cold/hit latency and shedding -------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the specialization service end to end over the loopback
+/// transport — the full client path of frame encode, CRC, dispatch,
+/// unit-cache resolution, tiled reader render, and reply decode:
+///
+///   cold    first request for a key: pays parse + specialize + compile
+///           + loader pass before the reader frame;
+///   hit     subsequent frames against the cached unit (varying-control
+///           value changes per frame, so these are genuine re-renders,
+///           not response memoization).
+///
+/// The cold/hit gap is the paper's specialization cost amortized behind a
+/// server cache: hits should be several times cheaper at p50. A second
+/// phase bursts requests into a deliberately tiny queue to demonstrate
+/// load shedding (the run fails if nothing is shed — admission control
+/// that never triggers is untested code). Emits BENCH_service.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "service/Protocol.h"
+#include "service/Service.h"
+#include "service/Transport.h"
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <thread>
+
+using namespace dspec;
+using namespace dspec::bench;
+
+namespace {
+
+struct ServiceRow {
+  std::string Shader;
+  double ColdSeconds = 0.0; // single cold sample (one miss per key)
+  std::vector<double> HitSeconds;
+};
+
+/// One full client round trip; aborts on transport or render failure.
+double timedRoundTrip(Transport &Client, const RenderRequest &Request) {
+  auto Start = std::chrono::steady_clock::now();
+  std::string Error;
+  auto Reply = requestRender(Client, Request, &Error);
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  if (!Reply || !Reply->ok()) {
+    std::fprintf(stderr, "!! %s: %s\n", Request.Shader.c_str(),
+                 Reply ? Reply->Error.c_str() : Error.c_str());
+    std::abort();
+  }
+  return Seconds;
+}
+
+void runColdVsHit(BenchJson &Json) {
+  banner("Service latency: cold (specialize on miss) vs unit-cache hit",
+         "a server-side unit cache amortizes specialization across "
+         "requests the way staging amortizes it across frames");
+
+  const unsigned W = benchWidth(), H = benchHeight();
+  const unsigned Frames = std::max(benchFrames() * 4u, 20u);
+
+  ServiceConfig Config;
+  Config.RenderThreads = 1;
+  SpecializationService Service(Config);
+  auto [Client, ServerEnd] = makeLoopbackPair();
+  std::thread Server(
+      [&ServerEnd, &Service] { serveConnection(*ServerEnd, Service); });
+
+  std::vector<ServiceRow> Rows;
+  std::vector<double> AllHits;
+  std::vector<double> AllColds;
+  for (const ShaderInfo &Info : shaderGallery()) {
+    ServiceRow Row;
+    Row.Shader = Info.Name;
+    RenderRequest Request;
+    Request.Shader = Info.Name;
+    Request.Width = W;
+    Request.Height = H;
+    Request.Controls = ShaderLab::defaultControls(Info);
+
+    Row.ColdSeconds = timedRoundTrip(*Client, Request);
+    AllColds.push_back(Row.ColdSeconds);
+
+    const ControlParam &Sweep = Info.Controls.front();
+    for (unsigned F = 0; F < Frames; ++F) {
+      // A new varying-control value each frame: every hit is a fresh
+      // reader render against the cached arena.
+      Request.Controls[0] =
+          Sweep.SweepMin + (Sweep.SweepMax - Sweep.SweepMin) *
+                               static_cast<float>(F) /
+                               static_cast<float>(Frames);
+      Row.HitSeconds.push_back(timedRoundTrip(*Client, Request));
+    }
+    AllHits.insert(AllHits.end(), Row.HitSeconds.begin(),
+                   Row.HitSeconds.end());
+    Rows.push_back(std::move(Row));
+  }
+
+  MetricsSnapshot Stats = Service.statsz();
+  Client->shutdown();
+  Server.join();
+
+  std::printf("%ux%u pixels, 1 cold + %u hit frames per shader:\n\n", W, H,
+              Frames);
+  std::printf("%-12s %10s %10s %10s %10s %8s\n", "shader", "cold ms",
+              "hit p50", "hit p95", "hit p99", "gap");
+  char Row[320];
+  for (const ServiceRow &R : Rows) {
+    double HitP50 = p50(R.HitSeconds);
+    std::printf("%-12s %10.3f %10.3f %10.3f %10.3f %7.1fx\n",
+                R.Shader.c_str(), R.ColdSeconds * 1e3, HitP50 * 1e3,
+                p95(R.HitSeconds) * 1e3, p99(R.HitSeconds) * 1e3,
+                R.ColdSeconds / HitP50);
+    std::snprintf(Row, sizeof(Row),
+                  "{\"shader\":%s,\"cold_seconds\":%.9f,%s,"
+                  "\"cold_over_hit_p50\":%.3f}",
+                  jsonQuote(R.Shader).c_str(), R.ColdSeconds,
+                  latencyPercentilesJson(R.HitSeconds).c_str(),
+                  R.ColdSeconds / p50(R.HitSeconds));
+    Json.addRow(Row);
+  }
+
+  double ColdP50 = p50(AllColds), HitP50 = p50(AllHits);
+  std::printf("\ngallery p50: cold %.3f ms, hit %.3f ms => %.1fx; cache "
+              "%llu hit / %llu miss\n",
+              ColdP50 * 1e3, HitP50 * 1e3, ColdP50 / HitP50,
+              static_cast<unsigned long long>(Stats.Cache.Hits),
+              static_cast<unsigned long long>(Stats.Cache.Misses));
+  Json.config("cold_p50_seconds", std::to_string(ColdP50));
+  Json.config("hit_p50_seconds", std::to_string(HitP50));
+  Json.config("cold_over_hit_p50",
+              std::to_string(HitP50 > 0 ? ColdP50 / HitP50 : 0.0));
+
+  if (Stats.Cache.Misses != shaderGallery().size() ||
+      Stats.Cache.Hits !=
+          static_cast<uint64_t>(shaderGallery().size()) * Frames) {
+    std::fprintf(stderr, "!! unexpected cache traffic: every shader should "
+                         "miss once then hit\n");
+    std::exit(1);
+  }
+}
+
+void runOverloadShed(BenchJson &Json) {
+  banner("Service load shedding under a forced overload burst",
+         "admission control: a bounded queue rejects with a reason "
+         "instead of growing without bound");
+
+  // A tiny queue and no batching, so a burst must overflow while the
+  // dispatcher is busy with the first (cold, ms-scale) build.
+  ServiceConfig Config;
+  Config.QueueCapacity = 4;
+  Config.MaxBatch = 1;
+  Config.Dispatchers = 1;
+  SpecializationService Service(Config);
+
+  constexpr unsigned Burst = 200;
+  RenderRequest Request;
+  Request.Shader = "rings";
+  Request.Width = benchWidth();
+  Request.Height = benchHeight();
+  std::vector<std::future<RenderReply>> Futures;
+  Futures.reserve(Burst);
+  for (unsigned I = 0; I < Burst; ++I)
+    Futures.push_back(Service.submit(Request));
+
+  unsigned Ok = 0, Shed = 0, Other = 0;
+  for (std::future<RenderReply> &F : Futures) {
+    RenderReply Reply = F.get();
+    if (Reply.ok())
+      ++Ok;
+    else if (Reply.Status == RenderStatus::ShedQueueFull)
+      ++Shed;
+    else
+      ++Other;
+  }
+  MetricsSnapshot Stats = Service.statsz();
+
+  std::printf("burst of %u same-key requests into a %u-deep queue: %u "
+              "rendered, %u shed, %u other\n",
+              Burst, Config.QueueCapacity, Ok, Shed, Other);
+  Json.configUnsigned("overload_burst", Burst);
+  Json.configUnsigned("overload_queue_capacity", Config.QueueCapacity);
+  Json.configUnsigned("overload_rendered", Ok);
+  Json.configUnsigned("overload_shed", Shed);
+
+  if (Shed == 0 || Other != 0 ||
+      Stats.ShedQueueFull != Shed) {
+    std::fprintf(stderr,
+                 "!! expected a nonzero shed count under overload "
+                 "(shed=%u other=%u statsz=%llu)\n",
+                 Shed, Other,
+                 static_cast<unsigned long long>(Stats.ShedQueueFull));
+    std::exit(1);
+  }
+}
+
+// Micro-benchmark: one hit round trip through the full framed protocol.
+void BM_ServiceHitRoundTrip(benchmark::State &State) {
+  SpecializationService Service;
+  auto [Client, ServerEnd] = makeLoopbackPair();
+  std::thread Server(
+      [&ServerEnd, &Service] { serveConnection(*ServerEnd, Service); });
+  RenderRequest Request;
+  Request.Shader = "plastic";
+  Request.Width = benchWidth();
+  Request.Height = benchHeight();
+  std::string Error;
+  if (!requestRender(*Client, Request, &Error)) // warm the cache
+    std::abort();
+  for (auto _ : State) {
+    auto Reply = requestRender(*Client, Request, &Error);
+    benchmark::DoNotOptimize(Reply);
+  }
+  Client->shutdown();
+  Server.join();
+}
+BENCHMARK(BM_ServiceHitRoundTrip)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *OutPath = takeOutPathArg(&argc, argv);
+  BenchJson Json("service");
+  Json.configUnsigned("width", benchWidth());
+  Json.configUnsigned("height", benchHeight());
+  runColdVsHit(Json);
+  runOverloadShed(Json);
+  if (!Json.emit(OutPath ? OutPath : "BENCH_service.json"))
+    return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -96,6 +96,8 @@ struct SnapshotRow {
   uint64_t FileBytes = 0;
   double ColdSeconds = 0.0;
   double WarmSeconds = 0.0;
+  double WarmP50 = 0.0;
+  double WarmP95 = 0.0;
   bool Identical = false;
 };
 
@@ -155,33 +157,36 @@ void printColdVsWarm(const char *OutPath) {
       }));
 
     Rows.push_back({Info.Name, Info.Controls[0].Name, FileInfo.FileBytes,
-                    median(ColdTimes), median(WarmTimes),
-                    sameImage(ColdFb, WarmFb)});
+                    median(ColdTimes), median(WarmTimes), p50(WarmTimes),
+                    p95(WarmTimes), sameImage(ColdFb, WarmFb)});
     std::remove(Path.c_str());
   }
 
   std::printf("%ux%u pixels, median of %u runs per phase:\n\n", W, H, Frames);
-  std::printf("%-12s %-10s %10s %10s %10s %8s %6s\n", "shader", "vary",
-              "file KB", "cold ms", "warm ms", "speedup", "same");
+  std::printf("%-12s %-10s %10s %10s %10s %10s %8s %6s\n", "shader", "vary",
+              "file KB", "cold ms", "warm p50", "warm p95", "speedup",
+              "same");
   for (const SnapshotRow &R : Rows)
-    std::printf("%-12s %-10s %10.1f %10.3f %10.3f %7.1fx %6s\n",
+    std::printf("%-12s %-10s %10.1f %10.3f %10.3f %10.3f %7.1fx %6s\n",
                 R.Shader.c_str(), R.Param.c_str(), R.FileBytes / 1024.0,
-                R.ColdSeconds * 1e3, R.WarmSeconds * 1e3,
+                R.ColdSeconds * 1e3, R.WarmP50 * 1e3, R.WarmP95 * 1e3,
                 R.ColdSeconds / R.WarmSeconds, R.Identical ? "yes" : "NO");
 
   BenchJson Json("snapshot");
   Json.configUnsigned("width", W);
   Json.configUnsigned("height", H);
   Json.configUnsigned("frames", Frames);
-  char Row[320];
+  char Row[448];
   for (const SnapshotRow &R : Rows) {
     std::snprintf(Row, sizeof(Row),
                   "{\"shader\":%s,\"partition\":%s,\"file_bytes\":%llu,"
                   "\"cold_seconds\":%.9f,\"warm_seconds\":%.9f,"
+                  "\"warm_p50_seconds\":%.9f,\"warm_p95_seconds\":%.9f,"
                   "\"warm_speedup\":%.3f,\"bit_identical\":%s}",
                   jsonQuote(R.Shader).c_str(), jsonQuote(R.Param).c_str(),
                   static_cast<unsigned long long>(R.FileBytes), R.ColdSeconds,
-                  R.WarmSeconds, R.ColdSeconds / R.WarmSeconds,
+                  R.WarmSeconds, R.WarmP50, R.WarmP95,
+                  R.ColdSeconds / R.WarmSeconds,
                   R.Identical ? "true" : "false");
     Json.addRow(Row);
   }

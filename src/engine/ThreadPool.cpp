@@ -32,8 +32,23 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::drain(unsigned WorkerIndex) {
   size_t Item;
   while ((Item = NextItem.fetch_add(1, std::memory_order_relaxed)) <
-         JobItemCount)
-    (*Job)(WorkerIndex, Item);
+         JobItemCount) {
+    // After a failure the remaining items are consumed but not run, so
+    // the job still completes and the pool stays in a clean state.
+    if (JobFailed.load(std::memory_order_relaxed))
+      continue;
+    try {
+      (*Job)(WorkerIndex, Item);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (!JobFailed.load(std::memory_order_relaxed) ||
+          Item < FirstExceptionItem) {
+        FirstException = std::current_exception();
+        FirstExceptionItem = Item;
+      }
+      JobFailed.store(true, std::memory_order_relaxed);
+    }
+  }
 }
 
 void ThreadPool::workerLoop(unsigned WorkerIndex) {
@@ -62,7 +77,9 @@ void ThreadPool::parallelFor(
   if (ItemCount == 0)
     return;
 
-  // Serial pool: run inline with zero synchronization.
+  // Serial pool: run inline with zero synchronization. An exception
+  // propagates directly; the unstarted items are skipped, matching the
+  // threaded behaviour.
   if (Threads.empty()) {
     for (size_t Item = 0; Item < ItemCount; ++Item)
       Fn(0, Item);
@@ -75,6 +92,9 @@ void ThreadPool::parallelFor(
     JobItemCount = ItemCount;
     NextItem.store(0, std::memory_order_relaxed);
     ActiveWorkers = static_cast<unsigned>(Threads.size());
+    JobFailed.store(false, std::memory_order_relaxed);
+    FirstException = nullptr;
+    FirstExceptionItem = SIZE_MAX;
     ++Generation;
   }
   WakeWorkers.notify_all();
@@ -85,4 +105,11 @@ void ThreadPool::parallelFor(
   std::unique_lock<std::mutex> Lock(Mutex);
   JobDone.wait(Lock, [&] { return ActiveWorkers == 0; });
   Job = nullptr;
+  if (FirstException) {
+    std::exception_ptr E = FirstException;
+    FirstException = nullptr;
+    JobFailed.store(false, std::memory_order_relaxed);
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
 }

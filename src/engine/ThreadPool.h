@@ -12,6 +12,13 @@
 /// inline — no threads, no synchronization — which keeps the serial
 /// configuration an honest baseline.
 ///
+/// An exception thrown by an item does not terminate the process: the
+/// failure with the lowest item index is captured, no item observed to
+/// start after the failure runs (items already claimed by other workers
+/// may still complete), and the exception is rethrown on the calling
+/// thread once every worker has gone idle — so the pool stays reusable
+/// after a throwing job.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DATASPEC_ENGINE_THREADPOOL_H
@@ -21,6 +28,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -47,7 +55,9 @@ public:
 
   /// Runs Fn(WorkerIndex, Item) for every Item in [0, ItemCount), spread
   /// over all workers. WorkerIndex is in [0, workerCount()); index 0 is
-  /// the calling thread. Blocks until every item has completed.
+  /// the calling thread. Blocks until every item has completed. If any
+  /// item throws, the exception with the lowest item index is rethrown
+  /// here after the job has fully drained.
   void parallelFor(size_t ItemCount,
                    const std::function<void(unsigned, size_t)> &Fn);
 
@@ -66,6 +76,13 @@ private:
   unsigned ActiveWorkers = 0;
   uint64_t Generation = 0;
   bool ShuttingDown = false;
+
+  // First failure of the current job: the flag lets workers consume the
+  // remaining items without running them; the exception (lowest item
+  // index wins, so reports are deterministic) is rethrown by parallelFor.
+  std::atomic<bool> JobFailed{false};
+  std::exception_ptr FirstException;
+  size_t FirstExceptionItem = 0;
 };
 
 } // namespace dspec

@@ -1,0 +1,104 @@
+//===- service/Metrics.h - Service counters and latency stats ---*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability for the specialization service: cheap atomic counters on
+/// the request path, a bounded reservoir of recent request latencies, and
+/// a /statsz-style snapshot (requests, outcome breakdown, cache hit rate,
+/// evictions, shed counts, p50/p95/p99 latency) rendered as JSON — what
+/// you would scrape from a production server's metrics endpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SERVICE_METRICS_H
+#define DATASPEC_SERVICE_METRICS_H
+
+#include "service/UnitCache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dspec {
+
+/// Percentile over a sample set (nearest-rank); 0 for an empty set.
+double percentileOf(std::vector<double> Samples, double Pct);
+
+/// Everything one statsz scrape reports. Plain data, so tests can assert
+/// on fields instead of parsing JSON.
+struct MetricsSnapshot {
+  uint64_t RequestsTotal = 0;
+  uint64_t RequestsOk = 0;
+  uint64_t CacheHitRequests = 0;
+  uint64_t BadRequests = 0;
+  uint64_t SpecializeErrors = 0;
+  uint64_t RenderTraps = 0;
+  uint64_t ShedQueueFull = 0;
+  uint64_t ShedDeadline = 0;
+  uint64_t RejectedDraining = 0;
+
+  UnitCache::Stats Cache;
+  uint64_t CacheCapacity = 0;
+
+  uint64_t QueueDepth = 0;
+  uint64_t LatencySamples = 0;
+  double LatencyP50 = 0.0;
+  double LatencyP95 = 0.0;
+  double LatencyP99 = 0.0;
+
+  /// Total sheds (queue-full + deadline), the admission-control signal.
+  uint64_t shedTotal() const { return ShedQueueFull + ShedDeadline; }
+
+  /// Hits / (hits + misses); 0 when the cache is untouched.
+  double cacheHitRate() const;
+
+  /// One-line-per-scrape JSON document.
+  std::string toJson() const;
+};
+
+/// Request-path counters plus a latency reservoir. All record methods are
+/// thread-safe and cheap enough for the hot path.
+class ServiceMetrics {
+public:
+  /// Keeps the most recent \p ReservoirSize latency samples.
+  explicit ServiceMetrics(size_t ReservoirSize = 4096);
+
+  void recordOk(double LatencySeconds, bool CacheHit);
+  void recordBadRequest() { ++RequestsTotal; ++BadRequests; }
+  void recordSpecializeError(double LatencySeconds);
+  void recordRenderTrap(double LatencySeconds);
+  void recordShedQueueFull() { ++RequestsTotal; ++ShedQueueFull; }
+  void recordShedDeadline() { ++RequestsTotal; ++ShedDeadline; }
+  void recordRejectedDraining() { ++RequestsTotal; ++RejectedDraining; }
+
+  /// Fills the counter and latency fields (cache/queue fields are the
+  /// caller's — the service composes the full snapshot).
+  MetricsSnapshot snapshot() const;
+
+private:
+  void recordLatency(double Seconds);
+
+  std::atomic<uint64_t> RequestsTotal{0};
+  std::atomic<uint64_t> RequestsOk{0};
+  std::atomic<uint64_t> CacheHitRequests{0};
+  std::atomic<uint64_t> BadRequests{0};
+  std::atomic<uint64_t> SpecializeErrors{0};
+  std::atomic<uint64_t> RenderTraps{0};
+  std::atomic<uint64_t> ShedQueueFull{0};
+  std::atomic<uint64_t> ShedDeadline{0};
+  std::atomic<uint64_t> RejectedDraining{0};
+
+  mutable std::mutex LatencyMutex;
+  std::vector<double> Latencies; // ring buffer
+  size_t LatencyNext = 0;
+  size_t LatencyCount = 0;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_SERVICE_METRICS_H

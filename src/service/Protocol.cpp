@@ -1,0 +1,276 @@
+//===- service/Protocol.cpp - Framed binary service protocol ----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "service/Transport.h"
+#include "support/Crc32.h"
+
+using namespace dspec;
+
+const char *dspec::renderStatusName(RenderStatus Status) {
+  switch (Status) {
+  case RenderStatus::Ok:
+    return "ok";
+  case RenderStatus::BadRequest:
+    return "bad_request";
+  case RenderStatus::SpecializeError:
+    return "specialize_error";
+  case RenderStatus::RenderTrap:
+    return "render_trap";
+  case RenderStatus::ShedQueueFull:
+    return "shed_queue_full";
+  case RenderStatus::ShedDeadline:
+    return "shed_deadline";
+  case RenderStatus::Draining:
+    return "draining";
+  }
+  return "unknown";
+}
+
+Framebuffer RenderReply::toFramebuffer() const {
+  Framebuffer Fb(Width, Height);
+  size_t I = 0;
+  for (uint32_t Y = 0; Y < Height; ++Y)
+    for (uint32_t X = 0; X < Width; ++X, I += 3)
+      Fb.at(X, Y) = Value::makeVec3(Pixels[I], Pixels[I + 1], Pixels[I + 2]);
+  return Fb;
+}
+
+RenderReply RenderReply::fromFramebuffer(const Framebuffer &Fb) {
+  RenderReply Reply;
+  Reply.Width = Fb.width();
+  Reply.Height = Fb.height();
+  Reply.Pixels.reserve(static_cast<size_t>(Fb.width()) * Fb.height() * 3);
+  for (uint32_t Y = 0; Y < Fb.height(); ++Y)
+    for (uint32_t X = 0; X < Fb.width(); ++X) {
+      const Value &V = Fb.at(X, Y);
+      Reply.Pixels.push_back(V.F[0]);
+      Reply.Pixels.push_back(V.F[1]);
+      Reply.Pixels.push_back(V.F[2]);
+    }
+  return Reply;
+}
+
+//===----------------------------------------------------------------------===//
+// Payload serde
+//===----------------------------------------------------------------------===//
+
+void dspec::encodeRenderRequest(ByteWriter &W, const RenderRequest &Request) {
+  W.writeString(Request.Shader);
+  W.writeU32(Request.Width);
+  W.writeU32(Request.Height);
+  W.writeU32(static_cast<uint32_t>(Request.Varying.size()));
+  for (const std::string &Name : Request.Varying)
+    W.writeString(Name);
+  W.writeU32(static_cast<uint32_t>(Request.Controls.size()));
+  for (float V : Request.Controls)
+    W.writeF32(V);
+  W.writeU32(Request.DeadlineMillis);
+  W.writeU8(Request.JoinNormalize ? 1 : 0);
+  W.writeU8(Request.Reassociate ? 1 : 0);
+  W.writeU8(Request.Speculation ? 1 : 0);
+  W.writeU8(Request.CacheByteLimit.has_value() ? 1 : 0);
+  W.writeU32(Request.CacheByteLimit.value_or(0));
+}
+
+bool dspec::decodeRenderRequest(ByteReader &R, RenderRequest &Out,
+                                std::string *Error) {
+  Out.Shader = R.readString();
+  Out.Width = R.readU32();
+  Out.Height = R.readU32();
+  uint32_t NumVarying = R.readU32();
+  if (NumVarying > 4096)
+    R.fail("varying-parameter count out of range");
+  Out.Varying.clear();
+  for (uint32_t I = 0; R.ok() && I < NumVarying; ++I)
+    Out.Varying.push_back(R.readString());
+  uint32_t NumControls = R.readU32();
+  if (NumControls > 4096)
+    R.fail("control count out of range");
+  Out.Controls.clear();
+  for (uint32_t I = 0; R.ok() && I < NumControls; ++I)
+    Out.Controls.push_back(R.readF32());
+  Out.DeadlineMillis = R.readU32();
+  Out.JoinNormalize = R.readU8() != 0;
+  Out.Reassociate = R.readU8() != 0;
+  Out.Speculation = R.readU8() != 0;
+  bool HasLimit = R.readU8() != 0;
+  uint32_t Limit = R.readU32();
+  Out.CacheByteLimit =
+      HasLimit ? std::optional<uint32_t>(Limit) : std::nullopt;
+  if (!R.ok() && Error)
+    *Error = "render request: " + R.error();
+  return R.ok();
+}
+
+void dspec::encodeRenderReply(ByteWriter &W, const RenderReply &Reply) {
+  W.writeU8(static_cast<uint8_t>(Reply.Status));
+  W.writeString(Reply.Error);
+  W.writeU32(Reply.Width);
+  W.writeU32(Reply.Height);
+  W.writeU8(Reply.CacheHit ? 1 : 0);
+  W.writeU64(Reply.ServiceMicros);
+  W.writeU32(static_cast<uint32_t>(Reply.Pixels.size()));
+  for (float V : Reply.Pixels)
+    W.writeF32(V);
+}
+
+bool dspec::decodeRenderReply(ByteReader &R, RenderReply &Out,
+                              std::string *Error) {
+  uint8_t Status = R.readU8();
+  if (Status > static_cast<uint8_t>(RenderStatus::Draining))
+    R.fail("unknown render status " + std::to_string(Status));
+  Out.Status = static_cast<RenderStatus>(Status);
+  Out.Error = R.readString();
+  Out.Width = R.readU32();
+  Out.Height = R.readU32();
+  Out.CacheHit = R.readU8() != 0;
+  Out.ServiceMicros = R.readU64();
+  uint32_t NumFloats = R.readU32();
+  if (NumFloats != static_cast<uint64_t>(Out.Width) * Out.Height * 3 &&
+      !(NumFloats == 0 && Out.Status != RenderStatus::Ok))
+    R.fail("pixel payload does not match the image dimensions");
+  if (NumFloats * sizeof(float) > R.remaining())
+    R.fail("pixel payload truncated");
+  Out.Pixels.clear();
+  if (R.ok()) {
+    Out.Pixels.reserve(NumFloats);
+    for (uint32_t I = 0; R.ok() && I < NumFloats; ++I)
+      Out.Pixels.push_back(R.readF32());
+  }
+  if (!R.ok() && Error)
+    *Error = "render reply: " + R.error();
+  return R.ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+std::vector<unsigned char>
+dspec::encodeFrame(FrameType Type, const std::vector<unsigned char> &Payload) {
+  ByteWriter W;
+  W.writeU32(kFrameMagic);
+  W.writeU8(static_cast<uint8_t>(Type));
+  W.writeU8(0);
+  W.writeU8(0);
+  W.writeU8(0);
+  W.writeU32(static_cast<uint32_t>(Payload.size()));
+  W.writeU32(crc32(Payload.data(), Payload.size()));
+  W.writeBytes(Payload.data(), Payload.size());
+  return W.takeBytes();
+}
+
+bool dspec::writeFrame(Transport &T, FrameType Type,
+                       const std::vector<unsigned char> &Payload) {
+  std::vector<unsigned char> Frame = encodeFrame(Type, Payload);
+  return T.writeAll(Frame.data(), Frame.size());
+}
+
+bool dspec::readFrame(Transport &T, FrameType &Type,
+                      std::vector<unsigned char> &Payload,
+                      std::string *Error) {
+  if (Error)
+    Error->clear(); // empty Error on return false means clean EOF
+  unsigned char Header[16];
+  if (!T.readAll(Header, sizeof(Header)))
+    return false;
+  ByteReader R(Header, sizeof(Header));
+  uint32_t Magic = R.readU32();
+  uint8_t RawType = R.readU8();
+  R.readU8();
+  R.readU8();
+  R.readU8();
+  uint32_t PayloadBytes = R.readU32();
+  uint32_t StoredCrc = R.readU32();
+  if (Magic != kFrameMagic) {
+    if (Error)
+      *Error = "bad frame magic";
+    return false;
+  }
+  if (RawType < static_cast<uint8_t>(FrameType::RenderRequest) ||
+      RawType > static_cast<uint8_t>(FrameType::StatsReply)) {
+    if (Error)
+      *Error = "unknown frame type " + std::to_string(RawType);
+    return false;
+  }
+  if (PayloadBytes > kMaxFramePayload) {
+    if (Error)
+      *Error = "frame payload of " + std::to_string(PayloadBytes) +
+               " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+               "-byte limit";
+    return false;
+  }
+  Payload.resize(PayloadBytes);
+  if (PayloadBytes > 0 && !T.readAll(Payload.data(), PayloadBytes)) {
+    if (Error)
+      *Error = "frame payload truncated";
+    return false;
+  }
+  if (crc32(Payload.data(), Payload.size()) != StoredCrc) {
+    if (Error)
+      *Error = "frame payload CRC mismatch";
+    return false;
+  }
+  Type = static_cast<FrameType>(RawType);
+  return true;
+}
+
+std::optional<RenderReply> dspec::requestRender(Transport &T,
+                                                const RenderRequest &Request,
+                                                std::string *Error) {
+  ByteWriter W;
+  encodeRenderRequest(W, Request);
+  if (!writeFrame(T, FrameType::RenderRequest, W.bytes())) {
+    if (Error)
+      *Error = "cannot send request (connection closed?)";
+    return std::nullopt;
+  }
+  FrameType Type;
+  std::vector<unsigned char> Payload;
+  std::string FrameError;
+  if (!readFrame(T, Type, Payload, &FrameError)) {
+    if (Error)
+      *Error = FrameError.empty() ? "connection closed before the reply"
+                                  : FrameError;
+    return std::nullopt;
+  }
+  if (Type != FrameType::RenderReply) {
+    if (Error)
+      *Error = "unexpected frame type in reply";
+    return std::nullopt;
+  }
+  ByteReader R(Payload);
+  RenderReply Reply;
+  if (!decodeRenderReply(R, Reply, Error))
+    return std::nullopt;
+  return Reply;
+}
+
+std::optional<std::string> dspec::requestStats(Transport &T,
+                                               std::string *Error) {
+  if (!writeFrame(T, FrameType::StatsRequest, {})) {
+    if (Error)
+      *Error = "cannot send stats request";
+    return std::nullopt;
+  }
+  FrameType Type;
+  std::vector<unsigned char> Payload;
+  std::string FrameError;
+  if (!readFrame(T, Type, Payload, &FrameError)) {
+    if (Error)
+      *Error = FrameError.empty() ? "connection closed before the reply"
+                                  : FrameError;
+    return std::nullopt;
+  }
+  if (Type != FrameType::StatsReply) {
+    if (Error)
+      *Error = "unexpected frame type in stats reply";
+    return std::nullopt;
+  }
+  return std::string(Payload.begin(), Payload.end());
+}

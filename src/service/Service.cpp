@@ -1,0 +1,357 @@
+//===- service/Service.cpp - The specialization render service --------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "driver/Pipeline.h"
+#include "service/Transport.h"
+#include "shading/ShaderGallery.h"
+#include "shading/ShaderLab.h"
+#include "support/ByteStream.h"
+
+#include <algorithm>
+
+using namespace dspec;
+
+SpecializationService::SpecializationService(const ServiceConfig &InConfig)
+    : Config(InConfig),
+      Cache(Config.CacheUnits, Config.CacheShards == 0 ? 1 : Config.CacheShards) {
+  if (Config.Dispatchers == 0)
+    Config.Dispatchers = 1;
+  if (Config.MaxBatch == 0)
+    Config.MaxBatch = 1;
+  if (Config.QueueCapacity == 0)
+    Config.QueueCapacity = 1;
+  Engines.reserve(Config.Dispatchers);
+  for (unsigned I = 0; I < Config.Dispatchers; ++I)
+    Engines.push_back(std::make_unique<RenderEngine>(Config.RenderThreads,
+                                                     Config.TilePixels));
+  DispatcherThreads.reserve(Config.Dispatchers);
+  for (unsigned I = 0; I < Config.Dispatchers; ++I)
+    DispatcherThreads.emplace_back([this, I] { dispatcherLoop(I); });
+}
+
+SpecializationService::~SpecializationService() { drain(); }
+
+void SpecializationService::drain() {
+  std::lock_guard<std::mutex> DrainLock(DrainMutex);
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Draining = true;
+  }
+  QueueReady.notify_all();
+  for (std::thread &T : DispatcherThreads)
+    if (T.joinable())
+      T.join();
+  DispatcherThreads.clear();
+}
+
+bool SpecializationService::canonicalize(RenderRequest &Request, UnitKey &Key,
+                                         std::string &Error) const {
+  const ShaderInfo *Info = findShader(Request.Shader);
+  if (!Info) {
+    Error = "no gallery shader named '" + Request.Shader + "'";
+    return false;
+  }
+  if (Request.Width == 0 || Request.Height == 0) {
+    Error = "image dimensions must be positive";
+    return false;
+  }
+  if (static_cast<uint64_t>(Request.Width) * Request.Height >
+      Config.MaxPixels) {
+    Error = "image of " + std::to_string(Request.Width) + "x" +
+            std::to_string(Request.Height) + " exceeds the " +
+            std::to_string(Config.MaxPixels) + "-pixel limit";
+    return false;
+  }
+
+  if (Request.Controls.empty())
+    Request.Controls = ShaderLab::defaultControls(*Info);
+  if (Request.Controls.size() != Info->Controls.size()) {
+    Error = "'" + Request.Shader + "' takes " +
+            std::to_string(Info->Controls.size()) + " control(s), got " +
+            std::to_string(Request.Controls.size());
+    return false;
+  }
+
+  if (Request.Varying.empty())
+    Request.Varying.push_back(Info->Controls.front().Name);
+  // Canonical order so {a,b} and {b,a} share one cache entry.
+  std::sort(Request.Varying.begin(), Request.Varying.end());
+  Request.Varying.erase(
+      std::unique(Request.Varying.begin(), Request.Varying.end()),
+      Request.Varying.end());
+  std::vector<bool> IsVarying(Info->Controls.size(), false);
+  for (const std::string &Name : Request.Varying) {
+    size_t Index = 0;
+    while (Index < Info->Controls.size() &&
+           Info->Controls[Index].Name != Name)
+      ++Index;
+    if (Index == Info->Controls.size()) {
+      Error = "'" + Request.Shader + "' has no control named '" + Name + "'";
+      return false;
+    }
+    IsVarying[Index] = true;
+  }
+
+  // The key covers everything invariant across a parameter drag: the
+  // grid, the partition (which controls vary), and the *fixed* controls'
+  // values. The varying controls' values are excluded on purpose — that
+  // is the reuse the cache exists to capture.
+  ByteWriter W;
+  W.writeU32(Request.Width);
+  W.writeU32(Request.Height);
+  W.writeU32(static_cast<uint32_t>(Request.Varying.size()));
+  for (const std::string &Name : Request.Varying)
+    W.writeString(Name);
+  for (size_t I = 0; I < Request.Controls.size(); ++I)
+    if (!IsVarying[I]) {
+      W.writeU32(static_cast<uint32_t>(I));
+      W.writeF32(Request.Controls[I]);
+    }
+  Key.Shader = Request.Shader;
+  Key.InvariantHash = fnv1a64(W.bytes().data(), W.size());
+  Key.OptionsFingerprint = optionsFingerprint(Request.toOptions());
+  return true;
+}
+
+std::future<RenderReply> SpecializationService::submit(RenderRequest Request) {
+  auto P = std::make_unique<Pending>();
+  P->Enqueued = Clock::now();
+  P->Request = std::move(Request);
+  std::future<RenderReply> Result = P->Done.get_future();
+
+  std::string Error;
+  if (!canonicalize(P->Request, P->Key, Error)) {
+    Metrics.recordBadRequest();
+    reject(*P, RenderStatus::BadRequest, std::move(Error));
+    return Result;
+  }
+  if (P->Request.DeadlineMillis > 0) {
+    P->HasDeadline = true;
+    P->Deadline =
+        P->Enqueued + std::chrono::milliseconds(P->Request.DeadlineMillis);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Draining) {
+      Metrics.recordRejectedDraining();
+      reject(*P, RenderStatus::Draining,
+             "service is draining for shutdown");
+      return Result;
+    }
+    if (Queue.size() >= Config.QueueCapacity) {
+      // Load shedding: reject-with-reason instead of unbounded growth.
+      Metrics.recordShedQueueFull();
+      reject(*P, RenderStatus::ShedQueueFull,
+             "queue full (" + std::to_string(Config.QueueCapacity) +
+                 " requests)");
+      return Result;
+    }
+    Queue.push_back(std::move(P));
+  }
+  QueueReady.notify_one();
+  return Result;
+}
+
+RenderReply SpecializationService::render(RenderRequest Request) {
+  return submit(std::move(Request)).get();
+}
+
+void SpecializationService::reject(Pending &P, RenderStatus Status,
+                                   std::string Reason) {
+  RenderReply Reply;
+  Reply.Status = Status;
+  Reply.Error = std::move(Reason);
+  Reply.ServiceMicros =
+      static_cast<uint64_t>(secondsSince(P.Enqueued) * 1e6);
+  P.Done.set_value(std::move(Reply));
+}
+
+UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
+                                         RenderEngine &Engine,
+                                         std::string &Error) const {
+  Clock::time_point Start = Clock::now();
+  const ShaderInfo *Info = findShader(Request.Shader);
+  if (!Info) {
+    Error = "shader vanished from the gallery";
+    return nullptr;
+  }
+  auto Unit = parseUnit(Info->Source);
+  if (!Unit->ok()) {
+    Error = Unit->Diags.str();
+    return nullptr;
+  }
+  auto Spec = specializeAndCompile(*Unit, Request.Shader, Request.Varying,
+                                   Request.toOptions());
+  if (!Spec) {
+    Error = Unit->Diags.str();
+    return nullptr;
+  }
+  auto Built =
+      std::make_shared<SpecializationUnit>(Request.Width, Request.Height);
+  Built->Shader = Request.Shader;
+  Built->Varying = Request.Varying;
+  Built->LoadControls = Request.Controls;
+  Built->Layout = Spec->Spec.Layout;
+  Built->Loader = std::move(Spec->LoaderChunk);
+  Built->Reader = std::move(Spec->ReaderChunk);
+  // The arena's cached slots hold invariant values only, so the varying
+  // controls' build-time values are irrelevant to every later hit.
+  if (!Engine.loaderPass(Built->Loader, Built->Layout, Built->Grid,
+                         Built->LoadControls, Built->Arena)) {
+    Error = "loader pass trapped: " + Engine.lastTrap();
+    return nullptr;
+  }
+  Built->BuildSeconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  return Built;
+}
+
+void SpecializationService::finish(Pending &P, const UnitPtr &Unit,
+                                   bool CacheHit, RenderEngine &Engine) {
+  Framebuffer Fb(P.Request.Width, P.Request.Height);
+  if (!Engine.readerPass(Unit->Reader, Unit->Grid, P.Request.Controls,
+                         Unit->Arena, &Fb)) {
+    Metrics.recordRenderTrap(secondsSince(P.Enqueued));
+    reject(P, RenderStatus::RenderTrap,
+           "reader pass trapped: " + Engine.lastTrap());
+    return;
+  }
+  RenderReply Reply = RenderReply::fromFramebuffer(Fb);
+  Reply.CacheHit = CacheHit;
+  double Latency = secondsSince(P.Enqueued);
+  Reply.ServiceMicros = static_cast<uint64_t>(Latency * 1e6);
+  Metrics.recordOk(Latency, CacheHit);
+  P.Done.set_value(std::move(Reply));
+}
+
+void SpecializationService::dispatcherLoop(unsigned DispatcherIndex) {
+  RenderEngine &Engine = *Engines[DispatcherIndex];
+  while (true) {
+    std::vector<std::unique_ptr<Pending>> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueReady.wait(Lock, [&] { return !Queue.empty() || Draining; });
+      if (Queue.empty())
+        return; // draining and nothing left
+      Batch.push_back(std::move(Queue.front()));
+      Queue.pop_front();
+      // Batch queued same-key requests behind one unit resolution; they
+      // will all be reader frames against the same arena.
+      for (auto It = Queue.begin();
+           It != Queue.end() && Batch.size() < Config.MaxBatch;) {
+        if ((*It)->Key == Batch.front()->Key) {
+          Batch.push_back(std::move(*It));
+          It = Queue.erase(It);
+        } else {
+          ++It;
+        }
+      }
+    }
+
+    // Shed batch members whose queue deadline already passed — spending
+    // render time on an answer nobody is waiting for starves the rest of
+    // the queue.
+    Clock::time_point Now = Clock::now();
+    std::vector<std::unique_ptr<Pending>> Live;
+    for (std::unique_ptr<Pending> &P : Batch) {
+      if (P->HasDeadline && Now > P->Deadline) {
+        Metrics.recordShedDeadline();
+        reject(*P, RenderStatus::ShedDeadline,
+               "deadline of " + std::to_string(P->Request.DeadlineMillis) +
+                   "ms exceeded while queued");
+      } else {
+        Live.push_back(std::move(P));
+      }
+    }
+    if (Live.empty())
+      continue;
+
+    bool WasHit = false;
+    std::string Error;
+    UnitPtr Unit = Cache.getOrBuild(
+        Live.front()->Key,
+        [&](std::string &BuildError) {
+          return buildUnit(Live.front()->Request, Engine, BuildError);
+        },
+        &WasHit, &Error);
+    if (!Unit) {
+      for (std::unique_ptr<Pending> &P : Live) {
+        Metrics.recordSpecializeError(secondsSince(P->Enqueued));
+        reject(*P, RenderStatus::SpecializeError, Error);
+      }
+      continue;
+    }
+    for (size_t I = 0; I < Live.size(); ++I)
+      // Followers batched behind the leader never pay a build themselves.
+      finish(*Live[I], Unit, WasHit || I > 0, Engine);
+  }
+}
+
+MetricsSnapshot SpecializationService::statsz() const {
+  MetricsSnapshot Out = Metrics.snapshot();
+  Out.Cache = Cache.stats();
+  Out.CacheCapacity = Cache.capacity();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Out.QueueDepth = Queue.size();
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Connection serving
+//===----------------------------------------------------------------------===//
+
+void dspec::serveConnection(Transport &Connection,
+                            SpecializationService &Service) {
+  // Shutting the transport down on every exit path guarantees the peer
+  // sees EOF instead of blocking on a read the server will never answer
+  // (e.g. after it drops the connection over a corrupt frame).
+  struct ShutdownOnExit {
+    Transport &T;
+    ~ShutdownOnExit() { T.shutdown(); }
+  } Closer{Connection};
+
+  while (true) {
+    FrameType Type;
+    std::vector<unsigned char> Payload;
+    std::string Error;
+    if (!readFrame(Connection, Type, Payload, &Error))
+      return; // EOF, shutdown, or a corrupt frame — drop the connection
+
+    switch (Type) {
+    case FrameType::RenderRequest: {
+      RenderRequest Request;
+      ByteReader R(Payload);
+      RenderReply Reply;
+      if (!decodeRenderRequest(R, Request, &Error)) {
+        Reply.Status = RenderStatus::BadRequest;
+        Reply.Error = Error;
+      } else {
+        Reply = Service.render(std::move(Request));
+      }
+      ByteWriter W;
+      encodeRenderReply(W, Reply);
+      if (!writeFrame(Connection, FrameType::RenderReply, W.bytes()))
+        return;
+      break;
+    }
+    case FrameType::StatsRequest: {
+      std::string Json = Service.statsz().toJson();
+      std::vector<unsigned char> Bytes(Json.begin(), Json.end());
+      if (!writeFrame(Connection, FrameType::StatsReply, Bytes))
+        return;
+      break;
+    }
+    default:
+      // A reply frame from a client is a protocol violation.
+      return;
+    }
+  }
+}

@@ -1,0 +1,157 @@
+//===- service/Service.h - The specialization render service ---*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived, multi-client specialization service — the paper's
+/// "pay specialization once, execute many times" split turned into a
+/// server. A request names a gallery shader, an image size, the set of
+/// varying controls, and this frame's control values. The service:
+///
+///   1. admits it through a bounded queue (full queue => shed with a
+///      reason, never unbounded growth);
+///   2. resolves its specialization *unit* — compiled loader/reader plus
+///      a loader-warmed cache arena — through the keyed UnitCache, where
+///      concurrent misses on one key specialize exactly once;
+///   3. renders reader frames in tile jobs on the render engine's
+///      thread pool, batching queued same-key requests behind one unit
+///      resolution;
+///   4. answers with a framebuffer that is bit-identical to running the
+///      unspecialized shader directly (the paper's equivalence guarantee,
+///      now end-to-end through the server).
+///
+/// Structured like a production inference server: admission control in
+/// front, memoised specialization in the middle, deterministic kernels
+/// underneath, /statsz on the side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SERVICE_SERVICE_H
+#define DATASPEC_SERVICE_SERVICE_H
+
+#include "engine/RenderEngine.h"
+#include "service/Metrics.h"
+#include "service/Protocol.h"
+#include "service/UnitCache.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dspec {
+
+class Transport;
+
+/// Sizing knobs for one service instance.
+struct ServiceConfig {
+  /// Worker threads per render engine (0 = one per hardware thread).
+  unsigned RenderThreads = 1;
+  unsigned TilePixels = 128;
+  /// Capacity of the unit cache, in specialization units.
+  unsigned CacheUnits = 64;
+  unsigned CacheShards = 4;
+  /// Bounded request queue; submissions past this are shed.
+  unsigned QueueCapacity = 256;
+  /// Max same-key requests rendered behind one unit resolution.
+  unsigned MaxBatch = 16;
+  /// Dispatcher threads, each with its own render engine.
+  unsigned Dispatchers = 1;
+  /// Per-request image size ceiling (pixels).
+  unsigned MaxPixels = 1u << 20;
+};
+
+/// The service. Thread-safe: submit/render/statsz may be called from any
+/// number of connection threads.
+class SpecializationService {
+public:
+  explicit SpecializationService(const ServiceConfig &Config = {});
+  ~SpecializationService();
+
+  SpecializationService(const SpecializationService &) = delete;
+  SpecializationService &operator=(const SpecializationService &) = delete;
+
+  /// Enqueues a request. The future always becomes ready — with a
+  /// framebuffer, or with a structured rejection (shed, draining, bad
+  /// request). Rejections resolve immediately without queueing.
+  std::future<RenderReply> submit(RenderRequest Request);
+
+  /// submit + wait.
+  RenderReply render(RenderRequest Request);
+
+  /// Stops admitting work (new submissions answer Draining), finishes
+  /// every queued request, and joins the dispatchers. Idempotent; called
+  /// by the destructor.
+  void drain();
+
+  /// The /statsz snapshot: request counters, cache stats, latency
+  /// percentiles, queue depth.
+  MetricsSnapshot statsz() const;
+
+  const ServiceConfig &config() const { return Config; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    RenderRequest Request;
+    UnitKey Key;
+    std::promise<RenderReply> Done;
+    Clock::time_point Enqueued;
+    Clock::time_point Deadline; // only meaningful when HasDeadline
+    bool HasDeadline = false;
+  };
+
+  /// Canonicalizes (fills default controls/varying, sorts the varying
+  /// set) and validates a request; computes its cache key. Returns false
+  /// with a BadRequest reason in \p Error.
+  bool canonicalize(RenderRequest &Request, UnitKey &Key,
+                    std::string &Error) const;
+
+  void dispatcherLoop(unsigned DispatcherIndex);
+
+  /// Builds the specialization unit for \p Request on \p Engine
+  /// (parse + specialize + compile + loader pass).
+  UnitPtr buildUnit(const RenderRequest &Request, RenderEngine &Engine,
+                    std::string &Error) const;
+
+  /// Renders one request against a resolved unit and fulfills it.
+  void finish(Pending &P, const UnitPtr &Unit, bool CacheHit,
+              RenderEngine &Engine);
+
+  void reject(Pending &P, RenderStatus Status, std::string Reason);
+
+  double secondsSince(Clock::time_point Start) const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  ServiceConfig Config;
+  UnitCache Cache;
+  ServiceMetrics Metrics;
+
+  mutable std::mutex QueueMutex;
+  std::condition_variable QueueReady;
+  std::deque<std::unique_ptr<Pending>> Queue;
+  bool Draining = false;
+
+  /// Serializes drain() callers (destructor vs. an explicit drain).
+  std::mutex DrainMutex;
+
+  std::vector<std::unique_ptr<RenderEngine>> Engines; // one per dispatcher
+  std::vector<std::thread> DispatcherThreads;
+};
+
+/// Serves one client connection: reads frames until EOF or a protocol
+/// error, dispatching render and stats requests to \p Service. Run on a
+/// dedicated thread per connection.
+void serveConnection(Transport &Connection, SpecializationService &Service);
+
+} // namespace dspec
+
+#endif // DATASPEC_SERVICE_SERVICE_H

@@ -1,0 +1,95 @@
+//===- service/Transport.h - Byte transports for the service ----*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reliable, ordered byte transports the framed protocol runs over. Two
+/// implementations:
+///
+///   loopback   an in-process bidirectional pipe pair, so tests and
+///              benchmarks exercise the full client/server path with no
+///              real networking (and no flakiness);
+///   unix       a unix-domain stream socket, used by `dspec serve` and
+///              `dspec request`.
+///
+/// A transport moves bytes, nothing more; framing, checksums, and message
+/// semantics live in service/Protocol.h. shutdown() is safe to call from
+/// any thread and unblocks concurrent readAll/writeAll calls — it is how
+/// the server interrupts connections parked in a blocking read during
+/// graceful drain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SERVICE_TRANSPORT_H
+#define DATASPEC_SERVICE_TRANSPORT_H
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace dspec {
+
+/// A reliable, ordered, bidirectional byte stream.
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Writes exactly \p Size bytes; false on a closed/failed peer.
+  virtual bool writeAll(const void *Data, size_t Size) = 0;
+
+  /// Reads exactly \p Size bytes; false on EOF or failure (a short read
+  /// mid-message is a failure, not a partial success).
+  virtual bool readAll(void *Data, size_t Size) = 0;
+
+  /// Makes all current and future I/O on this endpoint fail promptly.
+  /// Thread-safe; idempotent.
+  virtual void shutdown() = 0;
+};
+
+/// Creates a connected in-process transport pair: bytes written to one
+/// endpoint are read from the other. Either endpoint's shutdown() (or
+/// destruction) unblocks both sides.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+makeLoopbackPair();
+
+/// A listening unix-domain stream socket. Closes and unlinks on
+/// destruction.
+class UnixServerSocket {
+public:
+  UnixServerSocket() = default;
+  ~UnixServerSocket() { close(); }
+  UnixServerSocket(UnixServerSocket &&Other) noexcept
+      : Fd(Other.Fd), Path(std::move(Other.Path)) {
+    Other.Fd = -1;
+  }
+  UnixServerSocket &operator=(UnixServerSocket &&) = delete;
+  UnixServerSocket(const UnixServerSocket &) = delete;
+  UnixServerSocket &operator=(const UnixServerSocket &) = delete;
+
+  /// Binds and listens on \p SocketPath (unlinking a stale file first).
+  /// Returns false with \p Error set on failure.
+  bool listenOn(const std::string &SocketPath, std::string *Error);
+
+  /// Waits up to \p TimeoutMillis for a connection; returns null on
+  /// timeout or on a closed socket. The caller loops, checking its stop
+  /// flag between calls — that is how SIGINT interrupts the accept loop.
+  std::unique_ptr<Transport> acceptConnection(int TimeoutMillis);
+
+  bool listening() const { return Fd >= 0; }
+  void close();
+
+private:
+  int Fd = -1;
+  std::string Path;
+};
+
+/// Connects to a unix-domain socket; null with \p Error set on failure.
+std::unique_ptr<Transport> connectUnixSocket(const std::string &SocketPath,
+                                             std::string *Error);
+
+} // namespace dspec
+
+#endif // DATASPEC_SERVICE_TRANSPORT_H

@@ -20,9 +20,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 using namespace dspec;
 
@@ -85,6 +89,74 @@ TEST(ThreadPool, ReusableAcrossJobs) {
     });
     EXPECT_EQ(Sum.load(), 4950u) << "round " << Round;
   }
+}
+
+TEST(ThreadPool, RethrowsTileJobExceptionOnCaller) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Ran{0};
+  EXPECT_THROW(
+      Pool.parallelFor(100,
+                       [&](unsigned, size_t Item) {
+                         Ran.fetch_add(1, std::memory_order_relaxed);
+                         if (Item == 13)
+                           throw std::runtime_error("tile 13 failed");
+                       }),
+      std::runtime_error);
+  // Remaining items were drained (not run), never abandoned: the pool is
+  // quiescent, so no worker races the assertions below.
+  EXPECT_LE(Ran.load(), 100u);
+  EXPECT_GE(Ran.load(), 1u);
+}
+
+TEST(ThreadPool, LowestThrownItemIndexWins) {
+  ThreadPool Pool(4);
+  // Every item that runs throws; the caller must see the exception of the
+  // lowest item index among those that actually threw, independent of
+  // which worker's exception landed first.
+  std::mutex ThrownMutex;
+  std::vector<size_t> Thrown;
+  try {
+    Pool.parallelFor(64, [&](unsigned, size_t Item) {
+      {
+        std::lock_guard<std::mutex> Lock(ThrownMutex);
+        Thrown.push_back(Item);
+      }
+      throw std::runtime_error("item " + std::to_string(Item));
+    });
+    FAIL() << "parallelFor swallowed the exception";
+  } catch (const std::runtime_error &E) {
+    ASSERT_FALSE(Thrown.empty());
+    size_t Lowest = *std::min_element(Thrown.begin(), Thrown.end());
+    EXPECT_STREQ(E.what(), ("item " + std::to_string(Lowest)).c_str());
+  }
+}
+
+TEST(ThreadPool, UsableAfterAThrowingJob) {
+  ThreadPool Pool(3);
+  EXPECT_THROW(Pool.parallelFor(
+                   10, [](unsigned, size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+  // The failure is fully reset: the next job runs normally.
+  std::atomic<size_t> Sum{0};
+  Pool.parallelFor(100, [&](unsigned, size_t Item) {
+    Sum.fetch_add(Item, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), 4950u);
+}
+
+TEST(ThreadPool, SerialPoolPropagatesExceptionsToo) {
+  ThreadPool Pool(1);
+  size_t Ran = 0;
+  EXPECT_THROW(Pool.parallelFor(10,
+                                [&](unsigned, size_t Item) {
+                                  ++Ran;
+                                  if (Item == 3)
+                                    throw std::out_of_range("boom");
+                                }),
+               std::out_of_range);
+  EXPECT_EQ(Ran, 4u); // items past the throwing one are skipped
+  Pool.parallelFor(5, [&](unsigned, size_t) { ++Ran; });
+  EXPECT_EQ(Ran, 9u);
 }
 
 TEST(CacheArenaTest, SingleAllocationOfLayoutTimesPixels) {

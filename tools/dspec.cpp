@@ -23,23 +23,54 @@
 ///   dspec snapshot info SNAP
 ///   dspec snapshot verify SNAP
 ///
+/// Service subcommands run the long-lived specialization service and talk
+/// to it over a unix-domain socket (see docs/SERVICE.md):
+///
+///   dspec serve --socket PATH [--threads N] [--tile PIXELS]
+///         [--cache-units N] [--queue N] [--dispatchers N]
+///   dspec request --socket PATH --gallery SHADER [--width W] [--height H]
+///         [--vary P1[,P2...]] [--controls v1,...] [--deadline MS]
+///         [--repeat N] [--check-plain] [--ppm PATH]
+///   dspec request --socket PATH --statsz
+///
+/// Exit codes (uniform across every subcommand):
+///   0  success
+///   1  usage error (bad flags or arguments)
+///   2  runtime failure (I/O, parse/specialize error, trap, failed verify)
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
 #include "engine/RenderEngine.h"
 #include "lang/ASTPrinter.h"
+#include "service/Protocol.h"
+#include "service/Service.h"
+#include "service/Transport.h"
 #include "shading/ShaderGallery.h"
+#include "shading/ShaderLab.h"
 #include "snapshot/Snapshot.h"
+#include "support/Crc32.h"
 #include "support/StringUtil.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 using namespace dspec;
 
 namespace {
+
+// Uniform exit codes, printed by --help and used by every subcommand.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitFailure = 2;
 
 void usage(const char *Argv0) {
   std::fprintf(
@@ -54,13 +85,23 @@ void usage(const char *Argv0) {
       "            [--no-phi] [--speculate]\n"
       "       %s snapshot info SNAP\n"
       "       %s snapshot verify SNAP\n"
+      "       %s serve --socket PATH [--threads N] [--tile PIXELS]\n"
+      "            [--cache-units N] [--queue N] [--dispatchers N]\n"
+      "       %s request --socket PATH --gallery SHADER [--width W]\n"
+      "            [--height H] [--vary P1[,P2...]] [--controls v1,...]\n"
+      "            [--deadline MS] [--repeat N] [--check-plain] [--ppm PATH]\n"
+      "       %s request --socket PATH --statsz\n"
       "\n"
       "Splits the named dsc function into a cache loader and cache reader\n"
       "for the input partition where P1, P2, ... vary and every other\n"
       "parameter is fixed (Knoblock & Ruf, PLDI 1996). The snapshot\n"
       "subcommands persist the split programs plus a loader-filled cache\n"
-      "arena so fresh processes warm-start straight into reader frames.\n",
-      Argv0, Argv0, Argv0, Argv0);
+      "arena so fresh processes warm-start straight into reader frames.\n"
+      "The serve/request subcommands run the specialization service: a\n"
+      "long-lived daemon with a keyed cache of specialization units.\n"
+      "\n"
+      "exit codes: 0 success, 1 usage error, 2 runtime/verify failure\n",
+      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
 }
 
 bool readFileToString(const char *Path, std::string &Out) {
@@ -89,7 +130,7 @@ int snapshotSave(int Argc, char **Argv) {
     auto NextValue = [&]() -> const char * {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s requires a value\n", Arg);
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       return Argv[++I];
     };
@@ -122,12 +163,12 @@ int snapshotSave(int Argc, char **Argv) {
       Options.AllowSpeculation = true;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
-      return 2;
+      return kExitUsage;
     } else if (!FilePath) {
       FilePath = Arg;
     } else {
       std::fprintf(stderr, "error: multiple input files\n");
-      return 2;
+      return kExitUsage;
     }
   }
 
@@ -136,11 +177,11 @@ int snapshotSave(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "error: snapshot save needs --out and either --gallery "
                  "SHADER or FILE --fragment NAME\n");
-    return 2;
+    return kExitUsage;
   }
   if (Width == 0 || Height == 0) {
     std::fprintf(stderr, "error: --width/--height must be positive\n");
-    return 2;
+    return kExitUsage;
   }
 
   std::string Source;
@@ -151,7 +192,7 @@ int snapshotSave(int Argc, char **Argv) {
     if (!Info) {
       std::fprintf(stderr, "error: no gallery shader named '%s'\n",
                    GalleryName);
-      return 1;
+      return kExitFailure;
     }
     Source = Info->Source;
     Fragment = Info->Name;
@@ -162,24 +203,24 @@ int snapshotSave(int Argc, char **Argv) {
   } else {
     if (!readFileToString(FilePath, Source)) {
       std::fprintf(stderr, "error: cannot open '%s'\n", FilePath);
-      return 1;
+      return kExitFailure;
     }
     Fragment = FragmentName;
     if (Varying.empty()) {
       std::fprintf(stderr, "error: --vary is required with a FILE input\n");
-      return 2;
+      return kExitUsage;
     }
   }
 
   auto Unit = parseUnit(Source);
   if (!Unit->ok()) {
     std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
-    return 1;
+    return kExitFailure;
   }
   auto Spec = specializeAndCompile(*Unit, Fragment, Varying, Options);
   if (!Spec) {
     std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
-    return 1;
+    return kExitFailure;
   }
 
   if (Spec->LoaderChunk.NumParams < RenderEngine::NumPixelParams) {
@@ -188,7 +229,7 @@ int snapshotSave(int Argc, char **Argv) {
                  "needs the %u per-pixel inputs (uv, P, N, I) first\n",
                  Fragment.c_str(), Spec->LoaderChunk.NumParams,
                  RenderEngine::NumPixelParams);
-    return 1;
+    return kExitFailure;
   }
   unsigned NumControls =
       Spec->LoaderChunk.NumParams - RenderEngine::NumPixelParams;
@@ -200,7 +241,7 @@ int snapshotSave(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "error: --controls has %zu value(s); '%s' takes %u\n",
                    UserControls.size(), Fragment.c_str(), NumControls);
-      return 2;
+      return kExitUsage;
     }
     Controls = UserControls;
   }
@@ -212,7 +253,7 @@ int snapshotSave(int Argc, char **Argv) {
                          Arena)) {
     std::fprintf(stderr, "error: loader pass trapped: %s\n",
                  Engine.lastTrap().c_str());
-    return 1;
+    return kExitFailure;
   }
 
   SnapshotMeta Meta = SnapshotMeta::fromOptions(Options);
@@ -227,7 +268,7 @@ int snapshotSave(int Argc, char **Argv) {
                                   Spec->ReaderChunk, Spec->Spec.Layout, Arena,
                                   &Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
+    return kExitFailure;
   }
 
   std::printf("wrote %s: '%s' vary ", OutPath, Fragment.c_str());
@@ -236,7 +277,7 @@ int snapshotSave(int Argc, char **Argv) {
   std::printf("; %ux%u pixels x %uB cache = %zu arena bytes (%s)\n", Width,
               Height, Spec->Spec.Layout.totalBytes(), Arena.totalBytes(),
               Meta.optionsSummary().c_str());
-  return 0;
+  return kExitOk;
 }
 
 int snapshotInfo(const char *Path) {
@@ -244,7 +285,7 @@ int snapshotInfo(const char *Path) {
   std::string Error;
   if (!inspectSnapshotFile(Path, Info, &Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
+    return kExitFailure;
   }
   std::printf("%s: snapshot format v%u, %llu bytes, %zu sections\n", Path,
               Info.FormatVersion,
@@ -264,7 +305,7 @@ int snapshotInfo(const char *Path) {
   SpecializationSnapshot Snap;
   if (!readSnapshotFile(Path, Snap, &Error)) {
     std::printf("  (payloads not decoded: %s)\n", Error.c_str());
-    return 0;
+    return kExitOk;
   }
   std::printf("  fragment '%s', vary ", Snap.Meta.FragmentName.c_str());
   for (size_t I = 0; I < Snap.Meta.VaryingParams.size(); ++I)
@@ -280,7 +321,7 @@ int snapshotInfo(const char *Path) {
   for (const CacheSlot &Slot : Snap.Layout.slots())
     std::printf("    slot%-3u %-6s offset %u\n", Slot.Index,
                 Slot.SlotType.name(), Slot.Offset);
-  return 0;
+  return kExitOk;
 }
 
 int snapshotVerify(const char *Path) {
@@ -288,20 +329,20 @@ int snapshotVerify(const char *Path) {
   std::string Error;
   if (!readSnapshotFile(Path, Snap, &Error)) {
     std::fprintf(stderr, "%s: FAILED\n  %s\n", Path, Error.c_str());
-    return 1;
+    return kExitFailure;
   }
   std::printf("%s: OK ('%s', %u pixels x %uB cache, all CRCs and chunk "
               "verification passed)\n",
               Path, Snap.Meta.FragmentName.c_str(), Snap.ArenaPixels,
               Snap.ArenaStride);
-  return 0;
+  return kExitOk;
 }
 
 int snapshotMain(int Argc, char **Argv) {
   if (Argc < 1) {
     std::fprintf(stderr,
                  "error: snapshot needs a subcommand (save|info|verify)\n");
-    return 2;
+    return kExitUsage;
   }
   const char *Sub = Argv[0];
   if (std::strcmp(Sub, "save") == 0)
@@ -310,13 +351,304 @@ int snapshotMain(int Argc, char **Argv) {
     if (Argc != 2) {
       std::fprintf(stderr, "error: snapshot %s takes exactly one file\n",
                    Sub);
-      return 2;
+      return kExitUsage;
     }
     return std::strcmp(Sub, "info") == 0 ? snapshotInfo(Argv[1])
                                          : snapshotVerify(Argv[1]);
   }
   std::fprintf(stderr, "error: unknown snapshot subcommand '%s'\n", Sub);
-  return 2;
+  return kExitUsage;
+}
+
+//===----------------------------------------------------------------------===//
+// dspec serve
+//===----------------------------------------------------------------------===//
+
+volatile std::sig_atomic_t GStopRequested = 0;
+
+void handleStopSignal(int) { GStopRequested = 1; }
+
+int serveMain(int Argc, char **Argv) {
+  const char *SocketPath = nullptr;
+  ServiceConfig Config;
+
+  for (int I = 0; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Arg);
+        std::exit(kExitUsage);
+      }
+      return Argv[++I];
+    };
+    auto NextUnsigned = [&]() -> unsigned {
+      return static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
+    };
+    if (std::strcmp(Arg, "--socket") == 0)
+      SocketPath = NextValue();
+    else if (std::strcmp(Arg, "--threads") == 0)
+      Config.RenderThreads = NextUnsigned();
+    else if (std::strcmp(Arg, "--tile") == 0)
+      Config.TilePixels = NextUnsigned();
+    else if (std::strcmp(Arg, "--cache-units") == 0)
+      Config.CacheUnits = NextUnsigned();
+    else if (std::strcmp(Arg, "--queue") == 0)
+      Config.QueueCapacity = NextUnsigned();
+    else if (std::strcmp(Arg, "--dispatchers") == 0)
+      Config.Dispatchers = NextUnsigned();
+    else {
+      std::fprintf(stderr, "error: unknown serve option '%s'\n", Arg);
+      return kExitUsage;
+    }
+  }
+  if (!SocketPath) {
+    std::fprintf(stderr, "error: serve requires --socket PATH\n");
+    return kExitUsage;
+  }
+
+  UnixServerSocket Listener;
+  std::string Error;
+  if (!Listener.listenOn(SocketPath, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return kExitFailure;
+  }
+
+  SpecializationService Service(Config);
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+
+  std::printf("dspec serve: listening on %s (%u render thread(s), cache %u "
+              "units, queue %u)\n",
+              SocketPath, Service.config().RenderThreads,
+              Service.config().CacheUnits, Service.config().QueueCapacity);
+  std::fflush(stdout);
+
+  // One thread per connection; the transports are shared so the drain
+  // path can shut them down and unblock parked reads.
+  std::mutex ConnMutex;
+  std::vector<std::shared_ptr<Transport>> Connections;
+  std::vector<std::thread> ConnThreads;
+
+  while (!GStopRequested) {
+    std::unique_ptr<Transport> Conn = Listener.acceptConnection(200);
+    if (!Conn)
+      continue;
+    std::shared_ptr<Transport> Shared = std::move(Conn);
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      Connections.push_back(Shared);
+    }
+    ConnThreads.emplace_back(
+        [Shared, &Service] { serveConnection(*Shared, Service); });
+  }
+
+  // Graceful drain: stop accepting, answer everything already queued,
+  // then unblock idle connections and join.
+  std::printf("dspec serve: SIGINT/SIGTERM received, draining\n");
+  Listener.close();
+  Service.drain();
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (const std::shared_ptr<Transport> &Conn : Connections)
+      Conn->shutdown();
+  }
+  for (std::thread &T : ConnThreads)
+    T.join();
+
+  std::printf("dspec serve: final statsz\n%s\n",
+              Service.statsz().toJson().c_str());
+  return kExitOk;
+}
+
+//===----------------------------------------------------------------------===//
+// dspec request
+//===----------------------------------------------------------------------===//
+
+/// Renders the same frame locally with the *unspecialized* shader — the
+/// plain-pass ground truth a service reply must match bit-for-bit.
+bool renderPlainReference(const ShaderInfo &Info, unsigned Width,
+                          unsigned Height, const std::vector<float> &Controls,
+                          Framebuffer &Out, std::string &Error) {
+  auto Unit = parseUnit(Info.Source);
+  if (!Unit->ok()) {
+    Error = Unit->Diags.str();
+    return false;
+  }
+  auto Plain = compileFunction(*Unit, Info.Name);
+  if (!Plain) {
+    Error = Unit->Diags.str();
+    return false;
+  }
+  RenderGrid Grid(Width, Height);
+  RenderEngine Engine(1);
+  if (!Engine.plainPass(*Plain, Grid, Controls, &Out)) {
+    Error = "plain pass trapped: " + Engine.lastTrap();
+    return false;
+  }
+  return true;
+}
+
+bool framebuffersBitIdentical(const Framebuffer &A, const Framebuffer &B) {
+  if (A.width() != B.width() || A.height() != B.height())
+    return false;
+  for (unsigned Y = 0; Y < A.height(); ++Y)
+    for (unsigned X = 0; X < A.width(); ++X) {
+      const Value &Va = A.at(X, Y), &Vb = B.at(X, Y);
+      if (std::memcmp(Va.F, Vb.F, sizeof(Va.F)) != 0)
+        return false;
+    }
+  return true;
+}
+
+int requestMain(int Argc, char **Argv) {
+  const char *SocketPath = nullptr;
+  const char *GalleryName = nullptr;
+  const char *PpmPath = nullptr;
+  bool WantStats = false;
+  bool CheckPlain = false;
+  unsigned Repeat = 1;
+  RenderRequest Request;
+
+  for (int I = 0; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Arg);
+        std::exit(kExitUsage);
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--socket") == 0)
+      SocketPath = NextValue();
+    else if (std::strcmp(Arg, "--gallery") == 0)
+      GalleryName = NextValue();
+    else if (std::strcmp(Arg, "--statsz") == 0)
+      WantStats = true;
+    else if (std::strcmp(Arg, "--width") == 0)
+      Request.Width =
+          static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
+    else if (std::strcmp(Arg, "--height") == 0)
+      Request.Height =
+          static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
+    else if (std::strcmp(Arg, "--vary") == 0) {
+      for (const std::string &Name : splitString(NextValue(), ','))
+        if (!Name.empty())
+          Request.Varying.push_back(Name);
+    } else if (std::strcmp(Arg, "--controls") == 0) {
+      for (const std::string &Text : splitString(NextValue(), ','))
+        if (!Text.empty())
+          Request.Controls.push_back(std::strtof(Text.c_str(), nullptr));
+    } else if (std::strcmp(Arg, "--deadline") == 0)
+      Request.DeadlineMillis =
+          static_cast<uint32_t>(std::strtoul(NextValue(), nullptr, 10));
+    else if (std::strcmp(Arg, "--repeat") == 0)
+      Repeat = static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
+    else if (std::strcmp(Arg, "--check-plain") == 0)
+      CheckPlain = true;
+    else if (std::strcmp(Arg, "--ppm") == 0)
+      PpmPath = NextValue();
+    else {
+      std::fprintf(stderr, "error: unknown request option '%s'\n", Arg);
+      return kExitUsage;
+    }
+  }
+
+  if (!SocketPath || (!GalleryName && !WantStats) ||
+      (GalleryName && WantStats) || Repeat == 0) {
+    std::fprintf(stderr, "error: request needs --socket PATH and either "
+                         "--gallery SHADER or --statsz\n");
+    return kExitUsage;
+  }
+
+  std::string Error;
+  std::unique_ptr<Transport> Conn = connectUnixSocket(SocketPath, &Error);
+  if (!Conn) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return kExitFailure;
+  }
+
+  if (WantStats) {
+    auto Json = requestStats(*Conn, &Error);
+    if (!Json) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return kExitFailure;
+    }
+    std::printf("%s\n", Json->c_str());
+    return kExitOk;
+  }
+
+  const ShaderInfo *Info = findShader(GalleryName);
+  if (!Info) {
+    std::fprintf(stderr, "error: no gallery shader named '%s'\n",
+                 GalleryName);
+    return kExitFailure;
+  }
+  Request.Shader = Info->Name;
+  // Resolve defaults client-side so --check-plain knows the exact control
+  // vector the service renders with.
+  if (Request.Controls.empty())
+    Request.Controls = ShaderLab::defaultControls(*Info);
+  if (Request.Varying.empty())
+    Request.Varying.push_back(Info->Controls.front().Name);
+  const ControlParam *Sweep = nullptr;
+  size_t SweepIndex = 0;
+  for (size_t C = 0; C < Info->Controls.size(); ++C)
+    if (Info->Controls[C].Name == Request.Varying.front()) {
+      Sweep = &Info->Controls[C];
+      SweepIndex = C;
+    }
+
+  for (unsigned Frame = 0; Frame < Repeat; ++Frame) {
+    // Drag the first varying control across its sweep range, one value
+    // per repeat — the service should hit its unit cache after frame 0.
+    if (Sweep && Repeat > 1 && SweepIndex < Request.Controls.size())
+      Request.Controls[SweepIndex] =
+          Sweep->SweepMin + (Sweep->SweepMax - Sweep->SweepMin) *
+                                static_cast<float>(Frame) /
+                                static_cast<float>(Repeat - 1);
+
+    auto Reply = requestRender(*Conn, Request, &Error);
+    if (!Reply) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return kExitFailure;
+    }
+    if (!Reply->ok()) {
+      std::fprintf(stderr, "%s: %s (%s)\n", Info->Name.c_str(),
+                   renderStatusName(Reply->Status), Reply->Error.c_str());
+      return kExitFailure;
+    }
+
+    uint32_t PixelCrc =
+        crc32(Reply->Pixels.data(), Reply->Pixels.size() * sizeof(float));
+    std::printf("%s frame %u: %ux%u, %s, %.3f ms, pixels crc32 %08x\n",
+                Info->Name.c_str(), Frame, Reply->Width, Reply->Height,
+                Reply->CacheHit ? "cache hit" : "cache miss",
+                static_cast<double>(Reply->ServiceMicros) / 1000.0, PixelCrc);
+
+    if (CheckPlain) {
+      Framebuffer Reference(Request.Width, Request.Height);
+      if (!renderPlainReference(*Info, Request.Width, Request.Height,
+                                Request.Controls, Reference, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return kExitFailure;
+      }
+      if (!framebuffersBitIdentical(Reply->toFramebuffer(), Reference)) {
+        std::fprintf(stderr,
+                     "error: %s frame %u differs from the local plain-pass "
+                     "render\n",
+                     Info->Name.c_str(), Frame);
+        return kExitFailure;
+      }
+      std::printf("%s frame %u: bit-identical to the local plain pass\n",
+                  Info->Name.c_str(), Frame);
+    }
+    if (PpmPath && Frame == Repeat - 1 &&
+        !Reply->toFramebuffer().writePPM(PpmPath)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", PpmPath);
+      return kExitFailure;
+    }
+  }
+  return kExitOk;
 }
 
 } // namespace
@@ -324,6 +656,10 @@ int snapshotMain(int Argc, char **Argv) {
 int main(int Argc, char **Argv) {
   if (Argc >= 2 && std::strcmp(Argv[1], "snapshot") == 0)
     return snapshotMain(Argc - 2, Argv + 2);
+  if (Argc >= 2 && std::strcmp(Argv[1], "serve") == 0)
+    return serveMain(Argc - 2, Argv + 2);
+  if (Argc >= 2 && std::strcmp(Argv[1], "request") == 0)
+    return requestMain(Argc - 2, Argv + 2);
 
   const char *FilePath = nullptr;
   const char *FragmentName = nullptr;
@@ -337,7 +673,7 @@ int main(int Argc, char **Argv) {
     auto NextValue = [&]() -> const char * {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s requires a value\n", Arg);
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       return Argv[++I];
     };
@@ -363,40 +699,40 @@ int main(int Argc, char **Argv) {
       ShowStats = true;
     } else if (std::strcmp(Arg, "--help") == 0) {
       usage(Argv[0]);
-      return 0;
+      return kExitOk;
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
       usage(Argv[0]);
-      return 2;
+      return kExitUsage;
     } else if (!FilePath) {
       FilePath = Arg;
     } else {
       std::fprintf(stderr, "error: multiple input files\n");
-      return 2;
+      return kExitUsage;
     }
   }
 
   if (!FilePath || !FragmentName || Varying.empty()) {
     usage(Argv[0]);
-    return 2;
+    return kExitUsage;
   }
 
   std::string Source;
   if (!readFileToString(FilePath, Source)) {
     std::fprintf(stderr, "error: cannot open '%s'\n", FilePath);
-    return 1;
+    return kExitFailure;
   }
 
   auto Unit = parseUnit(Source);
   if (!Unit->ok()) {
     std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
-    return 1;
+    return kExitFailure;
   }
 
   auto Spec = specializeAndCompile(*Unit, FragmentName, Varying, Options);
   if (!Spec) {
     std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
-    return 1;
+    return kExitFailure;
   }
 
   if (ShowNormalized)
@@ -428,5 +764,5 @@ int main(int Argc, char **Argv) {
                 S.DependentTerms, S.PhiCopiesInserted, S.ChainsReassociated,
                 S.LimiterVictims);
   }
-  return 0;
+  return kExitOk;
 }
