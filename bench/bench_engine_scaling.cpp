@@ -81,6 +81,7 @@ struct BoxedSerialPath {
 
 struct ScalingRow {
   std::string Config;
+  const char *Tier = "switch";
   unsigned Threads = 1;
   double FrameSeconds = 0.0;
   double PixelsPerSecond = 0.0;
@@ -119,36 +120,48 @@ void printScaling(const char *OutPath) {
       Times.push_back(timeSeconds([&] { Boxed.read(Controls); }));
     }
     double T = median(Times);
-    Rows.push_back({"boxed-serial", 1, T, Pixels / T, 1.0});
+    Rows.push_back({"boxed-serial", "switch", 1, T, Pixels / T, 1.0});
   }
 
-  // Packed: the engine over the CacheArena at 1/2/4/8 threads.
-  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
-    RenderEngine Engine(Threads);
-    Controls = ShaderLab::defaultControls(*Info);
-    if (!Spec->load(Engine, Lab.grid(), Controls)) {
-      std::fprintf(stderr, "loader trapped: %s\n", Engine.lastTrap().c_str());
-      std::abort();
+  // Packed: the engine over the CacheArena at 1/2/4/8 threads, per
+  // execution tier (see docs/ENGINE.md, "Execution tiers"). The historic
+  // packed-* rows stay pinned to the switch tier so their trajectory is
+  // comparable across PRs; the threaded/batched rows track the fast tiers.
+  for (ExecTier Tier :
+       {ExecTier::Switch, ExecTier::Threaded, ExecTier::Batched}) {
+    for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+      RenderEngine Engine(Threads);
+      Engine.setExecTier(Tier);
+      Controls = ShaderLab::defaultControls(*Info);
+      if (!Spec->load(Engine, Lab.grid(), Controls)) {
+        std::fprintf(stderr, "loader trapped: %s\n",
+                     Engine.lastTrap().c_str());
+        std::abort();
+      }
+      std::vector<double> Times;
+      for (unsigned F = 0; F < Frames; ++F) {
+        Controls[ParamIndex] = Sweep[F];
+        Times.push_back(timeSeconds(
+            [&] { Spec->readFrame(Engine, Lab.grid(), Controls); }));
+      }
+      double T = median(Times);
+      std::string Stem =
+          Tier == ExecTier::Switch ? "packed" : execTierName(Tier);
+      std::string Name = Threads == 1
+                             ? Stem + "-serial"
+                             : Stem + "-" + std::to_string(Threads) + "t";
+      Rows.push_back({Name, execTierName(Tier), Threads, T, Pixels / T,
+                      Rows[0].FrameSeconds / T});
     }
-    std::vector<double> Times;
-    for (unsigned F = 0; F < Frames; ++F) {
-      Controls[ParamIndex] = Sweep[F];
-      Times.push_back(timeSeconds(
-          [&] { Spec->readFrame(Engine, Lab.grid(), Controls); }));
-    }
-    double T = median(Times);
-    std::string Name =
-        Threads == 1 ? "packed-serial" : "packed-" + std::to_string(Threads) + "t";
-    Rows.push_back({Name, Threads, T, Pixels / T, Rows[0].FrameSeconds / T});
   }
 
   std::printf("marble / vary ka, %ux%u pixels, median of %u frames:\n\n",
               Lab.grid().width(), Lab.grid().height(), Frames);
-  std::printf("%-14s %8s %12s %14s %10s\n", "config", "threads", "frame ms",
-              "pixels/sec", "vs boxed");
+  std::printf("%-16s %-9s %8s %12s %14s %10s\n", "config", "tier", "threads",
+              "frame ms", "pixels/sec", "vs boxed");
   for (const ScalingRow &R : Rows)
-    std::printf("%-14s %8u %12.3f %14.0f %9.2fx\n", R.Config.c_str(),
-                R.Threads, R.FrameSeconds * 1e3, R.PixelsPerSecond,
+    std::printf("%-16s %-9s %8u %12.3f %14.0f %9.2fx\n", R.Config.c_str(),
+                R.Tier, R.Threads, R.FrameSeconds * 1e3, R.PixelsPerSecond,
                 R.SpeedupVsBoxed);
 
   BenchJson Json("engine_scaling");
@@ -160,11 +173,11 @@ void printScaling(const char *OutPath) {
   char Row[256];
   for (const ScalingRow &R : Rows) {
     std::snprintf(Row, sizeof(Row),
-                  "{\"config\":%s,\"threads\":%u,"
+                  "{\"config\":%s,\"tier\":\"%s\",\"threads\":%u,"
                   "\"frame_seconds\":%.9f,\"pixels_per_second\":%.1f,"
                   "\"speedup_vs_boxed\":%.3f}",
-                  jsonQuote(R.Config).c_str(), R.Threads, R.FrameSeconds,
-                  R.PixelsPerSecond, R.SpeedupVsBoxed);
+                  jsonQuote(R.Config).c_str(), R.Tier, R.Threads,
+                  R.FrameSeconds, R.PixelsPerSecond, R.SpeedupVsBoxed);
     Json.addRow(Row);
   }
   Json.emit(OutPath);

@@ -69,8 +69,11 @@ public:
   const CacheLayout &layout() const { return Shape; }
 
   /// The packed bytes of every pixel, pixel-major (what a snapshot's
-  /// ARENA section stores verbatim).
+  /// ARENA section stores verbatim). The mutable overload is the batched
+  /// interpreter's strided base pointer: lane L of a tile starting at
+  /// pixel P accesses raw() + (P + L) * strideBytes().
   const unsigned char *raw() const { return Storage.data(); }
+  unsigned char *raw() { return Storage.data(); }
 
   /// The packed cache of one pixel.
   CacheView view(unsigned Pixel) {

@@ -28,19 +28,46 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
   const size_t Count = Grid.pixelCount();
   const size_t Tiles = (Count + TileSize - 1) / TileSize;
   const unsigned Width = Grid.width();
+  const unsigned NumArgs =
+      NumPixelParams + static_cast<unsigned>(Controls.size());
 
-  /// Per-worker frame state: the reusable argument vector plus the first
-  /// trap this worker hit.
+  // Decode (and fuse) once per pass; the cost is one linear scan of the
+  // chunk, negligible against per-pixel execution, and rebuilding here
+  // is what keeps snapshots format-stable: files persist the plain Chunk
+  // and every load re-fuses. An invalid decode (hand-built or hostile
+  // bytecode) silently falls back to the switch tier, whose dynamic
+  // checks produce the canonical diagnostics.
+  ExecChunk Decoded;
+  if (Tier != ExecTier::Switch)
+    Decoded = buildExecChunk(Code);
+  const bool UseThreaded = Tier != ExecTier::Switch && Decoded.Valid;
+  const bool UseBatched =
+      Tier == ExecTier::Batched && Decoded.Valid && Decoded.BatchSafe;
+
+  /// Per-worker frame state: the reusable argument vectors (scalar and
+  /// lane-major batched forms) plus the first trap this worker hit.
   struct WorkerState {
     std::vector<Value> Args;
+    std::vector<Value> LaneArgs; // TileSize x NumArgs, lane-major
+    std::vector<Value> Results;  // TileSize batched results
     size_t TrapPixel = SIZE_MAX;
     std::string TrapMessage;
   };
   std::vector<WorkerState> States(Pool->workerCount());
   for (WorkerState &S : States) {
-    S.Args.resize(NumPixelParams + Controls.size());
+    S.Args.resize(NumArgs);
     for (size_t C = 0; C < Controls.size(); ++C)
       S.Args[NumPixelParams + C] = Value::makeFloat(Controls[C]);
+    if (UseBatched) {
+      // Controls are uniform across lanes; fill them once up front so the
+      // per-tile loop only writes the four pixel params per lane.
+      S.LaneArgs.resize(static_cast<size_t>(TileSize) * NumArgs);
+      for (unsigned Lane = 0; Lane < TileSize; ++Lane)
+        for (size_t C = 0; C < Controls.size(); ++C)
+          S.LaneArgs[static_cast<size_t>(Lane) * NumArgs + NumPixelParams +
+                     C] = Value::makeFloat(Controls[C]);
+      S.Results.resize(TileSize);
+    }
   }
 
   std::atomic<bool> AnyTrap{false};
@@ -52,16 +79,53 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
     VM &Machine = Machines[Worker];
     const size_t Begin = Tile * TileSize;
     const size_t End = Begin + TileSize < Count ? Begin + TileSize : Count;
+
+    if (UseBatched) {
+      const unsigned Lanes = static_cast<unsigned>(End - Begin);
+      for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+        const PixelInput &In = Pixels[Begin + Lane];
+        Value *A = S.LaneArgs.data() + static_cast<size_t>(Lane) * NumArgs;
+        A[0] = In.UV;
+        A[1] = In.P;
+        A[2] = In.N;
+        A[3] = In.I;
+      }
+      BatchRequest Req;
+      Req.LaneArgs = S.LaneArgs.data();
+      Req.NumArgs = NumArgs;
+      Req.Lanes = Lanes;
+      if (Arena) {
+        Req.CacheBase = Arena->raw() + Begin * Arena->strideBytes();
+        Req.CacheStride = Arena->strideBytes();
+        Req.CacheBytes = Arena->strideBytes();
+      }
+      Req.Results = S.Results.data();
+      ExecResult R = Machine.runBatch(Decoded, Req);
+      if (R.ok()) {
+        if (Out)
+          for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+            const unsigned Index = static_cast<unsigned>(Begin + Lane);
+            Out->at(Index % Width, Index / Width) = S.Results[Lane];
+          }
+        return;
+      }
+      // A batch trap carries no lane attribution: fall through and re-run
+      // the tile per pixel so the canonical lowest-pixel diagnostic comes
+      // out identical to the scalar tiers.
+    }
+
     for (size_t Index = Begin; Index < End; ++Index) {
       const PixelInput &In = Pixels[Index];
       S.Args[0] = In.UV;
       S.Args[1] = In.P;
       S.Args[2] = In.N;
       S.Args[3] = In.I;
-      ExecResult R =
-          Arena ? Machine.run(Code, S.Args,
-                              Arena->view(static_cast<unsigned>(Index)))
-                : Machine.run(Code, S.Args);
+      CacheView View =
+          Arena ? Arena->view(static_cast<unsigned>(Index)) : CacheView();
+      ExecResult R = UseThreaded && !UseBatched
+                         ? Machine.runThreaded(Decoded, S.Args, View)
+                         : (Arena ? Machine.run(Code, S.Args, View)
+                                  : Machine.run(Code, S.Args));
       if (!R.ok()) {
         if (Index < S.TrapPixel) {
           S.TrapPixel = Index;

@@ -29,6 +29,7 @@
 #define DATASPEC_ENGINE_RENDERENGINE_H
 
 #include "engine/CacheArena.h"
+#include "engine/ExecTier.h"
 #include "engine/RenderContext.h"
 #include "engine/ThreadPool.h"
 #include "snapshot/Snapshot.h"
@@ -55,6 +56,16 @@ public:
 
   unsigned threadCount() const { return Pool->workerCount(); }
   unsigned tilePixels() const { return TileSize; }
+
+  /// Selects how passes execute chunks. The default is Batched — the
+  /// fastest tier — which degrades gracefully: chunks with divergent
+  /// control flow run per-pixel on the threaded tier, and chunks that
+  /// fail decoding fall back to the classic switch interpreter. Every
+  /// tier produces bit-identical framebuffers (tests/TestExecTiers.cpp
+  /// pins this over the whole gallery); the knob exists for A/B
+  /// measurement (`bench_exec_tier`, `dspec serve --exec-tier`).
+  void setExecTier(ExecTier NewTier) { Tier = NewTier; }
+  ExecTier execTier() const { return Tier; }
 
   /// Runs the loader over every pixel, filling \p Arena (which is reshaped
   /// to the grid and the chunk's layout extent if it does not match).
@@ -124,6 +135,7 @@ private:
   std::unique_ptr<ThreadPool> Pool;
   std::vector<VM> Machines; // one per worker
   unsigned TileSize;
+  ExecTier Tier = ExecTier::Batched;
   std::string LastTrap;
 };
 

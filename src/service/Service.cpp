@@ -26,9 +26,11 @@ SpecializationService::SpecializationService(const ServiceConfig &InConfig)
   if (Config.QueueCapacity == 0)
     Config.QueueCapacity = 1;
   Engines.reserve(Config.Dispatchers);
-  for (unsigned I = 0; I < Config.Dispatchers; ++I)
+  for (unsigned I = 0; I < Config.Dispatchers; ++I) {
     Engines.push_back(std::make_unique<RenderEngine>(Config.RenderThreads,
                                                      Config.TilePixels));
+    Engines.back()->setExecTier(Config.Tier);
+  }
   DispatcherThreads.reserve(Config.Dispatchers);
   for (unsigned I = 0; I < Config.Dispatchers; ++I)
     DispatcherThreads.emplace_back([this, I] { dispatcherLoop(I); });

@@ -65,6 +65,9 @@ struct ServiceConfig {
   unsigned Dispatchers = 1;
   /// Per-request image size ceiling (pixels).
   unsigned MaxPixels = 1u << 20;
+  /// Execution tier for every engine (`dspec serve --exec-tier`); all
+  /// tiers render bit-identical frames, so this is a pure speed knob.
+  ExecTier Tier = ExecTier::Batched;
 };
 
 /// The service. Thread-safe: submit/render/statsz may be called from any

@@ -103,5 +103,19 @@ DataSpecializer::specialize(Function *F,
   Result.Stats.DynamicExprs = CA.countExprs(CacheLabel::CL_Dynamic);
   Result.Stats.DynamicStmts = CA.countDynamicStmts();
   Result.Stats.DependentTerms = Dep.dependentCount();
+  Result.Stats.LoaderBranchStmts = Splitter::countBranchStmts(Result.Loader);
+  Result.Stats.ReaderBranchStmts = Splitter::countBranchStmts(Result.Reader);
+
+  if (Options.CollectExplanation) {
+    // Batch eligibility is a property of the emitted split, so it lands
+    // after the main (pre-split) decision report.
+    Result.Explanation +=
+        "\nreader control flow: " +
+        std::to_string(Result.Stats.ReaderBranchStmts) +
+        " branch statement(s) — " +
+        (Result.Stats.ReaderBranchStmts == 0
+             ? "divergence-free, eligible for pixel-batched execution\n"
+             : "divergent, executes per-pixel (threaded tier)\n");
+  }
   return Result;
 }

@@ -49,6 +49,13 @@ struct SpecializationStats {
   unsigned PhiCopiesInserted = 0;
   unsigned ChainsReassociated = 0;
   unsigned LimiterVictims = 0;
+  /// Branching statements (if / while) in the emitted loader and reader.
+  /// A zero ReaderBranchStmts reader compiles to straight-line bytecode
+  /// and runs on the render engine's pixel-batched tier; a branchy one
+  /// falls back to per-pixel threaded dispatch (see docs/ENGINE.md,
+  /// "Execution tiers").
+  unsigned LoaderBranchStmts = 0;
+  unsigned ReaderBranchStmts = 0;
 };
 
 /// Everything the specializer produces for one fragment + partition.

@@ -7,6 +7,7 @@
 #include "specialize/Splitter.h"
 
 #include "lang/ASTCloner.h"
+#include "lang/ASTWalk.h"
 #include "support/Casting.h"
 
 using namespace dspec;
@@ -118,4 +119,13 @@ Function *Splitter::buildLoader(Function *F, const std::string &Name) {
 Function *Splitter::buildReader(Function *F, const std::string &Name) {
   ReaderCloner Cloner(Ctx, CA, Layout);
   return Cloner.cloneFunction(F, Name);
+}
+
+unsigned Splitter::countBranchStmts(Function *F) {
+  unsigned Branches = 0;
+  walkStmts(F->body(), [&](Stmt *S) {
+    if (S->kind() == StmtKind::SK_If || S->kind() == StmtKind::SK_While)
+      ++Branches;
+  });
+  return Branches;
 }

@@ -50,6 +50,15 @@ public:
   /// re-emitted bare.
   Function *buildReader(Function *F, const std::string &Name);
 
+  /// Number of branching statements (if / while) in \p F's body. Zero
+  /// means the function compiles to straight-line bytecode: control flow
+  /// cannot diverge between pixels, so the render engine's batched tier
+  /// executes it a whole tile per instruction fetch. (dsc's ?: is strict
+  /// — OC_Select — and does not branch.) The bytecode-level
+  /// ExecChunk::StraightLine flag remains authoritative at runtime; this
+  /// AST-level count feeds the stats and the explain report.
+  static unsigned countBranchStmts(Function *F);
+
 private:
   ASTContext &Ctx;
   CachingAnalysis &CA;

@@ -181,10 +181,17 @@ void BytecodeCompiler::compileExpr(Expr *E) {
       emit(OpCode::OC_Mul);
       return;
     case BinaryOp::BO_Div:
-      emit(OpCode::OC_Div);
+      // Div/Mod can trap at runtime; their operands are otherwise unused,
+      // so carry the divisor's SourceLoc (A = line, B = column) for the
+      // divide-by-zero diagnostic. Serde format v1 already round-trips
+      // A/B/C, so this persists through snapshots for free, and chunks
+      // compiled before this carry zeros (rendered as no location).
+      emit(OpCode::OC_Div, static_cast<int32_t>(B->rhs()->loc().Line),
+           static_cast<int32_t>(B->rhs()->loc().Column));
       return;
     case BinaryOp::BO_Mod:
-      emit(OpCode::OC_Mod);
+      emit(OpCode::OC_Mod, static_cast<int32_t>(B->rhs()->loc().Line),
+           static_cast<int32_t>(B->rhs()->loc().Column));
       return;
     case BinaryOp::BO_Lt:
       emit(OpCode::OC_Lt);

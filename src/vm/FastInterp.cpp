@@ -1,0 +1,1062 @@
+//===- vm/FastInterp.cpp - Threaded and batched interpreters -----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The two fast execution tiers over the decoded ExecChunk form:
+//
+//   runThreaded  direct-threaded dispatch (computed goto where the
+//                compiler supports it, a token-threaded switch loop
+//                otherwise or under DSPEC_FORCE_SWITCH_DISPATCH), a flat
+//                pre-sized operand stack instead of push_back/pop_back,
+//                pre-resolved constant pointers, and superinstructions.
+//
+//   runBatch     one instruction fetch drives a whole tile: every opcode
+//                loops over the lanes against slot-major (SoA) stack and
+//                locals rows and strided packed caches, so dispatch cost
+//                is amortized 1/Lanes and the inner loops are plain
+//                arrays the compiler can vectorize. Only for BatchSafe
+//                (straight-line, effect-free) chunks.
+//
+// Both tiers call the shared semantics in vm/InterpOps.h — the same
+// functions the classic switch interpreter uses — which is what makes
+// framebuffers bit-identical across tiers. Trap messages replicate
+// VM.cpp verbatim; keep them in sync.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/InterpOps.h"
+#include "vm/VM.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dspec;
+
+namespace dspec {
+/// Implemented in Builtins.cpp.
+Value callBuiltinImpl(uint16_t Id, const Value *Args, VM &Machine);
+} // namespace dspec
+
+// Dispatch selection: computed goto is a GNU extension (GCC and Clang
+// both define __GNUC__); DSPEC_FORCE_SWITCH_DISPATCH pins the portable
+// fallback so CI can keep it honest.
+#if defined(DSPEC_FORCE_SWITCH_DISPATCH) || !defined(__GNUC__)
+#define DSPEC_SWITCH_DISPATCH 1
+#else
+#define DSPEC_SWITCH_DISPATCH 0
+#endif
+
+#define TRAP(MSG)                                                              \
+  do {                                                                         \
+    Result.Trapped = true;                                                     \
+    Result.TrapMessage = (MSG);                                                \
+    Result.InstructionsExecuted = Executed;                                    \
+    return Result;                                                             \
+  } while (0)
+
+ExecResult VM::runThreaded(const ExecChunk &C, const std::vector<Value> &Args,
+                           CacheView Packed) {
+  ExecResult Result;
+  uint64_t Executed = 0;
+
+  if (!C.Valid)
+    TRAP("invalid decoded chunk '" + C.Name + "'");
+  if (Args.size() != C.NumParams)
+    TRAP("argument count mismatch calling '" + C.Name + "'");
+
+  std::vector<Value> &Locals = LocalsScratch;
+  Locals.resize(C.numLocals());
+  for (unsigned I = 0; I < C.numLocals(); ++I)
+    Locals[I] = Value::zeroOf(Type(C.LocalTypes[I]));
+  for (unsigned I = 0; I < C.NumParams; ++I) {
+    Value Arg = Args[I];
+    if (Arg.Kind != C.LocalTypes[I]) {
+      if (Arg.isInt() && C.LocalTypes[I] == TypeKind::TK_Float)
+        Arg = Value::makeFloat(static_cast<float>(Arg.I));
+      else
+        TRAP("argument type mismatch calling '" + C.Name + "'");
+    }
+    Locals[I] = Arg;
+  }
+
+  // Flat operand stack, pre-sized to the verified maximum depth: pushes
+  // and pops are raw indexed writes, never bounds-checked or allocating.
+  if (StackScratch.size() < C.MaxStack)
+    StackScratch.resize(C.MaxStack);
+  Value *Stack = StackScratch.data();
+  Value *Lp = Locals.data();
+  unsigned SP = 0;
+
+  const ExecInstr *Code = C.Code.data();
+  const ExecInstr *End = Code + C.Code.size();
+  const ExecInstr *Ip = Code;
+  const ExecInstr *In = nullptr;
+  const bool UsePacked = Packed.data() != nullptr;
+
+// The handler bodies below are written once and compiled under either
+// dispatch regime: CASE expands to a goto label or a switch case, NEXT
+// to an indirect goto through the label table or a break back to the
+// fetch loop.
+#if DSPEC_SWITCH_DISPATCH
+
+#define CASE(NAME) case FusedOp::F_##NAME:
+#define NEXT() break
+
+  for (;;) {
+    if (Ip == End)
+      goto halt;
+    if (++Executed > InstructionBudget)
+      TRAP("instruction budget exceeded in '" + C.Name + "'");
+    In = Ip++;
+    switch (In->Op) {
+
+#else // computed goto
+
+#define CASE(NAME) L_##NAME:
+#define NEXT() goto dispatch
+
+  // Function-local so the table lives in this translation unit only;
+  // the ExecChunk itself stays position-independent and shareable
+  // across threads and processes.
+  static const void *Table[kNumFusedOps] = {
+      &&L_Const,        &&L_LoadLocal,    &&L_StoreLocal, &&L_Convert,
+      &&L_Pop,          &&L_Neg,          &&L_Not,        &&L_Add,
+      &&L_Sub,          &&L_Mul,          &&L_Div,        &&L_Mod,
+      &&L_Lt,           &&L_Le,           &&L_Gt,         &&L_Ge,
+      &&L_Eq,           &&L_Ne,           &&L_And,        &&L_Or,
+      &&L_Select,       &&L_Jump,         &&L_JumpIfFalse,
+      &&L_CallBuiltin,  &&L_Member,       &&L_CacheLoad,  &&L_CacheStore,
+      &&L_Return,       &&L_ReturnVoid,   &&L_ConstAdd,   &&L_ConstMul,
+      &&L_LoadLoad,     &&L_StoreLoad,    &&L_LoadCall,   &&L_CacheLoadAdd,
+      &&L_CacheLoadMul, &&L_CacheLoadStore, &&L_CacheLoadRet,
+      &&L_LtJf,         &&L_LeJf,         &&L_GtJf,       &&L_GeJf};
+
+dispatch:
+  if (Ip == End)
+    goto halt;
+  if (++Executed > InstructionBudget)
+    TRAP("instruction budget exceeded in '" + C.Name + "'");
+  In = Ip++;
+  goto *Table[static_cast<unsigned>(In->Op)];
+
+#endif
+
+  CASE(Const) {
+    Stack[SP++] = *In->K;
+    NEXT();
+  }
+  CASE(LoadLocal) {
+    Stack[SP++] = Lp[In->A];
+    NEXT();
+  }
+  CASE(StoreLocal) {
+    Lp[In->A] = Stack[--SP];
+    NEXT();
+  }
+  CASE(Convert) {
+    Value &V = Stack[SP - 1];
+    V = V.convertTo(Type(static_cast<TypeKind>(In->A)));
+    NEXT();
+  }
+  CASE(Pop) {
+    --SP;
+    NEXT();
+  }
+  CASE(Neg) {
+    Value &V = Stack[SP - 1];
+    V = interp::opNeg(V);
+    NEXT();
+  }
+  CASE(Not) {
+    Value &V = Stack[SP - 1];
+    V = Value::makeBool(!V.asBool());
+    NEXT();
+  }
+  CASE(Add) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opAdd(Lv, Rv);
+    NEXT();
+  }
+  CASE(Sub) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opSub(Lv, Rv);
+    NEXT();
+  }
+  CASE(Mul) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opMul(Lv, Rv);
+    NEXT();
+  }
+  CASE(Div) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    if (Lv.isInt() && Rv.isInt() && Rv.I == 0)
+      TRAP("integer division by zero in '" + C.Name + "'" +
+           interp::srcLocSuffix(In->A, In->B));
+    Lv = interp::opDiv(Lv, Rv);
+    NEXT();
+  }
+  CASE(Mod) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    if (Rv.I == 0)
+      TRAP("integer modulo by zero in '" + C.Name + "'" +
+           interp::srcLocSuffix(In->A, In->B));
+    Lv = Value::makeInt(Lv.I % Rv.I);
+    NEXT();
+  }
+  CASE(Lt) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opLt(Lv, Rv);
+    NEXT();
+  }
+  CASE(Le) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opLe(Lv, Rv);
+    NEXT();
+  }
+  CASE(Gt) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opGt(Lv, Rv);
+    NEXT();
+  }
+  CASE(Ge) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opGe(Lv, Rv);
+    NEXT();
+  }
+  CASE(Eq) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opEq(Lv, Rv);
+    NEXT();
+  }
+  CASE(Ne) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opNe(Lv, Rv);
+    NEXT();
+  }
+  CASE(And) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = Value::makeBool(Lv.asBool() && Rv.asBool());
+    NEXT();
+  }
+  CASE(Or) {
+    const Value &Rv = Stack[--SP];
+    Value &Lv = Stack[SP - 1];
+    Lv = Value::makeBool(Lv.asBool() || Rv.asBool());
+    NEXT();
+  }
+  CASE(Select) {
+    // Stack bottom-to-top: condition, then-value, else-value.
+    SP -= 2;
+    Value &Cond = Stack[SP - 1];
+    Cond = Cond.asBool() ? Stack[SP] : Stack[SP + 1];
+    NEXT();
+  }
+  CASE(Jump) {
+    Ip = Code + In->A;
+    NEXT();
+  }
+  CASE(JumpIfFalse) {
+    if (!Stack[--SP].asBool())
+      Ip = Code + In->A;
+    NEXT();
+  }
+  CASE(CallBuiltin) {
+    SP -= static_cast<unsigned>(In->B);
+    Stack[SP] =
+        callBuiltinImpl(static_cast<uint16_t>(In->A), Stack + SP, *this);
+    ++SP;
+    NEXT();
+  }
+  CASE(Member) {
+    Value &V = Stack[SP - 1];
+    V = Value::makeFloat(V.F[In->A]);
+    NEXT();
+  }
+  CASE(CacheLoad) {
+    if (!UsePacked)
+      TRAP("cache read without a loaded cache in '" + C.Name + "'");
+    TypeKind Kind = static_cast<TypeKind>(In->C);
+    unsigned Offset = static_cast<unsigned>(In->B);
+    if (!Packed.inBounds(Offset, Kind))
+      TRAP("cache read past the layout in '" + C.Name + "'");
+    Stack[SP++] = Packed.load(Offset, Kind);
+    NEXT();
+  }
+  CASE(CacheStore) {
+    // The stored value stays on the stack.
+    if (!UsePacked)
+      TRAP("cache write without cache storage in '" + C.Name + "'");
+    TypeKind Kind = static_cast<TypeKind>(In->C);
+    unsigned Offset = static_cast<unsigned>(In->B);
+    const Value &V = Stack[SP - 1];
+    if (!Packed.inBounds(Offset, Kind))
+      TRAP("cache store past the layout in '" + C.Name + "'");
+    if (V.Kind != Kind)
+      TRAP("cache store type mismatch in '" + C.Name + "': slot is " +
+           Type(Kind).name() + ", value is " + Type(V.Kind).name());
+    Packed.store(Offset, V);
+    NEXT();
+  }
+  CASE(Return) {
+    Result.Result = Stack[--SP];
+    Result.InstructionsExecuted = Executed;
+    return Result;
+  }
+  CASE(ReturnVoid) {
+    Result.Result = Value::makeVoid();
+    Result.InstructionsExecuted = Executed;
+    return Result;
+  }
+
+  // Superinstructions: each performs exactly its two source operations
+  // in order, skipping the intermediate push/pop where it cancels out.
+  CASE(ConstAdd) {
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opAdd(Lv, *In->K);
+    NEXT();
+  }
+  CASE(ConstMul) {
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opMul(Lv, *In->K);
+    NEXT();
+  }
+  CASE(LoadLoad) {
+    Stack[SP] = Lp[In->A];
+    Stack[SP + 1] = Lp[In->A2];
+    SP += 2;
+    NEXT();
+  }
+  CASE(StoreLoad) {
+    Lp[In->A] = Stack[SP - 1];
+    Stack[SP - 1] = Lp[In->A2];
+    NEXT();
+  }
+  CASE(LoadCall) {
+    Stack[SP++] = Lp[In->A];
+    SP -= static_cast<unsigned>(In->B2);
+    Stack[SP] =
+        callBuiltinImpl(static_cast<uint16_t>(In->A2), Stack + SP, *this);
+    ++SP;
+    NEXT();
+  }
+  CASE(CacheLoadAdd) {
+    if (!UsePacked)
+      TRAP("cache read without a loaded cache in '" + C.Name + "'");
+    TypeKind Kind = static_cast<TypeKind>(In->C);
+    unsigned Offset = static_cast<unsigned>(In->B);
+    if (!Packed.inBounds(Offset, Kind))
+      TRAP("cache read past the layout in '" + C.Name + "'");
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opAdd(Lv, Packed.load(Offset, Kind));
+    NEXT();
+  }
+  CASE(CacheLoadMul) {
+    if (!UsePacked)
+      TRAP("cache read without a loaded cache in '" + C.Name + "'");
+    TypeKind Kind = static_cast<TypeKind>(In->C);
+    unsigned Offset = static_cast<unsigned>(In->B);
+    if (!Packed.inBounds(Offset, Kind))
+      TRAP("cache read past the layout in '" + C.Name + "'");
+    Value &Lv = Stack[SP - 1];
+    Lv = interp::opMul(Lv, Packed.load(Offset, Kind));
+    NEXT();
+  }
+  CASE(CacheLoadStore) {
+    if (!UsePacked)
+      TRAP("cache read without a loaded cache in '" + C.Name + "'");
+    TypeKind Kind = static_cast<TypeKind>(In->C);
+    unsigned Offset = static_cast<unsigned>(In->B);
+    if (!Packed.inBounds(Offset, Kind))
+      TRAP("cache read past the layout in '" + C.Name + "'");
+    Lp[In->A2] = Packed.load(Offset, Kind);
+    NEXT();
+  }
+  CASE(CacheLoadRet) {
+    if (!UsePacked)
+      TRAP("cache read without a loaded cache in '" + C.Name + "'");
+    TypeKind Kind = static_cast<TypeKind>(In->C);
+    unsigned Offset = static_cast<unsigned>(In->B);
+    if (!Packed.inBounds(Offset, Kind))
+      TRAP("cache read past the layout in '" + C.Name + "'");
+    Result.Result = Packed.load(Offset, Kind);
+    Result.InstructionsExecuted = Executed;
+    return Result;
+  }
+  CASE(LtJf) {
+    const Value &Rv = Stack[SP - 1];
+    const Value &Lv = Stack[SP - 2];
+    SP -= 2;
+    if (interp::opLt(Lv, Rv).I == 0)
+      Ip = Code + In->A2;
+    NEXT();
+  }
+  CASE(LeJf) {
+    const Value &Rv = Stack[SP - 1];
+    const Value &Lv = Stack[SP - 2];
+    SP -= 2;
+    if (interp::opLe(Lv, Rv).I == 0)
+      Ip = Code + In->A2;
+    NEXT();
+  }
+  CASE(GtJf) {
+    const Value &Rv = Stack[SP - 1];
+    const Value &Lv = Stack[SP - 2];
+    SP -= 2;
+    if (interp::opGt(Lv, Rv).I == 0)
+      Ip = Code + In->A2;
+    NEXT();
+  }
+  CASE(GeJf) {
+    const Value &Rv = Stack[SP - 1];
+    const Value &Lv = Stack[SP - 2];
+    SP -= 2;
+    if (interp::opGe(Lv, Rv).I == 0)
+      Ip = Code + In->A2;
+    NEXT();
+  }
+
+#if DSPEC_SWITCH_DISPATCH
+    case FusedOp::F_OpCount:
+    default:
+      TRAP("corrupt opcode in decoded chunk '" + C.Name + "'");
+    }
+  }
+#endif
+
+halt:
+  Result.InstructionsExecuted = Executed;
+  return Result;
+
+#undef CASE
+#undef NEXT
+}
+
+//===----------------------------------------------------------------------===//
+// Pixel-batched execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+inline bool isVecKind(TypeKind K) {
+  return K == TypeKind::TK_Vec2 || K == TypeKind::TK_Vec3 ||
+         K == TypeKind::TK_Vec4;
+}
+
+inline unsigned vecWidth(TypeKind K) {
+  return K == TypeKind::TK_Vec2 ? 2 : K == TypeKind::TK_Vec3 ? 3 : 4;
+}
+
+#ifndef NDEBUG
+/// The fast paths dispatch on lane 0's kinds once per instruction. That
+/// is sound because dsc is statically typed: the kind at a given stack
+/// depth at a given instruction is a function of the instruction index
+/// alone (params are promoted to their declared types, constants and
+/// cache slots are typed, and every operator's result kind depends only
+/// on its operand kinds), so it cannot differ between lanes.
+inline bool uniformKind(const Value *RowData, unsigned Lanes) {
+  for (unsigned L = 1; L < Lanes; ++L)
+    if (RowData[L].Kind != RowData[0].Kind)
+      return false;
+  return true;
+}
+#endif
+
+/// Kind-specialized row-vs-row arithmetic: dispatches on the operand
+/// kinds once, then runs a branch-free lane loop. In-place component
+/// updates preserve the zeroed padding `interp::arith` produces (every
+/// value reaching a row was built by a factory/arith/cache load, all of
+/// which zero F[width..4) and I), so results stay bit-identical to the
+/// scalar tiers. Returns false for kind mixes left to the generic loop
+/// (ints, bools, voids).
+template <typename FOp>
+inline bool arithRows(Value *Lv, const Value *Rv, unsigned Lanes, FOp F) {
+  assert(uniformKind(Lv, Lanes) && uniformKind(Rv, Lanes) &&
+         "lane kinds diverged under a statically typed chunk");
+  const TypeKind LK = Lv[0].Kind, RK = Rv[0].Kind;
+  if (LK == TypeKind::TK_Float && RK == TypeKind::TK_Float) {
+    for (unsigned L = 0; L < Lanes; ++L)
+      Lv[L].F[0] = F(Lv[L].F[0], Rv[L].F[0]);
+    return true;
+  }
+  if (LK == TypeKind::TK_Vec3 && RK == TypeKind::TK_Vec3) {
+    for (unsigned L = 0; L < Lanes; ++L)
+      for (unsigned K = 0; K < 3; ++K)
+        Lv[L].F[K] = F(Lv[L].F[K], Rv[L].F[K]);
+    return true;
+  }
+  if (LK == TypeKind::TK_Vec3 && RK == TypeKind::TK_Float) {
+    for (unsigned L = 0; L < Lanes; ++L) {
+      const float S = Rv[L].F[0];
+      for (unsigned K = 0; K < 3; ++K)
+        Lv[L].F[K] = F(Lv[L].F[K], S);
+    }
+    return true;
+  }
+  if (LK == TypeKind::TK_Float && RK == TypeKind::TK_Vec3) {
+    for (unsigned L = 0; L < Lanes; ++L) {
+      const float S = Lv[L].F[0];
+      Lv[L].Kind = TypeKind::TK_Vec3;
+      for (unsigned K = 0; K < 3; ++K)
+        Lv[L].F[K] = F(S, Rv[L].F[K]);
+    }
+    return true;
+  }
+  // vec2/vec4 mixes: same shapes with a runtime width.
+  if (isVecKind(LK) && RK == LK) {
+    const unsigned W = vecWidth(LK);
+    for (unsigned L = 0; L < Lanes; ++L)
+      for (unsigned K = 0; K < W; ++K)
+        Lv[L].F[K] = F(Lv[L].F[K], Rv[L].F[K]);
+    return true;
+  }
+  if (isVecKind(LK) && RK == TypeKind::TK_Float) {
+    const unsigned W = vecWidth(LK);
+    for (unsigned L = 0; L < Lanes; ++L) {
+      const float S = Rv[L].F[0];
+      for (unsigned K = 0; K < W; ++K)
+        Lv[L].F[K] = F(Lv[L].F[K], S);
+    }
+    return true;
+  }
+  if (LK == TypeKind::TK_Float && isVecKind(RK)) {
+    const unsigned W = vecWidth(RK);
+    for (unsigned L = 0; L < Lanes; ++L) {
+      const float S = Lv[L].F[0];
+      Lv[L].Kind = RK;
+      for (unsigned K = 0; K < W; ++K)
+        Lv[L].F[K] = F(S, Rv[L].F[K]);
+    }
+    return true;
+  }
+  return false;
+}
+
+/// arithRows against one broadcast constant (F_ConstAdd / F_ConstMul).
+template <typename FOp>
+inline bool arithRowConst(Value *Lv, const Value &K, unsigned Lanes, FOp F) {
+  assert(uniformKind(Lv, Lanes) &&
+         "lane kinds diverged under a statically typed chunk");
+  const TypeKind LK = Lv[0].Kind;
+  if (LK == TypeKind::TK_Float && K.Kind == TypeKind::TK_Float) {
+    const float S = K.F[0];
+    for (unsigned L = 0; L < Lanes; ++L)
+      Lv[L].F[0] = F(Lv[L].F[0], S);
+    return true;
+  }
+  if (isVecKind(LK) && K.Kind == TypeKind::TK_Float) {
+    const unsigned W = vecWidth(LK);
+    const float S = K.F[0];
+    for (unsigned L = 0; L < Lanes; ++L)
+      for (unsigned C = 0; C < W; ++C)
+        Lv[L].F[C] = F(Lv[L].F[C], S);
+    return true;
+  }
+  if (isVecKind(LK) && K.Kind == LK) {
+    const unsigned W = vecWidth(LK);
+    for (unsigned L = 0; L < Lanes; ++L)
+      for (unsigned C = 0; C < W; ++C)
+        Lv[L].F[C] = F(Lv[L].F[C], K.F[C]);
+    return true;
+  }
+  if (LK == TypeKind::TK_Float && isVecKind(K.Kind)) {
+    const unsigned W = vecWidth(K.Kind);
+    for (unsigned L = 0; L < Lanes; ++L) {
+      const float S = Lv[L].F[0];
+      Lv[L].Kind = K.Kind;
+      for (unsigned C = 0; C < W; ++C)
+        Lv[L].F[C] = F(S, K.F[C]);
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Strided cache-slot load into a row with the kind switch hoisted out
+/// of the lane loop. Replicates CacheView::load exactly (fresh Value,
+/// zeroed padding, memcpy of the slot width).
+inline void cacheLoadRow(Value *Dest, const unsigned char *Base,
+                         size_t Stride, unsigned Offset, TypeKind Kind,
+                         unsigned Lanes) {
+  switch (Kind) {
+  case TypeKind::TK_Bool:
+  case TypeKind::TK_Int:
+    for (unsigned L = 0; L < Lanes; ++L) {
+      Value V;
+      V.Kind = Kind;
+      std::memcpy(&V.I, Base + L * Stride + Offset, sizeof(int32_t));
+      Dest[L] = V;
+    }
+    break;
+  case TypeKind::TK_Float:
+    for (unsigned L = 0; L < Lanes; ++L) {
+      Value V;
+      V.Kind = Kind;
+      std::memcpy(&V.F[0], Base + L * Stride + Offset, sizeof(float));
+      Dest[L] = V;
+    }
+    break;
+  case TypeKind::TK_Vec2:
+    for (unsigned L = 0; L < Lanes; ++L) {
+      Value V;
+      V.Kind = Kind;
+      std::memcpy(V.F, Base + L * Stride + Offset, 2 * sizeof(float));
+      Dest[L] = V;
+    }
+    break;
+  case TypeKind::TK_Vec3:
+    for (unsigned L = 0; L < Lanes; ++L) {
+      Value V;
+      V.Kind = Kind;
+      std::memcpy(V.F, Base + L * Stride + Offset, 3 * sizeof(float));
+      Dest[L] = V;
+    }
+    break;
+  case TypeKind::TK_Vec4:
+    for (unsigned L = 0; L < Lanes; ++L) {
+      Value V;
+      V.Kind = Kind;
+      std::memcpy(V.F, Base + L * Stride + Offset, 4 * sizeof(float));
+      Dest[L] = V;
+    }
+    break;
+  case TypeKind::TK_Void:
+    for (unsigned L = 0; L < Lanes; ++L) {
+      Value V;
+      V.Kind = Kind;
+      Dest[L] = V;
+    }
+    break;
+  }
+}
+
+} // namespace
+
+ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
+  ExecResult Result;
+  uint64_t Executed = 0;
+
+  if (!C.Valid || !C.BatchSafe)
+    TRAP("batch execution on an unsupported chunk '" + C.Name + "'");
+  if (Req.Lanes == 0) {
+    Result.Result = Value::makeVoid();
+    return Result;
+  }
+  if (Req.NumArgs != C.NumParams)
+    TRAP("argument count mismatch calling '" + C.Name + "'");
+
+  const unsigned Lanes = Req.Lanes;
+  const bool UseCache = Req.CacheBase != nullptr;
+  // inBounds for a given (offset, kind) is uniform across lanes, so the
+  // per-access bounds decision is made once per instruction below using
+  // lane 0's view geometry.
+  CacheView Bounds(Req.CacheBase, Req.CacheBytes);
+
+  // Slot-major locals: slot s's values for all lanes are contiguous at
+  // row s, so per-instruction lane loops walk plain arrays.
+  const unsigned NumLocals = C.numLocals();
+  BatchLocals.resize(static_cast<size_t>(NumLocals) * Lanes);
+  for (unsigned S = 0; S < NumLocals; ++S) {
+    Value *Row = BatchLocals.data() + static_cast<size_t>(S) * Lanes;
+    if (S < C.NumParams) {
+      for (unsigned L = 0; L < Lanes; ++L) {
+        Value Arg = Req.LaneArgs[static_cast<size_t>(L) * Req.NumArgs + S];
+        if (Arg.Kind != C.LocalTypes[S]) {
+          if (Arg.isInt() && C.LocalTypes[S] == TypeKind::TK_Float)
+            Arg = Value::makeFloat(static_cast<float>(Arg.I));
+          else
+            TRAP("argument type mismatch calling '" + C.Name + "'");
+        }
+        Row[L] = Arg;
+      }
+    } else {
+      const Value Zero = Value::zeroOf(Type(C.LocalTypes[S]));
+      for (unsigned L = 0; L < Lanes; ++L)
+        Row[L] = Zero;
+    }
+  }
+
+  BatchStack.resize(static_cast<size_t>(C.MaxStack) * Lanes);
+  unsigned SP = 0;
+  auto Row = [&](unsigned Depth) {
+    return BatchStack.data() + static_cast<size_t>(Depth) * Lanes;
+  };
+  auto LocalRow = [&](int32_t Slot) {
+    return BatchLocals.data() + static_cast<size_t>(Slot) * Lanes;
+  };
+  auto LaneView = [&](unsigned L) {
+    return CacheView(Req.CacheBase + static_cast<size_t>(L) * Req.CacheStride,
+                     Req.CacheBytes);
+  };
+
+  for (const ExecInstr &In : C.Code) {
+    Executed += Lanes;
+    if (Executed > InstructionBudget)
+      TRAP("instruction budget exceeded in '" + C.Name + "'");
+    switch (In.Op) {
+    case FusedOp::F_Const: {
+      const Value K = *In.K;
+      Value *S = Row(SP++);
+      for (unsigned L = 0; L < Lanes; ++L)
+        S[L] = K;
+      break;
+    }
+    case FusedOp::F_LoadLocal: {
+      const Value *Src = LocalRow(In.A);
+      std::copy(Src, Src + Lanes, Row(SP++));
+      break;
+    }
+    case FusedOp::F_StoreLocal: {
+      const Value *S = Row(--SP);
+      std::copy(S, S + Lanes, LocalRow(In.A));
+      break;
+    }
+    case FusedOp::F_Convert: {
+      const Type To(static_cast<TypeKind>(In.A));
+      Value *S = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        S[L] = S[L].convertTo(To);
+      break;
+    }
+    case FusedOp::F_Pop:
+      --SP;
+      break;
+    case FusedOp::F_Neg: {
+      Value *S = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        S[L] = interp::opNeg(S[L]);
+      break;
+    }
+    case FusedOp::F_Not: {
+      Value *S = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        S[L] = Value::makeBool(!S[L].asBool());
+      break;
+    }
+    case FusedOp::F_Add: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      if (!arithRows(Lv, Rv, Lanes, [](float A, float B) { return A + B; }))
+        for (unsigned L = 0; L < Lanes; ++L)
+          Lv[L] = interp::opAdd(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_Sub: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      if (!arithRows(Lv, Rv, Lanes, [](float A, float B) { return A - B; }))
+        for (unsigned L = 0; L < Lanes; ++L)
+          Lv[L] = interp::opSub(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_Mul: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      if (!arithRows(Lv, Rv, Lanes, [](float A, float B) { return A * B; }))
+        for (unsigned L = 0; L < Lanes; ++L)
+          Lv[L] = interp::opMul(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_Div: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      // The fast paths cover float/vector operands only, where division
+      // by zero is well-defined IEEE behavior; the int-zero trap lives
+      // in the generic fallback with the other int mixes.
+      if (!arithRows(Lv, Rv, Lanes, [](float A, float B) { return A / B; }))
+        for (unsigned L = 0; L < Lanes; ++L) {
+          if (Lv[L].isInt() && Rv[L].isInt() && Rv[L].I == 0)
+            TRAP("integer division by zero in '" + C.Name + "'" +
+                 interp::srcLocSuffix(In.A, In.B));
+          Lv[L] = interp::opDiv(Lv[L], Rv[L]);
+        }
+      break;
+    }
+    case FusedOp::F_Mod: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L) {
+        if (Rv[L].I == 0)
+          TRAP("integer modulo by zero in '" + C.Name + "'" +
+               interp::srcLocSuffix(In.A, In.B));
+        Lv[L] = Value::makeInt(Lv[L].I % Rv[L].I);
+      }
+      break;
+    }
+    case FusedOp::F_Lt: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Lv[L] = interp::opLt(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_Le: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Lv[L] = interp::opLe(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_Gt: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Lv[L] = interp::opGt(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_Ge: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Lv[L] = interp::opGe(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_Eq: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Lv[L] = interp::opEq(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_Ne: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Lv[L] = interp::opNe(Lv[L], Rv[L]);
+      break;
+    }
+    case FusedOp::F_And: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Lv[L] = Value::makeBool(Lv[L].asBool() && Rv[L].asBool());
+      break;
+    }
+    case FusedOp::F_Or: {
+      const Value *Rv = Row(--SP);
+      Value *Lv = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Lv[L] = Value::makeBool(Lv[L].asBool() || Rv[L].asBool());
+      break;
+    }
+    case FusedOp::F_Select: {
+      SP -= 2;
+      Value *Cond = Row(SP - 1);
+      const Value *T = Row(SP);
+      const Value *F = Row(SP + 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Cond[L] = Cond[L].asBool() ? T[L] : F[L];
+      break;
+    }
+    case FusedOp::F_CallBuiltin: {
+      const unsigned Argc = static_cast<unsigned>(In.B);
+      assert(Argc <= 8 && "builtin arity exceeds the gather buffer");
+      SP -= Argc;
+      Value *Dest = Row(SP);
+      const Value *ArgRows[8];
+      for (unsigned A = 0; A < Argc; ++A)
+        ArgRows[A] = Row(SP + A);
+      Value Tmp[8];
+      for (unsigned L = 0; L < Lanes; ++L) {
+        for (unsigned A = 0; A < Argc; ++A)
+          Tmp[A] = ArgRows[A][L];
+        Dest[L] = callBuiltinImpl(static_cast<uint16_t>(In.A), Tmp, *this);
+      }
+      ++SP;
+      break;
+    }
+    case FusedOp::F_Member: {
+      Value *S = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        S[L] = Value::makeFloat(S[L].F[In.A]);
+      break;
+    }
+    case FusedOp::F_CacheLoad: {
+      if (!UseCache)
+        TRAP("cache read without a loaded cache in '" + C.Name + "'");
+      const TypeKind Kind = static_cast<TypeKind>(In.C);
+      const unsigned Offset = static_cast<unsigned>(In.B);
+      if (!Bounds.inBounds(Offset, Kind))
+        TRAP("cache read past the layout in '" + C.Name + "'");
+      cacheLoadRow(Row(SP++), Req.CacheBase, Req.CacheStride, Offset, Kind,
+                   Lanes);
+      break;
+    }
+    case FusedOp::F_CacheStore: {
+      // The stored value stays on the stack.
+      if (!UseCache)
+        TRAP("cache write without cache storage in '" + C.Name + "'");
+      const TypeKind Kind = static_cast<TypeKind>(In.C);
+      const unsigned Offset = static_cast<unsigned>(In.B);
+      if (!Bounds.inBounds(Offset, Kind))
+        TRAP("cache store past the layout in '" + C.Name + "'");
+      const Value *S = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L) {
+        if (S[L].Kind != Kind)
+          TRAP("cache store type mismatch in '" + C.Name + "': slot is " +
+               Type(Kind).name() + ", value is " + Type(S[L].Kind).name());
+        LaneView(L).store(Offset, S[L]);
+      }
+      break;
+    }
+    case FusedOp::F_Return: {
+      const Value *S = Row(SP - 1);
+      for (unsigned L = 0; L < Lanes; ++L)
+        Req.Results[L] = S[L];
+      Result.InstructionsExecuted = Executed;
+      return Result;
+    }
+    case FusedOp::F_ReturnVoid: {
+      for (unsigned L = 0; L < Lanes; ++L)
+        Req.Results[L] = Value::makeVoid();
+      Result.InstructionsExecuted = Executed;
+      return Result;
+    }
+    case FusedOp::F_ConstAdd: {
+      const Value K = *In.K;
+      Value *Lv = Row(SP - 1);
+      if (!arithRowConst(Lv, K, Lanes, [](float A, float B) { return A + B; }))
+        for (unsigned L = 0; L < Lanes; ++L)
+          Lv[L] = interp::opAdd(Lv[L], K);
+      break;
+    }
+    case FusedOp::F_ConstMul: {
+      const Value K = *In.K;
+      Value *Lv = Row(SP - 1);
+      if (!arithRowConst(Lv, K, Lanes, [](float A, float B) { return A * B; }))
+        for (unsigned L = 0; L < Lanes; ++L)
+          Lv[L] = interp::opMul(Lv[L], K);
+      break;
+    }
+    case FusedOp::F_LoadLoad: {
+      const Value *A = LocalRow(In.A);
+      const Value *B = LocalRow(In.A2);
+      std::copy(A, A + Lanes, Row(SP));
+      std::copy(B, B + Lanes, Row(SP + 1));
+      SP += 2;
+      break;
+    }
+    case FusedOp::F_StoreLoad: {
+      // Store first, then load — row-wise order preserves the sequential
+      // semantics even when both name the same local.
+      Value *S = Row(SP - 1);
+      std::copy(S, S + Lanes, LocalRow(In.A));
+      const Value *Src = LocalRow(In.A2);
+      std::copy(Src, Src + Lanes, S);
+      break;
+    }
+    case FusedOp::F_LoadCall: {
+      const Value *Loaded = LocalRow(In.A);
+      std::copy(Loaded, Loaded + Lanes, Row(SP));
+      ++SP;
+      const unsigned Argc = static_cast<unsigned>(In.B2);
+      assert(Argc <= 8 && "builtin arity exceeds the gather buffer");
+      SP -= Argc;
+      Value *Dest = Row(SP);
+      const Value *ArgRows[8];
+      for (unsigned A = 0; A < Argc; ++A)
+        ArgRows[A] = Row(SP + A);
+      Value Tmp[8];
+      for (unsigned L = 0; L < Lanes; ++L) {
+        for (unsigned A = 0; A < Argc; ++A)
+          Tmp[A] = ArgRows[A][L];
+        Dest[L] = callBuiltinImpl(static_cast<uint16_t>(In.A2), Tmp, *this);
+      }
+      ++SP;
+      break;
+    }
+    case FusedOp::F_CacheLoadAdd: {
+      if (!UseCache)
+        TRAP("cache read without a loaded cache in '" + C.Name + "'");
+      const TypeKind Kind = static_cast<TypeKind>(In.C);
+      const unsigned Offset = static_cast<unsigned>(In.B);
+      if (!Bounds.inBounds(Offset, Kind))
+        TRAP("cache read past the layout in '" + C.Name + "'");
+      // MaxStack covers the unfused pair's transient push, so Row(SP) is
+      // valid scratch for the gathered slot row.
+      Value *Scratch = Row(SP);
+      cacheLoadRow(Scratch, Req.CacheBase, Req.CacheStride, Offset, Kind,
+                   Lanes);
+      Value *Lv = Row(SP - 1);
+      if (!arithRows(Lv, Scratch, Lanes,
+                     [](float A, float B) { return A + B; }))
+        for (unsigned L = 0; L < Lanes; ++L)
+          Lv[L] = interp::opAdd(Lv[L], Scratch[L]);
+      break;
+    }
+    case FusedOp::F_CacheLoadMul: {
+      if (!UseCache)
+        TRAP("cache read without a loaded cache in '" + C.Name + "'");
+      const TypeKind Kind = static_cast<TypeKind>(In.C);
+      const unsigned Offset = static_cast<unsigned>(In.B);
+      if (!Bounds.inBounds(Offset, Kind))
+        TRAP("cache read past the layout in '" + C.Name + "'");
+      Value *Scratch = Row(SP);
+      cacheLoadRow(Scratch, Req.CacheBase, Req.CacheStride, Offset, Kind,
+                   Lanes);
+      Value *Lv = Row(SP - 1);
+      if (!arithRows(Lv, Scratch, Lanes,
+                     [](float A, float B) { return A * B; }))
+        for (unsigned L = 0; L < Lanes; ++L)
+          Lv[L] = interp::opMul(Lv[L], Scratch[L]);
+      break;
+    }
+    case FusedOp::F_CacheLoadStore: {
+      if (!UseCache)
+        TRAP("cache read without a loaded cache in '" + C.Name + "'");
+      const TypeKind Kind = static_cast<TypeKind>(In.C);
+      const unsigned Offset = static_cast<unsigned>(In.B);
+      if (!Bounds.inBounds(Offset, Kind))
+        TRAP("cache read past the layout in '" + C.Name + "'");
+      cacheLoadRow(LocalRow(In.A2), Req.CacheBase, Req.CacheStride, Offset,
+                   Kind, Lanes);
+      break;
+    }
+    case FusedOp::F_CacheLoadRet: {
+      if (!UseCache)
+        TRAP("cache read without a loaded cache in '" + C.Name + "'");
+      const TypeKind Kind = static_cast<TypeKind>(In.C);
+      const unsigned Offset = static_cast<unsigned>(In.B);
+      if (!Bounds.inBounds(Offset, Kind))
+        TRAP("cache read past the layout in '" + C.Name + "'");
+      cacheLoadRow(Req.Results, Req.CacheBase, Req.CacheStride, Offset, Kind,
+                   Lanes);
+      Result.InstructionsExecuted = Executed;
+      return Result;
+    }
+    case FusedOp::F_Jump:
+    case FusedOp::F_JumpIfFalse:
+    case FusedOp::F_LtJf:
+    case FusedOp::F_LeJf:
+    case FusedOp::F_GtJf:
+    case FusedOp::F_GeJf:
+      // Unreachable: BatchSafe requires a straight-line chunk.
+      TRAP("batch execution reached divergent control flow in '" + C.Name +
+           "'");
+    case FusedOp::F_OpCount:
+      TRAP("corrupt opcode in decoded chunk '" + C.Name + "'");
+    }
+  }
+
+  // Fell off the end: every lane halts with a void result, matching the
+  // scalar interpreters.
+  for (unsigned L = 0; L < Lanes; ++L)
+    Req.Results[L] = Value::makeVoid();
+  Result.InstructionsExecuted = Executed;
+  return Result;
+}
+
+#undef TRAP

@@ -7,57 +7,22 @@
 #include "vm/VM.h"
 
 #include "lang/Builtins.h"
+#include "vm/InterpOps.h"
 
 #include <cmath>
 
 using namespace dspec;
 
+// The arith/compare semantics live in vm/InterpOps.h, shared with the
+// fast tiers in FastInterp.cpp so every tier computes bit-identical
+// results.
+using dspec::interp::arith;
+using dspec::interp::compare;
+
 namespace dspec {
 /// Implemented in Builtins.cpp.
 Value callBuiltinImpl(uint16_t Id, const Value *Args, VM &Machine);
 } // namespace dspec
-
-namespace {
-
-/// Componentwise binary arithmetic with scalar broadcasting. Sema
-/// guarantees the combinations are sensible.
-template <typename FloatOp, typename IntOp>
-Value arith(const Value &L, const Value &R, FloatOp FOp, IntOp IOp) {
-  if (L.isInt() && R.isInt())
-    return Value::makeInt(IOp(L.I, R.I));
-  if (!L.isVector() && !R.isVector())
-    return Value::makeFloat(FOp(L.asFloat(), R.asFloat()));
-
-  Value Out;
-  if (L.isVector() && R.isVector()) {
-    Out.Kind = L.Kind;
-    for (unsigned I = 0; I < L.width(); ++I)
-      Out.F[I] = FOp(L.F[I], R.F[I]);
-    return Out;
-  }
-  if (L.isVector()) {
-    float S = R.asFloat();
-    Out.Kind = L.Kind;
-    for (unsigned I = 0; I < L.width(); ++I)
-      Out.F[I] = FOp(L.F[I], S);
-    return Out;
-  }
-  float S = L.asFloat();
-  Out.Kind = R.Kind;
-  for (unsigned I = 0; I < R.width(); ++I)
-    Out.F[I] = FOp(S, R.F[I]);
-  return Out;
-}
-
-template <typename Cmp>
-Value compare(const Value &L, const Value &R, Cmp Op) {
-  if (L.isInt() && R.isInt())
-    return Value::makeBool(Op(static_cast<float>(L.I),
-                              static_cast<float>(R.I)));
-  return Value::makeBool(Op(L.asFloat(), R.asFloat()));
-}
-
-} // namespace
 
 ExecResult VM::run(const Chunk &C, const std::vector<Value> &Args,
                    Cache *CacheMem) {
@@ -185,7 +150,9 @@ ExecResult VM::runImpl(const Chunk &C, const std::vector<Value> &Args,
     case OpCode::OC_Div: {
       Value R = Pop(), L = Pop();
       if (L.isInt() && R.isInt() && R.I == 0) {
-        Trap("integer division by zero in '" + C.Name + "'");
+        // The compiler stamps the divisor's SourceLoc into A/B.
+        Trap("integer division by zero in '" + C.Name + "'" +
+             interp::srcLocSuffix(In.A, In.B));
         Result.InstructionsExecuted = Executed;
         return Result;
       }
@@ -197,7 +164,8 @@ ExecResult VM::runImpl(const Chunk &C, const std::vector<Value> &Args,
     case OpCode::OC_Mod: {
       Value R = Pop(), L = Pop();
       if (R.I == 0) {
-        Trap("integer modulo by zero in '" + C.Name + "'");
+        Trap("integer modulo by zero in '" + C.Name + "'" +
+             interp::srcLocSuffix(In.A, In.B));
         Result.InstructionsExecuted = Executed;
         return Result;
       }

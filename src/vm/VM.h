@@ -23,6 +23,7 @@
 
 #include "vm/Bytecode.h"
 #include "vm/CacheView.h"
+#include "vm/ExecChunk.h"
 
 #include <cstdint>
 #include <string>
@@ -42,6 +43,28 @@ struct ExecResult {
   uint64_t InstructionsExecuted = 0;
 
   bool ok() const { return !Trapped; }
+};
+
+/// One tile's worth of pixels for the batched interpreter: lane-major
+/// argument values, strided packed caches, and a result slot per lane.
+/// The caller (the render engine) fills identical per-lane arguments to
+/// what it would pass the scalar tiers.
+struct BatchRequest {
+  /// Lanes x NumArgs values, lane-major: lane L's arguments start at
+  /// LaneArgs + L * NumArgs.
+  const Value *LaneArgs = nullptr;
+  unsigned NumArgs = 0;
+  unsigned Lanes = 0;
+  /// Lane 0's packed cache bytes; lane L's cache is CacheBase +
+  /// L * CacheStride. Null when the chunk performs no cache access.
+  unsigned char *CacheBase = nullptr;
+  size_t CacheStride = 0;
+  /// Bytes visible to each lane (the per-lane view size; must cover the
+  /// chunk's CacheBytes or cache accesses trap, exactly like a too-small
+  /// CacheView would).
+  unsigned CacheBytes = 0;
+  /// Lanes result values, written on success.
+  Value *Results = nullptr;
 };
 
 /// The interpreter. Holds the global state that the effectful builtins
@@ -65,6 +88,24 @@ public:
   ExecResult run(const Chunk &C, const std::vector<Value> &Args,
                  CacheView View);
 
+  /// Fast tier 1: executes a decoded (and typically superinstruction-
+  /// fused) chunk with direct-threaded dispatch (computed goto on
+  /// GCC/Clang; a token-threaded switch under DSPEC_FORCE_SWITCH_DISPATCH
+  /// or other compilers). \p C must be Valid. Bit-identical results and
+  /// trap messages to the classic run() — both call the shared semantics
+  /// in vm/InterpOps.h. Pass a default CacheView for cache-less chunks.
+  ExecResult runThreaded(const ExecChunk &C, const std::vector<Value> &Args,
+                         CacheView View = CacheView());
+
+  /// Fast tier 2: executes one instruction stream over a whole tile of
+  /// lanes — one fetch/dispatch per instruction, a strided SoA inner
+  /// loop per lane. \p C must be Valid and BatchSafe (straight-line,
+  /// effect-free); lanes therefore retire instructions in lockstep and
+  /// the first Return stops every lane together. On any trap the result
+  /// carries no lane attribution — the caller re-runs the tile through a
+  /// scalar tier to reproduce the canonical per-pixel diagnostic.
+  ExecResult runBatch(const ExecChunk &C, const BatchRequest &Req);
+
   /// Values recorded by dsc_trace, in call order.
   const std::vector<float> &traceLog() const { return TraceLog; }
   void clearTraceLog() { TraceLog.clear(); }
@@ -84,6 +125,10 @@ private:
   /// allocate (runs are not reentrant).
   std::vector<Value> LocalsScratch;
   std::vector<Value> StackScratch;
+  /// SoA frame scratch for runBatch (slot-major: slot s, lane l lives at
+  /// index s * Lanes + l), likewise reused across tiles.
+  std::vector<Value> BatchLocals;
+  std::vector<Value> BatchStack;
 };
 
 } // namespace dspec

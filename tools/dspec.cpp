@@ -28,6 +28,7 @@
 ///
 ///   dspec serve --socket PATH [--threads N] [--tile PIXELS]
 ///         [--cache-units N] [--queue N] [--dispatchers N]
+///         [--exec-tier switch|threaded|batched]
 ///   dspec request --socket PATH --gallery SHADER [--width W] [--height H]
 ///         [--vary P1[,P2...]] [--controls v1,...] [--deadline MS]
 ///         [--repeat N] [--check-plain] [--ppm PATH]
@@ -87,6 +88,7 @@ void usage(const char *Argv0) {
       "       %s snapshot verify SNAP\n"
       "       %s serve --socket PATH [--threads N] [--tile PIXELS]\n"
       "            [--cache-units N] [--queue N] [--dispatchers N]\n"
+      "            [--exec-tier switch|threaded|batched]\n"
       "       %s request --socket PATH --gallery SHADER [--width W]\n"
       "            [--height H] [--vary P1[,P2...]] [--controls v1,...]\n"
       "            [--deadline MS] [--repeat N] [--check-plain] [--ppm PATH]\n"
@@ -396,7 +398,16 @@ int serveMain(int Argc, char **Argv) {
       Config.QueueCapacity = NextUnsigned();
     else if (std::strcmp(Arg, "--dispatchers") == 0)
       Config.Dispatchers = NextUnsigned();
-    else {
+    else if (std::strcmp(Arg, "--exec-tier") == 0) {
+      const char *Name = NextValue();
+      if (!parseExecTier(Name, Config.Tier)) {
+        std::fprintf(stderr,
+                     "error: --exec-tier expects switch, threaded, or "
+                     "batched (got '%s')\n",
+                     Name);
+        return kExitUsage;
+      }
+    } else {
       std::fprintf(stderr, "error: unknown serve option '%s'\n", Arg);
       return kExitUsage;
     }
@@ -418,9 +429,10 @@ int serveMain(int Argc, char **Argv) {
   std::signal(SIGTERM, handleStopSignal);
 
   std::printf("dspec serve: listening on %s (%u render thread(s), cache %u "
-              "units, queue %u)\n",
+              "units, queue %u, %s tier)\n",
               SocketPath, Service.config().RenderThreads,
-              Service.config().CacheUnits, Service.config().QueueCapacity);
+              Service.config().CacheUnits, Service.config().QueueCapacity,
+              execTierName(Service.config().Tier));
   std::fflush(stdout);
 
   // One thread per connection; the transports are shared so the drain
@@ -748,8 +760,23 @@ int main(int Argc, char **Argv) {
     std::printf("//   slot%-3u %-6s offset %u\n", Slot.Index,
                 Slot.SlotType.name(), Slot.Offset);
 
-  if (Options.CollectExplanation)
+  if (Options.CollectExplanation) {
     std::printf("\n%s", Spec->Spec.Explanation.c_str());
+
+    // The execution view: what the fast interpreter's fusion pass made of
+    // the reader bytecode (see docs/ENGINE.md, "Execution tiers").
+    ExecChunk Exec = buildExecChunk(Spec->ReaderChunk);
+    if (Exec.Valid) {
+      std::printf("\nreader superinstructions (%zu decoded op(s), %s):\n",
+                  Exec.Code.size(),
+                  Exec.BatchSafe ? "batch-safe" : "per-pixel only");
+      auto Fused = fusedHistogram(Exec);
+      if (Fused.empty())
+        std::printf("  (no fusible pairs)\n");
+      for (const auto &Row : Fused)
+        std::printf("  %-12s x%u\n", Row.first, Row.second);
+    }
+  }
 
   if (ShowStats) {
     const SpecializationStats &S = Spec->Spec.Stats;
