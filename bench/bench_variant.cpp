@@ -1,0 +1,247 @@
+//===- bench/bench_variant.cpp - Polyvariant reader A/B over the gallery -----===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what a property-specialized variant buys over the generic
+/// reader. For every gallery shader the set builder proposes variants
+/// that pin the varying control to the abstract properties 0 and 1
+/// (Polyvariant.h); pinning the *varying* parameter moves its whole
+/// dependence cone into the cache, so the variant reader does strictly
+/// less per-pixel work than the generic reader whenever the control
+/// actually sits at the pinned value.
+///
+/// For each shader we take the highest-predicted-benefit variant, render
+/// at its admissible control vector, assert the variant framebuffer is
+/// bit-identical to the generic one, and report generic vs variant
+/// reader p50 into BENCH_variant.json. The headline config field
+/// `variant_wins` counts shaders where the variant reader beat the
+/// generic p50 (the acceptance gate wants >= 2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+
+using namespace dspec;
+using namespace dspec::bench;
+
+namespace {
+
+bool framebuffersIdentical(const Framebuffer &A, const Framebuffer &B) {
+  for (unsigned Y = 0; Y < A.height(); ++Y)
+    for (unsigned X = 0; X < A.width(); ++X) {
+      const Value &VA = A.at(X, Y), &VB = B.at(X, Y);
+      if (VA.Kind != VB.Kind ||
+          std::memcmp(VA.F, VB.F, sizeof(VA.F)) != 0)
+        return false;
+    }
+  return true;
+}
+
+double timeSeconds(const std::function<void()> &Body) {
+  auto Start = std::chrono::steady_clock::now();
+  Body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+struct VariantRow {
+  std::string Shader;
+  std::string Variant;
+  double GenericP50 = 0.0;
+  double VariantP50 = 0.0;
+  double Speedup = 1.0;
+  double PredictedBenefit = 0.0;
+  unsigned GenericCacheBytes = 0;
+  unsigned VariantCacheBytes = 0;
+  bool Identical = false;
+};
+
+void printVariantSweep(const char *OutPath) {
+  banner("Polyvariant specialization: generic vs property-pinned reader p50",
+         "a reader specialized to 'the varying control is 0 (or 1)' caches "
+         "the control's whole dependence cone, beating the generic reader "
+         "bit-for-bit whenever the property holds");
+
+  const unsigned Frames = benchFrames();
+  RenderGrid Grid(benchWidth(), benchHeight());
+  const unsigned Pixels = Grid.pixelCount();
+
+  std::vector<VariantRow> Rows;
+  unsigned Wins = 0, Shaders = 0;
+
+  for (const ShaderInfo &Info : shaderGallery()) {
+    auto Unit = parseUnit(Info.Source);
+    if (!Unit->ok()) {
+      std::fprintf(stderr, "!! %s: %s\n", Info.Name.c_str(),
+                   Unit->Diags.str().c_str());
+      continue;
+    }
+    const size_t ParamIndex = 0;
+    std::vector<std::string> Varying = {Info.Controls[ParamIndex].Name};
+    auto Set = specializeAndCompileVariants(*Unit, Info.Name, Varying);
+    if (!Set) {
+      std::fprintf(stderr, "!! %s: %s\n", Info.Name.c_str(),
+                   Unit->Diags.str().c_str());
+      continue;
+    }
+
+    // Best non-generic variant by predicted Section 4.3 benefit.
+    const CompiledVariant *Best = nullptr;
+    for (const CompiledVariant &V : Set->Variants)
+      if (!V.Key.isGeneric() &&
+          (!Best || V.PredictedBenefit > Best->PredictedBenefit))
+        Best = &V;
+    if (!Best) {
+      std::fprintf(stderr, "!! %s: no variant survived the budget\n",
+                   Info.Name.c_str());
+      continue;
+    }
+    const CompiledVariant &Generic = Set->Variants[0];
+
+    // Render at the variant's admissible point: every pinned control set
+    // to its property value, everything else at the defaults.
+    std::vector<float> Controls = ShaderLab::defaultControls(Info);
+    for (const VariantPin &Pin : Best->Key.Pins)
+      Controls[Pin.ParamIndex - ShaderInfo::NumPixelParams] =
+          Pin.Prop == ParamProp::PP_One ? 1.0f : 0.0f;
+
+    RenderEngine Engine(1);
+    CacheArena GenericArena, VariantArena;
+    Framebuffer GenericFrame(Grid.width(), Grid.height());
+    Framebuffer VariantFrame(Grid.width(), Grid.height());
+    if (!Engine.loaderPass(Generic.Compiled.LoaderChunk,
+                           Generic.Compiled.Spec.Layout, Grid, Controls,
+                           GenericArena) ||
+        !Engine.loaderPass(Best->Compiled.LoaderChunk,
+                           Best->Compiled.Spec.Layout, Grid, Controls,
+                           VariantArena)) {
+      std::fprintf(stderr, "!! %s loader trapped: %s\n", Info.Name.c_str(),
+                   Engine.lastTrap().c_str());
+      continue;
+    }
+
+    ++Shaders;
+    VariantRow Row;
+    Row.Shader = Info.Name;
+    Row.Variant = Best->Label;
+    Row.PredictedBenefit = Best->PredictedBenefit;
+    Row.GenericCacheBytes = Generic.Compiled.Spec.Layout.totalBytes();
+    Row.VariantCacheBytes = Best->Compiled.Spec.Layout.totalBytes();
+
+    // Warm up (and capture the frames for the bit-identity check).
+    Engine.readerPass(Generic.Compiled.ReaderChunk, Grid, Controls,
+                      GenericArena, &GenericFrame);
+    Engine.readerPass(Best->Compiled.ReaderChunk, Grid, Controls,
+                      VariantArena, &VariantFrame);
+    Row.Identical = framebuffersIdentical(GenericFrame, VariantFrame);
+
+    std::vector<double> GenericTimes, VariantTimes;
+    for (unsigned F = 0; F < Frames; ++F) {
+      GenericTimes.push_back(timeSeconds([&] {
+        Engine.readerPass(Generic.Compiled.ReaderChunk, Grid, Controls,
+                          GenericArena);
+      }));
+      VariantTimes.push_back(timeSeconds([&] {
+        Engine.readerPass(Best->Compiled.ReaderChunk, Grid, Controls,
+                          VariantArena);
+      }));
+    }
+    Row.GenericP50 = p50(GenericTimes);
+    Row.VariantP50 = p50(VariantTimes);
+    Row.Speedup = Row.VariantP50 > 0.0 ? Row.GenericP50 / Row.VariantP50 : 1.0;
+    if (Row.VariantP50 < Row.GenericP50 && Row.Identical)
+      ++Wins;
+    Rows.push_back(std::move(Row));
+  }
+
+  std::printf("%u shader(s), %ux%u pixels, p50 of %u frames, 1 thread:\n\n",
+              Shaders, Grid.width(), Grid.height(), Frames);
+  std::printf("%-10s %-16s %12s %12s %9s %7s %7s %s\n", "shader", "variant",
+              "generic us", "variant us", "speedup", "genB", "varB",
+              "identical");
+  for (const VariantRow &R : Rows)
+    std::printf("%-10s %-16s %12.1f %12.1f %8.2fx %7u %7u %s\n",
+                R.Shader.c_str(), R.Variant.c_str(), R.GenericP50 * 1e6,
+                R.VariantP50 * 1e6, R.Speedup, R.GenericCacheBytes,
+                R.VariantCacheBytes, R.Identical ? "yes" : "NO");
+  std::printf("\nvariant beat the generic reader p50 on %u of %u shader(s)\n",
+              Wins, Shaders);
+
+  BenchJson Json("variant");
+  Json.configUnsigned("width", Grid.width());
+  Json.configUnsigned("height", Grid.height());
+  Json.configUnsigned("frames", Frames);
+  Json.configUnsigned("threads", 1);
+  Json.configUnsigned("pixels", Pixels);
+  Json.configUnsigned("shaders", Shaders);
+  Json.configUnsigned("variant_wins", Wins);
+  char Row[320];
+  for (const VariantRow &R : Rows) {
+    std::snprintf(Row, sizeof(Row),
+                  "{\"shader\":%s,\"variant\":%s,"
+                  "\"generic_p50_seconds\":%.9f,\"variant_p50_seconds\":%.9f,"
+                  "\"speedup\":%.3f,\"predicted_benefit\":%.3f,"
+                  "\"generic_cache_bytes\":%u,\"variant_cache_bytes\":%u,"
+                  "\"identical\":%s}",
+                  jsonQuote(R.Shader).c_str(), jsonQuote(R.Variant).c_str(),
+                  R.GenericP50, R.VariantP50, R.Speedup, R.PredictedBenefit,
+                  R.GenericCacheBytes, R.VariantCacheBytes,
+                  R.Identical ? "true" : "false");
+    Json.addRow(Row);
+  }
+  Json.emit(OutPath);
+}
+
+// Micro-benchmark tracking one shader's generic-vs-variant reader frame.
+void BM_VariantReaderFrame(benchmark::State &State) {
+  const ShaderInfo *Info = findShader("marble");
+  auto Unit = parseUnit(Info->Source);
+  std::vector<std::string> Varying = {Info->Controls[0].Name};
+  auto Set = specializeAndCompileVariants(*Unit, Info->Name, Varying);
+  const CompiledVariant *Best = nullptr;
+  for (const CompiledVariant &V : Set->Variants)
+    if (!V.Key.isGeneric() &&
+        (!Best || V.PredictedBenefit > Best->PredictedBenefit))
+      Best = &V;
+  const CompiledVariant &Pick =
+      State.range(0) == 0 || !Best ? Set->Variants[0] : *Best;
+
+  RenderGrid Grid(benchWidth(), benchHeight());
+  std::vector<float> Controls = ShaderLab::defaultControls(*Info);
+  for (const VariantPin &Pin : Pick.Key.Pins)
+    Controls[Pin.ParamIndex - ShaderInfo::NumPixelParams] =
+        Pin.Prop == ParamProp::PP_One ? 1.0f : 0.0f;
+  RenderEngine Engine(1);
+  CacheArena Arena;
+  Engine.loaderPass(Pick.Compiled.LoaderChunk, Pick.Compiled.Spec.Layout,
+                    Grid, Controls, Arena);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Engine.readerPass(Pick.Compiled.ReaderChunk,
+                                               Grid, Controls, Arena));
+  State.SetItemsProcessed(State.iterations() * Grid.pixelCount());
+  State.SetLabel(Pick.Label);
+}
+BENCHMARK(BM_VariantReaderFrame)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *OutPath = takeOutPathArg(&argc, argv);
+  printVariantSweep(OutPath ? OutPath : "BENCH_variant.json");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -42,6 +42,32 @@ std::string CompiledSpecialization::normalizedSource() const {
   return printFunction(Spec.NormalizedFragment, Options);
 }
 
+/// Compiles the three programs of one specialization result and stamps
+/// the cache chunks with the authoritative layout extent (the compiler
+/// only sees the slots each chunk touches, but caches must always be
+/// sized for the whole layout).
+static CompiledSpecialization compileSpecialization(Function *F,
+                                                    SpecializationResult &&Spec) {
+  CompiledSpecialization Out;
+  Out.Spec = std::move(Spec);
+  Out.OriginalChunk = BytecodeCompiler().compile(F);
+  Out.LoaderChunk = BytecodeCompiler().compile(Out.Spec.Loader);
+  Out.ReaderChunk = BytecodeCompiler().compile(Out.Spec.Reader);
+
+  const CacheLayout &Layout = Out.Spec.Layout;
+  assert(Out.LoaderChunk.CacheSlotCount <= Layout.slotCount() &&
+         Out.LoaderChunk.CacheBytes <= Layout.totalBytes() &&
+         "loader accesses slots outside the finalized layout");
+  assert(Out.ReaderChunk.CacheSlotCount <= Layout.slotCount() &&
+         Out.ReaderChunk.CacheBytes <= Layout.totalBytes() &&
+         "reader accesses slots outside the finalized layout");
+  Out.LoaderChunk.CacheSlotCount = Layout.slotCount();
+  Out.LoaderChunk.CacheBytes = Layout.totalBytes();
+  Out.ReaderChunk.CacheSlotCount = Layout.slotCount();
+  Out.ReaderChunk.CacheBytes = Layout.totalBytes();
+  return Out;
+}
+
 std::optional<CompiledSpecialization>
 dspec::specializeAndCompile(CompilationUnit &Unit,
                             const std::string &FragmentName,
@@ -60,27 +86,59 @@ dspec::specializeAndCompile(CompilationUnit &Unit,
   auto Spec = Specializer.specialize(F, VaryingParams, Options);
   if (!Spec)
     return std::nullopt;
+  return compileSpecialization(F, std::move(*Spec));
+}
 
-  CompiledSpecialization Out;
-  Out.Spec = std::move(*Spec);
-  Out.OriginalChunk = BytecodeCompiler().compile(F);
-  Out.LoaderChunk = BytecodeCompiler().compile(Out.Spec.Loader);
-  Out.ReaderChunk = BytecodeCompiler().compile(Out.Spec.Reader);
+std::vector<VariantKey> CompiledVariantSet::keys() const {
+  std::vector<VariantKey> Out;
+  Out.reserve(Variants.size());
+  for (const CompiledVariant &V : Variants)
+    Out.push_back(V.Key);
+  return Out;
+}
 
-  // The CacheLayout is the authoritative runtime layout: stamp both cache
-  // chunks with its full extent (the compiler only sees the slots each
-  // chunk touches) so caches are always sized for the whole layout.
-  const CacheLayout &Layout = Out.Spec.Layout;
-  assert(Out.LoaderChunk.CacheSlotCount <= Layout.slotCount() &&
-         Out.LoaderChunk.CacheBytes <= Layout.totalBytes() &&
-         "loader accesses slots outside the finalized layout");
-  assert(Out.ReaderChunk.CacheSlotCount <= Layout.slotCount() &&
-         Out.ReaderChunk.CacheBytes <= Layout.totalBytes() &&
-         "reader accesses slots outside the finalized layout");
-  Out.LoaderChunk.CacheSlotCount = Layout.slotCount();
-  Out.LoaderChunk.CacheBytes = Layout.totalBytes();
-  Out.ReaderChunk.CacheSlotCount = Layout.slotCount();
-  Out.ReaderChunk.CacheBytes = Layout.totalBytes();
+const CompiledVariant *CompiledVariantSet::find(const VariantKey &Key) const {
+  for (const CompiledVariant &V : Variants)
+    if (V.Key == Key)
+      return &V;
+  return nullptr;
+}
+
+std::optional<CompiledVariantSet>
+dspec::specializeAndCompileVariants(CompilationUnit &Unit,
+                                    const std::string &FragmentName,
+                                    const std::vector<std::string> &VaryingParams,
+                                    const SpecializerOptions &Options,
+                                    const VariantSetOptions &VOptions) {
+  if (!Unit.ok())
+    return std::nullopt;
+  Function *F = Unit.Prog->findFunction(FragmentName);
+  if (!F) {
+    Unit.Diags.error(SourceLoc(),
+                     "no function named '" + FragmentName + "' in unit");
+    return std::nullopt;
+  }
+
+  DataSpecializer Specializer(Unit.Ctx, Unit.Diags);
+  auto Set = Specializer.specializeVariants(F, VaryingParams, Options,
+                                            VOptions);
+  if (!Set)
+    return std::nullopt;
+
+  CompiledVariantSet Out;
+  Out.VariantsEvicted = Set->VariantsEvicted;
+  Out.TotalCacheBytes = Set->TotalCacheBytes;
+  Out.Table = formatVariantTable(*Set);
+  Out.Variants.reserve(Set->Variants.size());
+  for (SpecializedVariant &V : Set->Variants) {
+    CompiledVariant C;
+    C.Key = std::move(V.Key);
+    C.Label = std::move(V.Label);
+    C.Fold = V.Fold;
+    C.PredictedBenefit = V.PredictedBenefit;
+    C.Compiled = compileSpecialization(F, std::move(V.Result));
+    Out.Variants.push_back(std::move(C));
+  }
   return Out;
 }
 

@@ -70,6 +70,41 @@ specializeAndCompile(CompilationUnit &Unit, const std::string &FragmentName,
                      const std::vector<std::string> &VaryingParams,
                      const SpecializerOptions &Options = {});
 
+/// One compiled member of a variant set.
+struct CompiledVariant {
+  VariantKey Key;
+  std::string Label; // "generic", "grain=0", ...
+  ConstantFoldStats Fold;
+  /// Generic reader weighted cost minus this variant's (zero for the
+  /// generic variant itself).
+  double PredictedBenefit = 0.0;
+  CompiledSpecialization Compiled;
+};
+
+/// A compiled variant set; Variants[0] is always the generic variant.
+struct CompiledVariantSet {
+  std::vector<CompiledVariant> Variants;
+  unsigned VariantsEvicted = 0;
+  unsigned TotalCacheBytes = 0;
+  /// The `dspec --explain` variant table, rendered at build time.
+  std::string Table;
+
+  std::vector<VariantKey> keys() const;
+  /// The variant with this exact (canonical) key, or null.
+  const CompiledVariant *find(const VariantKey &Key) const;
+};
+
+/// Polyvariant counterpart of specializeAndCompile: builds and compiles
+/// the generic variant plus the property-keyed variants (proposed, or
+/// VOptions.ExplicitKeys verbatim), applying the cross-variant cache
+/// budget. Returns nullopt (with diagnostics in the unit) on failure.
+std::optional<CompiledVariantSet>
+specializeAndCompileVariants(CompilationUnit &Unit,
+                             const std::string &FragmentName,
+                             const std::vector<std::string> &VaryingParams,
+                             const SpecializerOptions &Options = {},
+                             const VariantSetOptions &VOptions = {});
+
 /// Compiles a plain function of \p Unit (no specialization).
 std::optional<Chunk> compileFunction(CompilationUnit &Unit,
                                      const std::string &FunctionName);

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -28,6 +29,14 @@ namespace dspec {
 
 /// Percentile over a sample set (nearest-rank); 0 for an empty set.
 double percentileOf(std::vector<double> Samples, double Pct);
+
+/// Per-variant request accounting: how many requests resolved to this
+/// property variant, split by whether the unit came from the cache.
+struct VariantStat {
+  std::string Label; // "generic", "grain=0", ...
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
 
 /// Everything one statsz scrape reports. Plain data, so tests can assert
 /// on fields instead of parsing JSON.
@@ -44,6 +53,10 @@ struct MetricsSnapshot {
 
   UnitCache::Stats Cache;
   uint64_t CacheCapacity = 0;
+
+  /// Per-variant hit/miss breakdown, sorted by label ("generic" first
+  /// when present only by accident of ordering — labels sort lexically).
+  std::vector<VariantStat> Variants;
 
   uint64_t QueueDepth = 0;
   uint64_t LatencySamples = 0;
@@ -69,6 +82,9 @@ public:
   explicit ServiceMetrics(size_t ReservoirSize = 4096);
 
   void recordOk(double LatencySeconds, bool CacheHit);
+  /// Attributes one served request to the property variant it rendered
+  /// with. \p CacheHit mirrors the reply's cache-hit flag.
+  void recordVariant(const std::string &Label, bool CacheHit);
   void recordBadRequest() { ++RequestsTotal; ++BadRequests; }
   void recordSpecializeError(double LatencySeconds);
   void recordRenderTrap(double LatencySeconds);
@@ -97,6 +113,10 @@ private:
   std::vector<double> Latencies; // ring buffer
   size_t LatencyNext = 0;
   size_t LatencyCount = 0;
+
+  mutable std::mutex VariantMutex;
+  /// Ordered so the snapshot comes out sorted without an extra pass.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> VariantCounts;
 };
 
 } // namespace dspec

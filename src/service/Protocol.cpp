@@ -75,6 +75,7 @@ void dspec::encodeRenderRequest(ByteWriter &W, const RenderRequest &Request) {
   W.writeU8(Request.Speculation ? 1 : 0);
   W.writeU8(Request.CacheByteLimit.has_value() ? 1 : 0);
   W.writeU32(Request.CacheByteLimit.value_or(0));
+  W.writeU32(Request.VariantPins);
 }
 
 bool dspec::decodeRenderRequest(ByteReader &R, RenderRequest &Out,
@@ -102,6 +103,9 @@ bool dspec::decodeRenderRequest(ByteReader &R, RenderRequest &Out,
   uint32_t Limit = R.readU32();
   Out.CacheByteLimit =
       HasLimit ? std::optional<uint32_t>(Limit) : std::nullopt;
+  // Trailing field, absent in pre-variant payloads: default to 0 (generic
+  // only) instead of failing so old encoders keep working.
+  Out.VariantPins = R.ok() && R.remaining() >= 4 ? R.readU32() : 0;
   if (!R.ok() && Error)
     *Error = "render request: " + R.error();
   return R.ok();

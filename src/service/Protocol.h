@@ -69,6 +69,13 @@ struct RenderRequest {
   /// Queue deadline in milliseconds from submission; 0 = none. Requests
   /// still queued past their deadline are shed, not rendered late.
   uint32_t DeadlineMillis = 0;
+  /// Maximum abstract-property pins the service may canonicalize this
+  /// request onto (0 = generic variant only). When positive, controls
+  /// whose value is exactly 0.0 or 1.0 pin the request to the most
+  /// specific admissible property variant — a distinct cache entry with a
+  /// leaner reader. Encoded as a trailing field; absent on the wire means
+  /// 0, so pre-variant encoders stay compatible.
+  uint32_t VariantPins = 0;
 
   // Specializer options (the fields that change the generated unit, and
   // therefore the cache key).

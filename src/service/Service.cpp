@@ -13,6 +13,7 @@
 #include "support/ByteStream.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace dspec;
 
@@ -117,6 +118,40 @@ bool SpecializationService::canonicalize(RenderRequest &Request, UnitKey &Key,
   Key.Shader = Request.Shader;
   Key.InvariantHash = fnv1a64(W.bytes().data(), W.size());
   Key.OptionsFingerprint = optionsFingerprint(Request.toOptions());
+
+  // Polyvariant canonicalization: map the request onto the most specific
+  // admissible abstract-property variant the client allows. A control
+  // whose value is bit-exactly 0.0 or 1.0 (memcmp, so -0.0 stays generic)
+  // pins that property; varying controls pin first because pinning one
+  // turns its whole dependence cone invariant, which is where the reader
+  // savings live. Fixed controls are already invariant, but a pin still
+  // settles their branches and folds their literals out of the reader.
+  Key.Variant = VariantKey();
+  unsigned MaxPins = std::min<unsigned>(Request.VariantPins,
+                                        Config.MaxVariantPins);
+  if (MaxPins > 0) {
+    auto TryPin = [&](size_t I) {
+      if (Key.Variant.Pins.size() >= MaxPins)
+        return;
+      constexpr float Zero = 0.0f, One = 1.0f;
+      ParamProp Prop;
+      if (std::memcmp(&Request.Controls[I], &Zero, sizeof(float)) == 0)
+        Prop = ParamProp::PP_Zero;
+      else if (std::memcmp(&Request.Controls[I], &One, sizeof(float)) == 0)
+        Prop = ParamProp::PP_One;
+      else
+        return;
+      Key.Variant.Pins.push_back(
+          {ShaderInfo::NumPixelParams + static_cast<uint32_t>(I), Prop});
+    };
+    for (size_t I = 0; I < Request.Controls.size(); ++I)
+      if (IsVarying[I])
+        TryPin(I);
+    for (size_t I = 0; I < Request.Controls.size(); ++I)
+      if (!IsVarying[I])
+        TryPin(I);
+    Key.Variant.canonicalize();
+  }
   return true;
 }
 
@@ -175,6 +210,7 @@ void SpecializationService::reject(Pending &P, RenderStatus Status,
 }
 
 UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
+                                         const VariantKey &Variant,
                                          RenderEngine &Engine,
                                          std::string &Error) const {
   Clock::time_point Start = Clock::now();
@@ -188,10 +224,29 @@ UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
     Error = Unit->Diags.str();
     return nullptr;
   }
-  auto Spec = specializeAndCompile(*Unit, Request.Shader, Request.Varying,
-                                   Request.toOptions());
-  if (!Spec) {
+  // Build exactly the variant the request canonicalized onto (the
+  // generic build still goes through the variant path so the keys and
+  // labels stay uniform; MaxVariants=1 keeps it to one specialization).
+  VariantSetOptions VOptions;
+  if (Variant.isGeneric()) {
+    VOptions.MaxVariants = 1;
+  } else {
+    VOptions.ExplicitKeys = {Variant};
+    VOptions.MaxVariants = 2;
+  }
+  auto Set = specializeAndCompileVariants(*Unit, Request.Shader,
+                                          Request.Varying,
+                                          Request.toOptions(), VOptions);
+  if (!Set) {
     Error = Unit->Diags.str();
+    return nullptr;
+  }
+  CompiledVariant *Spec = nullptr;
+  for (CompiledVariant &V : Set->Variants)
+    if (V.Key == Variant)
+      Spec = &V;
+  if (!Spec) {
+    Error = "variant could not be built for '" + Request.Shader + "'";
     return nullptr;
   }
   auto Built =
@@ -199,9 +254,11 @@ UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
   Built->Shader = Request.Shader;
   Built->Varying = Request.Varying;
   Built->LoadControls = Request.Controls;
-  Built->Layout = Spec->Spec.Layout;
-  Built->Loader = std::move(Spec->LoaderChunk);
-  Built->Reader = std::move(Spec->ReaderChunk);
+  Built->Variant = Spec->Key;
+  Built->VariantLabel = Spec->Label;
+  Built->Layout = Spec->Compiled.Spec.Layout;
+  Built->Loader = std::move(Spec->Compiled.LoaderChunk);
+  Built->Reader = std::move(Spec->Compiled.ReaderChunk);
   // The arena's cached slots hold invariant values only, so the varying
   // controls' build-time values are irrelevant to every later hit.
   if (!Engine.loaderPass(Built->Loader, Built->Layout, Built->Grid,
@@ -229,6 +286,7 @@ void SpecializationService::finish(Pending &P, const UnitPtr &Unit,
   double Latency = secondsSince(P.Enqueued);
   Reply.ServiceMicros = static_cast<uint64_t>(Latency * 1e6);
   Metrics.recordOk(Latency, CacheHit);
+  Metrics.recordVariant(Unit->VariantLabel, CacheHit);
   P.Done.set_value(std::move(Reply));
 }
 
@@ -279,7 +337,8 @@ void SpecializationService::dispatcherLoop(unsigned DispatcherIndex) {
     UnitPtr Unit = Cache.getOrBuild(
         Live.front()->Key,
         [&](std::string &BuildError) {
-          return buildUnit(Live.front()->Request, Engine, BuildError);
+          return buildUnit(Live.front()->Request, Live.front()->Key.Variant,
+                           Engine, BuildError);
         },
         &WasHit, &Error);
     if (!Unit) {

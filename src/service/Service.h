@@ -68,6 +68,11 @@ struct ServiceConfig {
   /// Execution tier for every engine (`dspec serve --exec-tier`); all
   /// tiers render bit-identical frames, so this is a pure speed knob.
   ExecTier Tier = ExecTier::Batched;
+  /// Server-side ceiling on the abstract-property pins a request may
+  /// canonicalize onto (the effective count is
+  /// min(Request.VariantPins, MaxVariantPins)). 0 disables polyvariance:
+  /// every request maps to the generic variant.
+  unsigned MaxVariantPins = 4;
 };
 
 /// The service. Thread-safe: submit/render/statsz may be called from any
@@ -120,9 +125,10 @@ private:
   void dispatcherLoop(unsigned DispatcherIndex);
 
   /// Builds the specialization unit for \p Request on \p Engine
-  /// (parse + specialize + compile + loader pass).
-  UnitPtr buildUnit(const RenderRequest &Request, RenderEngine &Engine,
-                    std::string &Error) const;
+  /// (parse + specialize + compile + loader pass), pinned to the
+  /// abstract-property \p Variant the request canonicalized onto.
+  UnitPtr buildUnit(const RenderRequest &Request, const VariantKey &Variant,
+                    RenderEngine &Engine, std::string &Error) const;
 
   /// Renders one request against a resolved unit and fulfills it.
   void finish(Pending &P, const UnitPtr &Unit, bool CacheHit,

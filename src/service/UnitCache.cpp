@@ -17,10 +17,15 @@ uint64_t dspec::optionsFingerprint(const SpecializerOptions &Options) {
   ByteWriter W;
   W.writeU8(Options.EnableJoinNormalize ? 1 : 0);
   W.writeU8(Options.EnableReassociate ? 1 : 0);
+  W.writeU8(Options.Reassoc.AllowFloatReassociation ? 1 : 0);
   W.writeU8(Options.AllowSpeculation ? 1 : 0);
   W.writeU8(Options.WeightVictimBySize ? 1 : 0);
   W.writeU8(Options.CacheByteLimit.has_value() ? 1 : 0);
   W.writeU32(Options.CacheByteLimit.value_or(0));
+  W.writeU32(Options.Cost.LoopMultiplier);
+  W.writeU32(Options.Cost.CondDivisor);
+  W.writeU32(Options.Cost.CacheRefCost);
+  W.writeU8(Options.CollectExplanation ? 1 : 0);
   return fnv1a64(W.bytes().data(), W.size());
 }
 

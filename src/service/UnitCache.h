@@ -31,6 +31,7 @@
 
 #include "engine/CacheArena.h"
 #include "engine/RenderContext.h"
+#include "specialize/Polyvariant.h"
 #include "specialize/SpecializerOptions.h"
 #include "vm/Bytecode.h"
 
@@ -61,6 +62,11 @@ struct SpecializationUnit {
   /// cached slots never depend on them).
   std::vector<std::string> Varying;
   std::vector<float> LoadControls;
+  /// The abstract-property key this unit was specialized under, and its
+  /// human-readable rendering ("generic", "grain=0"). The generic key is
+  /// the empty pin list.
+  VariantKey Variant;
+  std::string VariantLabel = "generic";
   /// Wall-clock cost of specialize + compile + loader pass (what a miss
   /// pays and a hit amortizes).
   double BuildSeconds = 0.0;
@@ -96,6 +102,10 @@ struct UnitKey {
   std::string Shader;
   uint64_t InvariantHash = 0;
   uint64_t OptionsFingerprint = 0;
+  /// The abstract-property variant this entry holds (empty = generic).
+  /// Requests canonicalized to different variants must build distinct
+  /// units even when their invariant partitions coincide.
+  VariantKey Variant;
 
   bool operator==(const UnitKey &RHS) const = default;
 };
@@ -105,6 +115,8 @@ struct UnitKeyHasher {
     uint64_t H = fnv1a64(Key.Shader.data(), Key.Shader.size());
     H = fnv1a64(&Key.InvariantHash, sizeof(Key.InvariantHash), H);
     H = fnv1a64(&Key.OptionsFingerprint, sizeof(Key.OptionsFingerprint), H);
+    uint64_t V = Key.Variant.hash();
+    H = fnv1a64(&V, sizeof(V), H);
     return static_cast<size_t>(H);
   }
 };
@@ -172,7 +184,13 @@ private:
   };
 
   Shard &shardFor(const UnitKey &Key) {
-    return Shards[UnitKeyHasher()(Key) % Shards.size()];
+    // Remix the key hash under a different seed before picking the shard.
+    // Reusing UnitKeyHasher's value directly would make every key in a
+    // shard share its low bits — the very bits the shard's unordered_map
+    // buckets on — degrading the intra-shard maps toward linked lists.
+    uint64_t H = UnitKeyHasher()(Key);
+    H = fnv1a64(&H, sizeof(H), 0x9e3779b97f4a7c15ull);
+    return Shards[H % Shards.size()];
   }
 
   /// Publishes a built unit into \p S, evicting LRU entries past the

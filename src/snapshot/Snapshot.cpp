@@ -126,6 +126,73 @@ bool deserializeMeta(ByteReader &Reader, SpecializationSnapshot &Snap,
   return true;
 }
 
+void serializeVariants(ByteWriter &Writer,
+                       const std::vector<SnapshotVariant> &Variants) {
+  Writer.writeU32(static_cast<uint32_t>(Variants.size()));
+  for (const SnapshotVariant &V : Variants) {
+    Writer.writeU32(static_cast<uint32_t>(V.Key.Pins.size()));
+    for (const VariantPin &Pin : V.Key.Pins) {
+      Writer.writeU32(Pin.ParamIndex);
+      Writer.writeU8(static_cast<uint8_t>(Pin.Prop));
+    }
+    Writer.writeString(V.Label);
+    serializeLayout(Writer, V.Layout);
+    serializeChunk(Writer, V.Loader);
+    serializeChunk(Writer, V.Reader);
+    Writer.writeU32(V.ArenaPixels);
+    Writer.writeU32(V.ArenaStride);
+    Writer.writeBytes(V.ArenaBytes.data(), V.ArenaBytes.size());
+  }
+}
+
+bool deserializeVariants(ByteReader &Reader,
+                         std::vector<SnapshotVariant> &Out,
+                         std::string *Error) {
+  uint32_t Count = Reader.readU32();
+  if (Reader.ok() && Count > 256)
+    Reader.fail("implausible variant count " + std::to_string(Count));
+  for (uint32_t I = 0; I < Count && Reader.ok(); ++I) {
+    SnapshotVariant V;
+    uint32_t PinCount = Reader.readU32();
+    if (Reader.ok() && static_cast<uint64_t>(PinCount) * 5 > Reader.remaining())
+      Reader.fail("pin count exceeds the remaining data");
+    for (uint32_t P = 0; P < PinCount && Reader.ok(); ++P) {
+      VariantPin Pin;
+      Pin.ParamIndex = Reader.readU32();
+      uint8_t Prop = Reader.readU8();
+      if (Prop > static_cast<uint8_t>(ParamProp::PP_One)) {
+        Reader.fail("unknown property kind " + std::to_string(Prop));
+        break;
+      }
+      Pin.Prop = static_cast<ParamProp>(Prop);
+      V.Key.Pins.push_back(Pin);
+    }
+    V.Label = Reader.readString();
+    std::string SectionError;
+    if (Reader.ok() && !deserializeLayout(Reader, V.Layout, SectionError))
+      return setError(Error, "VARIANTS section: " + SectionError);
+    if (Reader.ok() && !deserializeChunk(Reader, V.Loader, SectionError))
+      return setError(Error, "VARIANTS section: " + SectionError);
+    if (Reader.ok() && !deserializeChunk(Reader, V.Reader, SectionError))
+      return setError(Error, "VARIANTS section: " + SectionError);
+    V.ArenaPixels = Reader.readU32();
+    V.ArenaStride = Reader.readU32();
+    uint64_t ArenaBytes =
+        static_cast<uint64_t>(V.ArenaPixels) * V.ArenaStride;
+    if (Reader.ok() && ArenaBytes > Reader.remaining())
+      Reader.fail("variant arena exceeds the remaining data");
+    if (Reader.ok())
+      V.ArenaBytes = Reader.readBytes(static_cast<size_t>(ArenaBytes));
+    if (Reader.ok())
+      Out.push_back(std::move(V));
+  }
+  if (!Reader.ok())
+    return setError(Error, "malformed VARIANTS section: " + Reader.error());
+  if (!Reader.atEnd())
+    return setError(Error, "trailing bytes in VARIANTS section");
+  return true;
+}
+
 /// Parsed header + bounds/CRC-validated section table over a file image.
 struct ParsedContainer {
   uint32_t FormatVersion = 0;
@@ -150,10 +217,13 @@ bool parseContainer(const std::vector<unsigned char> &Image,
                     kHeaderBytes - sizeof(kSnapshotMagic));
   Out.FormatVersion = Header.readU32();
   uint32_t SectionCount = Header.readU32();
-  if (Out.FormatVersion != kSnapshotFormatVersion)
+  if (Out.FormatVersion < kMinSnapshotFormatVersion ||
+      Out.FormatVersion > kSnapshotFormatVersion)
     return setError(Error, "snapshot format version " +
                                std::to_string(Out.FormatVersion) +
                                " is not supported by this build (expected " +
+                               std::to_string(kMinSnapshotFormatVersion) +
+                               ".." +
                                std::to_string(kSnapshotFormatVersion) + ")");
   if (SectionCount == 0 || SectionCount > kMaxSections)
     return setError(Error, "implausible section count " +
@@ -216,6 +286,8 @@ const char *dspec::snapshotSectionName(uint32_t Id) {
     return "READER";
   case SnapshotSection::Arena:
     return "ARENA";
+  case SnapshotSection::Variants:
+    return "VARIANTS";
   }
   return "UNKNOWN";
 }
@@ -260,27 +332,51 @@ bool dspec::writeSnapshotFile(const std::string &Path,
       !verifyChunk(Snap.Reader, VerifyError))
     return setError(Error, "refusing to persist a broken chunk: " +
                                VerifyError);
+  for (const SnapshotVariant &V : Snap.Variants) {
+    if (V.ArenaStride != V.Layout.totalBytes())
+      return setError(Error, "variant '" + V.Label +
+                                 "': arena stride does not match its layout");
+    if (V.ArenaBytes.size() !=
+        static_cast<size_t>(V.ArenaPixels) * V.ArenaStride)
+      return setError(Error, "variant '" + V.Label +
+                                 "': arena byte count does not match pixels "
+                                 "x stride");
+    if (V.ArenaPixels != Snap.ArenaPixels)
+      return setError(Error, "variant '" + V.Label +
+                                 "': arena covers a different grid than the "
+                                 "generic variant");
+    if (!verifyChunk(V.Loader, VerifyError) ||
+        !verifyChunk(V.Reader, VerifyError))
+      return setError(Error, "refusing to persist a broken variant chunk: " +
+                                 VerifyError);
+  }
 
-  ByteWriter Meta, Layout, Loader, Reader;
+  ByteWriter Meta, Layout, Loader, Reader, Variants;
   serializeMeta(Meta, Snap);
   serializeLayout(Layout, Snap.Layout);
   serializeChunk(Loader, Snap.Loader);
   serializeChunk(Reader, Snap.Reader);
+  serializeVariants(Variants, Snap.Variants);
 
   struct Pending {
     SnapshotSection Id;
     const unsigned char *Data;
     size_t Bytes;
   };
-  const Pending Sections[] = {
+  std::vector<Pending> Sections = {
       {SnapshotSection::Meta, Meta.bytes().data(), Meta.size()},
       {SnapshotSection::Layout, Layout.bytes().data(), Layout.size()},
       {SnapshotSection::Loader, Loader.bytes().data(), Loader.size()},
       {SnapshotSection::Reader, Reader.bytes().data(), Reader.size()},
-      {SnapshotSection::Arena, Snap.ArenaBytes.data(),
-       Snap.ArenaBytes.size()},
   };
-  const size_t SectionCount = std::size(Sections);
+  if (!Snap.Variants.empty())
+    Sections.push_back({SnapshotSection::Variants, Variants.bytes().data(),
+                        Variants.size()});
+  // The arena stays last so its 64-byte alignment padding is the file's
+  // only gap.
+  Sections.push_back({SnapshotSection::Arena, Snap.ArenaBytes.data(),
+                      Snap.ArenaBytes.size()});
+  const size_t SectionCount = Sections.size();
 
   ByteWriter File;
   File.writeBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
@@ -407,6 +503,41 @@ bool dspec::readSnapshotFile(const std::string &Path,
 
   Out.ArenaBytes.assign(Image.data() + Arena->Offset,
                         Image.data() + Arena->Offset + Arena->Bytes);
+
+  // Version 2: the variant set. A version-1 file simply has none; a
+  // version-2 file without the section also decodes to the empty set.
+  if (const SnapshotSectionInfo *Variants =
+          Container.find(SnapshotSection::Variants)) {
+    if (!Variants->CrcOk)
+      return setError(Error,
+                      "VARIANTS section fails its CRC-32 check (corrupt "
+                      "file)");
+    ByteReader R(Image.data() + Variants->Offset,
+                 static_cast<size_t>(Variants->Bytes));
+    if (!deserializeVariants(R, Out.Variants, Error))
+      return false;
+    for (const SnapshotVariant &V : Out.Variants) {
+      if (V.ArenaStride != V.Layout.totalBytes())
+        return setError(Error, "variant '" + V.Label +
+                                   "': arena stride does not match its "
+                                   "layout");
+      if (V.ArenaPixels != Out.ArenaPixels)
+        return setError(Error, "variant '" + V.Label +
+                                   "': arena covers a different grid than "
+                                   "the generic variant");
+      for (const Chunk *C : {&V.Loader, &V.Reader})
+        if (C->CacheBytes > V.Layout.totalBytes() ||
+            C->CacheSlotCount > V.Layout.slotCount())
+          return setError(Error, "variant chunk '" + C->Name +
+                                     "' was compiled against a larger cache "
+                                     "layout than the snapshot's");
+      if (V.Loader.NumParams != Out.Loader.NumParams ||
+          V.Reader.NumParams != Out.Reader.NumParams)
+        return setError(Error, "variant '" + V.Label +
+                                   "' disagrees with the generic variant on "
+                                   "the parameter count");
+    }
+  }
   return true;
 }
 

@@ -28,7 +28,15 @@
 ///
 /// Sections: META (serde versions + provenance + grid/arena shape),
 /// LAYOUT (CacheLayout), LOADER / READER (chunks), ARENA (raw packed
-/// cache bytes, exactly pixels x stride).
+/// cache bytes, exactly pixels x stride), and — format version 2 —
+/// VARIANTS (the property-specialized variant set: per variant the
+/// abstract-property pins, label, layout, both chunks, and a
+/// loader-filled arena). The five v1 sections always describe the
+/// *generic* variant, so a version-1 file is simply a snapshot whose
+/// variant set is empty: the reader accepts both versions, and a
+/// variant-free version-2 file (which merely omits the VARIANTS
+/// section) is byte-identical to version 1 except for the version
+/// field.
 ///
 /// Reading treats the file as untrusted input: magic/version/section
 /// bounds are validated, every section's CRC-32 is checked, chunks are
@@ -42,6 +50,7 @@
 #define DATASPEC_SNAPSHOT_SNAPSHOT_H
 
 #include "specialize/CacheLayout.h"
+#include "specialize/Polyvariant.h"
 #include "specialize/SpecializerOptions.h"
 #include "vm/Bytecode.h"
 
@@ -52,9 +61,12 @@
 
 namespace dspec {
 
-/// Bump when the container layout (header/table/section framing)
-/// changes. Chunk and layout payloads carry their own serde versions.
-constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Container version this build writes. Version 2 added the VARIANTS
+/// section; version-1 files (no variants) still load as generic-only.
+/// Chunk and layout payloads carry their own serde versions.
+constexpr uint32_t kSnapshotFormatVersion = 2;
+/// Oldest container version readSnapshotFile accepts.
+constexpr uint32_t kMinSnapshotFormatVersion = 1;
 
 /// The file magic; first eight bytes of every snapshot.
 constexpr char kSnapshotMagic[8] = {'D', 'S', 'P', 'E', 'C', 'S', 'N', 'P'};
@@ -66,6 +78,8 @@ enum class SnapshotSection : uint32_t {
   Loader = 3,
   Reader = 4,
   Arena = 5,
+  /// Format version 2: the property-specialized variant set.
+  Variants = 6,
 };
 
 /// Printable name of a section id ("META", "ARENA", ...).
@@ -100,7 +114,23 @@ struct SnapshotMeta {
   std::string optionsSummary() const;
 };
 
-/// Everything one snapshot file holds, decoded.
+/// One property-specialized variant persisted alongside the generic
+/// unit: its abstract-property key, the human-readable label, its own
+/// layout and chunks, and a loader-filled arena over the same grid.
+struct SnapshotVariant {
+  VariantKey Key;
+  std::string Label;
+  Chunk Loader;
+  Chunk Reader;
+  CacheLayout Layout;
+  unsigned ArenaPixels = 0;
+  unsigned ArenaStride = 0;
+  std::vector<unsigned char> ArenaBytes;
+};
+
+/// Everything one snapshot file holds, decoded. The top-level fields are
+/// the generic variant; Variants holds the property-specialized set
+/// (empty for version-1 files).
 struct SpecializationSnapshot {
   SnapshotMeta Meta;
   Chunk Loader;
@@ -110,6 +140,8 @@ struct SpecializationSnapshot {
   unsigned ArenaPixels = 0;
   unsigned ArenaStride = 0;
   std::vector<unsigned char> ArenaBytes;
+  /// Property-specialized variants (never includes the generic one).
+  std::vector<SnapshotVariant> Variants;
 };
 
 /// Serializes \p Snap to \p Path. Returns false with \p Error set on

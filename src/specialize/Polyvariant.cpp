@@ -1,0 +1,164 @@
+//===- specialize/Polyvariant.cpp - Property-keyed variant sets ------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "specialize/Polyvariant.h"
+
+#include "lang/ASTWalk.h"
+#include "lang/Function.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+using namespace dspec;
+
+void VariantKey::canonicalize() {
+  std::stable_sort(Pins.begin(), Pins.end(),
+                   [](const VariantPin &A, const VariantPin &B) {
+                     return A.ParamIndex < B.ParamIndex;
+                   });
+  Pins.erase(std::unique(Pins.begin(), Pins.end(),
+                         [](const VariantPin &A, const VariantPin &B) {
+                           return A.ParamIndex == B.ParamIndex;
+                         }),
+             Pins.end());
+}
+
+uint64_t VariantKey::hash() const {
+  // Seeded FNV-1a; the seed differs from the service's key hasher so the
+  // variant dimension contributes independent bits.
+  uint64_t H = 0x8f462907235ab4d9ull;
+  for (const VariantPin &Pin : Pins) {
+    for (unsigned Shift = 0; Shift < 32; Shift += 8) {
+      H ^= static_cast<uint8_t>(Pin.ParamIndex >> Shift);
+      H *= 0x100000001b3ull;
+    }
+    H ^= static_cast<uint8_t>(Pin.Prop);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+bool VariantKey::admits(const std::vector<float> &ParamValues,
+                        unsigned FirstParam) const {
+  for (const VariantPin &Pin : Pins) {
+    if (Pin.ParamIndex < FirstParam)
+      return false;
+    size_t Slot = Pin.ParamIndex - FirstParam;
+    if (Slot >= ParamValues.size())
+      return false;
+    // Bit equality, not ==: -0.0f must not admit a Zero pin, because the
+    // folded literal 0.0f would flip the sign the generic reader keeps.
+    float Want = paramPropValue(Pin.Prop);
+    if (std::memcmp(&ParamValues[Slot], &Want, sizeof(float)) != 0)
+      return false;
+  }
+  return true;
+}
+
+std::string VariantKey::label(const std::vector<std::string> &ParamNames,
+                              unsigned FirstParam) const {
+  if (isGeneric())
+    return "generic";
+  std::string Out;
+  for (const VariantPin &Pin : Pins) {
+    if (!Out.empty())
+      Out += ",";
+    size_t Slot = Pin.ParamIndex - FirstParam;
+    if (Pin.ParamIndex >= FirstParam && Slot < ParamNames.size()) {
+      Out += ParamNames[Slot];
+    } else {
+      Out += "p";
+      Out += std::to_string(Pin.ParamIndex);
+    }
+    Out += "=";
+    Out += paramPropSpelling(Pin.Prop);
+  }
+  return Out;
+}
+
+std::optional<size_t>
+dspec::selectVariant(const std::vector<VariantKey> &Keys,
+                     const std::vector<float> &ParamValues,
+                     unsigned FirstParam) {
+  std::optional<size_t> Best;
+  unsigned BestSpecificity = 0;
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    if (!Keys[I].admits(ParamValues, FirstParam))
+      continue;
+    unsigned S = Keys[I].specificity();
+    if (!Best || S > BestSpecificity) {
+      Best = I;
+      BestSpecificity = S;
+    }
+  }
+  return Best;
+}
+
+std::vector<VariantKey>
+dspec::proposeVariantKeys(const Function *F,
+                          const std::vector<std::string> &VaryingParams,
+                          unsigned MaxKeys) {
+  std::vector<VariantKey> Keys;
+  if (MaxKeys == 0)
+    return Keys;
+
+  std::unordered_set<std::string> Varying(VaryingParams.begin(),
+                                          VaryingParams.end());
+
+  // Fixed parameters referenced under a branch condition settle that
+  // branch when pinned; collect their decls.
+  std::unordered_set<const VarDecl *> InConds;
+  auto CollectConds = [&](Expr *Cond) {
+    walkExpr(Cond, [&](Expr *E) {
+      if (auto *Ref = dyn_cast<VarRefExpr>(E))
+        if (Ref->decl() && Ref->decl()->isParam())
+          InConds.insert(Ref->decl());
+    });
+  };
+  walkStmts(const_cast<Function *>(F)->body(), [&](Stmt *S) {
+    if (auto *If = dyn_cast<IfStmt>(S))
+      CollectConds(If->cond());
+    else if (auto *W = dyn_cast<WhileStmt>(S))
+      CollectConds(W->cond());
+  });
+  walkExprsInStmt(const_cast<Function *>(F)->body(), [&](Expr *E) {
+    if (auto *C = dyn_cast<CondExpr>(E))
+      walkExpr(C->cond(), [&](Expr *Sub) {
+        if (auto *Ref = dyn_cast<VarRefExpr>(Sub))
+          if (Ref->decl() && Ref->decl()->isParam())
+            InConds.insert(Ref->decl());
+      });
+  });
+
+  auto Push = [&](unsigned Index, ParamProp Prop) {
+    if (Keys.size() >= MaxKeys)
+      return;
+    VariantKey Key;
+    Key.Pins.push_back({Index, Prop});
+    Keys.push_back(std::move(Key));
+  };
+
+  const auto &Params = F->params();
+  // Varying pins first: they turn a varying input invariant, collapsing
+  // its entire dependence cone into the cache.
+  for (unsigned I = 0; I < Params.size() && Keys.size() < MaxKeys; ++I) {
+    if (!Params[I]->type().isFloat() || !Varying.count(Params[I]->name()))
+      continue;
+    Push(I, ParamProp::PP_Zero);
+    Push(I, ParamProp::PP_One);
+  }
+  // Then branch-settling pins on fixed parameters.
+  for (unsigned I = 0; I < Params.size() && Keys.size() < MaxKeys; ++I) {
+    if (!Params[I]->type().isFloat() || Varying.count(Params[I]->name()) ||
+        !InConds.count(Params[I]))
+      continue;
+    Push(I, ParamProp::PP_Zero);
+    Push(I, ParamProp::PP_One);
+  }
+  return Keys;
+}

@@ -1,0 +1,120 @@
+//===- specialize/Polyvariant.h - Property-keyed variant sets ---*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Polyvariant specialization in the style of property-based abstraction
+/// (Gallagher): instead of one (loader, reader) pair per input partition,
+/// emit a *variant set* — the generic reader plus readers specialized on
+/// abstract properties of individual parameters (parameter-is-zero,
+/// parameter-is-one). A pinned parameter's references fold to literals,
+/// branches on it settle, and — when the pinned parameter was a *varying*
+/// input — everything that depended on it becomes invariant and collapses
+/// into the cache, so the variant reader is a strict subset of the generic
+/// one. A variant is *admissible* for a request when every pinned
+/// parameter's concrete value bit-equals its pin; on admissible inputs
+/// every variant renders bit-identical to the generic reader.
+///
+/// The Section 4.3 cache-byte budget generalizes across the set: when a
+/// total byte limit is given, whole low-benefit variants are evicted
+/// before any surviving variant's slots are relabeled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_SPECIALIZE_POLYVARIANT_H
+#define DATASPEC_SPECIALIZE_POLYVARIANT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dspec {
+
+class Function;
+
+/// The abstract properties a parameter can be pinned to. The two constant
+/// properties are the ones that settle branches and absorb arithmetic in
+/// practice (step/mix/pow thresholds, intensity scales).
+enum class ParamProp : uint8_t {
+  PP_Zero = 0,
+  PP_One = 1,
+};
+
+/// The concrete value a property pins its parameter to.
+inline float paramPropValue(ParamProp P) {
+  return P == ParamProp::PP_Zero ? 0.0f : 1.0f;
+}
+
+/// Source-level spelling used in variant labels ("grain=0").
+inline const char *paramPropSpelling(ParamProp P) {
+  return P == ParamProp::PP_Zero ? "0" : "1";
+}
+
+/// One pinned parameter.
+struct VariantPin {
+  /// Index into the fragment's parameter list.
+  uint32_t ParamIndex = 0;
+  ParamProp Prop = ParamProp::PP_Zero;
+  bool operator==(const VariantPin &RHS) const = default;
+};
+
+/// The abstract-property key identifying one variant: a canonical
+/// (sorted, duplicate-free) pin list. The empty key is the generic
+/// variant, admissible for every request.
+struct VariantKey {
+  std::vector<VariantPin> Pins;
+
+  bool isGeneric() const { return Pins.empty(); }
+
+  /// Sorts pins by parameter index and drops duplicate indices (first
+  /// occurrence wins). Keys must be canonical before comparison/hashing.
+  void canonicalize();
+
+  /// Seeded FNV-1a over the canonical pin list. Stable across runs, used
+  /// for cache keying and snapshot serde.
+  uint64_t hash() const;
+
+  /// True when every pin is satisfied: ParamValues[I] holds the concrete
+  /// value of parameter FirstParam + I, and a pin on parameter P requires
+  /// ParamValues[P - FirstParam] to bit-equal the pin value. Pins on
+  /// parameters below FirstParam (per-pixel inputs) or past the vector
+  /// are never admissible.
+  bool admits(const std::vector<float> &ParamValues,
+              unsigned FirstParam = 0) const;
+
+  /// Number of pins; the most specific admissible variant wins selection.
+  unsigned specificity() const { return static_cast<unsigned>(Pins.size()); }
+
+  /// "generic" or "grain=0,ks=1". ParamNames[I] names parameter
+  /// FirstParam + I; out-of-range pins render as "p<index>".
+  std::string label(const std::vector<std::string> &ParamNames,
+                    unsigned FirstParam = 0) const;
+
+  bool operator==(const VariantKey &RHS) const = default;
+};
+
+/// Selects the most specific key in \p Keys admissible for
+/// \p ParamValues; ties break toward the earlier key. Returns the index
+/// into \p Keys, or nullopt when none admits (callers fall back to the
+/// generic variant).
+std::optional<size_t>
+selectVariant(const std::vector<VariantKey> &Keys,
+              const std::vector<float> &ParamValues, unsigned FirstParam = 0);
+
+/// Proposes up to \p MaxKeys single-pin variant keys for \p F: zero/one
+/// pins on varying float parameters first (pinning a varying input makes
+/// its whole dependence cone invariant — the biggest §4.3 win), then
+/// zero/one pins on fixed float parameters that appear under a branch
+/// condition (branch-settling candidates). \p VaryingParams names the
+/// varying parameters, as passed to DataSpecializer::specialize.
+std::vector<VariantKey>
+proposeVariantKeys(const Function *F,
+                   const std::vector<std::string> &VaryingParams,
+                   unsigned MaxKeys);
+
+} // namespace dspec
+
+#endif // DATASPEC_SPECIALIZE_POLYVARIANT_H

@@ -1,0 +1,435 @@
+//===- transform/ConstantFold.cpp - Property-pin constant folding ----------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ConstantFold.h"
+
+#include "lang/ASTWalk.h"
+#include "lang/Function.h"
+#include "lang/Stmt.h"
+#include "support/Casting.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dspec;
+
+namespace {
+
+/// The in-place rewriter. Expressions are folded bottom-up; statements are
+/// folded in order, with `if`/`while` pruned when their condition settles.
+class Folder {
+public:
+  Folder(ASTContext &Ctx, std::unordered_map<const VarDecl *, float> Pins,
+         ConstantFoldStats &Stats)
+      : Ctx(Ctx), Pins(std::move(Pins)), Stats(Stats) {}
+
+  void run(Function *F) {
+    BlockStmt *Body = F->body();
+    if (!Body)
+      return;
+    foldBlock(Body);
+  }
+
+private:
+  ASTContext &Ctx;
+  std::unordered_map<const VarDecl *, float> Pins;
+  ConstantFoldStats &Stats;
+
+  //===--------------------------------------------------------------------===//
+  // Safety predicate for strict-operator folds.
+  //===--------------------------------------------------------------------===//
+
+  /// True if skipping the evaluation of \p E is unobservable: no calls
+  /// (effects, noise tables, instruction-count-heavy builtins), no integer
+  /// `/` `%` (VM traps on a zero divisor), no cache accesses.
+  static bool isDiscardSafe(const Expr *E) {
+    if (isa<CallExpr, CacheReadExpr, CacheStoreExpr>(E))
+      return false;
+    if (const auto *B = dyn_cast<BinaryExpr>(E))
+      if ((B->op() == BinaryOp::BO_Div || B->op() == BinaryOp::BO_Mod) &&
+          !B->lhs()->type().isFloat() && !B->rhs()->type().isFloat())
+        return false;
+    bool Safe = true;
+    forEachChildExpr(const_cast<Expr *>(E), [&](Expr *Child) {
+      if (!isDiscardSafe(Child))
+        Safe = false;
+    });
+    return Safe;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Literal helpers.
+  //===--------------------------------------------------------------------===//
+
+  Expr *makeFloat(float V, SourceLoc Loc) {
+    auto *E = Ctx.create<FloatLiteralExpr>(V, Loc);
+    E->setType(Type::floatTy());
+    return E;
+  }
+
+  Expr *makeInt(int32_t V, SourceLoc Loc) {
+    auto *E = Ctx.create<IntLiteralExpr>(V, Loc);
+    E->setType(Type::intTy());
+    return E;
+  }
+
+  Expr *makeBool(bool V, SourceLoc Loc) {
+    auto *E = Ctx.create<BoolLiteralExpr>(V, Loc);
+    E->setType(Type::boolTy());
+    return E;
+  }
+
+  /// Extracts a float operand value, applying the VM's int->float
+  /// conversion (OC_Convert does static_cast<float>).
+  static bool asFloatLit(const Expr *E, float &Out) {
+    if (const auto *F = dyn_cast<FloatLiteralExpr>(E)) {
+      Out = F->value();
+      return true;
+    }
+    if (const auto *I = dyn_cast<IntLiteralExpr>(E)) {
+      Out = static_cast<float>(I->value());
+      return true;
+    }
+    return false;
+  }
+
+  static bool asBoolLit(const Expr *E, bool &Out) {
+    if (const auto *B = dyn_cast<BoolLiteralExpr>(E)) {
+      Out = B->value();
+      return true;
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression folding.
+  //===--------------------------------------------------------------------===//
+
+  Expr *foldExpr(Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::EK_IntLiteral:
+    case ExprKind::EK_FloatLiteral:
+    case ExprKind::EK_BoolLiteral:
+    case ExprKind::EK_CacheRead:
+      return E;
+    case ExprKind::EK_VarRef: {
+      auto *Ref = cast<VarRefExpr>(E);
+      auto It = Pins.find(Ref->decl());
+      if (It == Pins.end())
+        return E;
+      ++Stats.SubstitutedRefs;
+      return makeFloat(It->second, E->loc());
+    }
+    case ExprKind::EK_Unary: {
+      auto *U = cast<UnaryExpr>(E);
+      U->setOperand(foldExpr(U->operand()));
+      return foldUnary(U);
+    }
+    case ExprKind::EK_Binary: {
+      auto *B = cast<BinaryExpr>(E);
+      B->setLHS(foldExpr(B->lhs()));
+      B->setRHS(foldExpr(B->rhs()));
+      return foldBinary(B);
+    }
+    case ExprKind::EK_Cond: {
+      auto *C = cast<CondExpr>(E);
+      C->setCond(foldExpr(C->cond()));
+      C->setTrueExpr(foldExpr(C->trueExpr()));
+      C->setFalseExpr(foldExpr(C->falseExpr()));
+      bool CondVal;
+      if (!asBoolLit(C->cond(), CondVal))
+        return C;
+      // `?:` is strict: the unselected operand would still have been
+      // evaluated, so only drop it when that evaluation is unobservable.
+      Expr *Kept = CondVal ? C->trueExpr() : C->falseExpr();
+      Expr *Dropped = CondVal ? C->falseExpr() : C->trueExpr();
+      if (!isDiscardSafe(Dropped))
+        return C;
+      ++Stats.FoldedExprs;
+      return Kept;
+    }
+    case ExprKind::EK_Call: {
+      auto *Call = cast<CallExpr>(E);
+      for (Expr *&Arg : Call->args())
+        Arg = foldExpr(Arg);
+      return Call;
+    }
+    case ExprKind::EK_Member: {
+      auto *M = cast<MemberExpr>(E);
+      M->setBase(foldExpr(M->base()));
+      return M;
+    }
+    case ExprKind::EK_CacheStore: {
+      auto *S = cast<CacheStoreExpr>(E);
+      S->setOperand(foldExpr(S->operand()));
+      return S;
+    }
+    }
+    return E;
+  }
+
+  Expr *foldUnary(UnaryExpr *U) {
+    Expr *Op = U->operand();
+    if (U->op() == UnaryOp::UO_Neg) {
+      if (const auto *I = dyn_cast<IntLiteralExpr>(Op)) {
+        ++Stats.FoldedExprs;
+        return makeInt(-I->value(), U->loc());
+      }
+      if (const auto *F = dyn_cast<FloatLiteralExpr>(Op)) {
+        ++Stats.FoldedExprs;
+        return makeFloat(-F->value(), U->loc());
+      }
+      return U;
+    }
+    bool B;
+    if (U->op() == UnaryOp::UO_Not && asBoolLit(Op, B)) {
+      ++Stats.FoldedExprs;
+      return makeBool(!B, U->loc());
+    }
+    return U;
+  }
+
+  Expr *foldBinary(BinaryExpr *B) {
+    Expr *L = B->lhs();
+    Expr *R = B->rhs();
+    const SourceLoc Loc = B->loc();
+
+    // Logical operators: bool operands only.
+    if (B->op() == BinaryOp::BO_And || B->op() == BinaryOp::BO_Or) {
+      bool LV, RV;
+      bool HasL = asBoolLit(L, LV), HasR = asBoolLit(R, RV);
+      if (HasL && HasR) {
+        ++Stats.FoldedExprs;
+        return makeBool(B->op() == BinaryOp::BO_And ? (LV && RV) : (LV || RV),
+                        Loc);
+      }
+      // One literal operand. The identity element folds to the other
+      // operand (it is evaluated either way, so this is always safe);
+      // the absorbing element may only drop the other operand when its
+      // evaluation is unobservable.
+      bool LitVal = HasL ? LV : RV;
+      Expr *Other = HasL ? R : L;
+      if (!HasL && !HasR)
+        return B;
+      if (B->op() == BinaryOp::BO_And) {
+        if (LitVal) { // true && x == x
+          ++Stats.FoldedExprs;
+          return Other;
+        }
+        if (isDiscardSafe(Other)) { // false && x == false
+          ++Stats.FoldedExprs;
+          return makeBool(false, Loc);
+        }
+        return B;
+      }
+      if (!LitVal) { // false || x == x
+        ++Stats.FoldedExprs;
+        return Other;
+      }
+      if (isDiscardSafe(Other)) { // true || x == true
+        ++Stats.FoldedExprs;
+        return makeBool(true, Loc);
+      }
+      return B;
+    }
+
+    // Bool equality (the VM compares the raw flags).
+    bool LB, RB;
+    if ((B->op() == BinaryOp::BO_Eq || B->op() == BinaryOp::BO_Ne) &&
+        asBoolLit(L, LB) && asBoolLit(R, RB)) {
+      ++Stats.FoldedExprs;
+      return makeBool(B->op() == BinaryOp::BO_Eq ? (LB == RB) : (LB != RB),
+                      Loc);
+    }
+
+    const auto *LI = dyn_cast<IntLiteralExpr>(L);
+    const auto *RI = dyn_cast<IntLiteralExpr>(R);
+
+    // Pure integer arithmetic — exactly the IOp lambdas of InterpOps.h.
+    // Division/modulo by a literal zero traps in the VM; leave it alone.
+    if (LI && RI) {
+      int32_t A = LI->value(), C = RI->value();
+      switch (B->op()) {
+      case BinaryOp::BO_Add:
+        ++Stats.FoldedExprs;
+        return makeInt(A + C, Loc);
+      case BinaryOp::BO_Sub:
+        ++Stats.FoldedExprs;
+        return makeInt(A - C, Loc);
+      case BinaryOp::BO_Mul:
+        ++Stats.FoldedExprs;
+        return makeInt(A * C, Loc);
+      case BinaryOp::BO_Div:
+        if (C == 0)
+          return B;
+        ++Stats.FoldedExprs;
+        return makeInt(A / C, Loc);
+      case BinaryOp::BO_Mod:
+        if (C == 0)
+          return B;
+        ++Stats.FoldedExprs;
+        return makeInt(A % C, Loc);
+      default:
+        break; // comparisons handled below (as floats, per interp::compare)
+      }
+    }
+
+    float LF, RF;
+    if (!asFloatLit(L, LF) || !asFloatLit(R, RF))
+      return B;
+
+    // Comparisons convert both sides to float, mirroring interp::compare.
+    switch (B->op()) {
+    case BinaryOp::BO_Lt:
+      ++Stats.FoldedExprs;
+      return makeBool(LF < RF, Loc);
+    case BinaryOp::BO_Le:
+      ++Stats.FoldedExprs;
+      return makeBool(LF <= RF, Loc);
+    case BinaryOp::BO_Gt:
+      ++Stats.FoldedExprs;
+      return makeBool(LF > RF, Loc);
+    case BinaryOp::BO_Ge:
+      ++Stats.FoldedExprs;
+      return makeBool(LF >= RF, Loc);
+    case BinaryOp::BO_Eq:
+      ++Stats.FoldedExprs;
+      return makeBool(LF == RF, Loc);
+    case BinaryOp::BO_Ne:
+      ++Stats.FoldedExprs;
+      return makeBool(LF != RF, Loc);
+    default:
+      break;
+    }
+
+    // Mixed or float arithmetic: only when the result type is float (the
+    // compiler would have converted the int operand first), computed with
+    // exactly the FOp lambdas of InterpOps.h.
+    if (LI && RI)
+      return B;
+    if (!B->type().isFloat())
+      return B;
+    switch (B->op()) {
+    case BinaryOp::BO_Add:
+      ++Stats.FoldedExprs;
+      return makeFloat(LF + RF, Loc);
+    case BinaryOp::BO_Sub:
+      ++Stats.FoldedExprs;
+      return makeFloat(LF - RF, Loc);
+    case BinaryOp::BO_Mul:
+      ++Stats.FoldedExprs;
+      return makeFloat(LF * RF, Loc);
+    case BinaryOp::BO_Div:
+      ++Stats.FoldedExprs;
+      return makeFloat(LF / RF, Loc);
+    default:
+      return B;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement folding.
+  //===--------------------------------------------------------------------===//
+
+  /// Folds one statement; returns the replacement, or null to drop it.
+  Stmt *foldStmt(Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::SK_Block:
+      foldBlock(cast<BlockStmt>(S));
+      return S;
+    case StmtKind::SK_Decl: {
+      auto *D = cast<DeclStmt>(S);
+      if (D->init())
+        D->setInit(foldExpr(D->init()));
+      return S;
+    }
+    case StmtKind::SK_Assign: {
+      auto *A = cast<AssignStmt>(S);
+      A->setValue(foldExpr(A->value()));
+      return S;
+    }
+    case StmtKind::SK_ExprStmt: {
+      auto *E = cast<ExprStmt>(S);
+      E->setExpr(foldExpr(E->expr()));
+      return S;
+    }
+    case StmtKind::SK_If: {
+      auto *If = cast<IfStmt>(S);
+      If->setCond(foldExpr(If->cond()));
+      bool CondVal;
+      if (!asBoolLit(If->cond(), CondVal)) {
+        If->setThenStmt(foldStmt(If->thenStmt()));
+        if (If->elseStmt())
+          If->setElseStmt(foldStmt(If->elseStmt()));
+        return If;
+      }
+      // The settled branch replaces the whole statement; the VM would not
+      // have executed the other branch, so pruning it is exact.
+      ++Stats.SettledBranches;
+      Stmt *Taken = CondVal ? If->thenStmt() : If->elseStmt();
+      return Taken ? foldStmt(Taken) : nullptr;
+    }
+    case StmtKind::SK_While: {
+      auto *W = cast<WhileStmt>(S);
+      W->setCond(foldExpr(W->cond()));
+      bool CondVal;
+      if (asBoolLit(W->cond(), CondVal) && !CondVal) {
+        // A statically false loop never runs its body.
+        ++Stats.SettledBranches;
+        return nullptr;
+      }
+      W->setBody(foldStmt(W->body()));
+      return W;
+    }
+    case StmtKind::SK_Return: {
+      auto *R = cast<ReturnStmt>(S);
+      if (R->value())
+        R->setValue(foldExpr(R->value()));
+      return S;
+    }
+    }
+    return S;
+  }
+
+  void foldBlock(BlockStmt *Block) {
+    std::vector<Stmt *> NewBody;
+    NewBody.reserve(Block->body().size());
+    for (Stmt *S : Block->body())
+      if (Stmt *Folded = foldStmt(S))
+        NewBody.push_back(Folded);
+    Block->body() = std::move(NewBody);
+  }
+};
+
+} // namespace
+
+ConstantFoldStats dspec::constantFoldWithPins(
+    Function *F, ASTContext &Ctx,
+    const std::vector<std::pair<VarDecl *, float>> &Pins) {
+  ConstantFoldStats Stats;
+  if (Pins.empty() || !F->body())
+    return Stats;
+
+  // A parameter that is reassigned inside the fragment is still a fixed
+  // input, but its references past the assignment no longer equal the pin
+  // value; skip substituting such pins entirely.
+  std::unordered_set<const VarDecl *> Reassigned;
+  walkStmts(F->body(), [&](Stmt *S) {
+    if (auto *A = dyn_cast<AssignStmt>(S))
+      if (A->target())
+        Reassigned.insert(A->target());
+  });
+
+  std::unordered_map<const VarDecl *, float> PinMap;
+  for (const auto &[Decl, Value] : Pins)
+    if (Decl && !Reassigned.count(Decl) && Decl->type().isFloat())
+      PinMap.emplace(Decl, Value);
+  if (PinMap.empty())
+    return Stats;
+
+  Folder(Ctx, std::move(PinMap), Stats).run(F);
+  return Stats;
+}

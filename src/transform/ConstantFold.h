@@ -1,0 +1,68 @@
+//===- transform/ConstantFold.h - Property-pin constant folding -*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The property-abstraction fold used by polyvariant specialization: given
+/// a set of parameter pins (parameter-is-zero / parameter-is-one), rewrite
+/// a fragment in place so every reference to a pinned parameter becomes a
+/// literal, then fold literal subterms and settle branches whose condition
+/// folds to a constant.
+///
+/// The pass is deliberately conservative so the folded fragment stays
+/// bit-identical to the original on admissible inputs (inputs where each
+/// pinned parameter equals its pin value):
+///
+///  - Only literal (op) literal is folded, computed with exactly the C++
+///    float/int semantics of vm/InterpOps.h. No algebraic identities —
+///    `x + 0` and `1 * x` are left alone (they are exact in IEEE-754 for
+///    most inputs but not for NaN payloads / signed zeros, and the VM
+///    would have executed the op).
+///  - Integer division/modulo by a literal zero is never folded; the VM
+///    traps on it and the fold must preserve that trap.
+///  - `&&`, `||`, and `?:` are strict in dsc (both sides always
+///    evaluate), so a fold that would discard an operand is only applied
+///    when the discarded operand is free of calls, integer `/` `%`, and
+///    cache accesses — i.e. when skipping its evaluation is unobservable.
+///  - `if`/`while` compile to real control flow, so pruning a branch
+///    whose condition folds to a literal matches the VM exactly: the VM
+///    would not have executed the dead branch either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_TRANSFORM_CONSTANTFOLD_H
+#define DATASPEC_TRANSFORM_CONSTANTFOLD_H
+
+#include "lang/ASTContext.h"
+
+#include <utility>
+#include <vector>
+
+namespace dspec {
+
+/// Counters describing one fold run.
+struct ConstantFoldStats {
+  /// Pinned-parameter references replaced by literals.
+  unsigned SubstitutedRefs = 0;
+  /// Literal subterms folded into a single literal (including settled
+  /// strict operators).
+  unsigned FoldedExprs = 0;
+  /// `if`/`while` statements whose condition folded to a literal and
+  /// whose dead branch was pruned.
+  unsigned SettledBranches = 0;
+};
+
+/// Rewrites \p F in place, substituting each pinned parameter with its
+/// literal value and folding what settles. Pins whose parameter is ever
+/// reassigned inside the fragment are skipped (the parameter is still a
+/// fixed input, just not substitutable). Safe to run before Sema-dependent
+/// analyses; new nodes are created through \p Ctx and carry types.
+ConstantFoldStats
+constantFoldWithPins(Function *F, ASTContext &Ctx,
+                     const std::vector<std::pair<VarDecl *, float>> &Pins);
+
+} // namespace dspec
+
+#endif // DATASPEC_TRANSFORM_CONSTANTFOLD_H

@@ -140,6 +140,115 @@ TEST(UnitCache, OptionsFingerprintSeparatesEntries) {
   EXPECT_EQ(Cache.stats().Entries, 2u);
 }
 
+TEST(UnitCache, FingerprintDriftsOnEveryOptionField) {
+  // Every SpecializerOptions field must reach the fingerprint: a knob
+  // that two units disagree on while sharing a cache entry would serve
+  // one unit's code under the other's key. Perturb each field in turn
+  // and demand a distinct fingerprint from the default and from every
+  // other perturbation.
+  const uint64_t Base = optionsFingerprint(SpecializerOptions{});
+  std::vector<std::pair<const char *, SpecializerOptions>> Perturbed;
+  auto Add = [&](const char *Name, auto Mutate) {
+    SpecializerOptions O;
+    Mutate(O);
+    Perturbed.emplace_back(Name, O);
+  };
+  Add("EnableJoinNormalize",
+      [](SpecializerOptions &O) { O.EnableJoinNormalize = false; });
+  Add("EnableReassociate",
+      [](SpecializerOptions &O) { O.EnableReassociate = true; });
+  Add("Reassoc.AllowFloatReassociation", [](SpecializerOptions &O) {
+    O.Reassoc.AllowFloatReassociation = false;
+  });
+  Add("AllowSpeculation",
+      [](SpecializerOptions &O) { O.AllowSpeculation = true; });
+  Add("WeightVictimBySize",
+      [](SpecializerOptions &O) { O.WeightVictimBySize = true; });
+  Add("CacheByteLimit=16",
+      [](SpecializerOptions &O) { O.CacheByteLimit = 16; });
+  // A present-but-zero limit is a real configuration (cache nothing) and
+  // must not collide with "no limit".
+  Add("CacheByteLimit=0",
+      [](SpecializerOptions &O) { O.CacheByteLimit = 0; });
+  Add("Cost.LoopMultiplier",
+      [](SpecializerOptions &O) { O.Cost.LoopMultiplier += 1; });
+  Add("Cost.CondDivisor",
+      [](SpecializerOptions &O) { O.Cost.CondDivisor += 1; });
+  Add("Cost.CacheRefCost",
+      [](SpecializerOptions &O) { O.Cost.CacheRefCost += 1; });
+  Add("CollectExplanation",
+      [](SpecializerOptions &O) { O.CollectExplanation = true; });
+
+  std::vector<uint64_t> Seen = {Base};
+  for (const auto &[Name, Options] : Perturbed) {
+    uint64_t Fp = optionsFingerprint(Options);
+    for (uint64_t Other : Seen)
+      EXPECT_NE(Fp, Other) << Name << " does not drift the fingerprint";
+    Seen.push_back(Fp);
+  }
+}
+
+TEST(UnitCache, VariantKeySeparatesEntries) {
+  // Keys identical except for the property variant must not share a
+  // cache entry: the units hold different readers.
+  UnitKey Generic = keyFor("a", 7, 9);
+  UnitKey Pinned = keyFor("a", 7, 9);
+  Pinned.Variant.Pins = {{4, ParamProp::PP_Zero}};
+  Pinned.Variant.canonicalize();
+  ASSERT_FALSE(Generic == Pinned);
+  EXPECT_NE(UnitKeyHasher()(Generic), UnitKeyHasher()(Pinned));
+
+  UnitCache Cache(8, 1);
+  std::atomic<unsigned> Builds{0};
+  bool WasHit = true;
+  Cache.getOrBuild(Generic, builderFor("a", &Builds), &WasHit);
+  EXPECT_FALSE(WasHit);
+  Cache.getOrBuild(Pinned, builderFor("a", &Builds), &WasHit);
+  EXPECT_FALSE(WasHit);
+  EXPECT_EQ(Builds, 2u);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+}
+
+TEST(UnitCache, ConcurrentDistinctKeysOnOneShardStayCoherent) {
+  // Many threads hammering getOrBuild with *distinct* keys that all land
+  // on one shard (single-shard cache) drive insertion and LRU eviction
+  // concurrently. The invariants: every caller gets the unit its key
+  // names, the entry count never exceeds capacity, accounting adds up,
+  // and eviction happened.
+  constexpr unsigned Capacity = 4;
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned KeysPerThread = 64;
+  UnitCache Cache(Capacity, 1);
+  std::atomic<unsigned> Builds{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Cache, &Builds, T] {
+      for (unsigned I = 0; I < KeysPerThread; ++I) {
+        // 16 distinct keys shared across threads, visited in per-thread
+        // orders so hits, misses, coalesced waits, and evictions all
+        // interleave on the single shard.
+        std::string Shader = "s" + std::to_string((T * 5 + I * 3) % 16);
+        UnitPtr Unit = Cache.getOrBuild(
+            keyFor(Shader), builderFor(Shader, &Builds));
+        ASSERT_TRUE(Unit);
+        EXPECT_EQ(Unit->Shader, Shader);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  UnitCache::Stats S = Cache.stats();
+  EXPECT_LE(S.Entries, Capacity);
+  EXPECT_EQ(S.Hits + S.Misses + S.CoalescedWaits,
+            NumThreads * KeysPerThread);
+  // 16 live keys through a 4-entry shard must evict...
+  EXPECT_GT(S.Evictions, 0u);
+  // ...and every eviction was preceded by a build of that key.
+  EXPECT_EQ(Builds.load(), S.Misses);
+  EXPECT_GE(S.Misses, 16u);
+}
+
 TEST(UnitCache, SingleFlightBuildsOnceAcrossThreads) {
   UnitCache Cache(4, 1);
   constexpr unsigned NumThreads = 8;

@@ -78,20 +78,21 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s FILE --fragment NAME --vary P1[,P2...]\n"
       "            [--limit BYTES] [--reassoc] [--no-phi] [--speculate]\n"
-      "            [--explain]\n"
+      "            [--explain] [--variants N]\n"
       "            [--show-normalized] [--stats]\n"
       "       %s snapshot save (--gallery SHADER | FILE --fragment NAME)\n"
       "            --out SNAP [--vary P1[,P2...]] [--width W] [--height H]\n"
       "            [--controls v1,v2,...] [--limit BYTES] [--reassoc]\n"
-      "            [--no-phi] [--speculate]\n"
+      "            [--no-phi] [--speculate] [--variants N]\n"
       "       %s snapshot info SNAP\n"
       "       %s snapshot verify SNAP\n"
       "       %s serve --socket PATH [--threads N] [--tile PIXELS]\n"
       "            [--cache-units N] [--queue N] [--dispatchers N]\n"
-      "            [--exec-tier switch|threaded|batched]\n"
+      "            [--exec-tier switch|threaded|batched] [--variants N]\n"
       "       %s request --socket PATH --gallery SHADER [--width W]\n"
       "            [--height H] [--vary P1[,P2...]] [--controls v1,...]\n"
       "            [--deadline MS] [--repeat N] [--check-plain] [--ppm PATH]\n"
+      "            [--variants N]\n"
       "       %s request --socket PATH --statsz\n"
       "\n"
       "Splits the named dsc function into a cache loader and cache reader\n"
@@ -101,6 +102,9 @@ void usage(const char *Argv0) {
       "arena so fresh processes warm-start straight into reader frames.\n"
       "The serve/request subcommands run the specialization service: a\n"
       "long-lived daemon with a keyed cache of specialization units.\n"
+      "--variants N enables polyvariant specialization: up to N\n"
+      "property-keyed reader variants (parameter pinned to 0 or 1) beside\n"
+      "the generic one.\n"
       "\n"
       "exit codes: 0 success, 1 usage error, 2 runtime/verify failure\n",
       Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
@@ -125,6 +129,7 @@ int snapshotSave(int Argc, char **Argv) {
   std::vector<float> UserControls;
   bool HaveUserControls = false;
   unsigned Width = 48, Height = 32;
+  unsigned VariantCount = 0;
   SpecializerOptions Options;
 
   for (int I = 0; I < Argc; ++I) {
@@ -163,6 +168,9 @@ int snapshotSave(int Argc, char **Argv) {
       Options.EnableJoinNormalize = false;
     } else if (std::strcmp(Arg, "--speculate") == 0) {
       Options.AllowSpeculation = true;
+    } else if (std::strcmp(Arg, "--variants") == 0) {
+      VariantCount =
+          static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
     } else if (Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
       return kExitUsage;
@@ -258,6 +266,43 @@ int snapshotSave(int Argc, char **Argv) {
     return kExitFailure;
   }
 
+  // Polyvariant save: build the property-keyed variant set and run the
+  // loader for each variant so every one warm-starts from the file.
+  std::vector<SnapshotVariant> SnapVariants;
+  if (VariantCount > 1) {
+    VariantSetOptions VOptions;
+    VOptions.MaxVariants = VariantCount;
+    auto Set = specializeAndCompileVariants(*Unit, Fragment, Varying, Options,
+                                            VOptions);
+    if (!Set) {
+      std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
+      return kExitFailure;
+    }
+    for (CompiledVariant &V : Set->Variants) {
+      if (V.Key.isGeneric())
+        continue;
+      SnapshotVariant SV;
+      SV.Key = V.Key;
+      SV.Label = V.Label;
+      SV.Layout = V.Compiled.Spec.Layout;
+      SV.Loader = std::move(V.Compiled.LoaderChunk);
+      SV.Reader = std::move(V.Compiled.ReaderChunk);
+      CacheArena VariantArena;
+      if (!Engine.loaderPass(SV.Loader, SV.Layout, Grid, Controls,
+                             VariantArena)) {
+        std::fprintf(stderr, "error: loader pass for variant '%s' trapped: "
+                             "%s\n",
+                     SV.Label.c_str(), Engine.lastTrap().c_str());
+        return kExitFailure;
+      }
+      SV.ArenaPixels = VariantArena.pixelCount();
+      SV.ArenaStride = VariantArena.strideBytes();
+      SV.ArenaBytes.assign(VariantArena.raw(),
+                           VariantArena.raw() + VariantArena.totalBytes());
+      SnapVariants.push_back(std::move(SV));
+    }
+  }
+
   SnapshotMeta Meta = SnapshotMeta::fromOptions(Options);
   Meta.FragmentName = Fragment;
   Meta.VaryingParams = Varying;
@@ -268,7 +313,7 @@ int snapshotSave(int Argc, char **Argv) {
   std::string Error;
   if (!RenderEngine::saveSnapshot(OutPath, Meta, Spec->LoaderChunk,
                                   Spec->ReaderChunk, Spec->Spec.Layout, Arena,
-                                  &Error)) {
+                                  SnapVariants, &Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return kExitFailure;
   }
@@ -279,6 +324,9 @@ int snapshotSave(int Argc, char **Argv) {
   std::printf("; %ux%u pixels x %uB cache = %zu arena bytes (%s)\n", Width,
               Height, Spec->Spec.Layout.totalBytes(), Arena.totalBytes(),
               Meta.optionsSummary().c_str());
+  for (const SnapshotVariant &SV : SnapVariants)
+    std::printf("  + variant %-20s %uB/pixel cache\n", SV.Label.c_str(),
+                SV.ArenaStride);
   return kExitOk;
 }
 
@@ -323,6 +371,12 @@ int snapshotInfo(const char *Path) {
   for (const CacheSlot &Slot : Snap.Layout.slots())
     std::printf("    slot%-3u %-6s offset %u\n", Slot.Index,
                 Slot.SlotType.name(), Slot.Offset);
+  if (!Snap.Variants.empty()) {
+    std::printf("  %zu property variant(s):\n", Snap.Variants.size());
+    for (const SnapshotVariant &V : Snap.Variants)
+      std::printf("    %-20s reader %zu instrs, %uB/pixel cache\n",
+                  V.Label.c_str(), V.Reader.Code.size(), V.ArenaStride);
+  }
   return kExitOk;
 }
 
@@ -398,6 +452,8 @@ int serveMain(int Argc, char **Argv) {
       Config.QueueCapacity = NextUnsigned();
     else if (std::strcmp(Arg, "--dispatchers") == 0)
       Config.Dispatchers = NextUnsigned();
+    else if (std::strcmp(Arg, "--variants") == 0)
+      Config.MaxVariantPins = NextUnsigned();
     else if (std::strcmp(Arg, "--exec-tier") == 0) {
       const char *Name = NextValue();
       if (!parseExecTier(Name, Config.Tier)) {
@@ -555,6 +611,9 @@ int requestMain(int Argc, char **Argv) {
           static_cast<uint32_t>(std::strtoul(NextValue(), nullptr, 10));
     else if (std::strcmp(Arg, "--repeat") == 0)
       Repeat = static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
+    else if (std::strcmp(Arg, "--variants") == 0)
+      Request.VariantPins =
+          static_cast<uint32_t>(std::strtoul(NextValue(), nullptr, 10));
     else if (std::strcmp(Arg, "--check-plain") == 0)
       CheckPlain = true;
     else if (std::strcmp(Arg, "--ppm") == 0)
@@ -679,6 +738,7 @@ int main(int Argc, char **Argv) {
   SpecializerOptions Options;
   bool ShowNormalized = false;
   bool ShowStats = false;
+  unsigned VariantCount = 0;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -707,6 +767,9 @@ int main(int Argc, char **Argv) {
       ShowNormalized = true;
     } else if (std::strcmp(Arg, "--explain") == 0) {
       Options.CollectExplanation = true;
+    } else if (std::strcmp(Arg, "--variants") == 0) {
+      VariantCount =
+          static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
     } else if (std::strcmp(Arg, "--stats") == 0) {
       ShowStats = true;
     } else if (std::strcmp(Arg, "--help") == 0) {
@@ -759,6 +822,23 @@ int main(int Argc, char **Argv) {
   for (const CacheSlot &Slot : Spec->Spec.Layout.slots())
     std::printf("//   slot%-3u %-6s offset %u\n", Slot.Index,
                 Slot.SlotType.name(), Slot.Offset);
+
+  // The polyvariant view: build the property-keyed variant set and print
+  // its table whenever variants were requested or an explanation was.
+  if (VariantCount > 1 || Options.CollectExplanation) {
+    VariantSetOptions VOptions;
+    if (VariantCount > 1)
+      VOptions.MaxVariants = VariantCount;
+    SpecializerOptions VariantOptions = Options;
+    VariantOptions.CollectExplanation = false; // table only
+    auto Set = specializeAndCompileVariants(*Unit, FragmentName, Varying,
+                                            VariantOptions, VOptions);
+    if (!Set) {
+      std::fprintf(stderr, "%s", Unit->Diags.str().c_str());
+      return kExitFailure;
+    }
+    std::printf("\n%s", Set->Table.c_str());
+  }
 
   if (Options.CollectExplanation) {
     std::printf("\n%s", Spec->Spec.Explanation.c_str());
