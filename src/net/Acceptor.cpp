@@ -1,0 +1,136 @@
+//===- net/Acceptor.cpp - Nonblocking listening sockets ---------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Acceptor.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dspec;
+
+bool dspec::splitHostPort(const std::string &HostPort, std::string &Host,
+                          uint16_t &Port) {
+  size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 >= HostPort.size())
+    return false;
+  Host = HostPort.substr(0, Colon);
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(HostPort.c_str() + Colon + 1, &End, 10);
+  if (*End != '\0' || Value > 65535)
+    return false;
+  Port = static_cast<uint16_t>(Value);
+  return true;
+}
+
+bool Acceptor::listenTcp(const std::string &HostPort, std::string *Error) {
+  std::string Host;
+  uint16_t WantPort = 0;
+  if (!splitHostPort(HostPort, Host, WantPort)) {
+    if (Error)
+      *Error = "malformed listen address '" + HostPort +
+               "' (expected host:port)";
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(WantPort);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "cannot parse listen host '" + Host +
+               "' (an IPv4 address like 127.0.0.1)";
+    return false;
+  }
+  int NewFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (NewFd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(NewFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(NewFd, 128) < 0) {
+    if (Error)
+      *Error = "bind/listen on '" + HostPort + "': " + std::strerror(errno);
+    ::close(NewFd);
+    return false;
+  }
+  sockaddr_in Bound{};
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(NewFd, reinterpret_cast<sockaddr *>(&Bound), &Len) == 0)
+    Port = ntohs(Bound.sin_port);
+  close();
+  Fd = NewFd;
+  return true;
+}
+
+bool Acceptor::listenUnix(const std::string &SocketPath, std::string *Error) {
+  sockaddr_un Addr{};
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path too long: " + SocketPath;
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int NewFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (NewFd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(SocketPath.c_str()); // stale socket from a previous run
+  if (::bind(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(NewFd, 128) < 0) {
+    if (Error)
+      *Error = "bind/listen on '" + SocketPath +
+               "': " + std::strerror(errno);
+    ::close(NewFd);
+    return false;
+  }
+  close();
+  Fd = NewFd;
+  Port = 0;
+  UnixPath = SocketPath;
+  return true;
+}
+
+int Acceptor::acceptOne() {
+  if (Fd < 0)
+    return -1;
+  int Conn;
+  do {
+    Conn = ::accept4(Fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  } while (Conn < 0 && errno == EINTR);
+  if (Conn < 0)
+    return -1;
+  if (UnixPath.empty()) {
+    int One = 1;
+    ::setsockopt(Conn, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  }
+  return Conn;
+}
+
+void Acceptor::close() {
+  if (Fd < 0)
+    return;
+  ::close(Fd);
+  Fd = -1;
+  Port = 0;
+  if (!UnixPath.empty())
+    ::unlink(UnixPath.c_str());
+  UnixPath.clear();
+}

@@ -1,0 +1,68 @@
+//===- net/Acceptor.h - Nonblocking listening sockets -----------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Listening sockets for the event-loop front end: TCP ("host:port",
+/// port 0 picks an ephemeral port and boundPort() reports it) and
+/// unix-domain paths. The listen fd is nonblocking so it can sit in an
+/// EventLoop; acceptOne() drains one connection at a time until EAGAIN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_NET_ACCEPTOR_H
+#define DATASPEC_NET_ACCEPTOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace dspec {
+
+class Acceptor {
+public:
+  Acceptor() = default;
+  ~Acceptor() { close(); }
+  Acceptor(Acceptor &&Other) noexcept
+      : Fd(Other.Fd), Port(Other.Port), UnixPath(std::move(Other.UnixPath)) {
+    Other.Fd = -1;
+    Other.Port = 0;
+  }
+  Acceptor(const Acceptor &) = delete;
+  Acceptor &operator=(const Acceptor &) = delete;
+  Acceptor &operator=(Acceptor &&) = delete;
+
+  /// Binds and listens on \p HostPort ("127.0.0.1:7654"; port 0 = pick).
+  /// Nonblocking, CLOEXEC, SO_REUSEADDR. False with \p Error on failure.
+  bool listenTcp(const std::string &HostPort, std::string *Error);
+
+  /// Binds and listens on a unix-domain \p SocketPath (unlinking a stale
+  /// file first). Nonblocking, CLOEXEC.
+  bool listenUnix(const std::string &SocketPath, std::string *Error);
+
+  /// Accepts one pending connection (nonblocking, CLOEXEC on the new
+  /// fd; TCP_NODELAY for TCP). Returns -1 when none are pending.
+  int acceptOne();
+
+  bool listening() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  /// The actual bound TCP port (after port-0 resolution); 0 for unix.
+  uint16_t boundPort() const { return Port; }
+
+  /// Closes the listen fd (and unlinks a unix path). Idempotent.
+  void close();
+
+private:
+  int Fd = -1;
+  uint16_t Port = 0;
+  std::string UnixPath;
+};
+
+/// Splits "host:port"; false on a malformed spec.
+bool splitHostPort(const std::string &HostPort, std::string &Host,
+                   uint16_t &Port);
+
+} // namespace dspec
+
+#endif // DATASPEC_NET_ACCEPTOR_H

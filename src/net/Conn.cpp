@@ -1,0 +1,310 @@
+//===- net/Conn.cpp - One client connection on an event loop ----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Conn.h"
+
+#include "net/EventLoop.h"
+#include "net/NetServer.h"
+#include "support/ByteStream.h"
+#include "support/Crc32.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dspec;
+
+Conn::Conn(NetServer &Server, EventLoop &Loop, size_t LoopIndex, int Fd,
+           uint64_t Id)
+    : Server(Server), Loop(Loop), LoopIndex(LoopIndex), Fd(Fd), Id(Id),
+      QuotaTokens(Server.config().QuotaBurst),
+      QuotaRefilled(Clock::now()) {}
+
+Conn::~Conn() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool Conn::start() {
+  // The handler keeps the connection alive for the duration of any
+  // callback even if close() drops every other reference mid-call.
+  auto Self = shared_from_this();
+  return Loop.registerFd(Fd, EPOLLIN,
+                         [Self](uint32_t Events) { Self->onEvents(Events); });
+}
+
+void Conn::close(const char *Why) {
+  (void)Why;
+  if (Fd < 0)
+    return;
+  Loop.unregisterFd(Fd);
+  ::close(Fd);
+  Fd = -1;
+  Pending.clear();
+  Server.removeConn(*this);
+}
+
+bool Conn::takeQuotaToken() {
+  double Rate = Server.config().QuotaRps;
+  if (Rate <= 0.0)
+    return true;
+  Clock::time_point Now = Clock::now();
+  double Elapsed = std::chrono::duration<double>(Now - QuotaRefilled).count();
+  QuotaRefilled = Now;
+  QuotaTokens = std::min(Server.config().QuotaBurst,
+                         QuotaTokens + Elapsed * Rate);
+  if (QuotaTokens < 1.0)
+    return false;
+  QuotaTokens -= 1.0;
+  return true;
+}
+
+void Conn::onEvents(uint32_t Events) {
+  if (Events & (EPOLLHUP | EPOLLERR)) {
+    close("socket error/hangup");
+    return;
+  }
+  if (Events & EPOLLIN)
+    onReadable();
+  if (closed())
+    return;
+  if (Events & EPOLLOUT)
+    onWritable();
+}
+
+void Conn::onReadable() {
+  unsigned char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      InBuf.insert(InBuf.end(), Buf, Buf + N);
+      if (N < static_cast<ssize_t>(sizeof(Buf)))
+        break;
+      continue;
+    }
+    if (N == 0) { // clean EOF
+      close("peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    close("read error");
+    return;
+  }
+  if (!parseFrames()) {
+    ++Server.StatProtocolErrors;
+    close("protocol violation");
+  }
+}
+
+bool Conn::parseFrames() {
+  size_t Consumed = 0;
+  for (;;) {
+    size_t Avail = InBuf.size() - Consumed;
+    if (Avail < 16)
+      break;
+    ByteReader R(InBuf.data() + Consumed, 16);
+    uint32_t Magic = R.readU32();
+    uint8_t RawType = R.readU8();
+    R.readU8();
+    R.readU8();
+    R.readU8();
+    uint32_t PayloadBytes = R.readU32();
+    uint32_t StoredCrc = R.readU32();
+    if (Magic != kFrameMagic ||
+        RawType < static_cast<uint8_t>(FrameType::RenderRequest) ||
+        RawType > static_cast<uint8_t>(FrameType::RenderDone) ||
+        PayloadBytes > kMaxFramePayload)
+      return false;
+    if (Avail < 16 + static_cast<size_t>(PayloadBytes))
+      break; // frame still arriving
+    std::vector<unsigned char> Payload(
+        InBuf.begin() + Consumed + 16,
+        InBuf.begin() + Consumed + 16 + PayloadBytes);
+    if (crc32(Payload.data(), Payload.size()) != StoredCrc)
+      return false;
+    Consumed += 16 + PayloadBytes;
+    if (!Server.handleFrame(*this, static_cast<FrameType>(RawType), Payload))
+      return false;
+    if (closed())
+      return true; // handleFrame (or backlog pressure) closed us
+  }
+  if (Consumed > 0)
+    InBuf.erase(InBuf.begin(), InBuf.begin() + Consumed);
+  // Track when the current *incomplete* frame started arriving. The
+  // deadline is anchored to the frame start, not the last byte, so a
+  // client dripping one byte per second cannot dodge the reaper.
+  if (InBuf.empty()) {
+    PartialFrame = false;
+  } else if (!PartialFrame) {
+    PartialFrame = true;
+    PartialSince = Clock::now();
+  }
+  return true;
+}
+
+uint64_t Conn::openRenderSlot(bool Stream) {
+  Slot S;
+  S.Seq = NextSeq++;
+  S.Stream = Stream;
+  S.CountsInFlight = true;
+  ++InFlightRenders;
+  Pending.push_back(std::move(S));
+  return Pending.back().Seq;
+}
+
+uint64_t Conn::openStatsSlot() {
+  Slot S;
+  S.Seq = NextSeq++;
+  S.IsStats = true;
+  Pending.push_back(std::move(S));
+  return Pending.back().Seq;
+}
+
+Conn::Slot *Conn::findSlot(uint64_t Seq) {
+  for (Slot &S : Pending)
+    if (S.Seq == Seq)
+      return &S;
+  return nullptr;
+}
+
+void Conn::completeRender(uint64_t Seq, RenderReply Reply) {
+  Slot *S = findSlot(Seq);
+  if (!S)
+    return; // connection already tore the slot down
+  if (S->CountsInFlight && InFlightRenders > 0)
+    --InFlightRenders;
+  S->Reply = std::move(Reply);
+  S->Done = true;
+  flushReady();
+}
+
+void Conn::completeStats(uint64_t Seq, std::string Json) {
+  Slot *S = findSlot(Seq);
+  if (!S)
+    return;
+  S->StatsJson = std::move(Json);
+  S->Done = true;
+  flushReady();
+}
+
+void Conn::appendFrame(FrameType Type,
+                       const std::vector<unsigned char> &Payload) {
+  std::vector<unsigned char> Frame = encodeFrame(Type, Payload);
+  OutBuf.insert(OutBuf.end(), Frame.begin(), Frame.end());
+}
+
+void Conn::serializeSlot(Slot &S) {
+  if (S.IsStats) {
+    appendFrame(FrameType::StatsReply,
+                std::vector<unsigned char>(S.StatsJson.begin(),
+                                           S.StatsJson.end()));
+    return;
+  }
+  if (!S.Stream) {
+    ByteWriter W;
+    encodeRenderReply(W, S.Reply);
+    appendFrame(FrameType::RenderReply, W.bytes());
+    return;
+  }
+  // Streamed reply: chop the framebuffer into RenderPartial frames, then
+  // a RenderDone trailer carrying status + a CRC over all the pixels.
+  uint32_t Partials = 0;
+  if (S.Reply.ok()) {
+    uint64_t Total = static_cast<uint64_t>(S.Reply.Width) * S.Reply.Height;
+    uint32_t Chunk = Server.config().StreamChunkPixels;
+    if (Chunk == 0)
+      Chunk = 4096;
+    for (uint64_t Offset = 0; Offset < Total; Offset += Chunk) {
+      RenderPartialChunk Part;
+      Part.Width = S.Reply.Width;
+      Part.Height = S.Reply.Height;
+      Part.PixelOffset = static_cast<uint32_t>(Offset);
+      Part.PixelCount =
+          static_cast<uint32_t>(std::min<uint64_t>(Chunk, Total - Offset));
+      Part.Pixels.assign(
+          S.Reply.Pixels.begin() + static_cast<size_t>(Offset) * 3,
+          S.Reply.Pixels.begin() +
+              static_cast<size_t>(Offset + Part.PixelCount) * 3);
+      ByteWriter W;
+      encodeRenderPartial(W, Part);
+      appendFrame(FrameType::RenderPartial, W.bytes());
+      ++Partials;
+    }
+    Server.StatStreamedChunks += Partials;
+  }
+  RenderStreamDone Done;
+  Done.Status = S.Reply.Status;
+  Done.Error = S.Reply.Error;
+  Done.Width = S.Reply.Width;
+  Done.Height = S.Reply.Height;
+  Done.CacheHit = S.Reply.CacheHit;
+  Done.ServiceMicros = S.Reply.ServiceMicros;
+  Done.NumPartials = Partials;
+  Done.PixelCrc = S.Reply.ok() ? pixelCrc(S.Reply.Pixels) : 0;
+  ByteWriter W;
+  encodeRenderDone(W, Done);
+  appendFrame(FrameType::RenderDone, W.bytes());
+}
+
+void Conn::flushReady() {
+  // Strict FIFO: only leading completed slots serialize, so pipelined
+  // replies always arrive in request order no matter which dispatcher
+  // finished first.
+  while (!Pending.empty() && Pending.front().Done) {
+    serializeSlot(Pending.front());
+    Pending.pop_front();
+  }
+  if (writeBacklogBytes() > Server.config().MaxWriteBacklog) {
+    ++Server.StatBackpressureCloses;
+    close("write backlog over limit");
+    return;
+  }
+  onWritable();
+}
+
+void Conn::onWritable() {
+  if (closed())
+    return;
+  while (OutConsumed < OutBuf.size()) {
+    ssize_t N = ::send(Fd, OutBuf.data() + OutConsumed,
+                       OutBuf.size() - OutConsumed, MSG_NOSIGNAL);
+    if (N > 0) {
+      OutConsumed += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      enableWriteInterest(true);
+      // Reclaim the consumed prefix so a long-lived trickling connection
+      // does not pin the full history of its replies in memory.
+      if (OutConsumed > (1u << 20)) {
+        OutBuf.erase(OutBuf.begin(), OutBuf.begin() + OutConsumed);
+        OutConsumed = 0;
+      }
+      return;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    close("write error");
+    return;
+  }
+  OutBuf.clear();
+  OutConsumed = 0;
+  enableWriteInterest(false);
+}
+
+void Conn::enableWriteInterest(bool On) {
+  if (On == WantWrite)
+    return;
+  WantWrite = On;
+  Loop.updateFd(Fd, EPOLLIN | (On ? EPOLLOUT : 0u));
+}

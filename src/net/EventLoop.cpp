@@ -1,0 +1,163 @@
+//===- net/EventLoop.cpp - One IO thread's reactor --------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/EventLoop.h"
+
+#include <algorithm>
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+using namespace dspec;
+
+EventLoop::EventLoop()
+    : WakeFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (valid())
+    Ring.add(WakeFd, EPOLLIN);
+}
+
+EventLoop::~EventLoop() {
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+}
+
+bool EventLoop::valid() const { return Ring.valid() && WakeFd >= 0; }
+
+void EventLoop::stop() {
+  Stopping.store(true);
+  uint64_t One = 1;
+  [[maybe_unused]] ssize_t N = ::write(WakeFd, &One, sizeof(One));
+}
+
+void EventLoop::post(Task T) {
+  {
+    std::lock_guard<std::mutex> Lock(TaskMutex);
+    Tasks.push_back(std::move(T));
+  }
+  uint64_t One = 1;
+  [[maybe_unused]] ssize_t N = ::write(WakeFd, &One, sizeof(One));
+}
+
+bool EventLoop::registerFd(int Fd, uint32_t Events, FdHandler Handler) {
+  if (!Ring.add(Fd, Events))
+    return false;
+  Handlers[Fd] = std::make_shared<FdHandler>(std::move(Handler));
+  return true;
+}
+
+bool EventLoop::updateFd(int Fd, uint32_t Events) {
+  return Ring.modify(Fd, Events);
+}
+
+void EventLoop::unregisterFd(int Fd) {
+  Ring.remove(Fd);
+  Handlers.erase(Fd);
+}
+
+uint64_t EventLoop::addTimer(double DelaySeconds, bool Repeat, Task Fire) {
+  uint64_t Id = NextTimerId++;
+  Timers[Id] = {std::move(Fire), DelaySeconds, Repeat, false};
+  TimerHeap.push_back(
+      {Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(DelaySeconds)),
+       Id});
+  std::push_heap(TimerHeap.begin(), TimerHeap.end(),
+                 std::greater<TimerDeadline>());
+  return Id;
+}
+
+void EventLoop::cancelTimer(uint64_t Id) {
+  auto It = Timers.find(Id);
+  if (It != Timers.end())
+    It->second.Cancelled = true; // reaped lazily when its deadline pops
+}
+
+void EventLoop::drainWakeup() {
+  uint64_t Count;
+  while (::read(WakeFd, &Count, sizeof(Count)) > 0) {
+  }
+}
+
+void EventLoop::runTasks() {
+  std::vector<Task> Ready;
+  {
+    std::lock_guard<std::mutex> Lock(TaskMutex);
+    Ready.swap(Tasks);
+  }
+  for (Task &T : Ready)
+    T();
+}
+
+int EventLoop::millisToNextTimer() const {
+  if (TimerHeap.empty())
+    return -1;
+  auto Delta = TimerHeap.front().When - Clock::now();
+  auto Millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Delta).count();
+  if (Millis < 0)
+    return 0;
+  // +1 so we never spin on a deadline that rounds down to "now".
+  return static_cast<int>(Millis) + 1;
+}
+
+void EventLoop::fireDueTimers() {
+  Clock::time_point Now = Clock::now();
+  while (!TimerHeap.empty() && TimerHeap.front().When <= Now) {
+    TimerDeadline Due = TimerHeap.front();
+    std::pop_heap(TimerHeap.begin(), TimerHeap.end(),
+                  std::greater<TimerDeadline>());
+    TimerHeap.pop_back();
+    auto It = Timers.find(Due.Id);
+    if (It == Timers.end())
+      continue;
+    if (It->second.Cancelled) {
+      Timers.erase(It);
+      continue;
+    }
+    // Copy the task out: the handler may add/cancel timers (rehash).
+    Task Fire = It->second.Fire;
+    bool Repeat = It->second.Repeat;
+    double Interval = It->second.IntervalSeconds;
+    if (Repeat) {
+      TimerHeap.push_back(
+          {Now + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(Interval)),
+           Due.Id});
+      std::push_heap(TimerHeap.begin(), TimerHeap.end(),
+                     std::greater<TimerDeadline>());
+    } else {
+      Timers.erase(It);
+    }
+    Fire();
+  }
+}
+
+void EventLoop::run() {
+  LoopThread.store(std::this_thread::get_id());
+  std::vector<PollEvent> Ready;
+  while (!Stopping.load()) {
+    Ring.wait(Ready, millisToNextTimer());
+    for (const PollEvent &Ev : Ready) {
+      if (Ev.Fd == WakeFd) {
+        drainWakeup();
+        continue;
+      }
+      // Hold the handler by shared_ptr across the call: it may
+      // unregister itself (connection close) while running.
+      auto It = Handlers.find(Ev.Fd);
+      if (It == Handlers.end())
+        continue;
+      std::shared_ptr<FdHandler> Handler = It->second;
+      (*Handler)(Ev.Events);
+    }
+    fireDueTimers();
+    runTasks();
+  }
+  // One final drain so tasks posted concurrently with stop() still run
+  // (completion callbacks racing a shutdown would otherwise vanish).
+  runTasks();
+  LoopThread.store(std::thread::id());
+}

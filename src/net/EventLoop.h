@@ -1,0 +1,120 @@
+//===- net/EventLoop.h - One IO thread's reactor ----------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reactor that owns one IO thread: an epoll Poller, an eventfd
+/// wakeup, a cross-thread task queue, and a timer heap. Everything a
+/// loop touches (its fd handlers, its connections) is confined to the
+/// loop's thread; other threads interact only through post(), which
+/// enqueues a task and writes the wakeup fd. This is also how shutdown
+/// works — stop() posts through the wakeup fd, so a parked epoll_wait
+/// returns immediately instead of timing out on a poll interval.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_NET_EVENTLOOP_H
+#define DATASPEC_NET_EVENTLOOP_H
+
+#include "net/Poller.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace dspec {
+
+class EventLoop {
+public:
+  using Clock = std::chrono::steady_clock;
+  /// Called with the ready EPOLL* bits for a registered fd.
+  using FdHandler = std::function<void(uint32_t Events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+  bool valid() const;
+
+  /// Runs until stop(). Call from exactly one thread; that thread
+  /// becomes the loop thread.
+  void run();
+
+  /// Makes run() return after the current iteration. Thread-safe and
+  /// signal-safe in effect: it rides the wakeup fd, so a parked
+  /// epoll_wait returns immediately.
+  void stop();
+
+  /// Enqueues \p T to run on the loop thread (FIFO with other posts) and
+  /// wakes the loop. Thread-safe. Tasks posted after stop() are dropped
+  /// when the loop drains for exit.
+  void post(Task T);
+
+  /// Registers \p Fd with the poller. The handler runs on the loop
+  /// thread. Call on the loop thread (or before run()).
+  bool registerFd(int Fd, uint32_t Events, FdHandler Handler);
+  bool updateFd(int Fd, uint32_t Events);
+  void unregisterFd(int Fd);
+
+  /// Arms a timer \p DelaySeconds from now; \p Repeat re-arms at the
+  /// same interval after each fire. Returns an id for cancelTimer. Call
+  /// on the loop thread (or before run()).
+  uint64_t addTimer(double DelaySeconds, bool Repeat, Task Fire);
+  void cancelTimer(uint64_t Id);
+
+  bool inLoopThread() const {
+    return std::this_thread::get_id() == LoopThread.load();
+  }
+
+  /// The eventfd other threads (and signal handlers) write to wake the
+  /// loop; one 8-byte write is enough.
+  int wakeupFd() const { return WakeFd; }
+
+private:
+  struct Timer {
+    Task Fire;
+    double IntervalSeconds = 0.0;
+    bool Repeat = false;
+    bool Cancelled = false;
+  };
+  struct TimerDeadline {
+    Clock::time_point When;
+    uint64_t Id;
+    bool operator>(const TimerDeadline &RHS) const { return When > RHS.When; }
+  };
+
+  void drainWakeup();
+  void runTasks();
+  int millisToNextTimer() const;
+  void fireDueTimers();
+
+  Poller Ring;
+  int WakeFd = -1;
+
+  std::mutex TaskMutex;
+  std::vector<Task> Tasks;
+
+  std::unordered_map<int, std::shared_ptr<FdHandler>> Handlers;
+
+  uint64_t NextTimerId = 1;
+  std::unordered_map<uint64_t, Timer> Timers;
+  /// Min-heap by deadline (std::greater via push_heap/pop_heap).
+  std::vector<TimerDeadline> TimerHeap;
+
+  std::atomic<bool> Stopping{false};
+  std::atomic<std::thread::id> LoopThread{};
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_NET_EVENTLOOP_H

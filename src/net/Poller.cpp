@@ -1,0 +1,56 @@
+//===- net/Poller.cpp - epoll readiness multiplexer -------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Poller.h"
+
+#include <cerrno>
+
+#include <unistd.h>
+
+using namespace dspec;
+
+Poller::Poller() : EpollFd(::epoll_create1(EPOLL_CLOEXEC)), Scratch(64) {}
+
+Poller::~Poller() {
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+}
+
+bool Poller::add(int Fd, uint32_t Events) {
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  return ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) == 0;
+}
+
+bool Poller::modify(int Fd, uint32_t Events) {
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  return ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev) == 0;
+}
+
+bool Poller::remove(int Fd) {
+  epoll_event Ev{}; // non-null for pre-2.6.9 kernels, per epoll_ctl(2)
+  return ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, &Ev) == 0;
+}
+
+int Poller::wait(std::vector<PollEvent> &Out, int TimeoutMillis) {
+  Out.clear();
+  int N;
+  do {
+    N = ::epoll_wait(EpollFd, Scratch.data(),
+                     static_cast<int>(Scratch.size()), TimeoutMillis);
+  } while (N < 0 && errno == EINTR);
+  if (N <= 0)
+    return 0;
+  Out.reserve(static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I)
+    Out.push_back({Scratch[I].data.fd, Scratch[I].events});
+  if (static_cast<size_t>(N) == Scratch.size())
+    Scratch.resize(Scratch.size() * 2); // saturated: widen the batch
+  return N;
+}

@@ -1,0 +1,60 @@
+//===- net/Poller.h - epoll readiness multiplexer ---------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin RAII wrapper over epoll(7): register/modify/remove file
+/// descriptors for readiness interest, then wait for events. One Poller
+/// belongs to one EventLoop (and therefore to one thread); nothing here
+/// is thread-safe by itself — cross-thread interaction goes through the
+/// loop's wakeup fd.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_NET_POLLER_H
+#define DATASPEC_NET_POLLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include <sys/epoll.h>
+
+namespace dspec {
+
+/// One ready file descriptor from a wait() call.
+struct PollEvent {
+  int Fd = -1;
+  /// EPOLLIN/EPOLLOUT/EPOLLERR/EPOLLHUP bits.
+  uint32_t Events = 0;
+};
+
+class Poller {
+public:
+  Poller();
+  ~Poller();
+  Poller(const Poller &) = delete;
+  Poller &operator=(const Poller &) = delete;
+
+  bool valid() const { return EpollFd >= 0; }
+
+  /// Registers \p Fd for \p Events (EPOLLIN/EPOLLOUT). Level-triggered —
+  /// handlers drain until EAGAIN, so no readiness edge is ever lost.
+  bool add(int Fd, uint32_t Events);
+  bool modify(int Fd, uint32_t Events);
+  bool remove(int Fd);
+
+  /// Blocks up to \p TimeoutMillis (-1 = forever) and fills \p Out with
+  /// the ready set. Returns the event count (0 on timeout); EINTR is
+  /// retried internally.
+  int wait(std::vector<PollEvent> &Out, int TimeoutMillis);
+
+private:
+  int EpollFd = -1;
+  std::vector<epoll_event> Scratch;
+};
+
+} // namespace dspec
+
+#endif // DATASPEC_NET_POLLER_H

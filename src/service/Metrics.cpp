@@ -45,18 +45,32 @@ std::string MetricsSnapshot::toJson() const {
         static_cast<unsigned long long>(V.Misses));
   }
   VariantsJson += "}";
+  std::string SpillJson;
+  if (SpillEnabled)
+    SpillJson = formatString(
+        ",\"spill\":{\"disk_hits\":%llu,\"writes\":%llu,\"errors\":%llu,"
+        "\"evicted_files\":%llu,\"files\":%llu,\"bytes\":%llu}",
+        static_cast<unsigned long long>(SpillDiskHits),
+        static_cast<unsigned long long>(SpillWrites),
+        static_cast<unsigned long long>(SpillErrors),
+        static_cast<unsigned long long>(SpillEvictedFiles),
+        static_cast<unsigned long long>(SpillFiles),
+        static_cast<unsigned long long>(SpillBytes));
+  std::string NetSection;
+  if (!NetJson.empty())
+    NetSection = ",\"net\":" + NetJson;
   return formatString(
       "{\"requests\":{\"total\":%llu,\"ok\":%llu,\"cache_hit\":%llu,"
       "\"bad_request\":%llu,\"specialize_error\":%llu,\"render_trap\":%llu,"
-      "\"shed_queue_full\":%llu,\"shed_deadline\":%llu,"
+      "\"shed_queue_full\":%llu,\"shed_deadline\":%llu,\"shed_quota\":%llu,"
       "\"rejected_draining\":%llu},"
       "\"unit_cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
       "\"coalesced_waits\":%llu,\"build_failures\":%llu,\"entries\":%llu,"
-      "\"capacity\":%llu,\"hit_rate\":%.4f},"
+      "\"capacity\":%llu,\"hit_rate\":%.4f}%s,"
       "\"variants\":%s,"
       "\"queue_depth\":%llu,"
       "\"latency_seconds\":{\"samples\":%llu,\"p50\":%.9f,\"p95\":%.9f,"
-      "\"p99\":%.9f}}",
+      "\"p99\":%.9f}%s}",
       static_cast<unsigned long long>(RequestsTotal),
       static_cast<unsigned long long>(RequestsOk),
       static_cast<unsigned long long>(CacheHitRequests),
@@ -65,6 +79,7 @@ std::string MetricsSnapshot::toJson() const {
       static_cast<unsigned long long>(RenderTraps),
       static_cast<unsigned long long>(ShedQueueFull),
       static_cast<unsigned long long>(ShedDeadline),
+      static_cast<unsigned long long>(ShedQuota),
       static_cast<unsigned long long>(RejectedDraining),
       static_cast<unsigned long long>(Cache.Hits),
       static_cast<unsigned long long>(Cache.Misses),
@@ -73,9 +88,10 @@ std::string MetricsSnapshot::toJson() const {
       static_cast<unsigned long long>(Cache.BuildFailures),
       static_cast<unsigned long long>(Cache.Entries),
       static_cast<unsigned long long>(CacheCapacity), cacheHitRate(),
-      VariantsJson.c_str(), static_cast<unsigned long long>(QueueDepth),
+      SpillJson.c_str(), VariantsJson.c_str(),
+      static_cast<unsigned long long>(QueueDepth),
       static_cast<unsigned long long>(LatencySamples), LatencyP50, LatencyP95,
-      LatencyP99);
+      LatencyP99, NetSection.c_str());
 }
 
 ServiceMetrics::ServiceMetrics(size_t ReservoirSize)
@@ -128,6 +144,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   Out.RenderTraps = RenderTraps;
   Out.ShedQueueFull = ShedQueueFull;
   Out.ShedDeadline = ShedDeadline;
+  Out.ShedQuota = ShedQuota;
   Out.RejectedDraining = RejectedDraining;
 
   std::vector<double> Samples;

@@ -50,9 +50,23 @@ struct MetricsSnapshot {
   uint64_t ShedQueueFull = 0;
   uint64_t ShedDeadline = 0;
   uint64_t RejectedDraining = 0;
+  /// Shed by the network front end's per-client fairness (token bucket
+  /// or in-queue cap) before reaching the service queue.
+  uint64_t ShedQuota = 0;
 
   UnitCache::Stats Cache;
   uint64_t CacheCapacity = 0;
+
+  /// Disk-spill accounting (zero when no spill directory is configured).
+  /// DiskHits counts units restored from a spilled snapshot instead of
+  /// being respecialized — separate from in-memory Cache.Hits.
+  uint64_t SpillDiskHits = 0;
+  uint64_t SpillWrites = 0;
+  uint64_t SpillErrors = 0;
+  uint64_t SpillEvictedFiles = 0;
+  uint64_t SpillFiles = 0;
+  uint64_t SpillBytes = 0;
+  bool SpillEnabled = false;
 
   /// Per-variant hit/miss breakdown, sorted by label ("generic" first
   /// when present only by accident of ordering — labels sort lexically).
@@ -64,8 +78,15 @@ struct MetricsSnapshot {
   double LatencyP95 = 0.0;
   double LatencyP99 = 0.0;
 
-  /// Total sheds (queue-full + deadline), the admission-control signal.
-  uint64_t shedTotal() const { return ShedQueueFull + ShedDeadline; }
+  /// A preformatted JSON object the network front end contributes
+  /// (connections, quota sheds, reaps); empty = no "net" section.
+  std::string NetJson;
+
+  /// Total sheds (queue-full + deadline + quota), the admission-control
+  /// signal.
+  uint64_t shedTotal() const {
+    return ShedQueueFull + ShedDeadline + ShedQuota;
+  }
 
   /// Hits / (hits + misses); 0 when the cache is untouched.
   double cacheHitRate() const;
@@ -90,6 +111,7 @@ public:
   void recordRenderTrap(double LatencySeconds);
   void recordShedQueueFull() { ++RequestsTotal; ++ShedQueueFull; }
   void recordShedDeadline() { ++RequestsTotal; ++ShedDeadline; }
+  void recordShedQuota() { ++RequestsTotal; ++ShedQuota; }
   void recordRejectedDraining() { ++RequestsTotal; ++RejectedDraining; }
 
   /// Fills the counter and latency fields (cache/queue fields are the
@@ -107,6 +129,7 @@ private:
   std::atomic<uint64_t> RenderTraps{0};
   std::atomic<uint64_t> ShedQueueFull{0};
   std::atomic<uint64_t> ShedDeadline{0};
+  std::atomic<uint64_t> ShedQuota{0};
   std::atomic<uint64_t> RejectedDraining{0};
 
   mutable std::mutex LatencyMutex;

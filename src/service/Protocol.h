@@ -54,6 +54,11 @@ enum class FrameType : uint8_t {
   RenderReply = 2,
   StatsRequest = 3,
   StatsReply = 4,
+  /// One contiguous run of pixels from a streamed reply (StreamTiles).
+  RenderPartial = 5,
+  /// Trailer of a streamed reply: status, metadata, and a CRC over the
+  /// pixels delivered by the preceding RenderPartial frames.
+  RenderDone = 6,
 };
 
 /// One render request: which gallery shader, over what grid, with which
@@ -76,6 +81,11 @@ struct RenderRequest {
   /// leaner reader. Encoded as a trailing field; absent on the wire means
   /// 0, so pre-variant encoders stay compatible.
   uint32_t VariantPins = 0;
+  /// Ask the server to stream the framebuffer as RenderPartial frames
+  /// followed by a RenderDone trailer instead of one RenderReply. Only
+  /// the event-loop front end honors this; requestRender() reassembles
+  /// transparently. Trailing field: absent on the wire means false.
+  bool StreamTiles = false;
 
   // Specializer options (the fields that change the generated unit, and
   // therefore the cache key).
@@ -110,6 +120,9 @@ enum class RenderStatus : uint8_t {
   ShedDeadline = 5,
   /// Rejected because the service is draining for shutdown.
   Draining = 6,
+  /// Shed by the network front end: the client exceeded its request
+  /// quota (token bucket) or its per-client in-queue cap.
+  ShedQuota = 7,
 };
 
 const char *renderStatusName(RenderStatus Status);
@@ -136,6 +149,33 @@ struct RenderReply {
   static RenderReply fromFramebuffer(const Framebuffer &Fb);
 };
 
+/// One contiguous pixel run of a streamed reply.
+struct RenderPartialChunk {
+  uint32_t Width = 0;
+  uint32_t Height = 0;
+  /// Offset of the first pixel in this chunk (row-major pixel index).
+  uint32_t PixelOffset = 0;
+  /// RGB triples for PixelCount pixels (Pixels.size() == PixelCount*3).
+  uint32_t PixelCount = 0;
+  std::vector<float> Pixels;
+};
+
+/// Trailer of a streamed reply (everything RenderReply carries except
+/// the pixels, which arrived in RenderPartial frames).
+struct RenderStreamDone {
+  RenderStatus Status = RenderStatus::Ok;
+  std::string Error;
+  uint32_t Width = 0;
+  uint32_t Height = 0;
+  bool CacheHit = false;
+  uint64_t ServiceMicros = 0;
+  /// How many RenderPartial frames preceded this trailer.
+  uint32_t NumPartials = 0;
+  /// CRC-32 over the assembled pixel floats (their IEEE-754 bytes), so
+  /// a dropped or reordered chunk is detected even if sizes line up.
+  uint32_t PixelCrc = 0;
+};
+
 //===----------------------------------------------------------------------===//
 // Payload serde
 //===----------------------------------------------------------------------===//
@@ -146,6 +186,17 @@ bool decodeRenderRequest(ByteReader &R, RenderRequest &Out,
 
 void encodeRenderReply(ByteWriter &W, const RenderReply &Reply);
 bool decodeRenderReply(ByteReader &R, RenderReply &Out, std::string *Error);
+
+void encodeRenderPartial(ByteWriter &W, const RenderPartialChunk &Chunk);
+bool decodeRenderPartial(ByteReader &R, RenderPartialChunk &Out,
+                         std::string *Error);
+
+void encodeRenderDone(ByteWriter &W, const RenderStreamDone &Done);
+bool decodeRenderDone(ByteReader &R, RenderStreamDone &Out,
+                      std::string *Error);
+
+/// CRC-32 over a pixel vector's float bytes (the streaming checksum).
+uint32_t pixelCrc(const std::vector<float> &Pixels);
 
 //===----------------------------------------------------------------------===//
 // Framing

@@ -26,6 +26,20 @@ SpecializationService::SpecializationService(const ServiceConfig &InConfig)
     Config.MaxBatch = 1;
   if (Config.QueueCapacity == 0)
     Config.QueueCapacity = 1;
+  if (!Config.SpillDir.empty()) {
+    auto Store = std::make_unique<SpillStore>();
+    std::string SpillError;
+    if (Store->open(Config.SpillDir, Config.SpillMaxBytes, &SpillError)) {
+      Spill = std::move(Store);
+      // Evicted-but-warm units go to disk instead of being forgotten;
+      // the sink runs outside the cache's shard lock.
+      Cache.setEvictionSink([this](const UnitKey &Key, const UnitPtr &Unit) {
+        Spill->store(Key, Unit);
+      });
+    }
+    // An unopenable spill dir degrades to no spilling, not to a dead
+    // service — same posture as any other best-effort cache tier.
+  }
   Engines.reserve(Config.Dispatchers);
   for (unsigned I = 0; I < Config.Dispatchers; ++I) {
     Engines.push_back(std::make_unique<RenderEngine>(Config.RenderThreads,
@@ -155,17 +169,18 @@ bool SpecializationService::canonicalize(RenderRequest &Request, UnitKey &Key,
   return true;
 }
 
-std::future<RenderReply> SpecializationService::submit(RenderRequest Request) {
+void SpecializationService::submitAsync(RenderRequest Request,
+                                        RenderCallback Done) {
   auto P = std::make_unique<Pending>();
   P->Enqueued = Clock::now();
   P->Request = std::move(Request);
-  std::future<RenderReply> Result = P->Done.get_future();
+  P->Done = std::move(Done);
 
   std::string Error;
   if (!canonicalize(P->Request, P->Key, Error)) {
     Metrics.recordBadRequest();
     reject(*P, RenderStatus::BadRequest, std::move(Error));
-    return Result;
+    return;
   }
   if (P->Request.DeadlineMillis > 0) {
     P->HasDeadline = true;
@@ -179,7 +194,7 @@ std::future<RenderReply> SpecializationService::submit(RenderRequest Request) {
       Metrics.recordRejectedDraining();
       reject(*P, RenderStatus::Draining,
              "service is draining for shutdown");
-      return Result;
+      return;
     }
     if (Queue.size() >= Config.QueueCapacity) {
       // Load shedding: reject-with-reason instead of unbounded growth.
@@ -187,11 +202,19 @@ std::future<RenderReply> SpecializationService::submit(RenderRequest Request) {
       reject(*P, RenderStatus::ShedQueueFull,
              "queue full (" + std::to_string(Config.QueueCapacity) +
                  " requests)");
-      return Result;
+      return;
     }
     Queue.push_back(std::move(P));
   }
   QueueReady.notify_one();
+}
+
+std::future<RenderReply> SpecializationService::submit(RenderRequest Request) {
+  auto Promise = std::make_shared<std::promise<RenderReply>>();
+  std::future<RenderReply> Result = Promise->get_future();
+  submitAsync(std::move(Request), [Promise](RenderReply Reply) {
+    Promise->set_value(std::move(Reply));
+  });
   return Result;
 }
 
@@ -206,7 +229,7 @@ void SpecializationService::reject(Pending &P, RenderStatus Status,
   Reply.Error = std::move(Reason);
   Reply.ServiceMicros =
       static_cast<uint64_t>(secondsSince(P.Enqueued) * 1e6);
-  P.Done.set_value(std::move(Reply));
+  P.Done(std::move(Reply));
 }
 
 UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
@@ -252,6 +275,7 @@ UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
   auto Built =
       std::make_shared<SpecializationUnit>(Request.Width, Request.Height);
   Built->Shader = Request.Shader;
+  Built->Options = Request.toOptions();
   Built->Varying = Request.Varying;
   Built->LoadControls = Request.Controls;
   Built->Variant = Spec->Key;
@@ -271,6 +295,31 @@ UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
   return Built;
 }
 
+UnitPtr SpecializationService::loadOrBuildUnit(const Pending &P,
+                                               RenderEngine &Engine,
+                                               bool &FromDisk,
+                                               std::string &Error) const {
+  FromDisk = false;
+  if (Spill) {
+    if (auto Unit = Spill->load(P.Key, nullptr)) {
+      // A spilled unit carries everything but its human-readable variant
+      // label (the store has no parameter-name table).
+      if (!P.Key.Variant.isGeneric()) {
+        const ShaderInfo *Info = findShader(P.Key.Shader);
+        std::vector<std::string> Names;
+        if (Info)
+          for (const auto &Control : Info->Controls)
+            Names.push_back(Control.Name);
+        Unit->VariantLabel =
+            P.Key.Variant.label(Names, ShaderInfo::NumPixelParams);
+      }
+      FromDisk = true;
+      return Unit;
+    }
+  }
+  return buildUnit(P.Request, P.Key.Variant, Engine, Error);
+}
+
 void SpecializationService::finish(Pending &P, const UnitPtr &Unit,
                                    bool CacheHit, RenderEngine &Engine) {
   Framebuffer Fb(P.Request.Width, P.Request.Height);
@@ -287,7 +336,7 @@ void SpecializationService::finish(Pending &P, const UnitPtr &Unit,
   Reply.ServiceMicros = static_cast<uint64_t>(Latency * 1e6);
   Metrics.recordOk(Latency, CacheHit);
   Metrics.recordVariant(Unit->VariantLabel, CacheHit);
-  P.Done.set_value(std::move(Reply));
+  P.Done(std::move(Reply));
 }
 
 void SpecializationService::dispatcherLoop(unsigned DispatcherIndex) {
@@ -333,12 +382,14 @@ void SpecializationService::dispatcherLoop(unsigned DispatcherIndex) {
       continue;
 
     bool WasHit = false;
+    bool FromDisk = false;
     std::string Error;
     UnitPtr Unit = Cache.getOrBuild(
         Live.front()->Key,
         [&](std::string &BuildError) {
-          return buildUnit(Live.front()->Request, Live.front()->Key.Variant,
-                           Engine, BuildError);
+          // Disk first: a warm spilled unit is a restore, not a rebuild.
+          return loadOrBuildUnit(*Live.front(), Engine, FromDisk,
+                                 BuildError);
         },
         &WasHit, &Error);
     if (!Unit) {
@@ -349,8 +400,9 @@ void SpecializationService::dispatcherLoop(unsigned DispatcherIndex) {
       continue;
     }
     for (size_t I = 0; I < Live.size(); ++I)
-      // Followers batched behind the leader never pay a build themselves.
-      finish(*Live[I], Unit, WasHit || I > 0, Engine);
+      // Followers batched behind the leader never pay a build themselves;
+      // a disk restore counts as a hit too — no specializer ran.
+      finish(*Live[I], Unit, WasHit || FromDisk || I > 0, Engine);
   }
 }
 
@@ -362,6 +414,18 @@ MetricsSnapshot SpecializationService::statsz() const {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     Out.QueueDepth = Queue.size();
   }
+  if (Spill) {
+    SpillStore::Stats S = Spill->stats();
+    Out.SpillEnabled = true;
+    Out.SpillDiskHits = S.DiskHits;
+    Out.SpillWrites = S.Writes;
+    Out.SpillErrors = S.Errors;
+    Out.SpillEvictedFiles = S.EvictedFiles;
+    Out.SpillFiles = S.Files;
+    Out.SpillBytes = S.Bytes;
+  }
+  if (NetStatsProvider)
+    Out.NetJson = NetStatsProvider();
   return Out;
 }
 

@@ -34,6 +34,7 @@
 #include "engine/RenderEngine.h"
 #include "service/Metrics.h"
 #include "service/Protocol.h"
+#include "service/SpillStore.h"
 #include "service/UnitCache.h"
 
 #include <chrono>
@@ -73,6 +74,12 @@ struct ServiceConfig {
   /// min(Request.VariantPins, MaxVariantPins)). 0 disables polyvariance:
   /// every request maps to the generic variant.
   unsigned MaxVariantPins = 4;
+  /// Directory evicted-but-warm units spill to as snapshot files (and
+  /// are restored from on a later miss — including after a restart).
+  /// Empty disables spilling.
+  std::string SpillDir;
+  /// Byte cap on the spill directory (LRU files deleted past it).
+  uint64_t SpillMaxBytes = 256u << 20;
 };
 
 /// The service. Thread-safe: submit/render/statsz may be called from any
@@ -85,6 +92,17 @@ public:
   SpecializationService(const SpecializationService &) = delete;
   SpecializationService &operator=(const SpecializationService &) = delete;
 
+  /// Completion callback for submitAsync. Runs exactly once — on a
+  /// dispatcher thread for admitted requests, or synchronously on the
+  /// submitting thread for immediate rejections.
+  using RenderCallback = std::function<void(RenderReply)>;
+
+  /// Enqueues a request and calls \p Done with the outcome — a
+  /// framebuffer, or a structured rejection (shed, draining, bad
+  /// request). Rejections complete immediately without queueing. This is
+  /// the event-loop front end's entry point: no future, no blocking.
+  void submitAsync(RenderRequest Request, RenderCallback Done);
+
   /// Enqueues a request. The future always becomes ready — with a
   /// framebuffer, or with a structured rejection (shed, draining, bad
   /// request). Rejections resolve immediately without queueing.
@@ -92,6 +110,16 @@ public:
 
   /// submit + wait.
   RenderReply render(RenderRequest Request);
+
+  /// Counts a request the network front end shed for per-client
+  /// fairness (token bucket / in-queue cap) before it reached the queue.
+  void recordShedQuota() { Metrics.recordShedQuota(); }
+
+  /// Installs a provider whose JSON object becomes the /statsz "net"
+  /// section (the network front end's counters). Call before serving.
+  void setNetStatsProvider(std::function<std::string()> Provider) {
+    NetStatsProvider = std::move(Provider);
+  }
 
   /// Stops admitting work (new submissions answer Draining), finishes
   /// every queued request, and joins the dispatchers. Idempotent; called
@@ -110,7 +138,7 @@ private:
   struct Pending {
     RenderRequest Request;
     UnitKey Key;
-    std::promise<RenderReply> Done;
+    RenderCallback Done;
     Clock::time_point Enqueued;
     Clock::time_point Deadline; // only meaningful when HasDeadline
     bool HasDeadline = false;
@@ -130,6 +158,11 @@ private:
   UnitPtr buildUnit(const RenderRequest &Request, const VariantKey &Variant,
                     RenderEngine &Engine, std::string &Error) const;
 
+  /// Resolves a unit for \p P: spilled snapshot from disk (a disk hit —
+  /// no specializer run) or a fresh build. \p FromDisk reports which.
+  UnitPtr loadOrBuildUnit(const Pending &P, RenderEngine &Engine,
+                          bool &FromDisk, std::string &Error) const;
+
   /// Renders one request against a resolved unit and fulfills it.
   void finish(Pending &P, const UnitPtr &Unit, bool CacheHit,
               RenderEngine &Engine);
@@ -143,6 +176,9 @@ private:
   ServiceConfig Config;
   UnitCache Cache;
   ServiceMetrics Metrics;
+  /// Disk spill of evicted units (enabled iff Config.SpillDir is set).
+  std::unique_ptr<SpillStore> Spill;
+  std::function<std::string()> NetStatsProvider;
 
   mutable std::mutex QueueMutex;
   std::condition_variable QueueReady;

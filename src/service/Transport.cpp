@@ -12,7 +12,11 @@
 #include <deque>
 #include <mutex>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -207,6 +211,7 @@ bool UnixServerSocket::listenOn(const std::string &SocketPath,
   }
   close();
   Fd = NewFd;
+  WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   Path = SocketPath;
   return true;
 }
@@ -215,9 +220,20 @@ std::unique_ptr<Transport> UnixServerSocket::acceptConnection(
     int TimeoutMillis) {
   if (Fd < 0)
     return nullptr;
-  pollfd P{Fd, POLLIN, 0};
-  int Ready = ::poll(&P, 1, TimeoutMillis);
+  // Poll the listen fd *and* the wakeup fd, so interrupt() — e.g. from a
+  // signal handler — ends an indefinite wait immediately instead of the
+  // caller rediscovering its stop flag at the next timeout.
+  pollfd P[2] = {{Fd, POLLIN, 0}, {WakeFd, POLLIN, 0}};
+  int Ready = ::poll(P, WakeFd >= 0 ? 2 : 1, TimeoutMillis);
   if (Ready <= 0)
+    return nullptr;
+  if (WakeFd >= 0 && (P[1].revents & POLLIN)) {
+    uint64_t Count;
+    while (::read(WakeFd, &Count, sizeof(Count)) > 0) {
+    }
+    return nullptr;
+  }
+  if (!(P[0].revents & POLLIN))
     return nullptr;
   int Conn = ::accept(Fd, nullptr, nullptr);
   if (Conn < 0)
@@ -225,11 +241,22 @@ std::unique_ptr<Transport> UnixServerSocket::acceptConnection(
   return std::make_unique<FdTransport>(Conn);
 }
 
+void UnixServerSocket::interrupt() {
+  if (WakeFd < 0)
+    return;
+  uint64_t One = 1;
+  [[maybe_unused]] ssize_t N = ::write(WakeFd, &One, sizeof(One));
+}
+
 void UnixServerSocket::close() {
   if (Fd < 0)
     return;
   ::close(Fd);
   Fd = -1;
+  if (WakeFd >= 0) {
+    ::close(WakeFd);
+    WakeFd = -1;
+  }
   if (!Path.empty())
     ::unlink(Path.c_str());
   Path.clear();
@@ -252,5 +279,35 @@ dspec::connectUnixSocket(const std::string &SocketPath, std::string *Error) {
     ::close(Fd);
     return nullptr;
   }
+  return std::make_unique<FdTransport>(Fd);
+}
+
+std::unique_ptr<Transport> dspec::connectTcp(const std::string &Host,
+                                             uint16_t Port,
+                                             std::string *Error) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "cannot parse host '" + Host +
+               "' (an IPv4 address like 127.0.0.1)";
+    return nullptr;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Error)
+      *Error = "connect to " + Host + ":" + std::to_string(Port) + ": " +
+               std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
   return std::make_unique<FdTransport>(Fd);
 }

@@ -26,6 +26,7 @@
 #define DATASPEC_SERVICE_TRANSPORT_H
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -62,8 +63,9 @@ public:
   UnixServerSocket() = default;
   ~UnixServerSocket() { close(); }
   UnixServerSocket(UnixServerSocket &&Other) noexcept
-      : Fd(Other.Fd), Path(std::move(Other.Path)) {
+      : Fd(Other.Fd), WakeFd(Other.WakeFd), Path(std::move(Other.Path)) {
     Other.Fd = -1;
+    Other.WakeFd = -1;
   }
   UnixServerSocket &operator=(UnixServerSocket &&) = delete;
   UnixServerSocket(const UnixServerSocket &) = delete;
@@ -73,22 +75,38 @@ public:
   /// Returns false with \p Error set on failure.
   bool listenOn(const std::string &SocketPath, std::string *Error);
 
-  /// Waits up to \p TimeoutMillis for a connection; returns null on
-  /// timeout or on a closed socket. The caller loops, checking its stop
-  /// flag between calls — that is how SIGINT interrupts the accept loop.
-  std::unique_ptr<Transport> acceptConnection(int TimeoutMillis);
+  /// Waits up to \p TimeoutMillis (-1 = indefinitely) for a connection;
+  /// returns null on timeout, interrupt(), or a closed socket. Blocking
+  /// indefinitely is safe because interrupt() wakes the poll through the
+  /// socket's wakeup fd — callers no longer need a timeout-and-recheck
+  /// loop to notice a stop flag.
+  std::unique_ptr<Transport> acceptConnection(int TimeoutMillis = -1);
+
+  /// Wakes a blocked acceptConnection immediately (it returns null).
+  /// Async-signal-safe (one write(2) to an eventfd) and idempotent —
+  /// this is how a SIGINT/SIGTERM handler stops the accept loop with no
+  /// polling latency.
+  void interrupt();
 
   bool listening() const { return Fd >= 0; }
   void close();
 
 private:
   int Fd = -1;
+  /// eventfd that interrupt() writes and acceptConnection polls.
+  int WakeFd = -1;
   std::string Path;
 };
 
 /// Connects to a unix-domain socket; null with \p Error set on failure.
 std::unique_ptr<Transport> connectUnixSocket(const std::string &SocketPath,
                                              std::string *Error);
+
+/// Connects to a TCP endpoint (\p Host is an IPv4 address like
+/// 127.0.0.1); null with \p Error set on failure. TCP_NODELAY is set —
+/// the protocol is request/response and latency-sensitive.
+std::unique_ptr<Transport> connectTcp(const std::string &Host, uint16_t Port,
+                                      std::string *Error);
 
 } // namespace dspec
 

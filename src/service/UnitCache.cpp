@@ -52,23 +52,33 @@ UnitPtr UnitCache::lookup(const UnitKey &Key) {
 }
 
 void UnitCache::publish(Shard &S, const UnitKey &Key, const UnitPtr &Unit) {
-  std::lock_guard<std::mutex> Lock(S.M);
-  auto It = S.Map.find(Key);
-  if (It != S.Map.end()) {
-    // A racing build of the same key already published; keep the existing
-    // entry (units for one key are interchangeable by construction).
-    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
-    return;
+  std::vector<std::pair<UnitKey, UnitPtr>> Evicted;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      // A racing build of the same key already published; keep the
+      // existing entry (units for one key are interchangeable by
+      // construction).
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      return;
+    }
+    S.Lru.emplace_front(Key, Unit);
+    S.Map[Key] = S.Lru.begin();
+    while (S.Lru.size() > ShardCapacity) {
+      // Dropping the shared_ptr only releases the map's reference;
+      // requests still holding the unit keep it alive until they finish.
+      S.Map.erase(S.Lru.back().first);
+      Evicted.push_back(std::move(S.Lru.back()));
+      S.Lru.pop_back();
+      ++S.Evictions;
+    }
   }
-  S.Lru.emplace_front(Key, Unit);
-  S.Map[Key] = S.Lru.begin();
-  while (S.Lru.size() > ShardCapacity) {
-    // Dropping the shared_ptr only releases the map's reference; requests
-    // still holding the unit keep it alive until they finish.
-    S.Map.erase(S.Lru.back().first);
-    S.Lru.pop_back();
-    ++S.Evictions;
-  }
+  // The sink may spill to disk; run it after the shard lock is gone so
+  // slow IO never blocks the hot lookup path.
+  if (OnEvict)
+    for (const auto &[EvictedKey, EvictedUnit] : Evicted)
+      OnEvict(EvictedKey, EvictedUnit);
 }
 
 UnitPtr UnitCache::getOrBuild(const UnitKey &Key, const Builder &Build,

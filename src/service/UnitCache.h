@@ -70,6 +70,9 @@ struct SpecializationUnit {
   /// Wall-clock cost of specialize + compile + loader pass (what a miss
   /// pays and a hit amortizes).
   double BuildSeconds = 0.0;
+  /// The options this unit was specialized under — provenance for the
+  /// spill store's snapshot META section.
+  SpecializerOptions Options;
 
   SpecializationUnit(unsigned Width, unsigned Height) : Grid(Width, Height) {}
 };
@@ -139,9 +142,18 @@ public:
     uint64_t Entries = 0;
   };
 
+  /// Called with each (key, unit) a capacity eviction pushes out, outside
+  /// the shard lock so it may do real work (spill to disk). The unit is
+  /// still alive (shared_ptr) for the duration of the call.
+  using EvictionSink = std::function<void(const UnitKey &, const UnitPtr &)>;
+
   /// \p Capacity total units across \p Shards shards (each shard holds up
   /// to ceil(Capacity/Shards); both are clamped to at least 1).
   explicit UnitCache(unsigned Capacity, unsigned ShardCount = 4);
+
+  /// Installs the eviction sink. Call before concurrent use (the sink is
+  /// read without synchronization on the publish path).
+  void setEvictionSink(EvictionSink Sink) { OnEvict = std::move(Sink); }
 
   /// Returns the unit for \p Key, running \p Build at most once across
   /// all concurrent callers on a miss. \p WasHit (optional) reports
@@ -200,6 +212,7 @@ private:
   std::vector<Shard> Shards;
   unsigned TotalCapacity;
   unsigned ShardCapacity;
+  EvictionSink OnEvict;
 };
 
 } // namespace dspec

@@ -1,0 +1,518 @@
+//===- tests/TestNetService.cpp - Event-loop front end tests ----------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the event-loop network front end (src/net/) and the
+/// disk-spilling unit cache: TCP end-to-end bit-identity against the
+/// plain pass, pipelined reply ordering, streamed replies, the
+/// slow-loris read deadline, per-client quota shedding (and that a
+/// well-behaved client is untouched by a greedy neighbor), interruptible
+/// accepts, and spill/warm-restart disk hits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "engine/RenderEngine.h"
+#include "net/Acceptor.h"
+#include "net/NetServer.h"
+#include "service/Protocol.h"
+#include "service/Service.h"
+#include "service/Transport.h"
+#include "shading/ShaderGallery.h"
+#include "shading/ShaderLab.h"
+#include "support/ByteStream.h"
+#include "support/Crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace dspec;
+
+namespace {
+
+/// Renders \p Info with the unspecialized original — the ground truth a
+/// served reply must match bit-for-bit.
+Framebuffer plainReference(const ShaderInfo &Info, unsigned Width,
+                           unsigned Height,
+                           const std::vector<float> &Controls) {
+  auto Unit = parseUnit(Info.Source);
+  EXPECT_TRUE(Unit->ok()) << Unit->Diags.str();
+  auto Plain = compileFunction(*Unit, Info.Name);
+  EXPECT_TRUE(Plain.has_value()) << Unit->Diags.str();
+  RenderGrid Grid(Width, Height);
+  RenderEngine Engine(1);
+  Framebuffer Out(Width, Height);
+  EXPECT_TRUE(Engine.plainPass(*Plain, Grid, Controls, &Out))
+      << Engine.lastTrap();
+  return Out;
+}
+
+::testing::AssertionResult bitIdentical(const Framebuffer &A,
+                                        const Framebuffer &B) {
+  if (A.width() != B.width() || A.height() != B.height())
+    return ::testing::AssertionFailure() << "dimension mismatch";
+  for (unsigned Y = 0; Y < A.height(); ++Y)
+    for (unsigned X = 0; X < A.width(); ++X)
+      if (std::memcmp(A.at(X, Y).F, B.at(X, Y).F, sizeof(A.at(X, Y).F)) != 0)
+        return ::testing::AssertionFailure()
+               << "pixel (" << X << "," << Y << ") differs";
+  return ::testing::AssertionSuccess();
+}
+
+/// A service plus a NetServer listening on an ephemeral TCP port, torn
+/// down in order (server first — it references the service).
+struct TcpServer {
+  explicit TcpServer(const ServiceConfig &ServiceCfg = {},
+                     NetServerConfig NetCfg = {})
+      : Service(ServiceCfg) {
+    NetCfg.TcpHostPort = "127.0.0.1:0";
+    Server = std::make_unique<NetServer>(Service, std::move(NetCfg));
+    NetServer *Raw = Server.get();
+    Service.setNetStatsProvider([Raw] { return Raw->statsJson(); });
+    std::string Error;
+    Started = Server->start(&Error);
+    EXPECT_TRUE(Started) << Error;
+  }
+
+  ~TcpServer() {
+    Server->shutdownServer();
+    Service.drain();
+  }
+
+  std::unique_ptr<Transport> connect() {
+    std::string Error;
+    auto T = connectTcp("127.0.0.1", Server->boundTcpPort(), &Error);
+    EXPECT_NE(T, nullptr) << Error;
+    return T;
+  }
+
+  SpecializationService Service;
+  std::unique_ptr<NetServer> Server;
+  bool Started = false;
+};
+
+//===----------------------------------------------------------------------===//
+// TCP end to end
+//===----------------------------------------------------------------------===//
+
+TEST(NetTcp, EndToEndMatchesPlainPassForEveryShader) {
+  TcpServer S;
+  ASSERT_TRUE(S.Started);
+  auto Client = S.connect();
+  ASSERT_NE(Client, nullptr);
+  for (const ShaderInfo &Info : shaderGallery()) {
+    RenderRequest Request;
+    Request.Shader = Info.Name;
+    Request.Width = 20;
+    Request.Height = 12;
+    std::string Error;
+    auto Reply = requestRender(*Client, Request, &Error);
+    ASSERT_TRUE(Reply.has_value()) << Info.Name << ": " << Error;
+    ASSERT_TRUE(Reply->ok()) << Info.Name << ": " << Reply->Error;
+    Framebuffer Reference =
+        plainReference(Info, 20, 12, ShaderLab::defaultControls(Info));
+    EXPECT_TRUE(bitIdentical(Reply->toFramebuffer(), Reference))
+        << Info.Name;
+  }
+  EXPECT_EQ(S.Server->stats().Accepted, 1u);
+}
+
+TEST(NetTcp, StatszCarriesNetCounters) {
+  TcpServer S;
+  auto Client = S.connect();
+  std::string Error;
+  auto Json = requestStats(*Client, &Error);
+  ASSERT_TRUE(Json.has_value()) << Error;
+  EXPECT_NE(Json->find("\"net\""), std::string::npos);
+  EXPECT_NE(Json->find("\"quota_sheds\""), std::string::npos);
+}
+
+TEST(NetTcp, PipelinedRepliesArriveInRequestOrder) {
+  // Three different-width requests (three distinct cache keys, built by
+  // concurrent dispatchers) written back to back before any reply is
+  // read: the FIFO slot discipline must serialize replies in request
+  // order no matter which build finishes first.
+  ServiceConfig Cfg;
+  Cfg.Dispatchers = 3;
+  TcpServer S(Cfg);
+  auto Client = S.connect();
+  ASSERT_NE(Client, nullptr);
+
+  const uint32_t Widths[] = {8, 12, 16};
+  std::vector<unsigned char> Burst;
+  for (uint32_t W : Widths) {
+    RenderRequest Request;
+    Request.Shader = "checker";
+    Request.Width = W;
+    Request.Height = 8;
+    ByteWriter Payload;
+    encodeRenderRequest(Payload, Request);
+    std::vector<unsigned char> Frame =
+        encodeFrame(FrameType::RenderRequest, Payload.bytes());
+    Burst.insert(Burst.end(), Frame.begin(), Frame.end());
+  }
+  ASSERT_TRUE(Client->writeAll(Burst.data(), Burst.size()));
+
+  for (uint32_t W : Widths) {
+    FrameType Type;
+    std::vector<unsigned char> Payload;
+    std::string Error;
+    ASSERT_TRUE(readFrame(*Client, Type, Payload, &Error)) << Error;
+    ASSERT_EQ(Type, FrameType::RenderReply);
+    RenderReply Reply;
+    ByteReader R(Payload);
+    ASSERT_TRUE(decodeRenderReply(R, Reply, &Error)) << Error;
+    ASSERT_TRUE(Reply.ok()) << Reply.Error;
+    EXPECT_EQ(Reply.Width, W); // request order, not completion order
+  }
+}
+
+TEST(NetTcp, StreamedReplyReassemblesBitIdentical) {
+  NetServerConfig Net;
+  Net.StreamChunkPixels = 64; // force many RenderPartial frames
+  TcpServer S({}, Net);
+  auto Client = S.connect();
+  ASSERT_NE(Client, nullptr);
+
+  RenderRequest Request;
+  Request.Shader = "marble";
+  Request.Width = 24;
+  Request.Height = 16;
+  Request.StreamTiles = true;
+  std::string Error;
+  auto Reply = requestRender(*Client, Request, &Error);
+  ASSERT_TRUE(Reply.has_value()) << Error;
+  ASSERT_TRUE(Reply->ok()) << Reply->Error;
+
+  const ShaderInfo *Info = findShader("marble");
+  ASSERT_NE(Info, nullptr);
+  Framebuffer Reference =
+      plainReference(*Info, 24, 16, ShaderLab::defaultControls(*Info));
+  EXPECT_TRUE(bitIdentical(Reply->toFramebuffer(), Reference));
+  // 24*16 = 384 pixels at 64 per chunk = 6 partial frames.
+  EXPECT_GE(S.Server->stats().StreamedChunks, 6u);
+}
+
+TEST(NetTcp, ProtocolViolationDropsOnlyThatConnection) {
+  TcpServer S;
+  auto Bad = S.connect();
+  auto Good = S.connect();
+  ASSERT_NE(Bad, nullptr);
+  ASSERT_NE(Good, nullptr);
+
+  // A reply frame from a client is nonsense; the server must close Bad.
+  std::vector<unsigned char> Frame =
+      encodeFrame(FrameType::RenderReply, {});
+  ASSERT_TRUE(Bad->writeAll(Frame.data(), Frame.size()));
+  unsigned char Byte;
+  EXPECT_FALSE(Bad->readAll(&Byte, 1)); // EOF: connection closed
+
+  // The other connection keeps working.
+  RenderRequest Request;
+  Request.Shader = "stripes";
+  Request.Width = 8;
+  Request.Height = 8;
+  std::string Error;
+  auto Reply = requestRender(*Good, Request, &Error);
+  ASSERT_TRUE(Reply.has_value()) << Error;
+  EXPECT_TRUE(Reply->ok()) << Reply->Error;
+  EXPECT_GE(S.Server->stats().ProtocolErrors, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fairness: slow-loris reaping and per-client quotas
+//===----------------------------------------------------------------------===//
+
+TEST(NetTcp, SlowLorisIsReapedWithoutDelayingOthers) {
+  NetServerConfig Net;
+  Net.ReadDeadlineMillis = 150;
+  TcpServer S({}, Net);
+
+  // The attacker sends half a frame header, then stalls.
+  auto Loris = S.connect();
+  ASSERT_NE(Loris, nullptr);
+  std::vector<unsigned char> Full =
+      encodeFrame(FrameType::StatsRequest, {});
+  ASSERT_TRUE(Loris->writeAll(Full.data(), 8));
+
+  // Meanwhile a well-behaved client gets served promptly.
+  auto Polite = S.connect();
+  ASSERT_NE(Polite, nullptr);
+  RenderRequest Request;
+  Request.Shader = "checker";
+  Request.Width = 8;
+  Request.Height = 8;
+  std::string Error;
+  auto Start = std::chrono::steady_clock::now();
+  auto Reply = requestRender(*Polite, Request, &Error);
+  ASSERT_TRUE(Reply.has_value()) << Error;
+  EXPECT_TRUE(Reply->ok()) << Reply->Error;
+
+  // The stalled connection is closed by the deadline sweep; readAll sees
+  // EOF well before the polite client would notice anything.
+  unsigned char Byte;
+  EXPECT_FALSE(Loris->readAll(&Byte, 1));
+  double Waited = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  EXPECT_LT(Waited, 5.0);
+  EXPECT_GE(S.Server->stats().DeadlineReaps, 1u);
+}
+
+TEST(NetTcp, QuotaShedsGreedyClientButNotItsNeighbor) {
+  NetServerConfig Net;
+  Net.QuotaRps = 0.5; // effectively: the burst and nothing more
+  Net.QuotaBurst = 2.0;
+  TcpServer S({}, Net);
+
+  auto Greedy = S.connect();
+  ASSERT_NE(Greedy, nullptr);
+  RenderRequest Request;
+  Request.Shader = "rings";
+  Request.Width = 8;
+  Request.Height = 8;
+
+  unsigned Ok = 0, Shed = 0;
+  for (unsigned I = 0; I < 6; ++I) {
+    std::string Error;
+    auto Reply = requestRender(*Greedy, Request, &Error);
+    ASSERT_TRUE(Reply.has_value()) << Error;
+    if (Reply->ok())
+      ++Ok;
+    else if (Reply->Status == RenderStatus::ShedQuota) {
+      ++Shed;
+      EXPECT_FALSE(Reply->Error.empty());
+    }
+  }
+  EXPECT_EQ(Ok, 2u) << "the burst"; // bucket starts at QuotaBurst
+  EXPECT_EQ(Shed, 4u);
+
+  // A fresh, well-behaved connection has its own bucket: served, and
+  // bit-identical to the plain pass despite the noisy neighbor.
+  auto Polite = S.connect();
+  ASSERT_NE(Polite, nullptr);
+  std::string Error;
+  auto Reply = requestRender(*Polite, Request, &Error);
+  ASSERT_TRUE(Reply.has_value()) << Error;
+  ASSERT_TRUE(Reply->ok()) << Reply->Error;
+  const ShaderInfo *Info = findShader("rings");
+  ASSERT_NE(Info, nullptr);
+  Framebuffer Reference =
+      plainReference(*Info, 8, 8, ShaderLab::defaultControls(*Info));
+  EXPECT_TRUE(bitIdentical(Reply->toFramebuffer(), Reference));
+
+  EXPECT_GE(S.Server->stats().QuotaSheds, 4u);
+  EXPECT_GE(S.Service.statsz().ShedQuota, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Accept interruption (the test-shim transport keeps its fix honest)
+//===----------------------------------------------------------------------===//
+
+TEST(UnixAccept, InterruptUnblocksIndefiniteAccept) {
+  std::string Path = testing::TempDir() + "dspec_accept_intr.sock";
+  UnixServerSocket Listener;
+  std::string Error;
+  ASSERT_TRUE(Listener.listenOn(Path, &Error)) << Error;
+
+  std::thread Waiter([&Listener] {
+    // Indefinite wait: only interrupt() can end this without a client.
+    EXPECT_EQ(Listener.acceptConnection(-1), nullptr);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto Start = std::chrono::steady_clock::now();
+  Listener.interrupt();
+  Waiter.join();
+  double Waited = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  EXPECT_LT(Waited, 2.0) << "interrupt did not wake the accept";
+}
+
+//===----------------------------------------------------------------------===//
+// Spill store: eviction to disk and warm restarts
+//===----------------------------------------------------------------------===//
+
+TEST(Spill, EvictedUnitWarmRestartsFromDiskBitIdentical) {
+  std::string Dir = testing::TempDir() + "dspec_spill_warm";
+  const ShaderInfo *Marble = findShader("marble");
+  ASSERT_NE(Marble, nullptr);
+  RenderRequest Request;
+  Request.Shader = "marble";
+  Request.Width = 16;
+  Request.Height = 12;
+
+  RenderReply Cold;
+  {
+    ServiceConfig Cfg;
+    Cfg.CacheUnits = 1; // the second build evicts (and spills) the first
+    Cfg.CacheShards = 1; // single shard: eviction order is deterministic
+    Cfg.SpillDir = Dir;
+    SpecializationService Service(Cfg);
+    Cold = Service.render(Request);
+    ASSERT_TRUE(Cold.ok()) << Cold.Error;
+    RenderRequest Other;
+    Other.Shader = "wood";
+    Other.Width = 16;
+    Other.Height = 12;
+    ASSERT_TRUE(Service.render(Other).ok());
+    MetricsSnapshot Stats = Service.statsz();
+    EXPECT_TRUE(Stats.SpillEnabled);
+    EXPECT_GE(Stats.SpillWrites, 1u) << "eviction did not spill";
+    EXPECT_EQ(Stats.SpillErrors, 0u);
+  }
+
+  // A fresh process (new service, same directory): the first marble
+  // request must be served from disk — no respecialization — and stay
+  // bit-identical to the cold build.
+  ServiceConfig Cfg;
+  Cfg.SpillDir = Dir;
+  SpecializationService Service(Cfg);
+  RenderReply Warm = Service.render(Request);
+  ASSERT_TRUE(Warm.ok()) << Warm.Error;
+  EXPECT_TRUE(Warm.CacheHit) << "disk hit must read as a cache hit";
+  MetricsSnapshot Stats = Service.statsz();
+  EXPECT_EQ(Stats.SpillDiskHits, 1u);
+  EXPECT_TRUE(bitIdentical(Warm.toFramebuffer(), Cold.toFramebuffer()));
+  Framebuffer Reference = plainReference(
+      *Marble, 16, 12, ShaderLab::defaultControls(*Marble));
+  EXPECT_TRUE(bitIdentical(Warm.toFramebuffer(), Reference));
+
+  // Once loaded it lives in memory again: the next request is an
+  // in-memory hit, not another disk read.
+  ASSERT_TRUE(Service.render(Request).ok());
+  Stats = Service.statsz();
+  EXPECT_EQ(Stats.SpillDiskHits, 1u);
+  EXPECT_GE(Stats.Cache.Hits, 1u);
+}
+
+TEST(Spill, ByteCapEvictsOldFilesButNeverTheLast) {
+  std::string Dir = testing::TempDir() + "dspec_spill_cap";
+  ServiceConfig Cfg;
+  Cfg.CacheUnits = 1;
+  Cfg.CacheShards = 1;
+  Cfg.SpillDir = Dir;
+  Cfg.SpillMaxBytes = 1; // absurdly small: every spill is over cap
+  SpecializationService Service(Cfg);
+
+  const char *Shaders[] = {"marble", "wood", "granite"};
+  for (const char *Name : Shaders) {
+    RenderRequest Request;
+    Request.Shader = Name;
+    Request.Width = 8;
+    Request.Height = 8;
+    ASSERT_TRUE(Service.render(Request).ok()) << Name;
+  }
+  MetricsSnapshot Stats = Service.statsz();
+  EXPECT_GE(Stats.SpillWrites, 2u);
+  EXPECT_GE(Stats.SpillEvictedFiles, 1u);
+  EXPECT_EQ(Stats.SpillFiles, 1u) << "cap must keep exactly the last file";
+}
+
+TEST(Spill, TcpServedWarmRestartCountsDiskHit) {
+  // The acceptance path end to end: spill with one server, restart, and
+  // serve the first TCP request of the new process from disk.
+  std::string Dir = testing::TempDir() + "dspec_spill_tcp";
+  RenderRequest Request;
+  Request.Shader = "plastic";
+  Request.Width = 16;
+  Request.Height = 12;
+
+  uint32_t ColdCrc = 0;
+  {
+    ServiceConfig Cfg;
+    Cfg.CacheUnits = 1;
+    Cfg.CacheShards = 1;
+    Cfg.SpillDir = Dir;
+    TcpServer S(Cfg);
+    auto Client = S.connect();
+    ASSERT_NE(Client, nullptr);
+    std::string Error;
+    auto Cold = requestRender(*Client, Request, &Error);
+    ASSERT_TRUE(Cold.has_value()) << Error;
+    ASSERT_TRUE(Cold->ok()) << Cold->Error;
+    ColdCrc = pixelCrc(Cold->Pixels);
+    RenderRequest Other;
+    Other.Shader = "matte";
+    Other.Width = 16;
+    Other.Height = 12;
+    auto Evictor = requestRender(*Client, Other, &Error);
+    ASSERT_TRUE(Evictor.has_value()) << Error;
+    ASSERT_TRUE(Evictor->ok()) << Evictor->Error;
+  }
+
+  ServiceConfig Cfg;
+  Cfg.SpillDir = Dir;
+  TcpServer S(Cfg);
+  auto Client = S.connect();
+  ASSERT_NE(Client, nullptr);
+  std::string Error;
+  auto Warm = requestRender(*Client, Request, &Error);
+  ASSERT_TRUE(Warm.has_value()) << Error;
+  ASSERT_TRUE(Warm->ok()) << Warm->Error;
+  EXPECT_TRUE(Warm->CacheHit);
+  EXPECT_EQ(pixelCrc(Warm->Pixels), ColdCrc);
+  EXPECT_EQ(S.Service.statsz().SpillDiskHits, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming serde
+//===----------------------------------------------------------------------===//
+
+TEST(NetProtocol, StreamTilesFlagRoundTrips) {
+  RenderRequest In;
+  In.Shader = "wood";
+  In.StreamTiles = true;
+  ByteWriter W;
+  encodeRenderRequest(W, In);
+  ByteReader R(W.bytes());
+  RenderRequest Out;
+  std::string Error;
+  ASSERT_TRUE(decodeRenderRequest(R, Out, &Error)) << Error;
+  EXPECT_TRUE(Out.StreamTiles);
+}
+
+TEST(NetProtocol, PartialAndDoneRoundTrip) {
+  RenderPartialChunk In;
+  In.Width = 4;
+  In.Height = 4;
+  In.PixelOffset = 8;
+  In.PixelCount = 2;
+  In.Pixels = {0.25f, -1.0f, 3.5f, 0.0f, 1.0f, -0.125f};
+  ByteWriter W;
+  encodeRenderPartial(W, In);
+  ByteReader R(W.bytes());
+  RenderPartialChunk Out;
+  std::string Error;
+  ASSERT_TRUE(decodeRenderPartial(R, Out, &Error)) << Error;
+  EXPECT_EQ(Out.PixelOffset, 8u);
+  EXPECT_EQ(Out.PixelCount, 2u);
+  EXPECT_EQ(Out.Pixels, In.Pixels);
+
+  RenderStreamDone Done;
+  Done.Status = RenderStatus::Ok;
+  Done.Width = 4;
+  Done.Height = 4;
+  Done.CacheHit = true;
+  Done.ServiceMicros = 1234;
+  Done.NumPartials = 8;
+  Done.PixelCrc = pixelCrc(In.Pixels);
+  ByteWriter DW;
+  encodeRenderDone(DW, Done);
+  ByteReader DR(DW.bytes());
+  RenderStreamDone DOut;
+  ASSERT_TRUE(decodeRenderDone(DR, DOut, &Error)) << Error;
+  EXPECT_EQ(DOut.Status, RenderStatus::Ok);
+  EXPECT_TRUE(DOut.CacheHit);
+  EXPECT_EQ(DOut.NumPartials, 8u);
+  EXPECT_EQ(DOut.PixelCrc, Done.PixelCrc);
+}
+
+} // namespace

@@ -24,15 +24,19 @@
 ///   dspec snapshot verify SNAP
 ///
 /// Service subcommands run the long-lived specialization service and talk
-/// to it over a unix-domain socket (see docs/SERVICE.md):
+/// to it over a unix-domain socket or TCP (see docs/SERVICE.md):
 ///
-///   dspec serve --socket PATH [--threads N] [--tile PIXELS]
-///         [--cache-units N] [--queue N] [--dispatchers N]
-///         [--exec-tier switch|threaded|batched]
-///   dspec request --socket PATH --gallery SHADER [--width W] [--height H]
-///         [--vary P1[,P2...]] [--controls v1,...] [--deadline MS]
-///         [--repeat N] [--check-plain] [--ppm PATH]
-///   dspec request --socket PATH --statsz
+///   dspec serve (--socket PATH | --listen HOST:PORT) [--io-threads N]
+///         [--threads N] [--tile PIXELS] [--cache-units N] [--queue N]
+///         [--dispatchers N] [--exec-tier switch|threaded|batched]
+///         [--quota-rps R] [--quota-burst B] [--client-queue N]
+///         [--read-deadline MS] [--stream-chunk PIXELS]
+///         [--spill-dir PATH] [--spill-cap-mb N]
+///   dspec request (--socket PATH | --tcp HOST:PORT) --gallery SHADER
+///         [--width W] [--height H] [--vary P1[,P2...]] [--controls v1,...]
+///         [--deadline MS] [--repeat N] [--stream] [--check-plain]
+///         [--ppm PATH]
+///   dspec request (--socket PATH | --tcp HOST:PORT) --statsz
 ///
 /// Exit codes (uniform across every subcommand):
 ///   0  success
@@ -44,6 +48,8 @@
 #include "driver/Pipeline.h"
 #include "engine/RenderEngine.h"
 #include "lang/ASTPrinter.h"
+#include "net/Acceptor.h"
+#include "net/NetServer.h"
 #include "service/Protocol.h"
 #include "service/Service.h"
 #include "service/Transport.h"
@@ -53,16 +59,18 @@
 #include "support/Crc32.h"
 #include "support/StringUtil.h"
 
-#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
-#include <thread>
 #include <vector>
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
 
 using namespace dspec;
 
@@ -86,14 +94,19 @@ void usage(const char *Argv0) {
       "            [--no-phi] [--speculate] [--variants N]\n"
       "       %s snapshot info SNAP\n"
       "       %s snapshot verify SNAP\n"
-      "       %s serve --socket PATH [--threads N] [--tile PIXELS]\n"
-      "            [--cache-units N] [--queue N] [--dispatchers N]\n"
-      "            [--exec-tier switch|threaded|batched] [--variants N]\n"
-      "       %s request --socket PATH --gallery SHADER [--width W]\n"
-      "            [--height H] [--vary P1[,P2...]] [--controls v1,...]\n"
-      "            [--deadline MS] [--repeat N] [--check-plain] [--ppm PATH]\n"
+      "       %s serve (--socket PATH | --listen HOST:PORT) [--io-threads N]\n"
+      "            [--threads N] [--tile PIXELS] [--cache-units N]\n"
+      "            [--cache-shards N] [--queue N] [--dispatchers N]\n"
       "            [--variants N]\n"
-      "       %s request --socket PATH --statsz\n"
+      "            [--exec-tier switch|threaded|batched] [--quota-rps R]\n"
+      "            [--quota-burst B] [--client-queue N] [--read-deadline MS]\n"
+      "            [--stream-chunk PIXELS] [--spill-dir PATH]\n"
+      "            [--spill-cap-mb N]\n"
+      "       %s request (--socket PATH | --tcp HOST:PORT) --gallery SHADER\n"
+      "            [--width W] [--height H] [--vary P1[,P2...]]\n"
+      "            [--controls v1,...] [--deadline MS] [--repeat N]\n"
+      "            [--stream] [--check-plain] [--ppm PATH] [--variants N]\n"
+      "       %s request (--socket PATH | --tcp HOST:PORT) --statsz\n"
       "\n"
       "Splits the named dsc function into a cache loader and cache reader\n"
       "for the input partition where P1, P2, ... vary and every other\n"
@@ -421,12 +434,23 @@ int snapshotMain(int Argc, char **Argv) {
 //===----------------------------------------------------------------------===//
 
 volatile std::sig_atomic_t GStopRequested = 0;
+/// eventfd the signal handler writes so the parked main thread wakes
+/// immediately (write(2) is async-signal-safe; no polling interval).
+int GStopEventFd = -1;
 
-void handleStopSignal(int) { GStopRequested = 1; }
+void handleStopSignal(int) {
+  GStopRequested = 1;
+  if (GStopEventFd >= 0) {
+    uint64_t One = 1;
+    [[maybe_unused]] ssize_t N = ::write(GStopEventFd, &One, sizeof(One));
+  }
+}
 
 int serveMain(int Argc, char **Argv) {
   const char *SocketPath = nullptr;
+  const char *ListenHostPort = nullptr;
   ServiceConfig Config;
+  NetServerConfig Net;
 
   for (int I = 0; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -442,12 +466,32 @@ int serveMain(int Argc, char **Argv) {
     };
     if (std::strcmp(Arg, "--socket") == 0)
       SocketPath = NextValue();
+    else if (std::strcmp(Arg, "--listen") == 0)
+      ListenHostPort = NextValue();
+    else if (std::strcmp(Arg, "--io-threads") == 0)
+      Net.IoThreads = NextUnsigned();
+    else if (std::strcmp(Arg, "--quota-rps") == 0)
+      Net.QuotaRps = std::strtod(NextValue(), nullptr);
+    else if (std::strcmp(Arg, "--quota-burst") == 0)
+      Net.QuotaBurst = std::strtod(NextValue(), nullptr);
+    else if (std::strcmp(Arg, "--client-queue") == 0)
+      Net.MaxClientQueue = NextUnsigned();
+    else if (std::strcmp(Arg, "--read-deadline") == 0)
+      Net.ReadDeadlineMillis = NextUnsigned();
+    else if (std::strcmp(Arg, "--stream-chunk") == 0)
+      Net.StreamChunkPixels = NextUnsigned();
+    else if (std::strcmp(Arg, "--spill-dir") == 0)
+      Config.SpillDir = NextValue();
+    else if (std::strcmp(Arg, "--spill-cap-mb") == 0)
+      Config.SpillMaxBytes = static_cast<uint64_t>(NextUnsigned()) << 20;
     else if (std::strcmp(Arg, "--threads") == 0)
       Config.RenderThreads = NextUnsigned();
     else if (std::strcmp(Arg, "--tile") == 0)
       Config.TilePixels = NextUnsigned();
     else if (std::strcmp(Arg, "--cache-units") == 0)
       Config.CacheUnits = NextUnsigned();
+    else if (std::strcmp(Arg, "--cache-shards") == 0)
+      Config.CacheShards = NextUnsigned();
     else if (std::strcmp(Arg, "--queue") == 0)
       Config.QueueCapacity = NextUnsigned();
     else if (std::strcmp(Arg, "--dispatchers") == 0)
@@ -468,63 +512,71 @@ int serveMain(int Argc, char **Argv) {
       return kExitUsage;
     }
   }
-  if (!SocketPath) {
-    std::fprintf(stderr, "error: serve requires --socket PATH\n");
+  if (!SocketPath && !ListenHostPort) {
+    std::fprintf(stderr,
+                 "error: serve requires --socket PATH and/or --listen "
+                 "HOST:PORT\n");
     return kExitUsage;
   }
+  if (SocketPath)
+    Net.UnixPath = SocketPath;
+  if (ListenHostPort)
+    Net.TcpHostPort = ListenHostPort;
 
-  UnixServerSocket Listener;
+  SpecializationService Service(Config);
+  NetServer Server(Service, Net);
+  Service.setNetStatsProvider([&Server] { return Server.statsJson(); });
+
   std::string Error;
-  if (!Listener.listenOn(SocketPath, &Error)) {
+  if (!Server.start(&Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return kExitFailure;
   }
 
-  SpecializationService Service(Config);
+  GStopEventFd = ::eventfd(0, EFD_CLOEXEC);
   std::signal(SIGINT, handleStopSignal);
   std::signal(SIGTERM, handleStopSignal);
 
-  std::printf("dspec serve: listening on %s (%u render thread(s), cache %u "
-              "units, queue %u, %s tier)\n",
-              SocketPath, Service.config().RenderThreads,
-              Service.config().CacheUnits, Service.config().QueueCapacity,
-              execTierName(Service.config().Tier));
+  std::string Where;
+  if (SocketPath)
+    Where = SocketPath;
+  if (Server.boundTcpPort() != 0) {
+    if (!Where.empty())
+      Where += " and ";
+    Where += "tcp " + std::string(ListenHostPort);
+    Where += formatString(" (port %u)", Server.boundTcpPort());
+  }
+  std::printf("dspec serve: listening on %s (%u io thread(s), %u render "
+              "thread(s), cache %u units, queue %u, %s tier%s)\n",
+              Where.c_str(), Server.config().IoThreads,
+              Service.config().RenderThreads, Service.config().CacheUnits,
+              Service.config().QueueCapacity,
+              execTierName(Service.config().Tier),
+              Config.SpillDir.empty() ? "" : ", spill on");
   std::fflush(stdout);
 
-  // One thread per connection; the transports are shared so the drain
-  // path can shut them down and unblock parked reads.
-  std::mutex ConnMutex;
-  std::vector<std::shared_ptr<Transport>> Connections;
-  std::vector<std::thread> ConnThreads;
-
+  // Park until SIGINT/SIGTERM; the handler's eventfd write ends the
+  // indefinite poll immediately.
   while (!GStopRequested) {
-    std::unique_ptr<Transport> Conn = Listener.acceptConnection(200);
-    if (!Conn)
-      continue;
-    std::shared_ptr<Transport> Shared = std::move(Conn);
-    {
-      std::lock_guard<std::mutex> Lock(ConnMutex);
-      Connections.push_back(Shared);
-    }
-    ConnThreads.emplace_back(
-        [Shared, &Service] { serveConnection(*Shared, Service); });
+    pollfd P = {GStopEventFd, POLLIN, 0};
+    int Ready = ::poll(&P, 1, -1);
+    if (Ready > 0)
+      break;
   }
 
   // Graceful drain: stop accepting, answer everything already queued,
-  // then unblock idle connections and join.
+  // flush every reply to the kernel, then tear the loops down.
   std::printf("dspec serve: SIGINT/SIGTERM received, draining\n");
-  Listener.close();
+  Server.beginDrain();
   Service.drain();
-  {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    for (const std::shared_ptr<Transport> &Conn : Connections)
-      Conn->shutdown();
-  }
-  for (std::thread &T : ConnThreads)
-    T.join();
+  Server.quiesce(/*TimeoutSeconds=*/5.0);
 
   std::printf("dspec serve: final statsz\n%s\n",
               Service.statsz().toJson().c_str());
+
+  Server.shutdownServer();
+  ::close(GStopEventFd);
+  GStopEventFd = -1;
   return kExitOk;
 }
 
@@ -570,6 +622,7 @@ bool framebuffersBitIdentical(const Framebuffer &A, const Framebuffer &B) {
 
 int requestMain(int Argc, char **Argv) {
   const char *SocketPath = nullptr;
+  const char *TcpHostPort = nullptr;
   const char *GalleryName = nullptr;
   const char *PpmPath = nullptr;
   bool WantStats = false;
@@ -588,6 +641,10 @@ int requestMain(int Argc, char **Argv) {
     };
     if (std::strcmp(Arg, "--socket") == 0)
       SocketPath = NextValue();
+    else if (std::strcmp(Arg, "--tcp") == 0)
+      TcpHostPort = NextValue();
+    else if (std::strcmp(Arg, "--stream") == 0)
+      Request.StreamTiles = true;
     else if (std::strcmp(Arg, "--gallery") == 0)
       GalleryName = NextValue();
     else if (std::strcmp(Arg, "--statsz") == 0)
@@ -624,15 +681,31 @@ int requestMain(int Argc, char **Argv) {
     }
   }
 
-  if (!SocketPath || (!GalleryName && !WantStats) ||
-      (GalleryName && WantStats) || Repeat == 0) {
-    std::fprintf(stderr, "error: request needs --socket PATH and either "
-                         "--gallery SHADER or --statsz\n");
+  if ((!SocketPath && !TcpHostPort) || (SocketPath && TcpHostPort) ||
+      (!GalleryName && !WantStats) || (GalleryName && WantStats) ||
+      Repeat == 0) {
+    std::fprintf(stderr,
+                 "error: request needs --socket PATH or --tcp HOST:PORT "
+                 "(not both) and either --gallery SHADER or --statsz\n");
     return kExitUsage;
   }
 
   std::string Error;
-  std::unique_ptr<Transport> Conn = connectUnixSocket(SocketPath, &Error);
+  std::unique_ptr<Transport> Conn;
+  if (TcpHostPort) {
+    std::string Host;
+    uint16_t Port = 0;
+    if (!splitHostPort(TcpHostPort, Host, Port)) {
+      std::fprintf(stderr,
+                   "error: malformed --tcp address '%s' (expected "
+                   "host:port)\n",
+                   TcpHostPort);
+      return kExitUsage;
+    }
+    Conn = connectTcp(Host, Port, &Error);
+  } else {
+    Conn = connectUnixSocket(SocketPath, &Error);
+  }
   if (!Conn) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return kExitFailure;
@@ -678,7 +751,12 @@ int requestMain(int Argc, char **Argv) {
                                 static_cast<float>(Frame) /
                                 static_cast<float>(Repeat - 1);
 
+    auto Start = std::chrono::steady_clock::now();
     auto Reply = requestRender(*Conn, Request, &Error);
+    double ClientMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - Start)
+            .count();
     if (!Reply) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return kExitFailure;
@@ -691,10 +769,14 @@ int requestMain(int Argc, char **Argv) {
 
     uint32_t PixelCrc =
         crc32(Reply->Pixels.data(), Reply->Pixels.size() * sizeof(float));
-    std::printf("%s frame %u: %ux%u, %s, %.3f ms, pixels crc32 %08x\n",
+    // Two latencies per frame: what the service measured and what this
+    // client saw wall-to-wall (framing, transport, reassembly included).
+    std::printf("%s frame %u: %ux%u, %s, service %.3f ms, client %.3f ms, "
+                "pixels crc32 %08x\n",
                 Info->Name.c_str(), Frame, Reply->Width, Reply->Height,
                 Reply->CacheHit ? "cache hit" : "cache miss",
-                static_cast<double>(Reply->ServiceMicros) / 1000.0, PixelCrc);
+                static_cast<double>(Reply->ServiceMicros) / 1000.0,
+                ClientMillis, PixelCrc);
 
     if (CheckPlain) {
       Framebuffer Reference(Request.Width, Request.Height);
