@@ -27,9 +27,11 @@ enum class ExecTier {
   /// Per-pixel direct-threaded execution of the decoded, fused ExecChunk
   /// (VM::runThreaded).
   Threaded,
-  /// Tile-at-a-time SoA execution (VM::runBatch) for straight-line,
-  /// effect-free chunks; chunks with divergent control flow fall back to
-  /// the threaded tier per pixel.
+  /// Tile-at-a-time SoA execution (VM::runBatch) for effect-free chunks.
+  /// Uniform branches run in lockstep, divergent maskable diamonds run
+  /// both arms under a per-lane mask (GPU-warp style), and a tile whose
+  /// control flow diverges at an unmaskable branch re-runs per-pixel on
+  /// the threaded tier. Effectful chunks run per-pixel up front.
   Batched,
 };
 

@@ -45,13 +45,16 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
       Tier == ExecTier::Batched && Decoded.Valid && Decoded.BatchSafe;
 
   /// Per-worker frame state: the reusable argument vectors (scalar and
-  /// lane-major batched forms) plus the first trap this worker hit.
+  /// lane-major batched forms), the first trap this worker hit, and the
+  /// worker's share of the pass execution stats (summed after the join,
+  /// so no atomics on the hot path).
   struct WorkerState {
     std::vector<Value> Args;
     std::vector<Value> LaneArgs; // TileSize x NumArgs, lane-major
     std::vector<Value> Results;  // TileSize batched results
     size_t TrapPixel = SIZE_MAX;
     std::string TrapMessage;
+    PassExecStats Stats;
   };
   std::vector<WorkerState> States(Pool->workerCount());
   for (WorkerState &S : States) {
@@ -80,6 +83,11 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
     const size_t Begin = Tile * TileSize;
     const size_t End = Begin + TileSize < Count ? Begin + TileSize : Count;
 
+    // Which scalar interpreter a per-pixel fallback uses: threaded by
+    // default; a real batch *trap* pins it to the classic switch so the
+    // reported message names the canonical lowest trapping pixel.
+    bool PerPixelThreaded = UseThreaded;
+
     if (UseBatched) {
       const unsigned Lanes = static_cast<unsigned>(End - Begin);
       for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
@@ -101,7 +109,10 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
       }
       Req.Results = S.Results.data();
       ExecResult R = Machine.runBatch(Decoded, Req);
-      if (R.ok()) {
+      S.Stats.BatchDispatchLanes += R.BatchDispatches * Lanes;
+      S.Stats.BatchActiveLanes += R.InstructionsExecuted;
+      if (R.ok() && !R.Diverged) {
+        ++S.Stats.BatchTiles;
         if (Out)
           for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
             const unsigned Index = static_cast<unsigned>(Begin + Lane);
@@ -109,9 +120,18 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
           }
         return;
       }
-      // A batch trap carries no lane attribution: fall through and re-run
-      // the tile per pixel so the canonical lowest-pixel diagnostic comes
-      // out identical to the scalar tiers.
+      if (R.Diverged) {
+        // Unmaskable control flow diverged across the tile's lanes — not
+        // an error. Re-run per-pixel on the threaded tier (bit-identical
+        // by construction, and much faster than the switch).
+        ++S.Stats.BailedTiles;
+      } else {
+        // A batch trap carries no lane attribution: re-run the tile
+        // per-pixel through the classic switch interpreter so the
+        // canonical lowest-pixel diagnostic comes out identical to the
+        // scalar tiers.
+        PerPixelThreaded = false;
+      }
     }
 
     for (size_t Index = Begin; Index < End; ++Index) {
@@ -122,7 +142,7 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
       S.Args[3] = In.I;
       CacheView View =
           Arena ? Arena->view(static_cast<unsigned>(Index)) : CacheView();
-      ExecResult R = UseThreaded && !UseBatched
+      ExecResult R = PerPixelThreaded
                          ? Machine.runThreaded(Decoded, S.Args, View)
                          : (Arena ? Machine.run(Code, S.Args, View)
                                   : Machine.run(Code, S.Args));
@@ -139,6 +159,14 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
                 static_cast<unsigned>(Index) / Width) = R.Result;
     }
   });
+
+  LastStats = PassExecStats();
+  for (const WorkerState &S : States) {
+    LastStats.BatchTiles += S.Stats.BatchTiles;
+    LastStats.BailedTiles += S.Stats.BailedTiles;
+    LastStats.BatchDispatchLanes += S.Stats.BatchDispatchLanes;
+    LastStats.BatchActiveLanes += S.Stats.BatchActiveLanes;
+  }
 
   if (AnyTrap.load(std::memory_order_relaxed)) {
     // Report the lowest-numbered trapping pixel so failures read the same

@@ -58,14 +58,37 @@ public:
   unsigned tilePixels() const { return TileSize; }
 
   /// Selects how passes execute chunks. The default is Batched — the
-  /// fastest tier — which degrades gracefully: chunks with divergent
-  /// control flow run per-pixel on the threaded tier, and chunks that
-  /// fail decoding fall back to the classic switch interpreter. Every
-  /// tier produces bit-identical framebuffers (tests/TestExecTiers.cpp
-  /// pins this over the whole gallery); the knob exists for A/B
-  /// measurement (`bench_exec_tier`, `dspec serve --exec-tier`).
+  /// fastest tier — which degrades gracefully: branchy chunks execute
+  /// batched under per-lane masks (uniform branches run in lockstep;
+  /// divergent maskable diamonds run both arms masked), a tile whose
+  /// control flow diverges at an unmaskable branch re-runs per-pixel on
+  /// the threaded tier, effectful chunks run per-pixel up front, and
+  /// chunks that fail decoding fall back to the classic switch
+  /// interpreter. Every tier produces bit-identical framebuffers
+  /// (tests/TestExecTiers.cpp pins this over the whole gallery); the
+  /// knob exists for A/B measurement (`bench_exec_tier`, `dspec serve
+  /// --exec-tier`).
   void setExecTier(ExecTier NewTier) { Tier = NewTier; }
   ExecTier execTier() const { return Tier; }
+
+  /// Execution statistics of the last completed pass; the batch figures
+  /// cover runBatch attempts only (zero under the scalar tiers), so the
+  /// exec-tier bench can report a divergence column.
+  struct PassExecStats {
+    uint64_t BatchTiles = 0;  ///< tiles fully retired by runBatch
+    uint64_t BailedTiles = 0; ///< tiles that diverged and re-ran per-pixel
+    uint64_t BatchDispatchLanes = 0; ///< sum over tiles: dispatches x lanes
+    uint64_t BatchActiveLanes = 0;   ///< sum: active-lane instructions
+    /// Average active-lane fraction per dispatched batch instruction
+    /// (1.0 = no masking ever engaged).
+    double activeFraction() const {
+      return BatchDispatchLanes
+                 ? static_cast<double>(BatchActiveLanes) /
+                       static_cast<double>(BatchDispatchLanes)
+                 : 1.0;
+    }
+  };
+  const PassExecStats &lastPassStats() const { return LastStats; }
 
   /// Runs the loader over every pixel, filling \p Arena (which is reshaped
   /// to the grid and the chunk's layout extent if it does not match).
@@ -166,6 +189,7 @@ private:
   unsigned TileSize;
   ExecTier Tier = ExecTier::Batched;
   std::string LastTrap;
+  PassExecStats LastStats;
 };
 
 } // namespace dspec

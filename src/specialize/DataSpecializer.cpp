@@ -98,17 +98,31 @@ void DataSpecializer::runPipeline(Function *Work,
   Result.Stats.DependentTerms = Dep.dependentCount();
   Result.Stats.LoaderBranchStmts = Splitter::countBranchStmts(Result.Loader);
   Result.Stats.ReaderBranchStmts = Splitter::countBranchStmts(Result.Reader);
+  Splitter::countBranchKinds(Result.Reader,
+                             Result.Stats.ReaderMaskableBranches,
+                             Result.Stats.ReaderUnmaskableBranches);
 
   if (Options.CollectExplanation) {
     // Batch eligibility is a property of the emitted split, so it lands
-    // after the main (pre-split) decision report.
+    // after the main (pre-split) decision report. Every effect-free
+    // reader starts on the batched tier; the branch-kind split says what
+    // happens when lanes diverge (masked arms vs a per-pixel bail).
+    const SpecializationStats &St = Result.Stats;
     Result.Explanation +=
-        "\nreader control flow: " +
-        std::to_string(Result.Stats.ReaderBranchStmts) +
-        " branch statement(s) — " +
-        (Result.Stats.ReaderBranchStmts == 0
-             ? "divergence-free, eligible for pixel-batched execution\n"
-             : "divergent, executes per-pixel (threaded tier)\n");
+        "\nreader control flow: " + std::to_string(St.ReaderBranchStmts) +
+        " branch statement(s)";
+    if (St.ReaderBranchStmts == 0) {
+      Result.Explanation +=
+          " — divergence-free, batched tier executes tiles in lockstep\n";
+    } else {
+      Result.Explanation +=
+          " (" + std::to_string(St.ReaderMaskableBranches) +
+          " maskable diamond(s), " +
+          std::to_string(St.ReaderUnmaskableBranches) +
+          " unmaskable loop(s)/return(s)) — batched tier masks divergent "
+          "diamonds; divergence at an unmaskable branch re-runs the tile "
+          "per-pixel (threaded tier)\n";
+    }
   }
 }
 
@@ -310,14 +324,22 @@ std::string dspec::formatVariantTable(const VariantSetResult &Set) {
     Out += ", " + std::to_string(Set.VariantsEvicted) +
            " evicted by the cross-variant budget";
   Out += ")\n";
-  Out += "  properties            reader terms  branches  cache B  "
-         "predicted benefit\n";
+  Out += "  properties            reader terms  branches m/u  cache B  "
+         "tier          predicted benefit\n";
   for (const SpecializedVariant &V : Set.Variants) {
+    const SpecializationStats &St = V.Result.Stats;
+    // Every effect-free reader starts batched; unmaskable branches mean
+    // a divergent tile bails to the threaded tier at runtime.
+    const char *TierName = St.ReaderUnmaskableBranches
+                               ? "batched/bail"
+                               : "batched";
     char Line[160];
-    std::snprintf(Line, sizeof(Line), "  %-20s  %12u  %8u  %7u  %17.1f\n",
-                  V.Label.c_str(), V.Result.Stats.ReaderTerms,
-                  V.Result.Stats.ReaderBranchStmts,
-                  V.Result.Layout.totalBytes(), V.PredictedBenefit);
+    std::snprintf(Line, sizeof(Line),
+                  "  %-20s  %12u  %7u %2u/%-2u  %7u  %-12s  %17.1f\n",
+                  V.Label.c_str(), St.ReaderTerms, St.ReaderBranchStmts,
+                  St.ReaderMaskableBranches, St.ReaderUnmaskableBranches,
+                  V.Result.Layout.totalBytes(), TierName,
+                  V.PredictedBenefit);
     Out += Line;
   }
   return Out;

@@ -52,12 +52,19 @@ struct SpecializationStats {
   unsigned ChainsReassociated = 0;
   unsigned LimiterVictims = 0;
   /// Branching statements (if / while) in the emitted loader and reader.
-  /// A zero ReaderBranchStmts reader compiles to straight-line bytecode
-  /// and runs on the render engine's pixel-batched tier; a branchy one
-  /// falls back to per-pixel threaded dispatch (see docs/ENGINE.md,
-  /// "Execution tiers").
+  /// Since the masked batched tier, branches no longer disqualify a
+  /// reader from batching: effect-free readers always start batched.
+  /// The Maskable/Unmaskable split below says how each branch behaves
+  /// when lanes disagree (see docs/ENGINE.md, "Masked divergent-lane
+  /// execution").
   unsigned LoaderBranchStmts = 0;
   unsigned ReaderBranchStmts = 0;
+  /// Reader branches split by divergence handling: maskable diamonds
+  /// execute both arms under a per-lane mask; unmaskable branches
+  /// (loops, return-carrying ifs) batch only while uniform — a
+  /// divergent tile bails to per-pixel threaded execution.
+  unsigned ReaderMaskableBranches = 0;
+  unsigned ReaderUnmaskableBranches = 0;
 };
 
 /// Everything the specializer produces for one fragment + partition.

@@ -129,3 +129,30 @@ unsigned Splitter::countBranchStmts(Function *F) {
   });
   return Branches;
 }
+
+void Splitter::countBranchKinds(Function *F, unsigned &Maskable,
+                                unsigned &Unmaskable) {
+  Maskable = 0;
+  Unmaskable = 0;
+  walkStmts(F->body(), [&](Stmt *S) {
+    if (S->kind() == StmtKind::SK_While) {
+      ++Unmaskable;
+      return;
+    }
+    if (S->kind() != StmtKind::SK_If)
+      return;
+    // An if is a maskable diamond unless its subtree escapes structured
+    // reconvergence: a loop inside changes trip counts per lane, a
+    // return leaves the diamond entirely.
+    bool Escapes = false;
+    walkStmts(S, [&](Stmt *Sub) {
+      if (Sub->kind() == StmtKind::SK_While ||
+          Sub->kind() == StmtKind::SK_Return)
+        Escapes = true;
+    });
+    if (Escapes)
+      ++Unmaskable;
+    else
+      ++Maskable;
+  });
+}

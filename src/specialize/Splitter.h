@@ -59,6 +59,17 @@ public:
   /// AST-level count feeds the stats and the explain report.
   static unsigned countBranchStmts(Function *F);
 
+  /// Splits countBranchStmts by how the batched tier handles divergence
+  /// at each branch (docs/ENGINE.md, "Masked divergent-lane execution"):
+  /// an if whose subtree contains no loop and no return is \p Maskable —
+  /// divergent lanes execute both arms under a mask; whiles, and ifs
+  /// carrying a while or return, are \p Unmaskable — uniform lanes still
+  /// batch in lockstep, but a divergent tile bails to per-pixel
+  /// execution. Mirrors the bytecode-level ExecChunk::BranchJoin
+  /// classification, which remains authoritative at runtime.
+  static void countBranchKinds(Function *F, unsigned &Maskable,
+                               unsigned &Unmaskable);
+
 private:
   ASTContext &Ctx;
   CachingAnalysis &CA;

@@ -17,7 +17,12 @@
 //                locals rows and strided packed caches, so dispatch cost
 //                is amortized 1/Lanes and the inner loops are plain
 //                arrays the compiler can vectorize. Only for BatchSafe
-//                (straight-line, effect-free) chunks.
+//                (effect-free) chunks. Control flow runs GPU-warp style:
+//                uniform branch outcomes jump in lockstep, divergent
+//                maskable diamonds execute both arms under a per-lane
+//                mask stack, and divergence at an unmaskable branch
+//                bails out of the tile (ExecResult::Diverged) for a
+//                per-pixel re-run by the caller.
 //
 // Both tiers call the shared semantics in vm/InterpOps.h — the same
 // functions the classic switch interpreter uses — which is what makes
@@ -400,7 +405,7 @@ dispatch:
     const Value &Rv = Stack[SP - 1];
     const Value &Lv = Stack[SP - 2];
     SP -= 2;
-    if (interp::opLt(Lv, Rv).I == 0)
+    if (!interp::cmpLt(Lv, Rv))
       Ip = Code + In->A2;
     NEXT();
   }
@@ -408,7 +413,7 @@ dispatch:
     const Value &Rv = Stack[SP - 1];
     const Value &Lv = Stack[SP - 2];
     SP -= 2;
-    if (interp::opLe(Lv, Rv).I == 0)
+    if (!interp::cmpLe(Lv, Rv))
       Ip = Code + In->A2;
     NEXT();
   }
@@ -416,7 +421,7 @@ dispatch:
     const Value &Rv = Stack[SP - 1];
     const Value &Lv = Stack[SP - 2];
     SP -= 2;
-    if (interp::opGt(Lv, Rv).I == 0)
+    if (!interp::cmpGt(Lv, Rv))
       Ip = Code + In->A2;
     NEXT();
   }
@@ -424,7 +429,7 @@ dispatch:
     const Value &Rv = Stack[SP - 1];
     const Value &Lv = Stack[SP - 2];
     SP -= 2;
-    if (interp::opGe(Lv, Rv).I == 0)
+    if (!interp::cmpGe(Lv, Rv))
       Ip = Code + In->A2;
     NEXT();
   }
@@ -645,9 +650,32 @@ inline void cacheLoadRow(Value *Dest, const unsigned char *Base,
 
 } // namespace
 
+// Batch traps also record the dispatch count so the caller's divergence
+// accounting stays consistent on every exit path.
+#undef TRAP
+#define TRAP(MSG)                                                              \
+  do {                                                                         \
+    Result.Trapped = true;                                                     \
+    Result.TrapMessage = (MSG);                                                \
+    Result.InstructionsExecuted = Executed;                                    \
+    Result.BatchDispatches = Dispatched;                                       \
+    return Result;                                                             \
+  } while (0)
+
+// Unmaskable control flow actually diverged across lanes: not an error —
+// results are unwritten and the caller re-runs the tile per-pixel.
+#define DIVERGE()                                                              \
+  do {                                                                         \
+    Result.Diverged = true;                                                    \
+    Result.InstructionsExecuted = Executed;                                    \
+    Result.BatchDispatches = Dispatched;                                       \
+    return Result;                                                             \
+  } while (0)
+
 ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
   ExecResult Result;
   uint64_t Executed = 0;
+  uint64_t Dispatched = 0;
 
   if (!C.Valid || !C.BatchSafe)
     TRAP("batch execution on an unsupported chunk '" + C.Name + "'");
@@ -702,8 +730,46 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
                      Req.CacheBytes);
   };
 
-  for (const ExecInstr &In : C.Code) {
-    Executed += Lanes;
+  // Divergence state. A null CurMask means every lane is active — the
+  // uniform fast path that straight-line chunks and runtime-uniform
+  // branches never leave, so they pay no masking cost. A divergent
+  // maskable diamond pushes a MaskFrame; CurMask then points at the top
+  // frame's current-arm mask. Stack pushes stay unmasked (each arm
+  // writes operand rows for every lane, keeping lane kinds uniform);
+  // only stores to locals and cache slots are masked, and only those
+  // plus trap checks consult CurMask.
+  size_t MaskDepth = 0;
+  const uint8_t *CurMask = nullptr;
+  unsigned ActiveCount = Lanes;
+  CondScratch.resize(Lanes);
+
+  auto RefreshMask = [&]() {
+    if (MaskDepth == 0) {
+      CurMask = nullptr;
+      ActiveCount = Lanes;
+    } else {
+      CurMask = BatchMasks[MaskDepth - 1].Active.data();
+      ActiveCount = BatchMasks[MaskDepth - 1].ActiveCount;
+    }
+  };
+
+  const ExecInstr *Code = C.Code.data();
+  const size_t CodeLen = C.Code.size();
+  size_t IpIdx = 0;
+  while (IpIdx < CodeLen) {
+    // Reconvergence: lanes masked off for the innermost diamond rejoin
+    // at its join index. Nested diamonds with coinciding joins pop in
+    // one go, innermost first.
+    while (MaskDepth > 0 &&
+           BatchMasks[MaskDepth - 1].Join == static_cast<int32_t>(IpIdx)) {
+      --MaskDepth;
+      RefreshMask();
+    }
+    const ExecInstr &In = Code[IpIdx];
+    ++Dispatched;
+    // Bill active lanes only: a divergent tile is charged the work a
+    // per-pixel run would have done, not both arms times every lane.
+    Executed += CurMask ? ActiveCount : Lanes;
     if (Executed > InstructionBudget)
       TRAP("instruction budget exceeded in '" + C.Name + "'");
     switch (In.Op) {
@@ -721,7 +787,14 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
     }
     case FusedOp::F_StoreLocal: {
       const Value *S = Row(--SP);
-      std::copy(S, S + Lanes, LocalRow(In.A));
+      Value *D = LocalRow(In.A);
+      if (!CurMask) {
+        std::copy(S, S + Lanes, D);
+      } else {
+        for (unsigned L = 0; L < Lanes; ++L)
+          if (CurMask[L])
+            D[L] = S[L];
+      }
       break;
     }
     case FusedOp::F_Convert: {
@@ -778,9 +851,16 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       // in the generic fallback with the other int mixes.
       if (!arithRows(Lv, Rv, Lanes, [](float A, float B) { return A / B; }))
         for (unsigned L = 0; L < Lanes; ++L) {
-          if (Lv[L].isInt() && Rv[L].isInt() && Rv[L].I == 0)
-            TRAP("integer division by zero in '" + C.Name + "'" +
-                 interp::srcLocSuffix(In.A, In.B));
+          if (Lv[L].isInt() && Rv[L].isInt() && Rv[L].I == 0) {
+            if (!CurMask || CurMask[L])
+              TRAP("integer division by zero in '" + C.Name + "'" +
+                   interp::srcLocSuffix(In.A, In.B));
+            // Masked-off lane: the trap is suppressed; a kind-correct
+            // placeholder keeps the row's lane kinds uniform and is
+            // never observed.
+            Lv[L] = Value::makeInt(0);
+            continue;
+          }
           Lv[L] = interp::opDiv(Lv[L], Rv[L]);
         }
       break;
@@ -789,9 +869,13 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       const Value *Rv = Row(--SP);
       Value *Lv = Row(SP - 1);
       for (unsigned L = 0; L < Lanes; ++L) {
-        if (Rv[L].I == 0)
-          TRAP("integer modulo by zero in '" + C.Name + "'" +
-               interp::srcLocSuffix(In.A, In.B));
+        if (Rv[L].I == 0) {
+          if (!CurMask || CurMask[L])
+            TRAP("integer modulo by zero in '" + C.Name + "'" +
+                 interp::srcLocSuffix(In.A, In.B));
+          Lv[L] = Value::makeInt(0);
+          continue;
+        }
         Lv[L] = Value::makeInt(Lv[L].I % Rv[L].I);
       }
       break;
@@ -905,6 +989,8 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
         TRAP("cache store past the layout in '" + C.Name + "'");
       const Value *S = Row(SP - 1);
       for (unsigned L = 0; L < Lanes; ++L) {
+        if (CurMask && !CurMask[L])
+          continue; // inactive lane: no store, no type trap
         if (S[L].Kind != Kind)
           TRAP("cache store type mismatch in '" + C.Name + "': slot is " +
                Type(Kind).name() + ", value is " + Type(S[L].Kind).name());
@@ -913,16 +999,22 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       break;
     }
     case FusedOp::F_Return: {
+      if (MaskDepth > 0)
+        DIVERGE(); // classification forbids returns inside a diamond
       const Value *S = Row(SP - 1);
       for (unsigned L = 0; L < Lanes; ++L)
         Req.Results[L] = S[L];
       Result.InstructionsExecuted = Executed;
+      Result.BatchDispatches = Dispatched;
       return Result;
     }
     case FusedOp::F_ReturnVoid: {
+      if (MaskDepth > 0)
+        DIVERGE();
       for (unsigned L = 0; L < Lanes; ++L)
         Req.Results[L] = Value::makeVoid();
       Result.InstructionsExecuted = Executed;
+      Result.BatchDispatches = Dispatched;
       return Result;
     }
     case FusedOp::F_ConstAdd: {
@@ -951,9 +1043,17 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
     }
     case FusedOp::F_StoreLoad: {
       // Store first, then load — row-wise order preserves the sequential
-      // semantics even when both name the same local.
+      // semantics even when both name the same local. Only the store is
+      // masked; the load is a stack push and writes every lane.
       Value *S = Row(SP - 1);
-      std::copy(S, S + Lanes, LocalRow(In.A));
+      Value *D = LocalRow(In.A);
+      if (!CurMask) {
+        std::copy(S, S + Lanes, D);
+      } else {
+        for (unsigned L = 0; L < Lanes; ++L)
+          if (CurMask[L])
+            D[L] = S[L];
+      }
       const Value *Src = LocalRow(In.A2);
       std::copy(Src, Src + Lanes, S);
       break;
@@ -1021,8 +1121,15 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       const unsigned Offset = static_cast<unsigned>(In.B);
       if (!Bounds.inBounds(Offset, Kind))
         TRAP("cache read past the layout in '" + C.Name + "'");
-      cacheLoadRow(LocalRow(In.A2), Req.CacheBase, Req.CacheStride, Offset,
-                   Kind, Lanes);
+      if (!CurMask) {
+        cacheLoadRow(LocalRow(In.A2), Req.CacheBase, Req.CacheStride, Offset,
+                     Kind, Lanes);
+      } else {
+        Value *D = LocalRow(In.A2);
+        for (unsigned L = 0; L < Lanes; ++L)
+          if (CurMask[L])
+            D[L] = LaneView(L).load(Offset, Kind);
+      }
       break;
     }
     case FusedOp::F_CacheLoadRet: {
@@ -1032,31 +1139,122 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       const unsigned Offset = static_cast<unsigned>(In.B);
       if (!Bounds.inBounds(Offset, Kind))
         TRAP("cache read past the layout in '" + C.Name + "'");
+      if (MaskDepth > 0)
+        DIVERGE();
       cacheLoadRow(Req.Results, Req.CacheBase, Req.CacheStride, Offset, Kind,
                    Lanes);
       Result.InstructionsExecuted = Executed;
+      Result.BatchDispatches = Dispatched;
       return Result;
     }
-    case FusedOp::F_Jump:
+    case FusedOp::F_Jump: {
+      // The only forward unconditional jump the compiler emits is the
+      // else-skip ending a then-arm. Under a divergent frame for that
+      // exact diamond it transitions execution to the else arm instead
+      // of jumping; everything else (loop back-edges, skips under a
+      // uniform outcome) jumps in lockstep.
+      if (MaskDepth > 0) {
+        MaskFrame &F = BatchMasks[MaskDepth - 1];
+        if (F.InThen && In.A == F.Join) {
+          F.Active.swap(F.Pending);
+          std::swap(F.ActiveCount, F.PendingCount);
+          F.InThen = false;
+          CurMask = F.Active.data();
+          ActiveCount = F.ActiveCount;
+          ++IpIdx; // falls into the else arm (or straight onto the join)
+          continue;
+        }
+      }
+      IpIdx = static_cast<size_t>(In.A);
+      continue;
+    }
     case FusedOp::F_JumpIfFalse:
     case FusedOp::F_LtJf:
     case FusedOp::F_LeJf:
     case FusedOp::F_GtJf:
-    case FusedOp::F_GeJf:
-      // Unreachable: BatchSafe requires a straight-line chunk.
-      TRAP("batch execution reached divergent control flow in '" + C.Name +
-           "'");
+    case FusedOp::F_GeJf: {
+      // Evaluate the condition over the *active* lanes only: masked-off
+      // garbage must never influence control flow, and divergence means
+      // "the active lanes disagree".
+      size_t Target;
+      unsigned TrueCount = 0;
+      const unsigned ActiveTotal = CurMask ? ActiveCount : Lanes;
+      if (In.Op == FusedOp::F_JumpIfFalse) {
+        Target = static_cast<size_t>(In.A);
+        const Value *S = Row(--SP);
+        for (unsigned L = 0; L < Lanes; ++L) {
+          const uint8_t B = (!CurMask || CurMask[L]) && S[L].asBool() ? 1 : 0;
+          CondScratch[L] = B;
+          TrueCount += B;
+        }
+      } else {
+        Target = static_cast<size_t>(In.A2);
+        const Value *Rv = Row(--SP);
+        const Value *Lv = Row(--SP);
+        bool (*Cmp)(const Value &, const Value &) =
+            In.Op == FusedOp::F_LtJf   ? interp::cmpLt
+            : In.Op == FusedOp::F_LeJf ? interp::cmpLe
+            : In.Op == FusedOp::F_GtJf ? interp::cmpGt
+                                       : interp::cmpGe;
+        for (unsigned L = 0; L < Lanes; ++L) {
+          const uint8_t B =
+              (!CurMask || CurMask[L]) && Cmp(Lv[L], Rv[L]) ? 1 : 0;
+          CondScratch[L] = B;
+          TrueCount += B;
+        }
+      }
+      if (TrueCount == ActiveTotal) { // uniformly true: fall through
+        ++IpIdx;
+        continue;
+      }
+      if (TrueCount == 0) { // uniformly false: jump in lockstep
+        IpIdx = Target;
+        continue;
+      }
+      const int32_t Join = C.BranchJoin.empty() ? -1 : C.BranchJoin[IpIdx];
+      if (Join < 0)
+        DIVERGE(); // a divergent loop exit or return-bearing diamond
+      // Push a mask frame: the then-lanes run first; the else mask waits
+      // in Pending until the else-skip transition (and reconverges unused
+      // for an if without an else arm).
+      if (BatchMasks.size() <= MaskDepth)
+        BatchMasks.emplace_back();
+      MaskFrame &F = BatchMasks[MaskDepth];
+      F.Active.assign(CondScratch.begin(), CondScratch.end());
+      F.Pending.resize(Lanes);
+      if (MaskDepth == 0) {
+        for (unsigned L = 0; L < Lanes; ++L)
+          F.Pending[L] = static_cast<uint8_t>(!CondScratch[L]);
+      } else {
+        const uint8_t *Parent = BatchMasks[MaskDepth - 1].Active.data();
+        for (unsigned L = 0; L < Lanes; ++L)
+          F.Pending[L] = static_cast<uint8_t>(Parent[L] && !CondScratch[L]);
+      }
+      F.Join = Join;
+      F.InThen = true;
+      F.ActiveCount = TrueCount;
+      F.PendingCount = ActiveTotal - TrueCount;
+      ++MaskDepth;
+      CurMask = F.Active.data();
+      ActiveCount = TrueCount;
+      ++IpIdx;
+      continue;
+    }
     case FusedOp::F_OpCount:
       TRAP("corrupt opcode in decoded chunk '" + C.Name + "'");
     }
+    ++IpIdx;
   }
 
   // Fell off the end: every lane halts with a void result, matching the
-  // scalar interpreters.
+  // scalar interpreters. (Reconvergence at an end-of-code join needs no
+  // pops — every lane gets the same void result regardless of masks.)
   for (unsigned L = 0; L < Lanes; ++L)
     Req.Results[L] = Value::makeVoid();
   Result.InstructionsExecuted = Executed;
+  Result.BatchDispatches = Dispatched;
   return Result;
 }
 
+#undef DIVERGE
 #undef TRAP

@@ -134,6 +134,15 @@ inline Value opNe(const Value &L, const Value &R) {
   return compare(L, R, [](float A, float B) { return A != B; });
 }
 
+/// Branch-condition truth of the fused compare+JumpIfFalse pairs, shared
+/// by the threaded tier's scalar jumps and the batched tier's per-lane
+/// uniformity/divergence decisions so both agree bit-for-bit with the
+/// boxed compare + OC_JumpIfFalse sequence they replace.
+inline bool cmpLt(const Value &L, const Value &R) { return opLt(L, R).I != 0; }
+inline bool cmpLe(const Value &L, const Value &R) { return opLe(L, R).I != 0; }
+inline bool cmpGt(const Value &L, const Value &R) { return opGt(L, R).I != 0; }
+inline bool cmpGe(const Value &L, const Value &R) { return opGe(L, R).I != 0; }
+
 } // namespace interp
 } // namespace dspec
 

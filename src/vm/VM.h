@@ -40,7 +40,22 @@ struct ExecResult {
   Value Result;
   bool Trapped = false;
   std::string TrapMessage;
+  /// Scalar tiers: instructions retired. Batched tier: *active lanes*
+  /// summed per retired instruction — a lane masked off by divergence is
+  /// not billed, so the instruction budget charges a divergent tile the
+  /// same work a per-pixel run would have done.
   uint64_t InstructionsExecuted = 0;
+
+  /// Batched tier only: control flow diverged across lanes at a point
+  /// that cannot run under a mask (a loop exit, or a diamond carrying a
+  /// return). Not an error and not a trap: results are unwritten and the
+  /// caller re-runs the tile per-pixel. Mutually exclusive with Trapped.
+  bool Diverged = false;
+  /// Batched tier only: instruction dispatches retired (each dispatch
+  /// covers up to Lanes lanes). With InstructionsExecuted this yields the
+  /// tile's average active-lane fraction:
+  /// InstructionsExecuted / (BatchDispatches * Lanes).
+  uint64_t BatchDispatches = 0;
 
   bool ok() const { return !Trapped; }
 };
@@ -99,11 +114,22 @@ public:
 
   /// Fast tier 2: executes one instruction stream over a whole tile of
   /// lanes — one fetch/dispatch per instruction, a strided SoA inner
-  /// loop per lane. \p C must be Valid and BatchSafe (straight-line,
-  /// effect-free); lanes therefore retire instructions in lockstep and
-  /// the first Return stops every lane together. On any trap the result
-  /// carries no lane attribution — the caller re-runs the tile through a
-  /// scalar tier to reproduce the canonical per-pixel diagnostic.
+  /// loop per lane. \p C must be Valid and BatchSafe (effect-free).
+  ///
+  /// Control flow runs GPU-warp style. Branch conditions are evaluated
+  /// over the *active* lanes only; a uniform outcome takes the jump (or
+  /// falls through) in lockstep exactly like the scalar tiers, so
+  /// straight-line chunks and uniform loops pay nothing. A divergent
+  /// conditional that heads a maskable diamond (ExecChunk::BranchJoin)
+  /// pushes a mask frame: both arms execute with inactive lanes
+  /// suppressed — stores to locals and cache slots are masked, masked
+  /// div/mod-by-zero does not trap — and lanes reconverge at the join.
+  /// Divergence at an unmaskable branch sets ExecResult::Diverged and
+  /// returns with results unwritten; the caller re-runs the tile
+  /// per-pixel. On a real trap (always from a lane that is active) the
+  /// result carries no lane attribution — the caller re-runs the tile
+  /// through the switch tier to reproduce the canonical lowest-pixel
+  /// diagnostic.
   ExecResult runBatch(const ExecChunk &C, const BatchRequest &Req);
 
   /// Values recorded by dsc_trace, in call order.
@@ -129,6 +155,22 @@ private:
   /// index s * Lanes + l), likewise reused across tiles.
   std::vector<Value> BatchLocals;
   std::vector<Value> BatchStack;
+
+  /// Divergence scratch for runBatch: one mask frame per nested divergent
+  /// diamond. Active holds the current arm's lane mask (1 = active),
+  /// Pending the other arm's; frames are reused across tiles so steady-
+  /// state divergence allocates nothing.
+  struct MaskFrame {
+    std::vector<uint8_t> Active;
+    std::vector<uint8_t> Pending;
+    int32_t Join = 0;
+    bool InThen = false;
+    unsigned ActiveCount = 0;
+    unsigned PendingCount = 0;
+  };
+  std::vector<MaskFrame> BatchMasks;
+  /// Per-lane branch-condition truth scratch (runBatch).
+  std::vector<uint8_t> CondScratch;
 };
 
 } // namespace dspec

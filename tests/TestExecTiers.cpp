@@ -108,7 +108,7 @@ TEST(ExecChunk, FusesStraightLineIdiomsAndKeepsSemantics) {
   }
 }
 
-TEST(ExecChunk, BranchyChunksStayExecutableAndUnbatchable) {
+TEST(ExecChunk, BranchyChunksStayExecutableAndClassify) {
   Chunk Code = compileOne("int f(int n) {\n"
                           "  int total = 0;\n"
                           "  int i = 0;\n"
@@ -122,7 +122,14 @@ TEST(ExecChunk, BranchyChunksStayExecutableAndUnbatchable) {
   ExecChunk Exec = buildExecChunk(Code);
   ASSERT_TRUE(Exec.Valid);
   EXPECT_FALSE(Exec.StraightLine);
-  EXPECT_FALSE(Exec.BatchSafe);
+  // Branchy chunks are batch-eligible since the masked batched tier: the
+  // loop exit classifies unmaskable (runtime divergence bails the tile),
+  // the inner if classifies as a maskable diamond.
+  EXPECT_TRUE(Exec.BatchSafe);
+  EXPECT_TRUE(Exec.HasLoops);
+  EXPECT_EQ(Exec.MaskableBranches, 1u);
+  EXPECT_EQ(Exec.UnmaskableBranches, 1u);
+  ASSERT_EQ(Exec.BranchJoin.size(), Exec.Code.size());
 
   // Fusion must preserve loop semantics exactly — jump targets are
   // remapped and no pair straddles one.
@@ -156,11 +163,13 @@ TEST(ExecChunk, InvalidChunkIsRejected) {
   EXPECT_TRUE(Exec.Code.empty());
 }
 
-TEST(ExecChunk, GalleryReadersDecodeAndMostBatch) {
-  // Every gallery reader must decode; the straight-line majority must be
-  // batch-eligible (the paper's readers are mostly branch-free).
+TEST(ExecChunk, GalleryReadersDecodeAndAllBatch) {
+  // Every gallery reader must decode; with masked execution, batch
+  // eligibility is exactly effect-freedom — branchy readers (clouds,
+  // rings) batch too, with their loop branches classified unmaskable
+  // (divergence there bails the tile at runtime).
   ShaderLab Lab(4, 3);
-  unsigned BatchSafe = 0, Total = 0;
+  unsigned BatchSafe = 0, Branchy = 0, Total = 0;
   for (const ShaderInfo &Info : shaderGallery()) {
     auto Spec = Lab.specializePartition(Info, 0);
     ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
@@ -169,11 +178,19 @@ TEST(ExecChunk, GalleryReadersDecodeAndMostBatch) {
     ++Total;
     if (Exec.BatchSafe)
       ++BatchSafe;
-    EXPECT_EQ(Exec.BatchSafe, Exec.StraightLine && !Exec.HasEffects)
-        << Info.Name;
+    EXPECT_EQ(Exec.BatchSafe, !Exec.HasEffects) << Info.Name;
+    if (!Exec.StraightLine) {
+      ++Branchy;
+      EXPECT_TRUE(Exec.HasLoops) << Info.Name;
+      EXPECT_GT(Exec.UnmaskableBranches, 0u) << Info.Name;
+    } else {
+      EXPECT_EQ(Exec.MaskableBranches + Exec.UnmaskableBranches, 0u)
+          << Info.Name;
+    }
   }
   EXPECT_EQ(Total, 10u);
-  EXPECT_GE(BatchSafe, 7u) << "most gallery readers are straight-line";
+  EXPECT_EQ(BatchSafe, 10u) << "all gallery readers are effect-free";
+  EXPECT_GE(Branchy, 1u) << "clouds/rings loop over octaves";
 }
 
 //===----------------------------------------------------------------------===//

@@ -926,12 +926,25 @@ int main(int Argc, char **Argv) {
     std::printf("\n%s", Spec->Spec.Explanation.c_str());
 
     // The execution view: what the fast interpreter's fusion pass made of
-    // the reader bytecode (see docs/ENGINE.md, "Execution tiers").
+    // the reader bytecode (see docs/ENGINE.md, "Execution tiers"). The
+    // decoded classification is authoritative over the AST-level counts
+    // printed above: a batch-safe (effect-free) reader starts on the
+    // batched tier, masks its maskable diamonds when lanes diverge, and
+    // bails a tile to per-pixel execution only at a divergent unmaskable
+    // branch.
     ExecChunk Exec = buildExecChunk(Spec->ReaderChunk);
     if (Exec.Valid) {
-      std::printf("\nreader superinstructions (%zu decoded op(s), %s):\n",
-                  Exec.Code.size(),
-                  Exec.BatchSafe ? "batch-safe" : "per-pixel only");
+      const char *TierName =
+          !Exec.BatchSafe
+              ? "effectful, per-pixel tier"
+              : (Exec.UnmaskableBranches
+                     ? "batched tier, bails on divergent loops"
+                     : "batched tier");
+      std::printf("\nreader bytecode: %u maskable / %u unmaskable "
+                  "branch(es) — %s\n",
+                  Exec.MaskableBranches, Exec.UnmaskableBranches, TierName);
+      std::printf("reader superinstructions (%zu decoded op(s)):\n",
+                  Exec.Code.size());
       auto Fused = fusedHistogram(Exec);
       if (Fused.empty())
         std::printf("  (no fusible pairs)\n");
