@@ -6,6 +6,8 @@
 
 #include "engine/RenderEngine.h"
 
+#include "jit/Jit.h"
+
 #include <atomic>
 #include <cassert>
 
@@ -37,10 +39,23 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
   // and every load re-fuses. An invalid decode (hand-built or hostile
   // bytecode) silently falls back to the switch tier, whose dynamic
   // checks produce the canonical diagnostics.
+  // Native tier: fetch (or stitch) the chunk's machine code first. The
+  // program owns its own decoded ExecChunk, so a hit skips buildExecChunk
+  // entirely; a miss that stitches is charged to this pass's stats. Any
+  // failure — unsupported host, DSPEC_FORCE_NO_JIT, W^X allocation,
+  // inexpressible opcode — leaves Native null and the pass deopts to the
+  // threaded tier below (bit-identical by construction).
+  std::shared_ptr<const jit::JitProgram> Native;
+  bool StitchedNow = false;
+  if (Tier == ExecTier::Native)
+    Native = jit::ensureCompiled(Code, &StitchedNow);
+  const bool UseNative = Native != nullptr;
+
   ExecChunk Decoded;
-  if (Tier != ExecTier::Switch)
+  if (Tier != ExecTier::Switch && !UseNative)
     Decoded = buildExecChunk(Code);
-  const bool UseThreaded = Tier != ExecTier::Switch && Decoded.Valid;
+  const bool UseThreaded =
+      !UseNative && Tier != ExecTier::Switch && Decoded.Valid;
   const bool UseBatched =
       Tier == ExecTier::Batched && Decoded.Valid && Decoded.BatchSafe;
 
@@ -142,10 +157,26 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
       S.Args[3] = In.I;
       CacheView View =
           Arena ? Arena->view(static_cast<unsigned>(Index)) : CacheView();
-      ExecResult R = PerPixelThreaded
-                         ? Machine.runThreaded(Decoded, S.Args, View)
-                         : (Arena ? Machine.run(Code, S.Args, View)
-                                  : Machine.run(Code, S.Args));
+      ExecResult R;
+      if (UseNative) {
+        R = Machine.runJit(*Native, S.Args, View);
+        ++S.Stats.NativePixels;
+        if (!R.ok()) {
+          // Canonical diagnostics policy: re-derive the message through
+          // the reference switch interpreter (tier switch on trap), the
+          // same way a batch trap does. Only the message is taken — if
+          // the reference run somehow succeeds, the native trap stands
+          // so a semantics divergence would surface, not be masked.
+          ExecResult Ref = Arena ? Machine.run(Code, S.Args, View)
+                                 : Machine.run(Code, S.Args);
+          if (!Ref.ok())
+            R.TrapMessage = std::move(Ref.TrapMessage);
+        }
+      } else {
+        R = PerPixelThreaded ? Machine.runThreaded(Decoded, S.Args, View)
+                             : (Arena ? Machine.run(Code, S.Args, View)
+                                      : Machine.run(Code, S.Args));
+      }
       if (!R.ok()) {
         if (Index < S.TrapPixel) {
           S.TrapPixel = Index;
@@ -166,6 +197,12 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
     LastStats.BailedTiles += S.Stats.BailedTiles;
     LastStats.BatchDispatchLanes += S.Stats.BatchDispatchLanes;
     LastStats.BatchActiveLanes += S.Stats.BatchActiveLanes;
+    LastStats.NativePixels += S.Stats.NativePixels;
+  }
+  if (UseNative) {
+    LastStats.NativeCompiles = StitchedNow ? 1 : 0;
+    LastStats.NativeCodeBytes = Native->codeBytes();
+    LastStats.NativeCompileSeconds = StitchedNow ? Native->compileSeconds() : 0.0;
   }
 
   if (AnyTrap.load(std::memory_order_relaxed)) {

@@ -1,0 +1,86 @@
+//===- jit/CodeBuffer.cpp - W^X executable memory ----------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/CodeBuffer.h"
+#include "jit/Jit.h"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define DSPEC_JIT_HAVE_MMAP 1
+#else
+#define DSPEC_JIT_HAVE_MMAP 0
+#endif
+
+using namespace dspec;
+using namespace dspec::jit;
+
+namespace {
+/// Test hook (jit::testForceAllocFailure): simulates mmap failure so the
+/// fallback-to-threaded path can be pinned without exhausting memory.
+std::atomic<bool> ForceAllocFailure{false};
+} // namespace
+
+void dspec::jit::testForceAllocFailure(bool Fail) {
+  ForceAllocFailure.store(Fail, std::memory_order_relaxed);
+}
+
+bool CodeBuffer::allocate(const uint8_t *Blob, size_t Len, std::string *Error) {
+  release();
+  if (Len == 0) {
+    if (Error)
+      *Error = "empty code blob";
+    return false;
+  }
+  if (ForceAllocFailure.load(std::memory_order_relaxed)) {
+    if (Error)
+      *Error = "forced allocation failure (test hook)";
+    return false;
+  }
+#if DSPEC_JIT_HAVE_MMAP
+  const size_t Page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t Rounded = (Len + Page - 1) / Page * Page;
+  void *P = ::mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED) {
+    if (Error)
+      *Error = "mmap failed for " + std::to_string(Rounded) + " bytes";
+    return false;
+  }
+  std::memcpy(P, Blob, Len);
+  if (::mprotect(P, Rounded, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(P, Rounded);
+    if (Error)
+      *Error = "mprotect(PROT_READ|PROT_EXEC) failed";
+    return false;
+  }
+  // x86 keeps instruction fetch coherent with stores; this is a no-op
+  // there and the required flush on ARM and friends.
+  __builtin___clear_cache(static_cast<char *>(P),
+                          static_cast<char *>(P) + Len);
+  Mem = P;
+  MapBytes = Rounded;
+  CodeBytes = Len;
+  return true;
+#else
+  if (Error)
+    *Error = "no executable-memory support on this platform";
+  return false;
+#endif
+}
+
+void CodeBuffer::release() {
+#if DSPEC_JIT_HAVE_MMAP
+  if (Mem)
+    ::munmap(Mem, MapBytes);
+#endif
+  Mem = nullptr;
+  MapBytes = 0;
+  CodeBytes = 0;
+}

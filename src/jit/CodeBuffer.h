@@ -1,0 +1,70 @@
+//===- jit/CodeBuffer.h - W^X executable memory -----------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owner of one stitched program's executable pages. Allocation follows
+/// the W^X discipline: the pages are mapped read+write, the finished blob
+/// is copied in, then the mapping is flipped to read+execute (never both
+/// writable and executable) and the instruction cache is flushed where
+/// the architecture needs it. Any failure — mmap, mprotect, or an
+/// unsupported platform — reports cleanly through the bool return so the
+/// caller can deopt to the threaded tier instead of crashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_JIT_CODEBUFFER_H
+#define DATASPEC_JIT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dspec {
+namespace jit {
+
+/// One read+execute mapping holding a stitched program.
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer() { release(); }
+
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+  CodeBuffer(CodeBuffer &&RHS) noexcept { *this = static_cast<CodeBuffer &&>(RHS); }
+  CodeBuffer &operator=(CodeBuffer &&RHS) noexcept {
+    if (this != &RHS) {
+      release();
+      Mem = RHS.Mem;
+      MapBytes = RHS.MapBytes;
+      CodeBytes = RHS.CodeBytes;
+      RHS.Mem = nullptr;
+      RHS.MapBytes = 0;
+      RHS.CodeBytes = 0;
+    }
+    return *this;
+  }
+
+  /// Maps fresh pages, copies \p Len bytes of \p Blob in, and seals them
+  /// read+execute. False (with \p Error filled when non-null) on any
+  /// failure; the buffer is left empty and reusable.
+  bool allocate(const uint8_t *Blob, size_t Len, std::string *Error);
+
+  /// Entry address of the sealed code; null before a successful allocate.
+  const void *entry() const { return Mem; }
+  size_t size() const { return CodeBytes; }
+
+private:
+  void release();
+
+  void *Mem = nullptr;
+  size_t MapBytes = 0;
+  size_t CodeBytes = 0;
+};
+
+} // namespace jit
+} // namespace dspec
+
+#endif // DATASPEC_JIT_CODEBUFFER_H

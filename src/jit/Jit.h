@@ -1,0 +1,133 @@
+//===- jit/Jit.h - Copy-and-patch template JIT ------------------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native execution tier: a copy-and-patch template JIT that stitches
+/// a verified, fused ExecChunk into executable memory. Every decoded
+/// instruction becomes a short position-independent x86-64 fragment; the
+/// hot data movers (const push, local load/store, pop, jumps and the
+/// load/load, store/load superinstructions) are fully inlined machine
+/// code, while the value-semantics opcodes call pre-compiled per-opcode
+/// C++ helpers that share vm/InterpOps.h with the interpreter tiers —
+/// which is what keeps framebuffers, arenas, and trap messages
+/// bit-identical to the switch tier.
+///
+/// Fragments are stitched against a fixed register contract
+/// (docs/ENGINE.md, "Native tier"):
+///
+///   rbx   JitFrame*                 r14   instruction budget
+///   r12   operand stack top         r15   locals base
+///   r13   instructions executed
+///
+/// Immediate holes patched at stitch time: constant-pool Value pointers
+/// and ExecInstr addresses (imm64), helper entry points (imm64), and
+/// in-buffer jump targets / shared epilogue stubs (rel32). The blob is
+/// fully position-independent, so it is emitted into a plain vector and
+/// copied once into a W^X CodeBuffer.
+///
+/// Deopt policy: compileChunk returns null for invalid chunks, opcodes a
+/// fragment cannot express, unsupported platforms (non-x86-64 or
+/// DSPEC_FORCE_NO_JIT builds), and mmap/mprotect failure; the engine
+/// falls back to the threaded tier. Failures are memoized per chunk
+/// fingerprint so a dead path is probed once, not once per frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_JIT_JIT_H
+#define DATASPEC_JIT_JIT_H
+
+#include "jit/CodeBuffer.h"
+#include "vm/ExecChunk.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace dspec {
+
+class VM;
+struct Chunk;
+struct ExecResult;
+
+namespace jit {
+
+/// The mutable execution state one stitched chunk runs against. The
+/// compiler hard-codes these byte offsets into fragment encodings
+/// (static_asserts in JitCompiler.cpp pin them), so the field order is
+/// ABI: append only.
+struct JitFrame {
+  Value *Stack = nullptr;          ///< +0   operand stack base
+  Value *Locals = nullptr;         ///< +8   locals base (params first)
+  uint64_t Executed = 0;           ///< +16  instructions retired (r13 spill)
+  uint64_t Budget = 0;             ///< +24  VM::InstructionBudget
+  VM *Machine = nullptr;           ///< +32  for builtin calls
+  const ExecChunk *Chunk = nullptr;///< +40  for trap messages
+  ExecResult *Result = nullptr;    ///< +48  filled on trap / return
+  unsigned char *CacheBytes = nullptr; ///< +56 packed cache (null = none)
+  uint32_t CacheSize = 0;          ///< +64  cache view size in bytes
+  uint32_t Cond = 0;               ///< +68  1 = conditional branch taken
+};
+
+/// One chunk compiled to native code. Immutable after compileChunk
+/// returns it; shared (and executed concurrently) across engine worker
+/// threads, UnitCache hits, and snapshot warm starts. Owns the decoded
+/// ExecChunk the stitched imm64 holes point into, so the code can never
+/// outlive its constants.
+struct JitProgram {
+  using EntryFn = uint64_t (*)(JitFrame *);
+
+  ExecChunk Exec;
+  CodeBuffer Code;
+  EntryFn Entry = nullptr;
+  double CompileSeconds = 0.0;
+  /// chunkFingerprint of the source Chunk at stitch time; JitSlot uses it
+  /// to detect source mutation and recompile.
+  uint64_t Fingerprint = 0;
+
+  const ExecChunk &chunk() const { return Exec; }
+  EntryFn entry() const { return Entry; }
+  size_t codeBytes() const { return Code.size(); }
+  double compileSeconds() const { return CompileSeconds; }
+};
+
+/// True when this build and platform can stitch native code at all
+/// (x86-64, not DSPEC_FORCE_NO_JIT). Runtime mmap failures still deopt
+/// per chunk even when this is true.
+bool available();
+
+/// Content fingerprint of a Chunk (code, constants, frame and cache
+/// shape). Keys the JitSlot cache: a chunk mutated after compilation
+/// hashes differently and is re-stitched instead of running stale code.
+uint64_t chunkFingerprint(const Chunk &C);
+
+/// Decodes, fuses, and stitches \p C. Null on any deopt condition (see
+/// file header); never throws. The returned program is self-contained.
+std::shared_ptr<const JitProgram> compileChunk(const Chunk &C);
+
+/// compileChunk through the chunk's JitSlot: returns the cached program
+/// when the fingerprint still matches (UnitCache / snapshot warm starts
+/// hit this without re-stitching), compiles and caches otherwise.
+/// \p StitchedNow, when non-null, reports whether this call compiled
+/// (false on a slot hit or deopt). Null when the chunk cannot run native.
+std::shared_ptr<const JitProgram> ensureCompiled(const Chunk &C,
+                                                 bool *StitchedNow = nullptr);
+
+/// Process-wide stitching counters for /statsz and --explain.
+struct JitStatsSnapshot {
+  uint64_t Compiles = 0;   ///< programs successfully stitched
+  uint64_t CodeBytes = 0;  ///< total executable bytes emitted
+  uint64_t CompileNanos = 0;
+  uint64_t Failures = 0;   ///< deopts at compile time (incl. mmap failure)
+};
+JitStatsSnapshot stats();
+
+/// Test hook: forces every subsequent CodeBuffer allocation to fail as if
+/// mmap/mprotect had, exercising the fallback-to-threaded path.
+void testForceAllocFailure(bool Fail);
+
+} // namespace jit
+} // namespace dspec
+
+#endif // DATASPEC_JIT_JIT_H

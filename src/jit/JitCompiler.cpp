@@ -1,0 +1,983 @@
+//===- jit/JitCompiler.cpp - x86-64 fragment stitcher ------------------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The compile half of the native tier: stitches one verified, fused
+// ExecChunk into a position-independent x86-64 blob.
+//
+// Register contract (pinned by the prologue; docs/ENGINE.md):
+//
+//   rbx  JitFrame*            callee-saved, live across helper calls
+//   r12  operand stack top    Value*, one past the top
+//   r13  instructions retired mirrors the threaded tier's Executed
+//   r14  instruction budget   VM::InstructionBudget
+//   r15  locals base          Value*
+//
+// Every instruction's fragment starts with the budget check
+// (inc r13; cmp r13, r14; ja BUDGET) so retired counts and the budget
+// trap point are identical to the threaded tier. The hot data movers
+// (Const, LoadLocal, StoreLocal, Pop, Jump, LoadLoad, StoreLoad) are
+// inlined as raw moves — a Value is three qwords — and the arithmetic /
+// compare / cache-load workhorses get inline fast paths for the kind
+// combinations the batched tier's arithRows also fast-paths (same-kind
+// float, vector, and int operands; statically-typed cache slots), with a
+// short-jump fallback into the generic helper for everything else. The
+// fast paths mirror FastInterp's in-place component updates, which the
+// exec-tier differential tests already pin as bit-identical. Everything
+// else with value semantics calls its per-opcode helper (JitRuntime.cpp):
+//
+//   mov [rbx+16], r13          ; spill Executed for trap reporting
+//   mov rdi, rbx               ; F
+//   mov rsi, r12               ; SP
+//   movabs rdx, <&ExecInstr>   ; imm64 hole: this instruction
+//   movabs rax, <helper>       ; imm64 hole: mmap'd code may sit >2GB
+//   call rax                   ;   from the static helpers, so no rel32
+//   test rax, rax ; je TRAP    ; trap-capable opcodes only
+//   mov r12, rax               ; new SP
+//
+// Conditional branches read the helper's verdict from F->Cond
+// (cmp byte [rbx+68], 0; jne <target>). Jump targets, the shared DONE /
+// TRAP / BUDGET epilogues, and every other in-buffer displacement are
+// rel32 holes recorded as fixups and patched after emission — two-pass
+// stitching, so the blob needs no relocation once copied into the
+// CodeBuffer.
+//
+// Five callee-saved pushes keep rsp 16-byte aligned at every call site
+// (entry rsp ≡ 8 mod 16, minus 40 bytes of pushes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Jit.h"
+#include "jit/JitHelpers.h"
+#include "vm/Bytecode.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+using namespace dspec;
+using namespace dspec::jit;
+
+// The emitter exists only where it can run: x86-64, not pinned off by the
+// DSPEC_FORCE_NO_JIT build. Everything else (helpers, runJit, stats)
+// stays platform-neutral.
+#if defined(__x86_64__) && !defined(DSPEC_FORCE_NO_JIT)
+#define DSPEC_JIT_ENABLED 1
+#else
+#define DSPEC_JIT_ENABLED 0
+#endif
+
+namespace {
+
+std::atomic<uint64_t> StatCompiles{0};
+std::atomic<uint64_t> StatCodeBytes{0};
+std::atomic<uint64_t> StatCompileNanos{0};
+std::atomic<uint64_t> StatFailures{0};
+
+uint64_t fnv1a(const void *Data, size_t Len, uint64_t H) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+} // namespace
+
+uint64_t dspec::jit::chunkFingerprint(const Chunk &C) {
+  // Field-by-field hashing: Instr and Value contain padding bytes whose
+  // contents are unspecified, so raw struct bytes would make identical
+  // chunks hash differently.
+  uint64_t H = 1469598103934665603ull;
+  auto Mix32 = [&H](uint32_t V) { H = fnv1a(&V, sizeof(V), H); };
+  auto Mix8 = [&H](uint8_t V) { H = fnv1a(&V, sizeof(V), H); };
+  H = fnv1a(C.Name.data(), C.Name.size(), H);
+  Mix32(static_cast<uint32_t>(C.Name.size()));
+  Mix32(C.NumParams);
+  Mix32(C.CacheSlotCount);
+  Mix32(C.CacheBytes);
+  Mix8(static_cast<uint8_t>(C.ReturnType.kind()));
+  Mix32(static_cast<uint32_t>(C.LocalTypes.size()));
+  for (TypeKind K : C.LocalTypes)
+    Mix8(static_cast<uint8_t>(K));
+  Mix32(static_cast<uint32_t>(C.Code.size()));
+  for (const Instr &In : C.Code) {
+    Mix8(static_cast<uint8_t>(In.Op));
+    Mix32(static_cast<uint32_t>(In.A));
+    Mix32(static_cast<uint32_t>(In.B));
+    Mix32(static_cast<uint32_t>(In.C));
+  }
+  Mix32(static_cast<uint32_t>(C.Constants.size()));
+  for (const Value &K : C.Constants) {
+    Mix8(static_cast<uint8_t>(K.Kind));
+    uint32_t Bits;
+    for (float F : K.F) {
+      std::memcpy(&Bits, &F, sizeof(Bits));
+      Mix32(Bits);
+    }
+    Mix32(static_cast<uint32_t>(K.I));
+  }
+  return H;
+}
+
+bool dspec::jit::available() {
+#if DSPEC_JIT_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+JitStatsSnapshot dspec::jit::stats() {
+  JitStatsSnapshot S;
+  S.Compiles = StatCompiles.load(std::memory_order_relaxed);
+  S.CodeBytes = StatCodeBytes.load(std::memory_order_relaxed);
+  S.CompileNanos = StatCompileNanos.load(std::memory_order_relaxed);
+  S.Failures = StatFailures.load(std::memory_order_relaxed);
+  return S;
+}
+
+#if DSPEC_JIT_ENABLED
+
+// The fragment encodings below hard-code these layouts.
+static_assert(offsetof(JitFrame, Stack) == 0, "fragment ABI");
+static_assert(offsetof(JitFrame, Locals) == 8, "fragment ABI");
+static_assert(offsetof(JitFrame, Executed) == 16, "fragment ABI");
+static_assert(offsetof(JitFrame, Budget) == 24, "fragment ABI");
+static_assert(offsetof(JitFrame, Machine) == 32, "fragment ABI");
+static_assert(offsetof(JitFrame, Chunk) == 40, "fragment ABI");
+static_assert(offsetof(JitFrame, Result) == 48, "fragment ABI");
+static_assert(offsetof(JitFrame, CacheBytes) == 56, "fragment ABI");
+static_assert(offsetof(JitFrame, CacheSize) == 64, "fragment ABI");
+static_assert(offsetof(JitFrame, Cond) == 68, "fragment ABI");
+static_assert(sizeof(Value) == 24, "inline fragments copy three qwords");
+static_assert(offsetof(Value, Kind) == 0 && offsetof(Value, F) == 4 &&
+                  offsetof(Value, I) == 20,
+              "inline fragments assume this Value layout");
+
+namespace {
+
+/// rel32 fixup targets: a decoded instruction index, or one of the
+/// shared epilogue stubs.
+constexpr int32_t kTargetDone = -1;
+constexpr int32_t kTargetTrap = -2;
+constexpr int32_t kTargetBudget = -3;
+
+struct Fixup {
+  size_t Pos;     ///< offset of the 4 rel32 bytes in the blob
+  int32_t Target; ///< instruction index, or a kTarget* sentinel
+};
+
+template <typename Fn> uint64_t fnAddr(Fn *F) {
+  return reinterpret_cast<uint64_t>(reinterpret_cast<void *>(F));
+}
+
+/// Minimal emitter: appends encodings to a plain vector and records
+/// rel32 holes for the post-pass patcher.
+struct Asm {
+  std::vector<uint8_t> Code;
+  std::vector<Fixup> Fixups;
+  /// Set when a bind8 target lands outside rel8 range — the chunk deopts
+  /// instead of emitting a wrong displacement. Fast-path fragments are
+  /// well under 127 bytes, so this only fires on an emitter bug.
+  bool Rel8Overflow = false;
+
+  void byte(uint8_t B) { Code.push_back(B); }
+  void bytes(std::initializer_list<uint8_t> Bs) {
+    Code.insert(Code.end(), Bs.begin(), Bs.end());
+  }
+  void imm32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Code.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void imm64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Code.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void rel32To(int32_t Target) {
+    Fixups.push_back({Code.size(), Target});
+    imm32(0);
+  }
+  size_t here() const { return Code.size(); }
+
+  /// inc r13; cmp r13, r14; ja BUDGET — every instruction is billed
+  /// before it runs, so counts and the budget trap point match the
+  /// threaded tier exactly.
+  void budget() {
+    bytes({0x49, 0xFF, 0xC5});
+    bytes({0x4D, 0x39, 0xF5});
+    bytes({0x0F, 0x87});
+    rel32To(kTargetBudget);
+  }
+
+  /// mov [rbx+16], r13 — publish Executed into the frame.
+  void spillExecuted() { bytes({0x4C, 0x89, 0x6B, 0x10}); }
+
+  void helperCall(uint64_t Fn, const ExecInstr *In, bool CanTrap) {
+    spillExecuted();
+    bytes({0x48, 0x89, 0xDF}); // mov rdi, rbx
+    bytes({0x4C, 0x89, 0xE6}); // mov rsi, r12
+    bytes({0x48, 0xBA});       // movabs rdx, &In
+    imm64(reinterpret_cast<uint64_t>(In));
+    bytes({0x48, 0xB8});       // movabs rax, helper
+    imm64(Fn);
+    bytes({0xFF, 0xD0});       // call rax
+    if (CanTrap) {
+      bytes({0x48, 0x85, 0xC0}); // test rax, rax
+      bytes({0x0F, 0x84});       // je TRAP
+      rel32To(kTargetTrap);
+    }
+    bytes({0x49, 0x89, 0xC4}); // mov r12, rax (new SP)
+  }
+
+  /// mov {rcx,rdx,rax}, Locals[Slot] — one Value into scratch regs.
+  void loadLocalToRegs(int32_t Slot) {
+    const uint32_t D = static_cast<uint32_t>(Slot) * sizeof(Value);
+    bytes({0x49, 0x8B, 0x8F});
+    imm32(D);
+    bytes({0x49, 0x8B, 0x97});
+    imm32(D + 8);
+    bytes({0x49, 0x8B, 0x87});
+    imm32(D + 16);
+  }
+  void storeRegsToLocal(int32_t Slot) {
+    const uint32_t D = static_cast<uint32_t>(Slot) * sizeof(Value);
+    bytes({0x49, 0x89, 0x8F});
+    imm32(D);
+    bytes({0x49, 0x89, 0x97});
+    imm32(D + 8);
+    bytes({0x49, 0x89, 0x87});
+    imm32(D + 16);
+  }
+  /// mov [r12+Disp .. +16], {rcx,rdx,rax}; Disp relative to the stack
+  /// top, disp8 range.
+  void storeRegsToStack(int8_t Disp) {
+    bytes({0x49, 0x89, 0x4C, 0x24, static_cast<uint8_t>(Disp)});
+    bytes({0x49, 0x89, 0x54, 0x24, static_cast<uint8_t>(Disp + 8)});
+    bytes({0x49, 0x89, 0x44, 0x24, static_cast<uint8_t>(Disp + 16)});
+  }
+  void loadStackToRegs(int8_t Disp) {
+    bytes({0x49, 0x8B, 0x4C, 0x24, static_cast<uint8_t>(Disp)});
+    bytes({0x49, 0x8B, 0x54, 0x24, static_cast<uint8_t>(Disp + 8)});
+    bytes({0x49, 0x8B, 0x44, 0x24, static_cast<uint8_t>(Disp + 16)});
+  }
+  void addSP(int8_t N) { bytes({0x49, 0x83, 0xC4, static_cast<uint8_t>(N)}); }
+  void subSP(int8_t N) { bytes({0x49, 0x83, 0xEC, static_cast<uint8_t>(N)}); }
+
+  /// movabs rax, &K; copy *K to the stack top; push.
+  void inlineConst(const Value *K) {
+    bytes({0x48, 0xB8});
+    imm64(reinterpret_cast<uint64_t>(K));
+    bytes({0x48, 0x8B, 0x08});       // mov rcx, [rax]
+    bytes({0x48, 0x8B, 0x50, 0x08}); // mov rdx, [rax+8]
+    bytes({0x48, 0x8B, 0x40, 0x10}); // mov rax, [rax+16]
+    storeRegsToStack(0);
+    addSP(sizeof(Value));
+  }
+
+  /// Forward-only rel8 jumps inside one instruction's fragment: emit the
+  /// opcode with a zero displacement, then bind8 at the landing point.
+  size_t jmp8() {
+    bytes({0xEB, 0x00});
+    return Code.size() - 1;
+  }
+  /// \p Cc is the x86 condition nibble (4 = e, 5 = ne, 2 = b, 6 = be).
+  size_t jcc8(uint8_t Cc) {
+    bytes({static_cast<uint8_t>(0x70 | Cc), 0x00});
+    return Code.size() - 1;
+  }
+  void bind8(size_t Pos) {
+    const int64_t Rel = static_cast<int64_t>(Code.size()) -
+                        (static_cast<int64_t>(Pos) + 1);
+    if (Rel < -128 || Rel > 127) {
+      Rel8Overflow = true;
+      return;
+    }
+    Code[Pos] = static_cast<uint8_t>(Rel);
+  }
+
+  /// cmp byte [rbx+68], 0; jne Target — branch on the helper's F->Cond
+  /// verdict (1 = take the jump).
+  void condJump(int32_t Target) {
+    bytes({0x80, 0x7B, 0x44, 0x00});
+    bytes({0x0F, 0x85});
+    rel32To(Target);
+  }
+
+  /// pop r15/r14/r13/r12/rbx; ret.
+  void popsAndRet() {
+    bytes({0x41, 0x5F, 0x41, 0x5E, 0x41, 0x5D, 0x41, 0x5C, 0x5B, 0xC3});
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Inline fast paths
+//
+// These mirror vm/FastInterp.cpp's arithRows/arithRowConst fast paths —
+// in-place component updates on same-kind operands, full re-boxing where
+// the interpreter re-boxes — and bail to the generic helper (a short
+// forward jne) for every kind combination they do not cover, so the
+// observable Value bytes match the helper tier exactly. Packed (4-lane)
+// SSE ops are safe on vec2/vec3 because unused lanes are zero by
+// construction everywhere Values are built, and 0 op 0 == 0 for add, sub
+// and mul.
+//
+// Stack addressing: r12 is one past the top, a Value is 24 bytes, so the
+// top's fields sit at [r12-24..-1] (Kind, F0 at -20, I at -4) and the
+// second operand's at [r12-48..-25].
+//===----------------------------------------------------------------------===//
+
+constexpr uint8_t kKindBool = static_cast<uint8_t>(TypeKind::TK_Bool);
+constexpr uint8_t kKindInt = static_cast<uint8_t>(TypeKind::TK_Int);
+constexpr uint8_t kKindFloat = static_cast<uint8_t>(TypeKind::TK_Float);
+constexpr uint8_t kKindVec2 = static_cast<uint8_t>(TypeKind::TK_Vec2);
+
+/// movzx eax, L.Kind; cmp al, R.Kind; jne slow — the shared same-kind
+/// gate of the binary fast paths. Returns the rel8 position to bind.
+size_t emitSameKindGate(Asm &A) {
+  A.bytes({0x41, 0x0F, 0xB6, 0x44, 0x24, 0xD0}); // movzx eax, byte [r12-48]
+  A.bytes({0x41, 0x3A, 0x44, 0x24, 0xE8});       // cmp al, [r12-24]
+  return A.jcc8(0x5);                            // jne SLOW
+}
+
+/// F_Add / F_Sub / F_Mul: in-place same-kind float, packed vector, and
+/// re-boxed int paths; mixed shapes (scalar-vector broadcasts, promoted
+/// ints) take the helper.
+void emitArith(Asm &A, const ExecInstr *In, FusedOp Op) {
+  const uint8_t Ss = Op == FusedOp::F_Add   ? 0x58
+                     : Op == FusedOp::F_Sub ? 0x5C
+                                            : 0x59;
+  const uint64_t Helper = Op == FusedOp::F_Add   ? fnAddr(&dspec_jit_add)
+                          : Op == FusedOp::F_Sub ? fnAddr(&dspec_jit_sub)
+                                                 : fnAddr(&dspec_jit_mul);
+  const size_t ToSlow1 = emitSameKindGate(A);
+  A.bytes({0x3C, kKindFloat});                         // cmp al, float
+  const size_t ToVec = A.jcc8(0x5);                    // jne
+  A.bytes({0xF3, 0x41, 0x0F, 0x10, 0x44, 0x24, 0xD4}); // movss xmm0,[r12-44]
+  A.bytes({0xF3, 0x41, 0x0F, Ss, 0x44, 0x24, 0xEC});   //  opss xmm0,[r12-20]
+  A.bytes({0xF3, 0x41, 0x0F, 0x11, 0x44, 0x24, 0xD4}); // movss [r12-44],xmm0
+  const size_t ToTail1 = A.jmp8();
+  A.bind8(ToVec);
+  A.bytes({0x3C, kKindVec2});                    // cmp al, first vector kind
+  const size_t ToInt = A.jcc8(0x2);              // jb (bool/int/void)
+  A.bytes({0x41, 0x0F, 0x10, 0x44, 0x24, 0xD4}); // movups xmm0, [r12-44]
+  A.bytes({0x41, 0x0F, 0x10, 0x4C, 0x24, 0xEC}); // movups xmm1, [r12-20]
+  A.bytes({0x0F, Ss, 0xC1});                     //  opps xmm0, xmm1
+  A.bytes({0x41, 0x0F, 0x11, 0x44, 0x24, 0xD4}); // movups [r12-44], xmm0
+  const size_t ToTail2 = A.jmp8();
+  A.bind8(ToInt);
+  A.bytes({0x3C, kKindInt});                     // cmp al, int
+  const size_t ToSlow2 = A.jcc8(0x5);            // jne SLOW
+  A.bytes({0x41, 0x8B, 0x44, 0x24, 0xE4});       // mov eax, [r12-28]  L.I
+  if (Op == FusedOp::F_Mul)
+    A.bytes({0x41, 0x0F, 0xAF, 0x44, 0x24, 0xFC}); // imul eax, [r12-4]
+  else
+    A.bytes({0x41, static_cast<uint8_t>(Op == FusedOp::F_Add ? 0x03 : 0x2B),
+             0x44, 0x24, 0xFC});                 //  add/sub eax, [r12-4]
+  // Re-box exactly like makeInt: the int path of interp::arith re-boxes.
+  A.bytes({0x41, 0xC7, 0x44, 0x24, 0xD0});       // mov dword [r12-48], int
+  A.imm32(kKindInt);
+  A.bytes({0x0F, 0x57, 0xC9});                   // xorps xmm1, xmm1
+  A.bytes({0x41, 0x0F, 0x11, 0x4C, 0x24, 0xD4}); // movups [r12-44], xmm1
+  A.bytes({0x41, 0x89, 0x44, 0x24, 0xE4});       // mov [r12-28], eax
+  A.bind8(ToTail1);
+  A.bind8(ToTail2);
+  A.subSP(sizeof(Value));
+  const size_t Done = A.jmp8();
+  A.bind8(ToSlow1);
+  A.bind8(ToSlow2);
+  A.helperCall(Helper, In, false);
+  A.bind8(Done);
+}
+
+/// F_Lt / F_Le / F_Gt / F_Ge: both-float fast path pushing a re-boxed
+/// bool. Operand order and NaN behaviour match interp::compare — the
+/// ucomiss direction is chosen so unordered always yields false.
+void emitCompare(Asm &A, const ExecInstr *In, FusedOp Op) {
+  const uint64_t Helper = Op == FusedOp::F_Lt   ? fnAddr(&dspec_jit_lt)
+                          : Op == FusedOp::F_Le ? fnAddr(&dspec_jit_le)
+                          : Op == FusedOp::F_Gt ? fnAddr(&dspec_jit_gt)
+                                                : fnAddr(&dspec_jit_ge);
+  const bool Rev = Op == FusedOp::F_Lt || Op == FusedOp::F_Le;
+  const bool Strict = Op == FusedOp::F_Lt || Op == FusedOp::F_Gt;
+  const size_t ToSlow1 = emitSameKindGate(A);
+  A.bytes({0x3C, kKindFloat});
+  const size_t ToSlow2 = A.jcc8(0x5);                  // jne SLOW
+  A.bytes({0xF3, 0x41, 0x0F, 0x10, 0x44, 0x24, 0xD4}); // movss xmm0, L.F0
+  A.bytes({0xF3, 0x41, 0x0F, 0x10, 0x4C, 0x24, 0xEC}); // movss xmm1, R.F0
+  A.bytes({0x31, 0xD2});                               // xor edx, edx
+  if (Rev)
+    A.bytes({0x0F, 0x2E, 0xC8}); // ucomiss xmm1, xmm0   (L<R as R>L)
+  else
+    A.bytes({0x0F, 0x2E, 0xC1}); // ucomiss xmm0, xmm1
+  A.bytes({0x0F, static_cast<uint8_t>(Strict ? 0x97 : 0x93), 0xC2});
+  // ^ seta/setae dl — CF=1 on unordered, so NaN compares false.
+  A.bytes({0x41, 0xC7, 0x44, 0x24, 0xD0}); // mov dword [r12-48], bool
+  A.imm32(kKindBool);
+  A.bytes({0x0F, 0x57, 0xC9});                   // xorps xmm1, xmm1
+  A.bytes({0x41, 0x0F, 0x11, 0x4C, 0x24, 0xD4}); // movups [r12-44], xmm1
+  A.bytes({0x41, 0x89, 0x54, 0x24, 0xE4});       // mov [r12-28], edx
+  A.subSP(sizeof(Value));
+  const size_t Done = A.jmp8();
+  A.bind8(ToSlow1);
+  A.bind8(ToSlow2);
+  A.helperCall(Helper, In, false);
+  A.bind8(Done);
+}
+
+/// F_LtJf / F_LeJf / F_GtJf / F_GeJf: both-float compare feeding the
+/// branch directly — no Cond round trip through the frame.
+void emitCmpJf(Asm &A, const ExecInstr *In, FusedOp Op) {
+  const uint64_t Helper = Op == FusedOp::F_LtJf   ? fnAddr(&dspec_jit_lt_jf)
+                          : Op == FusedOp::F_LeJf ? fnAddr(&dspec_jit_le_jf)
+                          : Op == FusedOp::F_GtJf ? fnAddr(&dspec_jit_gt_jf)
+                                                  : fnAddr(&dspec_jit_ge_jf);
+  const bool Rev = Op == FusedOp::F_LtJf || Op == FusedOp::F_LeJf;
+  const bool Strict = Op == FusedOp::F_LtJf || Op == FusedOp::F_GtJf;
+  const size_t ToSlow1 = emitSameKindGate(A);
+  A.bytes({0x3C, kKindFloat});
+  const size_t ToSlow2 = A.jcc8(0x5);                  // jne SLOW
+  A.bytes({0xF3, 0x41, 0x0F, 0x10, 0x44, 0x24, 0xD4}); // movss xmm0, L.F0
+  A.bytes({0xF3, 0x41, 0x0F, 0x10, 0x4C, 0x24, 0xEC}); // movss xmm1, R.F0
+  A.subSP(2 * sizeof(Value));
+  if (Rev)
+    A.bytes({0x0F, 0x2E, 0xC8}); // ucomiss xmm1, xmm0
+  else
+    A.bytes({0x0F, 0x2E, 0xC1}); // ucomiss xmm0, xmm1
+  // Jump when the condition is FALSE; unordered (CF=1) takes the jump,
+  // matching !(NaN cmp) in the interpreter.
+  A.bytes({0x0F, static_cast<uint8_t>(Strict ? 0x86 : 0x82)}); // jbe / jb
+  A.rel32To(In->A2);
+  const size_t Done = A.jmp8();
+  A.bind8(ToSlow1);
+  A.bind8(ToSlow2);
+  A.helperCall(Helper, In, false);
+  A.condJump(In->A2);
+  A.bind8(Done);
+}
+
+/// F_Member: makeFloat(top.F[A]) unconditionally — exactly the helper,
+/// no kinds to dispatch on. Caller guarantees A in [0, 3].
+void emitMember(Asm &A, int32_t Comp) {
+  const uint8_t D = static_cast<uint8_t>(-20 + 4 * Comp);
+  A.bytes({0xF3, 0x41, 0x0F, 0x10, 0x44, 0x24, D}); // movss xmm0,[r12-20+4A]
+  A.bytes({0x41, 0xC7, 0x44, 0x24, 0xE8});          // mov dword [r12-24], flt
+  A.imm32(kKindFloat);
+  A.bytes({0xF3, 0x41, 0x0F, 0x11, 0x44, 0x24, 0xEC}); // movss [r12-20],xmm0
+  A.bytes({0x0F, 0x57, 0xC9});                         // xorps xmm1, xmm1
+  A.bytes({0x41, 0x0F, 0x11, 0x4C, 0x24, 0xF0});       // movups [r12-16],xmm1
+}
+
+/// F_Select: cond ? then : else as a straight 24-byte Value copy, like
+/// the helper (cond.I != 0 is release-mode asBool).
+void emitSelect(Asm &A) {
+  A.bytes({0x41, 0x8B, 0x44, 0x24, 0xCC}); // mov eax, [r12-52]  cond.I
+  A.bytes({0x49, 0x8D, 0x4C, 0x24, 0xD0}); // lea rcx, [r12-48]  then-value
+  A.bytes({0x85, 0xC0});                   // test eax, eax
+  const size_t Pick = A.jcc8(0x5);         // jne
+  A.bytes({0x49, 0x8D, 0x4C, 0x24, 0xE8}); // lea rcx, [r12-24]  else-value
+  A.bind8(Pick);
+  A.bytes({0x0F, 0x10, 0x01});                   // movups xmm0, [rcx]
+  A.bytes({0x48, 0x8B, 0x41, 0x10});             // mov rax, [rcx+16]
+  A.bytes({0x41, 0x0F, 0x11, 0x44, 0x24, 0xB8}); // movups [r12-72], xmm0
+  A.bytes({0x49, 0x89, 0x44, 0x24, 0xC8});       // mov [r12-56], rax
+  A.subSP(2 * sizeof(Value));
+}
+
+/// F_ConstAdd / F_ConstMul with a scalar-float constant baked in as an
+/// imm32: in-place on a float top; broadcast mulps on a vector top (only
+/// for finite K, where 0*K keeps the unused lanes zero). Everything else
+/// — int tops, vector constants — rides the helper.
+void emitConstArith(Asm &A, const ExecInstr *In, FusedOp Op) {
+  const uint8_t Ss = Op == FusedOp::F_ConstAdd ? 0x58 : 0x59;
+  const uint64_t Helper = Op == FusedOp::F_ConstAdd
+                              ? fnAddr(&dspec_jit_const_add)
+                              : fnAddr(&dspec_jit_const_mul);
+  uint32_t Bits;
+  std::memcpy(&Bits, &In->K->F[0], sizeof(Bits));
+  const bool VecOk =
+      Op == FusedOp::F_ConstMul && std::isfinite(In->K->F[0]);
+  A.bytes({0x41, 0x0F, 0xB6, 0x44, 0x24, 0xE8}); // movzx eax, top.Kind
+  A.bytes({0x3C, kKindFloat});
+  const size_t ToVec = A.jcc8(0x5); // jne → vector try (or straight slow)
+  A.byte(0xB9);                     // mov ecx, K bits
+  A.imm32(Bits);
+  A.bytes({0x66, 0x0F, 0x6E, 0xC9});                   // movd xmm1, ecx
+  A.bytes({0xF3, 0x41, 0x0F, 0x10, 0x44, 0x24, 0xEC}); // movss xmm0,[r12-20]
+  A.bytes({0xF3, 0x0F, Ss, 0xC1});                     //  opss xmm0, xmm1
+  A.bytes({0xF3, 0x41, 0x0F, 0x11, 0x44, 0x24, 0xEC}); // movss [r12-20],xmm0
+  const size_t Done1 = A.jmp8();
+  A.bind8(ToVec);
+  size_t Done2 = 0;
+  size_t ToSlow = 0;
+  if (VecOk) {
+    A.bytes({0x3C, kKindVec2});
+    ToSlow = A.jcc8(0x2); // jb SLOW (bool/int/void)
+    A.byte(0xB9);
+    A.imm32(Bits);
+    A.bytes({0x66, 0x0F, 0x6E, 0xC9});             // movd xmm1, ecx
+    A.bytes({0x0F, 0xC6, 0xC9, 0x00});             // shufps xmm1, xmm1, 0
+    A.bytes({0x41, 0x0F, 0x10, 0x44, 0x24, 0xEC}); // movups xmm0, [r12-20]
+    A.bytes({0x0F, Ss, 0xC1});                     // mulps xmm0, xmm1
+    A.bytes({0x41, 0x0F, 0x11, 0x44, 0x24, 0xEC}); // movups [r12-20], xmm0
+    Done2 = A.jmp8();
+  }
+  if (VecOk)
+    A.bind8(ToSlow);
+  A.helperCall(Helper, In, false);
+  A.bind8(Done1);
+  if (VecOk)
+    A.bind8(Done2);
+}
+
+/// Null-cache and bounds guards shared by the cache fast paths: leaves
+/// the cache base in rax, jumping to the slow path (which re-checks and
+/// traps with the canonical message) when either guard fails.
+void emitCacheGuard(Asm &A, uint32_t Limit, std::vector<size_t> &Slow) {
+  A.bytes({0x48, 0x8B, 0x43, 0x38}); // mov rax, [rbx+56]  CacheBytes
+  A.bytes({0x48, 0x85, 0xC0});       // test rax, rax
+  Slow.push_back(A.jcc8(0x4));       // je SLOW
+  A.bytes({0x81, 0x7B, 0x40});       // cmp dword [rbx+64], Limit
+  A.imm32(Limit);
+  Slow.push_back(A.jcc8(0x2)); // jb SLOW
+}
+
+/// Builds CacheView::load's fresh Value at [rcx] from the slot at
+/// [rax+Off]: Kind stamped as a zero-padded dword, loaded components,
+/// everything else zeroed — byte-for-byte what the helper pushes.
+void emitCacheFetch(Asm &A, TypeKind Kind, uint32_t Off) {
+  switch (Kind) {
+  case TypeKind::TK_Bool:
+  case TypeKind::TK_Int:
+    A.bytes({0x8B, 0x90}); // mov edx, [rax+Off]
+    A.imm32(Off);
+    A.bytes({0xC7, 0x01}); // mov dword [rcx], Kind
+    A.imm32(static_cast<uint32_t>(Kind));
+    A.bytes({0x0F, 0x57, 0xC9});       // xorps xmm1, xmm1
+    A.bytes({0x0F, 0x11, 0x49, 0x04}); // movups [rcx+4], xmm1  (F zeroed)
+    A.bytes({0x89, 0x51, 0x14});       // mov [rcx+20], edx
+    break;
+  case TypeKind::TK_Float:
+    A.bytes({0xF3, 0x0F, 0x10, 0x80}); // movss xmm0, [rax+Off]
+    A.imm32(Off);
+    A.bytes({0xC7, 0x01});
+    A.imm32(static_cast<uint32_t>(Kind));
+    A.bytes({0xF3, 0x0F, 0x11, 0x41, 0x04}); // movss [rcx+4], xmm0
+    A.bytes({0x0F, 0x57, 0xC9});             // xorps xmm1, xmm1
+    A.bytes({0x0F, 0x11, 0x49, 0x08});       // movups [rcx+8], xmm1
+    break;
+  case TypeKind::TK_Vec2:
+    A.bytes({0x48, 0x8B, 0x90}); // mov rdx, [rax+Off]  (F0, F1)
+    A.imm32(Off);
+    A.bytes({0xC7, 0x01});
+    A.imm32(static_cast<uint32_t>(Kind));
+    A.bytes({0x48, 0x89, 0x51, 0x04}); // mov [rcx+4], rdx
+    A.bytes({0x48, 0xC7, 0x41, 0x0C}); // mov qword [rcx+12], 0  (F2, F3)
+    A.imm32(0);
+    A.bytes({0xC7, 0x41, 0x14}); // mov dword [rcx+20], 0  (I)
+    A.imm32(0);
+    break;
+  case TypeKind::TK_Vec3:
+    A.bytes({0x48, 0x8B, 0x90}); // mov rdx, [rax+Off]  (F0, F1)
+    A.imm32(Off);
+    A.bytes({0x8B, 0xB0}); // mov esi, [rax+Off+8]  (F2)
+    A.imm32(Off + 8);
+    A.bytes({0xC7, 0x01});
+    A.imm32(static_cast<uint32_t>(Kind));
+    A.bytes({0x48, 0x89, 0x51, 0x04}); // mov [rcx+4], rdx
+    A.bytes({0x89, 0x71, 0x0C});       // mov [rcx+12], esi
+    A.bytes({0xC7, 0x41, 0x10});       // mov dword [rcx+16], 0  (F3)
+    A.imm32(0);
+    A.bytes({0xC7, 0x41, 0x14}); // mov dword [rcx+20], 0  (I)
+    A.imm32(0);
+    break;
+  case TypeKind::TK_Vec4:
+    A.bytes({0x0F, 0x10, 0x80}); // movups xmm0, [rax+Off]
+    A.imm32(Off);
+    A.bytes({0xC7, 0x01});
+    A.imm32(static_cast<uint32_t>(Kind));
+    A.bytes({0x0F, 0x11, 0x41, 0x04}); // movups [rcx+4], xmm0
+    A.bytes({0xC7, 0x41, 0x14});       // mov dword [rcx+20], 0  (I)
+    A.imm32(0);
+    break;
+  case TypeKind::TK_Void:
+    break; // gated out by the caller
+  }
+}
+
+/// F_CacheLoad: push the slot. Kind and offset are compile-time
+/// constants, so the fast path is a guard pair plus straight moves.
+void emitCacheLoad(Asm &A, const ExecInstr *In) {
+  const TypeKind Kind = static_cast<TypeKind>(In->C);
+  const uint32_t Off = static_cast<uint32_t>(In->B);
+  std::vector<size_t> Slow;
+  emitCacheGuard(A, Off + Type(Kind).sizeInBytes(), Slow);
+  A.bytes({0x4C, 0x89, 0xE1}); // mov rcx, r12  (dest = stack top)
+  emitCacheFetch(A, Kind, Off);
+  A.addSP(sizeof(Value));
+  const size_t Done = A.jmp8();
+  for (size_t P : Slow)
+    A.bind8(P);
+  A.helperCall(fnAddr(&dspec_jit_cache_load), In, true);
+  A.bind8(Done);
+}
+
+/// F_CacheLoadStore: the same fetch straight into Locals[A2].
+void emitCacheLoadStore(Asm &A, const ExecInstr *In) {
+  const TypeKind Kind = static_cast<TypeKind>(In->C);
+  const uint32_t Off = static_cast<uint32_t>(In->B);
+  std::vector<size_t> Slow;
+  emitCacheGuard(A, Off + Type(Kind).sizeInBytes(), Slow);
+  A.bytes({0x49, 0x8D, 0x8F}); // lea rcx, [r15 + 24*A2]
+  A.imm32(static_cast<uint32_t>(In->A2) * sizeof(Value));
+  emitCacheFetch(A, Kind, Off);
+  const size_t Done = A.jmp8();
+  for (size_t P : Slow)
+    A.bind8(P);
+  A.helperCall(fnAddr(&dspec_jit_cache_load_store), In, true);
+  A.bind8(Done);
+}
+
+/// F_CacheLoadAdd / F_CacheLoadMul on a float slot and a float top:
+/// one guarded memory-operand opss, in place.
+void emitCacheLoadArith(Asm &A, const ExecInstr *In, FusedOp Op) {
+  const uint8_t Ss = Op == FusedOp::F_CacheLoadAdd ? 0x58 : 0x59;
+  const uint64_t Helper = Op == FusedOp::F_CacheLoadAdd
+                              ? fnAddr(&dspec_jit_cache_load_add)
+                              : fnAddr(&dspec_jit_cache_load_mul);
+  const uint32_t Off = static_cast<uint32_t>(In->B);
+  std::vector<size_t> Slow;
+  A.bytes({0x41, 0x80, 0x7C, 0x24, 0xE8, kKindFloat}); // cmp top.Kind, flt
+  Slow.push_back(A.jcc8(0x5));                         // jne SLOW
+  emitCacheGuard(A, Off + sizeof(float), Slow);
+  A.bytes({0xF3, 0x41, 0x0F, 0x10, 0x44, 0x24, 0xEC}); // movss xmm0,[r12-20]
+  A.bytes({0xF3, 0x0F, Ss, 0x80});                     //  opss xmm0,[rax+Off]
+  A.imm32(Off);
+  A.bytes({0xF3, 0x41, 0x0F, 0x11, 0x44, 0x24, 0xEC}); // movss [r12-20],xmm0
+  const size_t Done = A.jmp8();
+  for (size_t P : Slow)
+    A.bind8(P);
+  A.helperCall(Helper, In, true);
+  A.bind8(Done);
+}
+
+/// Stitches \p C into \p Out. False when an opcode cannot be expressed
+/// (the caller deopts to threaded).
+bool emitChunk(const ExecChunk &C, std::vector<uint8_t> &Out) {
+  Asm A;
+
+  // Prologue: save callee-saved regs, unpack the frame.
+  A.bytes({0x53, 0x41, 0x54, 0x41, 0x55, 0x41, 0x56, 0x41, 0x57});
+  A.bytes({0x48, 0x89, 0xFB});       // mov rbx, rdi
+  A.bytes({0x4C, 0x8B, 0x23});       // mov r12, [rbx]     Stack
+  A.bytes({0x4C, 0x8B, 0x7B, 0x08}); // mov r15, [rbx+8]   Locals
+  A.bytes({0x4C, 0x8B, 0x6B, 0x10}); // mov r13, [rbx+16]  Executed
+  A.bytes({0x4C, 0x8B, 0x73, 0x18}); // mov r14, [rbx+24]  Budget
+
+  const size_t N = C.Code.size();
+  // InstrOff[N] is the fall-off-the-end jmp: a jump target of N (legal —
+  // the interpreter halts there) lands on it and reaches DONE.
+  std::vector<size_t> InstrOff(N + 1, 0);
+
+  for (size_t I = 0; I < N; ++I) {
+    InstrOff[I] = A.here();
+    const ExecInstr *In = &C.Code[I];
+    A.budget();
+    switch (In->Op) {
+    // Inlined data movers: raw three-qword Value copies.
+    case FusedOp::F_Const:
+      if (!In->K)
+        return false;
+      A.inlineConst(In->K);
+      break;
+    case FusedOp::F_LoadLocal:
+      A.loadLocalToRegs(In->A);
+      A.storeRegsToStack(0);
+      A.addSP(sizeof(Value));
+      break;
+    case FusedOp::F_StoreLocal:
+      A.loadStackToRegs(-static_cast<int8_t>(sizeof(Value)));
+      A.storeRegsToLocal(In->A);
+      A.subSP(sizeof(Value));
+      break;
+    case FusedOp::F_Pop:
+      A.subSP(sizeof(Value));
+      break;
+    case FusedOp::F_Jump:
+      A.byte(0xE9);
+      A.rel32To(In->A);
+      break;
+    case FusedOp::F_LoadLoad:
+      A.loadLocalToRegs(In->A);
+      A.storeRegsToStack(0);
+      A.loadLocalToRegs(In->A2);
+      A.storeRegsToStack(sizeof(Value));
+      A.addSP(2 * sizeof(Value));
+      break;
+    case FusedOp::F_StoreLoad:
+      // Store first, then load — preserves sequential semantics when
+      // both name the same local; SP is unchanged.
+      A.loadStackToRegs(-static_cast<int8_t>(sizeof(Value)));
+      A.storeRegsToLocal(In->A);
+      A.loadLocalToRegs(In->A2);
+      A.storeRegsToStack(-static_cast<int8_t>(sizeof(Value)));
+      break;
+
+    // Conditional branches. JumpIfFalse pops a verified bool — test its
+    // I field directly, exactly release-mode asBool.
+    case FusedOp::F_JumpIfFalse:
+      A.bytes({0x41, 0x8B, 0x44, 0x24, 0xFC}); // mov eax, [r12-4]  top.I
+      A.subSP(sizeof(Value));
+      A.bytes({0x85, 0xC0}); // test eax, eax
+      A.bytes({0x0F, 0x84}); // je <target>
+      A.rel32To(In->A);
+      break;
+    case FusedOp::F_LtJf:
+    case FusedOp::F_LeJf:
+    case FusedOp::F_GtJf:
+    case FusedOp::F_GeJf:
+      emitCmpJf(A, In, In->Op);
+      break;
+
+    // Halting opcodes: helper fills the result, fragment exits.
+    case FusedOp::F_Return:
+      A.helperCall(fnAddr(&dspec_jit_return_), In, false);
+      A.byte(0xE9);
+      A.rel32To(kTargetDone);
+      break;
+    case FusedOp::F_ReturnVoid:
+      A.helperCall(fnAddr(&dspec_jit_return_void), In, false);
+      A.byte(0xE9);
+      A.rel32To(kTargetDone);
+      break;
+    case FusedOp::F_CacheLoadRet:
+      A.helperCall(fnAddr(&dspec_jit_cache_load_ret), In, true);
+      A.byte(0xE9);
+      A.rel32To(kTargetDone);
+      break;
+
+    // Value-semantics opcodes: per-opcode helper. Only the opcodes whose
+    // interpreter handler can TRAP get the null check.
+    case FusedOp::F_Convert:
+      A.helperCall(fnAddr(&dspec_jit_convert), In, false);
+      break;
+    case FusedOp::F_Neg:
+      A.helperCall(fnAddr(&dspec_jit_neg), In, false);
+      break;
+    case FusedOp::F_Not:
+      A.helperCall(fnAddr(&dspec_jit_not_), In, false);
+      break;
+    case FusedOp::F_Add:
+    case FusedOp::F_Sub:
+    case FusedOp::F_Mul:
+      emitArith(A, In, In->Op);
+      break;
+    case FusedOp::F_Div:
+      A.helperCall(fnAddr(&dspec_jit_div), In, true);
+      break;
+    case FusedOp::F_Mod:
+      A.helperCall(fnAddr(&dspec_jit_mod), In, true);
+      break;
+    case FusedOp::F_Lt:
+    case FusedOp::F_Le:
+    case FusedOp::F_Gt:
+    case FusedOp::F_Ge:
+      emitCompare(A, In, In->Op);
+      break;
+    case FusedOp::F_Eq:
+      A.helperCall(fnAddr(&dspec_jit_eq), In, false);
+      break;
+    case FusedOp::F_Ne:
+      A.helperCall(fnAddr(&dspec_jit_ne), In, false);
+      break;
+    case FusedOp::F_And:
+      A.helperCall(fnAddr(&dspec_jit_and_), In, false);
+      break;
+    case FusedOp::F_Or:
+      A.helperCall(fnAddr(&dspec_jit_or_), In, false);
+      break;
+    case FusedOp::F_Select:
+      emitSelect(A);
+      break;
+    case FusedOp::F_CallBuiltin:
+      A.helperCall(fnAddr(&dspec_jit_call_builtin), In, false);
+      break;
+    case FusedOp::F_Member:
+      if (In->A >= 0 && In->A < 4)
+        emitMember(A, In->A);
+      else
+        A.helperCall(fnAddr(&dspec_jit_member), In, false);
+      break;
+    case FusedOp::F_CacheLoad:
+      if (In->B >= 0 && In->C >= static_cast<int32_t>(TypeKind::TK_Bool) &&
+          In->C <= static_cast<int32_t>(TypeKind::TK_Vec4))
+        emitCacheLoad(A, In);
+      else
+        A.helperCall(fnAddr(&dspec_jit_cache_load), In, true);
+      break;
+    case FusedOp::F_CacheStore:
+      A.helperCall(fnAddr(&dspec_jit_cache_store), In, true);
+      break;
+    case FusedOp::F_ConstAdd:
+    case FusedOp::F_ConstMul:
+      if (In->K && In->K->Kind == TypeKind::TK_Float)
+        emitConstArith(A, In, In->Op);
+      else
+        A.helperCall(In->Op == FusedOp::F_ConstAdd
+                         ? fnAddr(&dspec_jit_const_add)
+                         : fnAddr(&dspec_jit_const_mul),
+                     In, false);
+      break;
+    case FusedOp::F_LoadCall:
+      A.helperCall(fnAddr(&dspec_jit_load_call), In, false);
+      break;
+    case FusedOp::F_CacheLoadAdd:
+    case FusedOp::F_CacheLoadMul:
+      if (In->B >= 0 &&
+          static_cast<TypeKind>(In->C) == TypeKind::TK_Float)
+        emitCacheLoadArith(A, In, In->Op);
+      else
+        A.helperCall(In->Op == FusedOp::F_CacheLoadAdd
+                         ? fnAddr(&dspec_jit_cache_load_add)
+                         : fnAddr(&dspec_jit_cache_load_mul),
+                     In, true);
+      break;
+    case FusedOp::F_CacheLoadStore:
+      if (In->B >= 0 && In->A2 >= 0 &&
+          In->C >= static_cast<int32_t>(TypeKind::TK_Bool) &&
+          In->C <= static_cast<int32_t>(TypeKind::TK_Vec4))
+        emitCacheLoadStore(A, In);
+      else
+        A.helperCall(fnAddr(&dspec_jit_cache_load_store), In, true);
+      break;
+
+    case FusedOp::F_OpCount:
+      return false; // inexpressible: deopt to threaded
+    }
+  }
+
+  // Fall off the end: void halt, exactly like the interpreter tiers.
+  InstrOff[N] = A.here();
+  A.byte(0xE9);
+  A.rel32To(kTargetDone);
+
+  const size_t DoneOff = A.here();
+  A.spillExecuted();
+  A.bytes({0xB8, 0x01, 0x00, 0x00, 0x00}); // mov eax, 1
+  A.popsAndRet();
+
+  const size_t BudgetOff = A.here();
+  A.spillExecuted(); // the trap message reports the billed instruction
+  A.bytes({0x48, 0x89, 0xDF}); // mov rdi, rbx
+  A.bytes({0x48, 0xB8});
+  A.imm64(fnAddr(&dspec_jit_budget_trap));
+  A.bytes({0xFF, 0xD0});
+  // falls through into the trap epilogue
+
+  const size_t TrapOff = A.here();
+  A.bytes({0x31, 0xC0}); // xor eax, eax
+  A.popsAndRet();
+
+  if (A.Rel8Overflow)
+    return false;
+
+  for (const Fixup &Fx : A.Fixups) {
+    size_t T;
+    if (Fx.Target >= 0) {
+      if (static_cast<size_t>(Fx.Target) > N)
+        return false;
+      T = InstrOff[static_cast<size_t>(Fx.Target)];
+    } else if (Fx.Target == kTargetDone) {
+      T = DoneOff;
+    } else if (Fx.Target == kTargetTrap) {
+      T = TrapOff;
+    } else {
+      T = BudgetOff;
+    }
+    const int64_t Rel =
+        static_cast<int64_t>(T) - (static_cast<int64_t>(Fx.Pos) + 4);
+    const int32_t R32 = static_cast<int32_t>(Rel);
+    if (R32 != Rel)
+      return false;
+    std::memcpy(&A.Code[Fx.Pos], &R32, sizeof(R32));
+  }
+
+  Out = std::move(A.Code);
+  return true;
+}
+
+} // namespace
+
+#endif // DSPEC_JIT_ENABLED
+
+std::shared_ptr<const JitProgram> dspec::jit::compileChunk(const Chunk &C) {
+#if !DSPEC_JIT_ENABLED
+  (void)C;
+  return nullptr;
+#else
+  const auto Start = std::chrono::steady_clock::now();
+  ExecChunk Exec = buildExecChunk(C);
+  if (!Exec.Valid) {
+    // Not stitchable by any tier; the engine's !Valid path already falls
+    // back to the switch interpreter.
+    StatFailures.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto P = std::make_shared<JitProgram>();
+  // Move before taking imm64 addresses: K pointers and &Code[i] must
+  // name the program's own (heap) buffers, which survive the move.
+  P->Exec = std::move(Exec);
+  std::vector<uint8_t> Blob;
+  if (!emitChunk(P->Exec, Blob)) {
+    StatFailures.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::string Error;
+  if (!P->Code.allocate(Blob.data(), Blob.size(), &Error)) {
+    StatFailures.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  P->Entry = reinterpret_cast<JitProgram::EntryFn>(
+      reinterpret_cast<uintptr_t>(P->Code.entry()));
+  P->Fingerprint = chunkFingerprint(C);
+  const auto End = std::chrono::steady_clock::now();
+  P->CompileSeconds = std::chrono::duration<double>(End - Start).count();
+  StatCompiles.fetch_add(1, std::memory_order_relaxed);
+  StatCodeBytes.fetch_add(Blob.size(), std::memory_order_relaxed);
+  StatCompileNanos.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+              .count()),
+      std::memory_order_relaxed);
+  return P;
+#endif
+}
+
+std::shared_ptr<const JitProgram>
+dspec::jit::ensureCompiled(const Chunk &C, bool *StitchedNow) {
+  if (StitchedNow)
+    *StitchedNow = false;
+  if (!available() || !C.Jit)
+    return nullptr;
+  const uint64_t Key = chunkFingerprint(C);
+  if (auto P = C.Jit->get(Key))
+    return P;
+  if (C.Jit->failedFor(Key))
+    return nullptr;
+  auto P = compileChunk(C);
+  if (!P) {
+    C.Jit->markFailed(Key);
+    return nullptr;
+  }
+  C.Jit->put(Key, P);
+  if (StitchedNow)
+    *StitchedNow = true;
+  return P;
+}

@@ -1,0 +1,81 @@
+//===- jit/JitHelpers.h - Fragment helper ABI (internal) --------*- C++ -*-===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal to src/jit/: the per-opcode helper functions stitched code
+/// calls. The contract is part of the fragment ABI (docs/ENGINE.md):
+///
+///   extern "C" Value *dspec_jit_<op>(JitFrame *F, Value *SP,
+///                                    const ExecInstr *In);
+///
+/// SP is one past the top of the operand stack. A helper performs exactly
+/// its opcode's interpreter semantics (the bodies call vm/InterpOps.h)
+/// and returns the new SP — or null after filling F->Result with the trap
+/// (only the opcodes listed as trap-capable in the compiler may return
+/// null; the stitcher omits the null check for the rest). Conditional
+/// branches communicate through F->Cond: 1 means take the patched jump.
+/// extern "C" pins the symbol names and the SysV integer-argument
+/// registers (rdi/rsi/rdx) the fragments hard-code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DATASPEC_JIT_JITHELPERS_H
+#define DATASPEC_JIT_JITHELPERS_H
+
+#include "jit/Jit.h"
+
+namespace dspec {
+namespace jit {
+
+extern "C" {
+#define DSPEC_JIT_HELPER(NAME)                                                 \
+  Value *dspec_jit_##NAME(JitFrame *F, Value *SP, const ExecInstr *In)
+DSPEC_JIT_HELPER(convert);
+DSPEC_JIT_HELPER(neg);
+DSPEC_JIT_HELPER(not_);
+DSPEC_JIT_HELPER(add);
+DSPEC_JIT_HELPER(sub);
+DSPEC_JIT_HELPER(mul);
+DSPEC_JIT_HELPER(div);
+DSPEC_JIT_HELPER(mod);
+DSPEC_JIT_HELPER(lt);
+DSPEC_JIT_HELPER(le);
+DSPEC_JIT_HELPER(gt);
+DSPEC_JIT_HELPER(ge);
+DSPEC_JIT_HELPER(eq);
+DSPEC_JIT_HELPER(ne);
+DSPEC_JIT_HELPER(and_);
+DSPEC_JIT_HELPER(or_);
+DSPEC_JIT_HELPER(select);
+DSPEC_JIT_HELPER(jump_if_false);
+DSPEC_JIT_HELPER(call_builtin);
+DSPEC_JIT_HELPER(member);
+DSPEC_JIT_HELPER(cache_load);
+DSPEC_JIT_HELPER(cache_store);
+DSPEC_JIT_HELPER(return_);
+DSPEC_JIT_HELPER(return_void);
+DSPEC_JIT_HELPER(const_add);
+DSPEC_JIT_HELPER(const_mul);
+DSPEC_JIT_HELPER(load_call);
+DSPEC_JIT_HELPER(cache_load_add);
+DSPEC_JIT_HELPER(cache_load_mul);
+DSPEC_JIT_HELPER(cache_load_store);
+DSPEC_JIT_HELPER(cache_load_ret);
+DSPEC_JIT_HELPER(lt_jf);
+DSPEC_JIT_HELPER(le_jf);
+DSPEC_JIT_HELPER(gt_jf);
+DSPEC_JIT_HELPER(ge_jf);
+#undef DSPEC_JIT_HELPER
+
+/// The budget stub's trap filler: the fragment-level budget check jumped
+/// here after spilling r13 into F->Executed.
+void dspec_jit_budget_trap(JitFrame *F);
+}
+
+} // namespace jit
+} // namespace dspec
+
+#endif // DATASPEC_JIT_JITHELPERS_H

@@ -1,0 +1,418 @@
+//===- jit/JitRuntime.cpp - Helper bodies and the native-tier entry ----------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The runtime half of the native tier: the per-opcode helpers stitched
+// code calls, and VM::runJit, the wrapper that builds a JitFrame and
+// enters a compiled program. Helper bodies replicate the threaded tier's
+// handlers (vm/FastInterp.cpp) operation for operation — same
+// vm/InterpOps.h calls, same operand order, same trap messages verbatim —
+// which is what extends the bit-identity contract to native code. Keep
+// all three in sync.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitHelpers.h"
+#include "vm/InterpOps.h"
+#include "vm/VM.h"
+
+using namespace dspec;
+using namespace dspec::jit;
+
+namespace dspec {
+/// Implemented in Builtins.cpp.
+Value callBuiltinImpl(uint16_t Id, const Value *Args, VM &Machine);
+} // namespace dspec
+
+namespace {
+
+/// Records a trap in the frame's result. The stitched code spilled r13
+/// into F->Executed before every helper call, so the retired-instruction
+/// count here matches what the threaded tier would report.
+Value *trap(JitFrame *F, std::string Msg) {
+  ExecResult &R = *F->Result;
+  R.Trapped = true;
+  R.TrapMessage = std::move(Msg);
+  R.InstructionsExecuted = F->Executed;
+  return nullptr;
+}
+
+CacheView view(const JitFrame *F) {
+  return CacheView(F->CacheBytes, F->CacheSize);
+}
+
+} // namespace
+
+#define DSPEC_JIT_HELPER(NAME)                                                 \
+  Value *dspec::jit::dspec_jit_##NAME(JitFrame *F, Value *SP,                  \
+                                      const ExecInstr *In)
+// Unreferenced parameters per helper vary; silence uniformly.
+#define UNUSED3()                                                              \
+  do {                                                                         \
+    (void)F;                                                                   \
+    (void)SP;                                                                  \
+    (void)In;                                                                  \
+  } while (0)
+
+DSPEC_JIT_HELPER(convert) {
+  UNUSED3();
+  Value &V = SP[-1];
+  V = V.convertTo(Type(static_cast<TypeKind>(In->A)));
+  return SP;
+}
+
+DSPEC_JIT_HELPER(neg) {
+  UNUSED3();
+  Value &V = SP[-1];
+  V = interp::opNeg(V);
+  return SP;
+}
+
+DSPEC_JIT_HELPER(not_) {
+  UNUSED3();
+  Value &V = SP[-1];
+  V = Value::makeBool(!V.asBool());
+  return SP;
+}
+
+DSPEC_JIT_HELPER(add) {
+  UNUSED3();
+  SP[-2] = interp::opAdd(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(sub) {
+  UNUSED3();
+  SP[-2] = interp::opSub(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(mul) {
+  UNUSED3();
+  SP[-2] = interp::opMul(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(div) {
+  UNUSED3();
+  const Value &Rv = SP[-1];
+  Value &Lv = SP[-2];
+  if (Lv.isInt() && Rv.isInt() && Rv.I == 0)
+    return trap(F, "integer division by zero in '" + F->Chunk->Name + "'" +
+                       interp::srcLocSuffix(In->A, In->B));
+  Lv = interp::opDiv(Lv, Rv);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(mod) {
+  UNUSED3();
+  const Value &Rv = SP[-1];
+  Value &Lv = SP[-2];
+  if (Rv.I == 0)
+    return trap(F, "integer modulo by zero in '" + F->Chunk->Name + "'" +
+                       interp::srcLocSuffix(In->A, In->B));
+  Lv = Value::makeInt(Lv.I % Rv.I);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(lt) {
+  UNUSED3();
+  SP[-2] = interp::opLt(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(le) {
+  UNUSED3();
+  SP[-2] = interp::opLe(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(gt) {
+  UNUSED3();
+  SP[-2] = interp::opGt(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(ge) {
+  UNUSED3();
+  SP[-2] = interp::opGe(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(eq) {
+  UNUSED3();
+  SP[-2] = interp::opEq(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(ne) {
+  UNUSED3();
+  SP[-2] = interp::opNe(SP[-2], SP[-1]);
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(and_) {
+  UNUSED3();
+  SP[-2] = Value::makeBool(SP[-2].asBool() && SP[-1].asBool());
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(or_) {
+  UNUSED3();
+  SP[-2] = Value::makeBool(SP[-2].asBool() || SP[-1].asBool());
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(select) {
+  UNUSED3();
+  // Stack bottom-to-top: condition, then-value, else-value.
+  Value *NS = SP - 2;
+  NS[-1] = NS[-1].asBool() ? NS[0] : NS[1];
+  return NS;
+}
+
+DSPEC_JIT_HELPER(jump_if_false) {
+  UNUSED3();
+  F->Cond = SP[-1].asBool() ? 0 : 1;
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(call_builtin) {
+  UNUSED3();
+  Value *Base = SP - In->B;
+  // Assign after the call returns (the result overwrites argument 0),
+  // exactly like the interpreter tiers.
+  Value R = callBuiltinImpl(static_cast<uint16_t>(In->A), Base, *F->Machine);
+  Base[0] = R;
+  return Base + 1;
+}
+
+DSPEC_JIT_HELPER(member) {
+  UNUSED3();
+  Value &V = SP[-1];
+  V = Value::makeFloat(V.F[In->A]);
+  return SP;
+}
+
+DSPEC_JIT_HELPER(cache_load) {
+  UNUSED3();
+  if (!F->CacheBytes)
+    return trap(F, "cache read without a loaded cache in '" + F->Chunk->Name +
+                       "'");
+  const TypeKind Kind = static_cast<TypeKind>(In->C);
+  const unsigned Offset = static_cast<unsigned>(In->B);
+  CacheView Packed = view(F);
+  if (!Packed.inBounds(Offset, Kind))
+    return trap(F, "cache read past the layout in '" + F->Chunk->Name + "'");
+  SP[0] = Packed.load(Offset, Kind);
+  return SP + 1;
+}
+
+DSPEC_JIT_HELPER(cache_store) {
+  UNUSED3();
+  // The stored value stays on the stack.
+  if (!F->CacheBytes)
+    return trap(F, "cache write without cache storage in '" + F->Chunk->Name +
+                       "'");
+  const TypeKind Kind = static_cast<TypeKind>(In->C);
+  const unsigned Offset = static_cast<unsigned>(In->B);
+  const Value &V = SP[-1];
+  CacheView Packed = view(F);
+  if (!Packed.inBounds(Offset, Kind))
+    return trap(F, "cache store past the layout in '" + F->Chunk->Name + "'");
+  if (V.Kind != Kind)
+    return trap(F, "cache store type mismatch in '" + F->Chunk->Name +
+                       "': slot is " + Type(Kind).name() + ", value is " +
+                       Type(V.Kind).name());
+  Packed.store(Offset, V);
+  return SP;
+}
+
+DSPEC_JIT_HELPER(return_) {
+  UNUSED3();
+  F->Result->Result = SP[-1];
+  return SP - 1;
+}
+
+DSPEC_JIT_HELPER(return_void) {
+  UNUSED3();
+  F->Result->Result = Value::makeVoid();
+  return SP;
+}
+
+DSPEC_JIT_HELPER(const_add) {
+  UNUSED3();
+  SP[-1] = interp::opAdd(SP[-1], *In->K);
+  return SP;
+}
+
+DSPEC_JIT_HELPER(const_mul) {
+  UNUSED3();
+  SP[-1] = interp::opMul(SP[-1], *In->K);
+  return SP;
+}
+
+DSPEC_JIT_HELPER(load_call) {
+  UNUSED3();
+  SP[0] = F->Locals[In->A];
+  Value *Base = SP + 1 - In->B2;
+  Value R = callBuiltinImpl(static_cast<uint16_t>(In->A2), Base, *F->Machine);
+  Base[0] = R;
+  return Base + 1;
+}
+
+DSPEC_JIT_HELPER(cache_load_add) {
+  UNUSED3();
+  if (!F->CacheBytes)
+    return trap(F, "cache read without a loaded cache in '" + F->Chunk->Name +
+                       "'");
+  const TypeKind Kind = static_cast<TypeKind>(In->C);
+  const unsigned Offset = static_cast<unsigned>(In->B);
+  CacheView Packed = view(F);
+  if (!Packed.inBounds(Offset, Kind))
+    return trap(F, "cache read past the layout in '" + F->Chunk->Name + "'");
+  SP[-1] = interp::opAdd(SP[-1], Packed.load(Offset, Kind));
+  return SP;
+}
+
+DSPEC_JIT_HELPER(cache_load_mul) {
+  UNUSED3();
+  if (!F->CacheBytes)
+    return trap(F, "cache read without a loaded cache in '" + F->Chunk->Name +
+                       "'");
+  const TypeKind Kind = static_cast<TypeKind>(In->C);
+  const unsigned Offset = static_cast<unsigned>(In->B);
+  CacheView Packed = view(F);
+  if (!Packed.inBounds(Offset, Kind))
+    return trap(F, "cache read past the layout in '" + F->Chunk->Name + "'");
+  SP[-1] = interp::opMul(SP[-1], Packed.load(Offset, Kind));
+  return SP;
+}
+
+DSPEC_JIT_HELPER(cache_load_store) {
+  UNUSED3();
+  if (!F->CacheBytes)
+    return trap(F, "cache read without a loaded cache in '" + F->Chunk->Name +
+                       "'");
+  const TypeKind Kind = static_cast<TypeKind>(In->C);
+  const unsigned Offset = static_cast<unsigned>(In->B);
+  CacheView Packed = view(F);
+  if (!Packed.inBounds(Offset, Kind))
+    return trap(F, "cache read past the layout in '" + F->Chunk->Name + "'");
+  F->Locals[In->A2] = Packed.load(Offset, Kind);
+  return SP;
+}
+
+DSPEC_JIT_HELPER(cache_load_ret) {
+  UNUSED3();
+  if (!F->CacheBytes)
+    return trap(F, "cache read without a loaded cache in '" + F->Chunk->Name +
+                       "'");
+  const TypeKind Kind = static_cast<TypeKind>(In->C);
+  const unsigned Offset = static_cast<unsigned>(In->B);
+  CacheView Packed = view(F);
+  if (!Packed.inBounds(Offset, Kind))
+    return trap(F, "cache read past the layout in '" + F->Chunk->Name + "'");
+  F->Result->Result = Packed.load(Offset, Kind);
+  return SP;
+}
+
+DSPEC_JIT_HELPER(lt_jf) {
+  UNUSED3();
+  F->Cond = interp::cmpLt(SP[-2], SP[-1]) ? 0 : 1;
+  return SP - 2;
+}
+
+DSPEC_JIT_HELPER(le_jf) {
+  UNUSED3();
+  F->Cond = interp::cmpLe(SP[-2], SP[-1]) ? 0 : 1;
+  return SP - 2;
+}
+
+DSPEC_JIT_HELPER(gt_jf) {
+  UNUSED3();
+  F->Cond = interp::cmpGt(SP[-2], SP[-1]) ? 0 : 1;
+  return SP - 2;
+}
+
+DSPEC_JIT_HELPER(ge_jf) {
+  UNUSED3();
+  F->Cond = interp::cmpGe(SP[-2], SP[-1]) ? 0 : 1;
+  return SP - 2;
+}
+
+#undef DSPEC_JIT_HELPER
+
+void dspec::jit::dspec_jit_budget_trap(JitFrame *F) {
+  ExecResult &R = *F->Result;
+  R.Trapped = true;
+  R.TrapMessage =
+      "instruction budget exceeded in '" + F->Chunk->Name + "'";
+  R.InstructionsExecuted = F->Executed;
+}
+
+//===----------------------------------------------------------------------===//
+// VM::runJit — the native-tier entry wrapper
+//===----------------------------------------------------------------------===//
+
+#define TRAP(MSG)                                                              \
+  do {                                                                         \
+    Result.Trapped = true;                                                     \
+    Result.TrapMessage = (MSG);                                                \
+    Result.InstructionsExecuted = Executed;                                    \
+    return Result;                                                             \
+  } while (0)
+
+ExecResult VM::runJit(const jit::JitProgram &P, const std::vector<Value> &Args,
+                      CacheView Packed) {
+  ExecResult Result;
+  uint64_t Executed = 0;
+  const ExecChunk &C = P.chunk();
+
+  // Preamble identical to runThreaded: same checks, same messages, same
+  // zero-init and int->float parameter promotion.
+  if (!C.Valid)
+    TRAP("invalid decoded chunk '" + C.Name + "'");
+  if (Args.size() != C.NumParams)
+    TRAP("argument count mismatch calling '" + C.Name + "'");
+
+  std::vector<Value> &Locals = LocalsScratch;
+  Locals.resize(C.numLocals());
+  for (unsigned I = 0; I < C.numLocals(); ++I)
+    Locals[I] = Value::zeroOf(Type(C.LocalTypes[I]));
+  for (unsigned I = 0; I < C.NumParams; ++I) {
+    Value Arg = Args[I];
+    if (Arg.Kind != C.LocalTypes[I]) {
+      if (Arg.isInt() && C.LocalTypes[I] == TypeKind::TK_Float)
+        Arg = Value::makeFloat(static_cast<float>(Arg.I));
+      else
+        TRAP("argument type mismatch calling '" + C.Name + "'");
+    }
+    Locals[I] = Arg;
+  }
+
+  if (StackScratch.size() < C.MaxStack)
+    StackScratch.resize(C.MaxStack);
+
+  jit::JitFrame F;
+  F.Stack = StackScratch.data();
+  F.Locals = Locals.data();
+  F.Executed = 0;
+  F.Budget = InstructionBudget;
+  F.Machine = this;
+  F.Chunk = &C;
+  F.Result = &Result;
+  F.CacheBytes = Packed.data();
+  F.CacheSize = Packed.sizeInBytes();
+  F.Cond = 0;
+
+  // Entry returns 1 on completion, 0 on trap; trap paths already filled
+  // Result (message + retired count) through the frame.
+  if (P.entry()(&F))
+    Result.InstructionsExecuted = F.Executed;
+  return Result;
+}
+
+#undef TRAP

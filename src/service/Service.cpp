@@ -7,6 +7,7 @@
 #include "service/Service.h"
 
 #include "driver/Pipeline.h"
+#include "jit/Jit.h"
 #include "service/Transport.h"
 #include "shading/ShaderGallery.h"
 #include "shading/ShaderLab.h"
@@ -336,6 +337,7 @@ void SpecializationService::finish(Pending &P, const UnitPtr &Unit,
   Reply.ServiceMicros = static_cast<uint64_t>(Latency * 1e6);
   Metrics.recordOk(Latency, CacheHit);
   Metrics.recordVariant(Unit->VariantLabel, CacheHit);
+  Metrics.recordExecTier(execTierName(Engine.execTier()));
   P.Done(std::move(Reply));
 }
 
@@ -424,6 +426,9 @@ MetricsSnapshot SpecializationService::statsz() const {
     Out.SpillFiles = S.Files;
     Out.SpillBytes = S.Bytes;
   }
+  jit::JitStatsSnapshot J = jit::stats();
+  Out.JitCompiles = J.Compiles;
+  Out.JitCodeBytes = J.CodeBytes;
   if (NetStatsProvider)
     Out.NetJson = NetStatsProvider();
   return Out;

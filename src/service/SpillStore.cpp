@@ -98,14 +98,27 @@ bool SpillStore::open(const std::string &Dir, uint64_t InMaxBytes,
   return true;
 }
 
-void SpillStore::enforceCapLocked() {
+void SpillStore::enforceCapLocked(const std::string *ExcludeName) {
   while (MaxBytes > 0 && TotalBytes > MaxBytes && Index.size() > 1) {
     // Evict the least recently used file (never the only one — a single
     // over-cap unit is more useful on disk than an empty directory).
-    auto Victim = Index.begin();
-    for (auto It = Index.begin(); It != Index.end(); ++It)
-      if (It->second.LastUse < Victim->second.LastUse)
+    // mtime ticks in whole seconds, so a burst of spills ties on LastUse;
+    // the tie breaks by file name — the hex key hash — so every process
+    // evicts the same file and restart inventories stay reproducible.
+    // The just-stored file is exempt outright: a store must never evict
+    // its own unit, however its hash happens to sort.
+    auto Victim = Index.end();
+    for (auto It = Index.begin(); It != Index.end(); ++It) {
+      if (ExcludeName && It->first == *ExcludeName)
+        continue;
+      if (Victim == Index.end() ||
+          It->second.LastUse < Victim->second.LastUse ||
+          (It->second.LastUse == Victim->second.LastUse &&
+           It->first < Victim->first))
         Victim = It;
+    }
+    if (Victim == Index.end())
+      return; // only the excluded file remains over-cap
     ::unlink((Root + "/" + Victim->first).c_str());
     TotalBytes -= Victim->second.Bytes;
     Index.erase(Victim);
@@ -161,7 +174,7 @@ void SpillStore::store(const UnitKey &Key, const UnitPtr &Unit) {
   Index[Name] = {Bytes, nowSeconds()};
   TotalBytes += Bytes;
   ++Counters.Writes;
-  enforceCapLocked();
+  enforceCapLocked(&Name);
 }
 
 std::shared_ptr<SpecializationUnit> SpillStore::load(const UnitKey &Key,

@@ -75,7 +75,11 @@ public:
 private:
   uint64_t keyHash(const UnitKey &Key) const;
   /// Deletes LRU files until the cap holds. Caller holds the mutex.
-  void enforceCapLocked();
+  /// mtime has one-second granularity, so ties are common — they break
+  /// deterministically by file name (the hex key hash), and the
+  /// just-written file (\p ExcludeName, when non-null) is never the
+  /// victim: spilling a unit must not immediately delete it.
+  void enforceCapLocked(const std::string *ExcludeName = nullptr);
 
   std::string Root;
   uint64_t MaxBytes = 0;

@@ -6,11 +6,13 @@
 ///
 /// \file
 /// The fast execution tiers' contract (docs/ENGINE.md, "Execution
-/// tiers"): the decoded/fused ExecChunk and the threaded and batched
-/// interpreters are pure speed — every gallery shader renders
-/// bit-identical framebuffers and loads bit-identical cache arenas under
-/// every tier and thread count, traps carry the same message everywhere,
-/// and superinstruction fusion never crosses a jump target.
+/// tiers"): the decoded/fused ExecChunk and the threaded, batched, and
+/// native (copy-and-patch JIT) tiers are pure speed — every gallery
+/// shader renders bit-identical framebuffers and loads bit-identical
+/// cache arenas under every tier and thread count, traps carry the same
+/// message everywhere, and superinstruction fusion never crosses a jump
+/// target. (On hosts where the native tier cannot stitch it runs its
+/// threaded deopt path, so these tests still pin the fallback.)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,7 +60,7 @@ Chunk compileOne(const std::string &Source, const std::string &Name) {
 }
 
 constexpr ExecTier kTiers[] = {ExecTier::Switch, ExecTier::Threaded,
-                               ExecTier::Batched};
+                               ExecTier::Batched, ExecTier::Native};
 
 //===----------------------------------------------------------------------===//
 // ExecChunk: decoding, fusion, flags
@@ -247,7 +249,7 @@ TEST(VMTrap, HandWrittenChunksWithoutLocsKeepBareMessage) {
 // Differential fuzz-lite: the whole gallery through every tier
 //===----------------------------------------------------------------------===//
 
-/// Every gallery shader through all three tiers at 1 and 4 threads:
+/// Every gallery shader through every tier at 1 and 4 threads:
 /// loader/reader/plain framebuffers bit-identical to the switch@1
 /// reference, and the cache arena loads the exact same bytes.
 TEST(ExecTiers, GalleryDifferentialAcrossTiersAndThreads) {

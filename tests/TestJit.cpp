@@ -1,0 +1,420 @@
+//===- tests/TestJit.cpp - Native tier (copy-and-patch JIT) tests ------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native tier's contract (docs/ENGINE.md, "Native tier"): stitched
+/// code is pure speed. Results, instruction accounting, and trap messages
+/// are bit-identical to the interpreter tiers; compiled code is cached
+/// per specialization unit and shared across chunk copies (UnitCache,
+/// snapshot warm starts); and every deopt condition — forced allocation
+/// failure included — falls back to the threaded tier without changing a
+/// single output byte. Tests that require actual stitching skip
+/// themselves on hosts (or DSPEC_FORCE_NO_JIT builds) where
+/// jit::available() is false; the fallback behavior itself is covered by
+/// the tier matrix in TestExecTiers.cpp, which always runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/RenderEngine.h"
+#include "jit/Jit.h"
+#include "shading/ShaderLab.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dspec;
+
+namespace {
+
+bool bitIdentical(const Value &A, const Value &B) {
+  return A.Kind == B.Kind && A.I == B.I &&
+         std::memcmp(A.F, B.F, sizeof(A.F)) == 0;
+}
+
+Chunk compileOne(const std::string &Source, const std::string &Name) {
+  auto Unit = parseUnit(Source);
+  EXPECT_TRUE(Unit->ok()) << Unit->Diags.str();
+  auto Code = compileFunction(*Unit, Name);
+  EXPECT_TRUE(Code.has_value());
+  return *Code;
+}
+
+/// Restores the allocation-failure hook even when an assertion bails.
+struct ForceAllocFailureGuard {
+  explicit ForceAllocFailureGuard(bool Fail) {
+    jit::testForceAllocFailure(Fail);
+  }
+  ~ForceAllocFailureGuard() { jit::testForceAllocFailure(false); }
+};
+
+//===----------------------------------------------------------------------===//
+// Stitching and bit-exact execution
+//===----------------------------------------------------------------------===//
+
+TEST(Jit, StitchesStraightLineAndBranchyChunksBitExact) {
+  if (!jit::available())
+    GTEST_SKIP() << "native tier unavailable in this build";
+
+  // Straight-line (fused const+mul/const+add) and a loop with an inner
+  // diamond: jumps, conditional superinstructions, and modulo all at once.
+  const Chunk Straight =
+      compileOne("float f(float a) { return a * 2.0 + 1.0; }", "f");
+  const Chunk Branchy = compileOne("int f(int n) {\n"
+                                   "  int total = 0;\n"
+                                   "  int i = 0;\n"
+                                   "  while (i < n) {\n"
+                                   "    if (i % 2 == 0) { total = total + i; }\n"
+                                   "    i = i + 1;\n"
+                                   "  }\n"
+                                   "  return total;\n"
+                                   "}",
+                                   "f");
+
+  auto SP = jit::compileChunk(Straight);
+  ASSERT_NE(SP, nullptr);
+  EXPECT_GT(SP->codeBytes(), 0u);
+  EXPECT_NE(SP->entry(), nullptr);
+
+  VM Machine;
+  for (float X : {0.0f, -3.5f, 1e20f}) {
+    auto Ref = Machine.run(Straight, {Value::makeFloat(X)});
+    auto Native = Machine.runJit(*SP, {Value::makeFloat(X)});
+    ASSERT_TRUE(Ref.ok());
+    ASSERT_TRUE(Native.ok()) << Native.TrapMessage;
+    EXPECT_TRUE(bitIdentical(Ref.Result, Native.Result)) << X;
+  }
+
+  auto BP = jit::compileChunk(Branchy);
+  ASSERT_NE(BP, nullptr);
+  for (int N : {0, 1, 2, 7, 100}) {
+    auto Ref = Machine.run(Branchy, {Value::makeInt(N)});
+    auto Fast = Machine.runThreaded(BP->chunk(), {Value::makeInt(N)});
+    auto Native = Machine.runJit(*BP, {Value::makeInt(N)});
+    ASSERT_TRUE(Ref.ok());
+    ASSERT_TRUE(Native.ok()) << Native.TrapMessage;
+    EXPECT_TRUE(bitIdentical(Ref.Result, Native.Result)) << "n=" << N;
+    // Instruction accounting is part of the contract: the fragments bill
+    // exactly like the threaded dispatch loop.
+    EXPECT_EQ(Native.InstructionsExecuted, Fast.InstructionsExecuted)
+        << "n=" << N;
+  }
+}
+
+TEST(Jit, TrapMessagesAndBudgetMatchInterpreter) {
+  if (!jit::available())
+    GTEST_SKIP() << "native tier unavailable in this build";
+
+  VM Machine;
+
+  const Chunk Div = compileOne("int f(int a) {\n  return 10 / a;\n}", "f");
+  auto DP = jit::compileChunk(Div);
+  ASSERT_NE(DP, nullptr);
+  auto Ref = Machine.run(Div, {Value::makeInt(0)});
+  auto Native = Machine.runJit(*DP, {Value::makeInt(0)});
+  ASSERT_TRUE(Ref.Trapped);
+  ASSERT_TRUE(Native.Trapped);
+  EXPECT_EQ(Native.TrapMessage, Ref.TrapMessage);
+  EXPECT_EQ(Native.InstructionsExecuted, Ref.InstructionsExecuted);
+
+  const Chunk Mod = compileOne("int f(int a) {\n  return 7 % a;\n}", "f");
+  auto MP = jit::compileChunk(Mod);
+  ASSERT_NE(MP, nullptr);
+  Ref = Machine.run(Mod, {Value::makeInt(0)});
+  Native = Machine.runJit(*MP, {Value::makeInt(0)});
+  ASSERT_TRUE(Ref.Trapped && Native.Trapped);
+  EXPECT_EQ(Native.TrapMessage, Ref.TrapMessage);
+
+  // Budget exhaustion: the fragment-level counter must stop at exactly
+  // the same instruction as the threaded tier and report the same trap.
+  const Chunk Spin = compileOne("int f(int n) {\n"
+                                "  int i = 0;\n"
+                                "  while (i < n) { i = i + 1; }\n"
+                                "  return i;\n"
+                                "}",
+                                "f");
+  auto SP = jit::compileChunk(Spin);
+  ASSERT_NE(SP, nullptr);
+  Machine.InstructionBudget = 100;
+  auto Threaded = Machine.runThreaded(SP->chunk(), {Value::makeInt(1 << 20)});
+  Native = Machine.runJit(*SP, {Value::makeInt(1 << 20)});
+  ASSERT_TRUE(Threaded.Trapped);
+  ASSERT_TRUE(Native.Trapped);
+  EXPECT_EQ(Native.TrapMessage, Threaded.TrapMessage);
+  EXPECT_NE(Native.TrapMessage.find("instruction budget exceeded"),
+            std::string::npos)
+      << Native.TrapMessage;
+  EXPECT_EQ(Native.InstructionsExecuted, Threaded.InstructionsExecuted);
+}
+
+TEST(Jit, ArgumentValidationMatchesInterpreter) {
+  if (!jit::available())
+    GTEST_SKIP() << "native tier unavailable in this build";
+
+  const Chunk Code = compileOne("float f(float a) { return a + 1.0; }", "f");
+  auto P = jit::compileChunk(Code);
+  ASSERT_NE(P, nullptr);
+  VM Machine;
+
+  // Wrong arity and wrong argument type trap in the preamble with the
+  // interpreter's exact messages (and int promotes to float the same way).
+  auto Ref = Machine.run(Code, {});
+  auto Native = Machine.runJit(*P, {});
+  ASSERT_TRUE(Ref.Trapped && Native.Trapped);
+  EXPECT_EQ(Native.TrapMessage, Ref.TrapMessage);
+
+  Ref = Machine.run(Code, {Value::makeBool(true)});
+  Native = Machine.runJit(*P, {Value::makeBool(true)});
+  ASSERT_TRUE(Ref.Trapped && Native.Trapped);
+  EXPECT_EQ(Native.TrapMessage, Ref.TrapMessage);
+
+  Ref = Machine.run(Code, {Value::makeInt(3)});
+  Native = Machine.runJit(*P, {Value::makeInt(3)});
+  ASSERT_TRUE(Ref.ok() && Native.ok());
+  EXPECT_TRUE(bitIdentical(Ref.Result, Native.Result));
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprinting and the per-chunk code cache
+//===----------------------------------------------------------------------===//
+
+TEST(Jit, FingerprintTracksChunkContent) {
+  const Chunk A = compileOne("float f(float a) { return a * 2.0; }", "f");
+  Chunk B = A; // copies hash identically
+  EXPECT_EQ(jit::chunkFingerprint(A), jit::chunkFingerprint(B));
+
+  B.Constants[0] = Value::makeFloat(3.0f);
+  EXPECT_NE(jit::chunkFingerprint(A), jit::chunkFingerprint(B))
+      << "constant edit must change the fingerprint";
+
+  Chunk C = A;
+  C.Code.push_back({OpCode::OC_ReturnVoid, 0, 0, 0});
+  EXPECT_NE(jit::chunkFingerprint(A), jit::chunkFingerprint(C))
+      << "code edit must change the fingerprint";
+}
+
+TEST(Jit, EnsureCompiledCachesAcrossCallsAndCopies) {
+  if (!jit::available())
+    GTEST_SKIP() << "native tier unavailable in this build";
+
+  const Chunk Code = compileOne("float f(float a) { return a + 4.0; }", "f");
+  bool Stitched = false;
+  auto First = jit::ensureCompiled(Code, &Stitched);
+  ASSERT_NE(First, nullptr);
+  EXPECT_TRUE(Stitched);
+
+  auto Second = jit::ensureCompiled(Code, &Stitched);
+  EXPECT_EQ(Second.get(), First.get()) << "slot hit must reuse the program";
+  EXPECT_FALSE(Stitched);
+
+  // Chunk copies share the JitSlot (UnitCache hits and snapshot warm
+  // starts copy chunks by value), so they reuse the stitched code too.
+  Chunk Copy = Code;
+  auto Third = jit::ensureCompiled(Copy, &Stitched);
+  EXPECT_EQ(Third.get(), First.get());
+  EXPECT_FALSE(Stitched);
+
+  // Mutating the copy invalidates the fingerprint: fresh code, and the
+  // original chunk's key no longer matches the slot.
+  Copy.Constants[0] = Value::makeFloat(9.0f);
+  auto Fourth = jit::ensureCompiled(Copy, &Stitched);
+  ASSERT_NE(Fourth, nullptr);
+  EXPECT_TRUE(Stitched);
+  EXPECT_NE(Fourth.get(), First.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Engine integration: gallery differential, warm starts, forced fallback
+//===----------------------------------------------------------------------===//
+
+/// Native vs switch over the whole gallery at 1 and 4 threads:
+/// loader/reader framebuffers and arena bytes are byte-identical, and the
+/// pass stats show the stitched program actually ran (when available).
+TEST(Jit, GalleryNativeMatchesSwitchByteForByte) {
+  const unsigned W = 9, H = 7;
+  ShaderLab Lab(W, H);
+
+  for (const ShaderInfo &Info : shaderGallery()) {
+    auto Spec = Lab.specializePartition(Info, 0);
+    ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
+
+    RenderEngine Ref(1);
+    Ref.setExecTier(ExecTier::Switch);
+    auto Controls = ShaderLab::defaultControls(Info);
+    Framebuffer LoadRef(W, H), ReadRef(W, H);
+    ASSERT_TRUE(Spec->load(Ref, Lab.grid(), Controls, &LoadRef))
+        << Info.Name << ": " << Ref.lastTrap();
+    const unsigned char *Raw = Spec->arena().raw();
+    std::vector<unsigned char> ArenaRef(Raw, Raw + Spec->arena().totalBytes());
+    Controls[0] = Info.Controls[0].SweepMax;
+    ASSERT_TRUE(Spec->readFrame(Ref, Lab.grid(), Controls, &ReadRef));
+
+    for (unsigned Threads : {1u, 4u}) {
+      RenderEngine Engine(Threads);
+      Engine.setExecTier(ExecTier::Native);
+      const std::string Tag =
+          Info.Name + " [native @" + std::to_string(Threads) + "t]";
+      Controls = ShaderLab::defaultControls(Info);
+      Framebuffer Load(W, H), Read(W, H);
+      ASSERT_TRUE(Spec->load(Engine, Lab.grid(), Controls, &Load))
+          << Tag << ": " << Engine.lastTrap();
+      const unsigned char *NowRaw = Spec->arena().raw();
+      std::vector<unsigned char> ArenaNow(
+          NowRaw, NowRaw + Spec->arena().totalBytes());
+      EXPECT_EQ(ArenaNow, ArenaRef) << Tag << ": arena bytes differ";
+      Controls[0] = Info.Controls[0].SweepMax;
+      ASSERT_TRUE(Spec->readFrame(Engine, Lab.grid(), Controls, &Read))
+          << Tag << ": " << Engine.lastTrap();
+      if (jit::available()) {
+        EXPECT_EQ(Engine.lastPassStats().NativePixels,
+                  static_cast<uint64_t>(W) * H)
+            << Tag << ": reader pass did not run stitched code";
+        EXPECT_GT(Engine.lastPassStats().NativeCodeBytes, 0u) << Tag;
+      } else {
+        EXPECT_EQ(Engine.lastPassStats().NativePixels, 0u)
+            << Tag << ": fallback build must not claim native pixels";
+      }
+      for (unsigned Y = 0; Y < H; ++Y)
+        for (unsigned X = 0; X < W; ++X) {
+          ASSERT_TRUE(bitIdentical(LoadRef.at(X, Y), Load.at(X, Y)))
+              << "loader " << Tag << ": pixel " << X << "," << Y;
+          ASSERT_TRUE(bitIdentical(ReadRef.at(X, Y), Read.at(X, Y)))
+              << "reader " << Tag << ": pixel " << X << "," << Y;
+        }
+    }
+  }
+}
+
+/// A snapshot warm start stitches once and then serves every subsequent
+/// reader pass from the chunk's code cache — observable as exactly one
+/// pass with NativeCompiles == 1.
+TEST(Jit, SnapshotWarmStartReusesStitchedCode) {
+  if (!jit::available())
+    GTEST_SKIP() << "native tier unavailable in this build";
+
+  const ShaderInfo *Info = findShader("marble");
+  ASSERT_NE(Info, nullptr);
+  RenderGrid Grid(10, 8);
+
+  auto Unit = parseUnit(Info->Source);
+  ASSERT_TRUE(Unit->ok()) << Unit->Diags.str();
+  auto Spec =
+      specializeAndCompile(*Unit, Info->Name, {Info->Controls[0].Name});
+  ASSERT_TRUE(Spec.has_value());
+  auto Controls = ShaderLab::defaultControls(*Info);
+
+  RenderEngine Engine(1);
+  CacheArena Arena;
+  ASSERT_TRUE(Engine.loaderPass(Spec->LoaderChunk, Spec->Spec.Layout, Grid,
+                                Controls, Arena))
+      << Engine.lastTrap();
+
+  SnapshotMeta Meta;
+  Meta.FragmentName = Info->Name;
+  Meta.VaryingParams = {Info->Controls[0].Name};
+  Meta.GridWidth = Grid.width();
+  Meta.GridHeight = Grid.height();
+  Meta.Controls = Controls;
+  const std::string Path = testing::TempDir() + "dspec_jit_warm.dsnap";
+  std::string Error;
+  ASSERT_TRUE(RenderEngine::saveSnapshot(Path, Meta, Spec->LoaderChunk,
+                                         Spec->ReaderChunk, Spec->Spec.Layout,
+                                         Arena, &Error))
+      << Error;
+  auto Warm = RenderEngine::fromSnapshot(Path, &Error);
+  ASSERT_TRUE(Warm.has_value()) << Error;
+
+  RenderEngine Reader(2);
+  Reader.setExecTier(ExecTier::Native);
+  Framebuffer First(Grid.width(), Grid.height());
+  ASSERT_TRUE(Reader.readerPass(Warm->Reader, Warm->Grid, Controls,
+                                Warm->Arena, &First))
+      << Reader.lastTrap();
+  EXPECT_EQ(Reader.lastPassStats().NativeCompiles, 1u)
+      << "first pass over the restored reader must stitch";
+  EXPECT_GT(Reader.lastPassStats().NativeCompileSeconds, 0.0);
+  const uint64_t Bytes = Reader.lastPassStats().NativeCodeBytes;
+  EXPECT_GT(Bytes, 0u);
+
+  // Ten frames of parameter edits: all served by the cached program, and
+  // a fresh engine (new VM workers, same warm-start chunk) hits it too.
+  for (int Frame = 0; Frame < 10; ++Frame) {
+    Controls[0] += 0.1f;
+    Framebuffer Out(Grid.width(), Grid.height());
+    ASSERT_TRUE(Reader.readerPass(Warm->Reader, Warm->Grid, Controls,
+                                  Warm->Arena, &Out))
+        << Reader.lastTrap();
+    EXPECT_EQ(Reader.lastPassStats().NativeCompiles, 0u) << "frame " << Frame;
+    EXPECT_EQ(Reader.lastPassStats().NativeCodeBytes, Bytes);
+  }
+  RenderEngine Other(1);
+  Other.setExecTier(ExecTier::Native);
+  Framebuffer Out(Grid.width(), Grid.height());
+  ASSERT_TRUE(Other.readerPass(Warm->Reader, Warm->Grid, Controls,
+                               Warm->Arena, &Out))
+      << Other.lastTrap();
+  EXPECT_EQ(Other.lastPassStats().NativeCompiles, 0u)
+      << "stitched code is cached on the chunk, not the engine";
+  std::remove(Path.c_str());
+}
+
+/// When executable memory cannot be allocated (mmap/mprotect failure,
+/// simulated by the test hook) the native tier falls back to the threaded
+/// tier and still renders bit-identically.
+TEST(Jit, ForcedAllocFailureFallsBackBitIdentical) {
+  const ShaderInfo *Info = findShader("plastic");
+  ASSERT_NE(Info, nullptr);
+  const unsigned W = 8, H = 6;
+  ShaderLab Lab(W, H);
+  auto Spec = Lab.specializePartition(*Info, 0);
+  ASSERT_TRUE(Spec.has_value()) << Lab.lastError();
+  auto Controls = ShaderLab::defaultControls(*Info);
+
+  RenderEngine Ref(1);
+  Ref.setExecTier(ExecTier::Switch);
+  Framebuffer LoadRef(W, H), ReadRef(W, H);
+  ASSERT_TRUE(Spec->load(Ref, Lab.grid(), Controls, &LoadRef))
+      << Ref.lastTrap();
+  ASSERT_TRUE(Spec->readFrame(Ref, Lab.grid(), Controls, &ReadRef));
+
+  {
+    ForceAllocFailureGuard Guard(true);
+    RenderEngine Engine(2);
+    Engine.setExecTier(ExecTier::Native);
+    Framebuffer Load(W, H), Read(W, H);
+    ASSERT_TRUE(Spec->load(Engine, Lab.grid(), Controls, &Load))
+        << Engine.lastTrap();
+    ASSERT_TRUE(Spec->readFrame(Engine, Lab.grid(), Controls, &Read))
+        << Engine.lastTrap();
+    EXPECT_EQ(Engine.lastPassStats().NativePixels, 0u)
+        << "allocation failure must deopt, not execute stitched code";
+    EXPECT_EQ(Engine.lastPassStats().NativeCodeBytes, 0u);
+    for (unsigned Y = 0; Y < H; ++Y)
+      for (unsigned X = 0; X < W; ++X) {
+        ASSERT_TRUE(bitIdentical(LoadRef.at(X, Y), Load.at(X, Y)))
+            << "loader pixel " << X << "," << Y;
+        ASSERT_TRUE(bitIdentical(ReadRef.at(X, Y), Read.at(X, Y)))
+            << "reader pixel " << X << "," << Y;
+      }
+  }
+
+  if (jit::available()) {
+    // Failures are memoized per fingerprint, so the failed probes above
+    // stay deopted — but fresh chunks stitch fine once the hook is gone.
+    const Chunk Code = compileOne("int g(int a) { return a + 2; }", "g");
+    auto P = jit::compileChunk(Code);
+    ASSERT_NE(P, nullptr);
+    VM Machine;
+    auto R = Machine.runJit(*P, {Value::makeInt(5)});
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    EXPECT_EQ(R.Result.I, 7);
+  }
+}
+
+} // namespace

@@ -20,6 +20,7 @@
 #include "net/NetServer.h"
 #include "service/Protocol.h"
 #include "service/Service.h"
+#include "service/SpillStore.h"
 #include "service/Transport.h"
 #include "shading/ShaderGallery.h"
 #include "shading/ShaderLab.h"
@@ -28,10 +29,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
 
 using namespace dspec;
 
@@ -460,6 +467,145 @@ TEST(Spill, TcpServedWarmRestartCountsDiskHit) {
   EXPECT_TRUE(Warm->CacheHit);
   EXPECT_EQ(pixelCrc(Warm->Pixels), ColdCrc);
   EXPECT_EQ(S.Service.statsz().SpillDiskHits, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Spill store eviction determinism (direct SpillStore tests)
+//===----------------------------------------------------------------------===//
+
+/// Builds one small real unit (loader-filled arena included) the store
+/// can spill under any key.
+std::shared_ptr<SpecializationUnit> makeSpillUnit(const char *ShaderName) {
+  const ShaderInfo *Info = findShader(ShaderName);
+  EXPECT_NE(Info, nullptr);
+  auto Ast = parseUnit(Info->Source);
+  EXPECT_TRUE(Ast->ok()) << Ast->Diags.str();
+  auto Spec =
+      specializeAndCompile(*Ast, Info->Name, {Info->Controls[0].Name});
+  EXPECT_TRUE(Spec.has_value());
+  auto U = std::make_shared<SpecializationUnit>(4u, 3u);
+  U->Shader = Info->Name;
+  U->Loader = Spec->LoaderChunk;
+  U->Reader = Spec->ReaderChunk;
+  U->Layout = Spec->Spec.Layout;
+  U->Varying = {Info->Controls[0].Name};
+  U->LoadControls = ShaderLab::defaultControls(*Info);
+  RenderEngine Engine(1);
+  EXPECT_TRUE(Engine.loaderPass(U->Loader, U->Layout, U->Grid,
+                                U->LoadControls, U->Arena))
+      << Engine.lastTrap();
+  return U;
+}
+
+UnitKey keyWithHash(const char *Shader, uint64_t InvariantHash) {
+  UnitKey K;
+  K.Shader = Shader;
+  K.InvariantHash = InvariantHash;
+  return K;
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+/// Empties a spill directory left over from a previous run so file and
+/// eviction counts start from zero.
+void clearSpillDir(const std::string &Dir) {
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ::unlink((Dir + "/" + Name).c_str());
+    }
+    ::closedir(D);
+  }
+}
+
+TEST(Spill, CapEvictionBreaksEqualMtimeTiesByFileName) {
+  auto Unit = makeSpillUnit("marble");
+  const UnitKey Keys[3] = {keyWithHash("marble", 1),
+                           keyWithHash("marble", 2),
+                           keyWithHash("marble", 3)};
+  const std::string Dir = testing::TempDir() + "dspec_spill_tie";
+  clearSpillDir(Dir);
+
+  uint64_t OneFile = 0;
+  std::vector<std::string> Paths;
+  {
+    SpillStore Store;
+    std::string Error;
+    ASSERT_TRUE(Store.open(Dir, /*MaxBytes=*/0, &Error)) << Error;
+    for (const UnitKey &K : Keys) {
+      Store.store(K, Unit);
+      Paths.push_back(Store.pathFor(K));
+    }
+    ASSERT_EQ(Store.stats().Files, 3u);
+    ASSERT_EQ(Store.stats().Errors, 0u);
+    OneFile = Store.stats().Bytes / 3;
+  }
+  // Pin every file to one mtime. mtime ticks in whole seconds, so this is
+  // exactly what a burst of spills produces — the LRU signal carries no
+  // information and only the tie-break decides who dies.
+  struct utimbuf Times;
+  Times.actime = Times.modtime = 1700000000;
+  for (const std::string &P : Paths)
+    ASSERT_EQ(::utime(P.c_str(), &Times), 0) << P;
+
+  // Reopen with room for one file: two evictions, all candidates tied.
+  SpillStore Store;
+  std::string Error;
+  ASSERT_TRUE(Store.open(Dir, OneFile + OneFile / 2, &Error)) << Error;
+  EXPECT_EQ(Store.stats().Files, 1u);
+  EXPECT_EQ(Store.stats().EvictedFiles, 2u);
+
+  // Deterministic victim order: ascending file name (the hex key hash),
+  // so the lexicographically-largest file is the survivor — same answer
+  // in every process that ever opens this directory.
+  std::vector<std::string> Sorted = Paths;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_FALSE(fileExists(Sorted[0])) << Sorted[0];
+  EXPECT_FALSE(fileExists(Sorted[1])) << Sorted[1];
+  EXPECT_TRUE(fileExists(Sorted[2])) << Sorted[2];
+  clearSpillDir(Dir);
+}
+
+TEST(Spill, StoreNeverEvictsTheUnitJustWritten) {
+  auto Unit = makeSpillUnit("wood");
+  const std::string Dir = testing::TempDir() + "dspec_spill_fresh";
+  clearSpillDir(Dir);
+  SpillStore Store;
+  std::string Error;
+  ASSERT_TRUE(Store.open(Dir, /*MaxBytes=*/1, &Error)) << Error;
+
+  // Adversarial key pair: the second store's file name sorts LOWER than
+  // the first's, so a bare name-ordered tie-break would evict the file
+  // being written. Both stores land within one mtime second.
+  const UnitKey First = keyWithHash("wood", 0);
+  UnitKey Second;
+  bool Found = false;
+  for (uint64_t H = 1; H < 64 && !Found; ++H) {
+    Second = keyWithHash("wood", H);
+    Found = Store.pathFor(Second) < Store.pathFor(First);
+  }
+  ASSERT_TRUE(Found) << "no lower-sorting key hash in 64 probes";
+
+  Store.store(First, Unit);
+  EXPECT_EQ(Store.stats().Files, 1u);
+  EXPECT_EQ(Store.stats().EvictedFiles, 0u)
+      << "a single over-cap file is never evicted";
+  Store.store(Second, Unit);
+  EXPECT_EQ(Store.stats().Files, 1u);
+  EXPECT_EQ(Store.stats().EvictedFiles, 1u);
+  EXPECT_TRUE(fileExists(Store.pathFor(Second)))
+      << "the just-written unit must survive its own cap enforcement";
+  EXPECT_FALSE(fileExists(Store.pathFor(First)));
+
+  // And the survivor is genuinely servable.
+  auto Back = Store.load(Second, &Error);
+  ASSERT_NE(Back, nullptr) << Error;
+  EXPECT_EQ(Back->Shader, "wood");
+  clearSpillDir(Dir);
 }
 
 //===----------------------------------------------------------------------===//
