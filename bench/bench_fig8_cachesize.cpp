@@ -22,7 +22,7 @@ using namespace dspec::bench;
 
 namespace {
 
-void printFigure8() {
+void printFigure8(const char *OutPath) {
   banner("Figure 8: single-pixel cache sizes for all input partitions",
          "wide variance; overall mean 22 bytes, median 20 bytes; total for "
          "a 640x480 image well within physical memory");
@@ -31,7 +31,9 @@ void printFigure8() {
   std::printf("%-3s %-9s %-11s %8s %6s\n", "sh", "shader", "partition",
               "bytes", "slots");
 
+  BenchJson Json("fig8_cachesize");
   std::vector<double> AllBytes;
+  char Row[192];
   for (const ShaderInfo &Info : shaderGallery()) {
     for (size_t C = 0; C < Info.Controls.size(); ++C) {
       auto Spec = Lab.specializePartition(Info, C);
@@ -45,6 +47,13 @@ void printFigure8() {
       std::printf("%-3u %-9s %-11s %7uB %6u\n", Info.Index,
                   Info.Name.c_str(), Info.Controls[C].Name.c_str(),
                   Layout.totalBytes(), Layout.slotCount());
+      std::snprintf(Row, sizeof(Row),
+                    "{\"shader\":%s,\"partition\":%s,\"cache_bytes\":%u,"
+                    "\"slots\":%u}",
+                    jsonQuote(Info.Name).c_str(),
+                    jsonQuote(Info.Controls[C].Name).c_str(),
+                    Layout.totalBytes(), Layout.slotCount());
+      Json.addRow(Row);
     }
   }
 
@@ -60,6 +69,16 @@ void printFigure8() {
   std::printf("worst-case 640x480 image: %.0f caches x %.0f bytes = %.1f "
               "MiB (paper: well within a 64 MB workstation)\n",
               640.0 * 480.0, WorstBytes, TotalMB);
+
+  char Num[64];
+  std::snprintf(Num, sizeof(Num), "%.1f", Mean);
+  Json.config("mean_bytes", Num);
+  std::snprintf(Num, sizeof(Num), "%.1f", Median);
+  Json.config("median_bytes", Num);
+  std::snprintf(Num, sizeof(Num), "%.0f", WorstBytes);
+  Json.config("worst_bytes", Num);
+  Json.configUnsigned("partitions", static_cast<unsigned>(AllBytes.size()));
+  Json.emit(OutPath);
 }
 
 void BM_SpecializeRingsPartition(benchmark::State &State) {
@@ -75,7 +94,8 @@ BENCHMARK(BM_SpecializeRingsPartition)->Unit(benchmark::kMicrosecond);
 } // namespace
 
 int main(int argc, char **argv) {
-  printFigure8();
+  const char *OutPath = takeOutPathArg(&argc, argv);
+  printFigure8(OutPath ? OutPath : "BENCH_fig8.json");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

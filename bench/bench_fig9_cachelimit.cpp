@@ -26,7 +26,7 @@ using namespace dspec::bench;
 
 namespace {
 
-void printFigure9() {
+void printFigure9(const char *OutPath) {
   banner("Figure 9: speedup factor vs cache size, shader 10 (rings)",
          "speedups decay toward 1.0x as the byte bound shrinks to 0; "
          "partitions below their natural size are unaffected");
@@ -69,6 +69,27 @@ void printFigure9() {
   std::printf("\nmedian speedup at %uB bound: %.2fx;  at 0B bound: %.2fx "
               "(paper: ~1.0x at 0 bytes)\n",
               MaxBound, median(AtMax), median(AtZero));
+
+  BenchJson Json("fig9_cachelimit");
+  Json.configUnsigned("width", benchWidth());
+  Json.configUnsigned("height", benchHeight());
+  Json.configUnsigned("frames", benchFrames());
+  Json.configUnsigned("max_bound_bytes", MaxBound);
+  char Num[64];
+  std::snprintf(Num, sizeof(Num), "%.3f", median(AtMax));
+  Json.config("median_speedup_at_max_bound", Num);
+  std::snprintf(Num, sizeof(Num), "%.3f", median(AtZero));
+  Json.config("median_speedup_at_zero_bound", Num);
+  char Row[192];
+  for (const LimitSweepRow &R : Rows) {
+    std::snprintf(Row, sizeof(Row),
+                  "{\"partition\":%s,\"byte_limit\":%u,\"cache_bytes\":%u,"
+                  "\"speedup\":%.3f}",
+                  jsonQuote(R.ParamName).c_str(), R.ByteLimit, R.ActualBytes,
+                  R.Speedup);
+    Json.addRow(Row);
+  }
+  Json.emit(OutPath);
 }
 
 void BM_RingsReaderLimited16B(benchmark::State &State) {
@@ -88,7 +109,8 @@ BENCHMARK(BM_RingsReaderLimited16B)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
-  printFigure9();
+  const char *OutPath = takeOutPathArg(&argc, argv);
+  printFigure9(OutPath ? OutPath : "BENCH_fig9.json");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

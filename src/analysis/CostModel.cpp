@@ -71,14 +71,18 @@ void CostModel::build(Function *F, const StructureInfo &SI,
 }
 
 double CostModel::weightedCost(const Expr *E) const {
+  return RawCost[E->nodeId()] * structureWeight(E);
+}
+
+double CostModel::structureWeight(const Expr *E) const {
   assert(Structure && "cost model not built");
-  double Cost = RawCost[E->nodeId()];
+  double Weight = 1.0;
   unsigned LoopDepth = static_cast<unsigned>(
       Structure->loops(E->nodeId()).size());
   unsigned CondDepth = Structure->conditionalDepth(E->nodeId());
   for (unsigned I = 0; I < LoopDepth; ++I)
-    Cost *= Options.LoopMultiplier;
+    Weight *= Options.LoopMultiplier;
   for (unsigned I = 0; I < CondDepth; ++I)
-    Cost /= Options.CondDivisor;
-  return Cost;
+    Weight /= Options.CondDivisor;
+  return Weight;
 }

@@ -48,6 +48,14 @@ public:
   /// raw * LoopMultiplier^loopDepth / CondDivisor^condDepth.
   double weightedCost(const Expr *E) const;
 
+  /// The frequency factor alone, independent of operator costs:
+  /// LoopMultiplier^loopDepth / CondDivisor^condDepth. This doubles as a
+  /// per-frame *reuse* estimate for a cached slot — >= 1 means the reader
+  /// touches the slot on every evaluation (hot), < 1 means the slot sits
+  /// under a conditional and is read less often than once per frame
+  /// (cold). The arena's cold-slot packing keys off this figure.
+  double structureWeight(const Expr *E) const;
+
   /// The base cost of \p E's own operator, excluding subterms. Vector
   /// operations scale with their width.
   static unsigned operatorCost(const Expr *E);

@@ -1,0 +1,138 @@
+//===- engine/CacheArena.cpp - Packed per-pixel cache storage --------------===//
+//
+// Part of the dataspec project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CacheArena.h"
+
+#include <cstring>
+
+using namespace dspec;
+
+size_t CacheArena::buildMap() {
+  Map.clear();
+  BlockPx = 1;
+  if (Pixels == 0 || Stride == 0)
+    return static_cast<size_t>(Pixels) * Stride;
+
+  const bool Packing = Config.PackCold && Shape.hasColdSlots();
+  if (Config.Layout == ArenaLayout::PixelMajor && !Packing)
+    return static_cast<size_t>(Pixels) * Stride; // identity: no map, no slack
+
+  switch (Config.Layout) {
+  case ArenaLayout::PixelMajor:
+    BlockPx = 1;
+    break;
+  case ArenaLayout::SlotMajor:
+    BlockPx = Pixels;
+    break;
+  case ArenaLayout::TileBlocked:
+    BlockPx = Config.TilePixels ? Config.TilePixels : 1024;
+    break;
+  }
+
+  // Physical block = [hot columns][cold columns], BlockPx lanes each,
+  // lane-major within a column. Canonical word w of (block B, lane L):
+  //   physOff(slot) * BlockPx  +  B * (BlockPx * Stride)
+  //   + L * slotWidth  +  wordDisplacementInSlot
+  // where physOff reorders cold slots behind the hot prefix.
+  const unsigned HotBytes = Packing ? Shape.hotBytes() : Stride;
+  unsigned HotOff = 0, ColdOff = 0;
+  Map.assign(Stride / 4, ArenaSlotAddr());
+  for (const CacheSlot &S : Shape.slots()) {
+    const unsigned Width = S.SlotType.sizeInBytes();
+    if (Width == 0)
+      continue;
+    const bool Cold = Packing && S.isCold();
+    const unsigned PhysOff = Cold ? HotBytes + ColdOff : HotOff;
+    (Cold ? ColdOff : HotOff) += Width;
+    for (unsigned D = 0; D < Width; D += 4) {
+      ArenaSlotAddr &E = Map[(S.Offset + D) / 4];
+      E.Base = PhysOff * BlockPx + D;
+      E.Block = BlockPx * Stride;
+      E.LaneW = Width;
+    }
+  }
+
+  const size_t NumBlocks = (static_cast<size_t>(Pixels) + BlockPx - 1) / BlockPx;
+  return NumBlocks * BlockPx * Stride + kTailSlackBytes;
+}
+
+void CacheArena::reset(unsigned PixelCount, const CacheLayout &CacheShape,
+                       const ArenaLayoutConfig &Cfg) {
+  Shape = CacheShape;
+  Config = Cfg;
+  Pixels = PixelCount;
+  Stride = CacheShape.totalBytes();
+  Storage.assign(buildMap(), 0);
+}
+
+bool CacheArena::restore(unsigned PixelCount, const CacheLayout &CacheShape,
+                         const unsigned char *Bytes, size_t Size,
+                         const ArenaLayoutConfig &Cfg) {
+  if (Size !=
+      static_cast<size_t>(PixelCount) * CacheShape.totalBytes()) {
+    reset(0, CacheLayout());
+    return false;
+  }
+  reset(PixelCount, CacheShape, Cfg);
+  if (Map.empty()) {
+    std::memcpy(Storage.data(), Bytes, Size);
+    return true;
+  }
+  // Scatter canonical words into the blocked arrangement.
+  const unsigned Words = Stride / 4;
+  for (unsigned P = 0; P < Pixels; ++P) {
+    const size_t B = P / BlockPx, L = P % BlockPx;
+    const unsigned char *Src = Bytes + static_cast<size_t>(P) * Stride;
+    for (unsigned W = 0; W < Words; ++W) {
+      const ArenaSlotAddr &E = Map[W];
+      std::memcpy(Storage.data() + E.Base + B * E.Block + L * E.LaneW,
+                  Src + 4 * W, 4);
+    }
+  }
+  return true;
+}
+
+bool CacheArena::restore(unsigned PixelCount, const CacheLayout &CacheShape,
+                         ArenaBuffer &&Bytes, const ArenaLayoutConfig &Cfg) {
+  if (Bytes.size() !=
+      static_cast<size_t>(PixelCount) * CacheShape.totalBytes()) {
+    reset(0, CacheLayout());
+    return false;
+  }
+  // Identity layouts adopt the canonical buffer outright (the physical
+  // image *is* the canonical image, and ArenaBuffer keeps it aligned);
+  // anything else must re-block, so the copy path applies.
+  Shape = CacheShape;
+  Config = Cfg;
+  Pixels = PixelCount;
+  Stride = CacheShape.totalBytes();
+  if (buildMap() == Bytes.size() && Map.empty()) {
+    Storage = std::move(Bytes);
+    return true;
+  }
+  return restore(PixelCount, CacheShape, Bytes.data(), Bytes.size(), Cfg);
+}
+
+ArenaBuffer CacheArena::canonicalBytes() const {
+  ArenaBuffer Out;
+  const size_t Logical = totalBytes();
+  if (Map.empty()) {
+    Out.assign(Storage.begin(), Storage.begin() + Logical);
+    return Out;
+  }
+  Out.resize(Logical);
+  const unsigned Words = Stride / 4;
+  for (unsigned P = 0; P < Pixels; ++P) {
+    const size_t B = P / BlockPx, L = P % BlockPx;
+    unsigned char *Dst = Out.data() + static_cast<size_t>(P) * Stride;
+    for (unsigned W = 0; W < Words; ++W) {
+      const ArenaSlotAddr &E = Map[W];
+      std::memcpy(Dst + 4 * W,
+                  Storage.data() + E.Base + B * E.Block + L * E.LaneW, 4);
+    }
+  }
+  return Out;
+}

@@ -19,12 +19,30 @@ RenderEngine::RenderEngine(unsigned Threads, unsigned TilePixels)
   Machines.resize(Pool->workerCount());
 }
 
+namespace {
+
+/// Whether any instruction of \p Code writes the cache (loader chunks do;
+/// readers never — the splitter emits loads only in the dynamic
+/// projection). One linear scan per pass, used to gate the native tier
+/// off read-only arenas.
+bool chunkStoresCache(const Chunk &Code) {
+  for (const Instr &In : Code.Code)
+    if (In.Op == OpCode::OC_CacheStore)
+      return true;
+  return false;
+}
+
+} // namespace
+
 bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
                            const std::vector<float> &Controls,
-                           CacheArena *Arena, Framebuffer *Out) {
+                           CacheArena *MutArena, const CacheArena *ROArena,
+                           Framebuffer *Out) {
   assert((!Out || (Out->width() == Grid.width() &&
                    Out->height() == Grid.height())) &&
          "framebuffer does not match the grid");
+  assert(!(MutArena && ROArena) && "a pass binds at most one arena");
+  const CacheArena *Arena = MutArena ? MutArena : ROArena;
 
   const std::vector<PixelInput> &Pixels = Grid.pixels();
   const size_t Count = Grid.pixelCount();
@@ -45,9 +63,22 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
   // failure — unsupported host, DSPEC_FORCE_NO_JIT, W^X allocation,
   // inexpressible opcode — leaves Native null and the pass deopts to the
   // threaded tier below (bit-identical by construction).
+  // Layout gates. The stitched cache fragments address one dense pixel
+  // stride, so a mapped (slot-major / tile-blocked / cold-packed) arena
+  // deopts the native tier to threaded — the ISSUE-sanctioned fallback —
+  // and a read-only arena additionally deopts any chunk containing a
+  // cache store (the JIT's store helper writes through the frame's one
+  // pointer and cannot trap on constness). The batched tier needs every
+  // work tile inside one arena block; otherwise it runs threaded, which
+  // resolves the map per view.
+  const bool ArenaDense = !Arena || Arena->denseViews();
+  const bool ArenaReadOnly = ROArena != nullptr;
+  const bool NativeEligible =
+      ArenaDense && !(ArenaReadOnly && chunkStoresCache(Code));
+
   std::shared_ptr<const jit::JitProgram> Native;
   bool StitchedNow = false;
-  if (Tier == ExecTier::Native)
+  if (Tier == ExecTier::Native && NativeEligible)
     Native = jit::ensureCompiled(Code, &StitchedNow);
   const bool UseNative = Native != nullptr;
 
@@ -56,8 +87,9 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
     Decoded = buildExecChunk(Code);
   const bool UseThreaded =
       !UseNative && Tier != ExecTier::Switch && Decoded.Valid;
-  const bool UseBatched =
-      Tier == ExecTier::Batched && Decoded.Valid && Decoded.BatchSafe;
+  const bool UseBatched = Tier == ExecTier::Batched && Decoded.Valid &&
+                          Decoded.BatchSafe &&
+                          (!Arena || Arena->batchCompatible(TileSize));
 
   /// Per-worker frame state: the reusable argument vectors (scalar and
   /// lane-major batched forms), the first trap this worker hit, and the
@@ -118,9 +150,24 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
       Req.NumArgs = NumArgs;
       Req.Lanes = Lanes;
       if (Arena) {
-        Req.CacheBase = Arena->raw() + Begin * Arena->strideBytes();
-        Req.CacheStride = Arena->strideBytes();
         Req.CacheBytes = Arena->strideBytes();
+        if (Arena->denseViews()) {
+          Req.CacheBase = Arena->raw() + Begin * Arena->strideBytes();
+          Req.CacheStride = Arena->strideBytes();
+          if (MutArena)
+            Req.CacheStoreBase =
+                MutArena->raw() + Begin * MutArena->strideBytes();
+        } else {
+          // Mapped arena: hand over the whole buffer plus the address
+          // map; slot rows resolve per access. batchCompatible
+          // guaranteed this tile lies inside one block.
+          Req.CacheBase = Arena->raw();
+          Req.CacheMap = Arena->map();
+          Req.CacheBlockPixels = Arena->blockPixels();
+          Req.CacheFirstPixel = static_cast<unsigned>(Begin);
+          if (MutArena)
+            Req.CacheStoreBase = MutArena->raw();
+        }
       }
       Req.Results = S.Results.data();
       ExecResult R = Machine.runBatch(Decoded, Req);
@@ -155,8 +202,12 @@ bool RenderEngine::runPass(const Chunk &Code, const RenderGrid &Grid,
       S.Args[1] = In.P;
       S.Args[2] = In.N;
       S.Args[3] = In.I;
+      // The const accessor yields a read-only view: reader passes cannot
+      // write the arena, any tier's cache store against it traps.
       CacheView View =
-          Arena ? Arena->view(static_cast<unsigned>(Index)) : CacheView();
+          MutArena ? MutArena->view(static_cast<unsigned>(Index))
+                   : (ROArena ? ROArena->view(static_cast<unsigned>(Index))
+                              : CacheView());
       ExecResult R;
       if (UseNative) {
         R = Machine.runJit(*Native, S.Args, View);
@@ -226,9 +277,10 @@ bool RenderEngine::loaderPass(const Chunk &Loader, const CacheLayout &Layout,
   assert(Loader.CacheBytes <= Layout.totalBytes() &&
          "loader was compiled against a larger layout");
   if (Arena.pixelCount() != Grid.pixelCount() ||
-      Arena.strideBytes() != Layout.totalBytes())
-    Arena.reset(Grid.pixelCount(), Layout);
-  return runPass(Loader, Grid, Controls, &Arena, Out);
+      Arena.strideBytes() != Layout.totalBytes() ||
+      Arena.layoutConfig() != ArenaCfg)
+    Arena.reset(Grid.pixelCount(), Layout, ArenaCfg);
+  return runPass(Loader, Grid, Controls, &Arena, nullptr, Out);
 }
 
 bool RenderEngine::readerPass(const Chunk &Reader, const RenderGrid &Grid,
@@ -238,15 +290,15 @@ bool RenderEngine::readerPass(const Chunk &Reader, const RenderGrid &Grid,
          Arena.strideBytes() >= Reader.CacheBytes &&
          "arena was not loaded for this grid and layout");
   // Readers contain cache loads only (the splitter never emits stores in
-  // the dynamic projection), so the arena stays untouched.
-  return runPass(Reader, Grid, Controls, const_cast<CacheArena *>(&Arena),
-                 Out);
+  // the dynamic projection); the read-only binding makes that a hard
+  // guarantee — a store through any tier traps instead of writing.
+  return runPass(Reader, Grid, Controls, nullptr, &Arena, Out);
 }
 
 bool RenderEngine::plainPass(const Chunk &Original, const RenderGrid &Grid,
                              const std::vector<float> &Controls,
                              Framebuffer *Out) {
-  return runPass(Original, Grid, Controls, nullptr, Out);
+  return runPass(Original, Grid, Controls, nullptr, nullptr, Out);
 }
 
 bool RenderEngine::saveSnapshot(const std::string &Path,
@@ -276,7 +328,10 @@ bool RenderEngine::saveSnapshot(const std::string &Path,
   Snap.Layout = Layout;
   Snap.ArenaPixels = Arena.pixelCount();
   Snap.ArenaStride = Arena.strideBytes();
-  Snap.ArenaBytes.assign(Arena.raw(), Arena.raw() + Arena.totalBytes());
+  // The ARENA section is always the canonical pixel-major image, whatever
+  // physical layout the arena uses in memory — files stay compatible and
+  // a load re-blocks into the restoring engine's layout.
+  Snap.ArenaBytes = Arena.canonicalBytes();
   Snap.Variants = Variants;
   return writeSnapshotFile(Path, Snap, Error);
 }
@@ -322,7 +377,7 @@ RenderEngine::fromSnapshot(const std::string &Path, std::string *Error) {
   Warm->Reader = std::move(Snap.Reader);
   Warm->Layout = Snap.Layout;
   if (!Warm->Arena.restore(Snap.ArenaPixels, Snap.Layout,
-                           Snap.ArenaBytes.data(), Snap.ArenaBytes.size())) {
+                           std::move(Snap.ArenaBytes))) {
     if (Error)
       *Error = "snapshot: arena payload does not match pixels x stride";
     return std::nullopt;
@@ -335,8 +390,8 @@ RenderEngine::fromSnapshot(const std::string &Path, std::string *Error) {
     W.Loader = std::move(V.Loader);
     W.Reader = std::move(V.Reader);
     W.Layout = V.Layout;
-    if (!W.Arena.restore(V.ArenaPixels, V.Layout, V.ArenaBytes.data(),
-                         V.ArenaBytes.size())) {
+    if (!W.Arena.restore(V.ArenaPixels, V.Layout,
+                         std::move(V.ArenaBytes))) {
       if (Error)
         *Error = "snapshot: variant '" + W.Label +
                  "' arena payload does not match pixels x stride";

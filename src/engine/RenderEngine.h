@@ -74,6 +74,15 @@ public:
   void setExecTier(ExecTier NewTier) { Tier = NewTier; }
   ExecTier execTier() const { return Tier; }
 
+  /// Physical arena layout loaderPass builds (engine/ArenaLayout.h). The
+  /// default is the identity pixel-major arrangement — bit-for-bit the
+  /// seed behavior. Readers accept an arena in *any* layout (views carry
+  /// the address map); this knob only governs what a loader pass on this
+  /// engine produces. `auto` policy: pass chooseArenaLayout(tier,
+  /// tilePixels()).
+  void setArenaLayout(const ArenaLayoutConfig &Cfg) { ArenaCfg = Cfg; }
+  const ArenaLayoutConfig &arenaLayout() const { return ArenaCfg; }
+
   /// Execution statistics of the last completed pass; the batch figures
   /// cover runBatch attempts only (zero under the scalar tiers), so the
   /// exec-tier bench can report a divergence column.
@@ -192,9 +201,12 @@ public:
                                                std::string *Error = nullptr);
 
 private:
+  /// Exactly one of \p MutArena / \p ROArena may be non-null: loader
+  /// passes get a writable arena, reader passes a read-only one (cache
+  /// stores trap in every tier — no const_cast anywhere on the path).
   bool runPass(const Chunk &Code, const RenderGrid &Grid,
-               const std::vector<float> &Controls, CacheArena *Arena,
-               Framebuffer *Out);
+               const std::vector<float> &Controls, CacheArena *MutArena,
+               const CacheArena *ROArena, Framebuffer *Out);
 
   // Held by pointer so the engine stays movable (the pool owns mutexes
   // and worker threads, which pin it in place).
@@ -202,6 +214,7 @@ private:
   std::vector<VM> Machines; // one per worker
   unsigned TileSize;
   ExecTier Tier = ExecTier::Batched;
+  ArenaLayoutConfig ArenaCfg;
   std::string LastTrap;
   PassExecStats LastStats;
 };

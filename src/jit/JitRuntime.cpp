@@ -396,6 +396,13 @@ ExecResult VM::runJit(const jit::JitProgram &P, const std::vector<Value> &Args,
   if (StackScratch.size() < C.MaxStack)
     StackScratch.resize(C.MaxStack);
 
+  // The stitched cache fragments compute `base + offset` directly — they
+  // cannot resolve a slot-major/tile-blocked address map. The engine
+  // never hands the native tier a mapped arena (it deopts to threaded);
+  // trap a direct caller instead of reading the wrong bytes.
+  if (Packed.mappedAddressing())
+    TRAP("native tier requires a dense cache view for '" + C.Name + "'");
+
   jit::JitFrame F;
   F.Stack = StackScratch.data();
   F.Locals = Locals.data();
@@ -404,7 +411,12 @@ ExecResult VM::runJit(const jit::JitProgram &P, const std::vector<Value> &Args,
   F.Machine = this;
   F.Chunk = &C;
   F.Result = &Result;
-  F.CacheBytes = Packed.data();
+  // The frame carries one pointer at its ABI-pinned slot and the inline
+  // fragments only load through it; the sole store path (the cache_store
+  // helper) is unreachable on read-only passes because the engine deopts
+  // native whenever a read-only arena meets a chunk containing a cache
+  // store. That gate makes this the single audited const escape.
+  F.CacheBytes = const_cast<unsigned char *>(Packed.data());
   F.CacheSize = Packed.sizeInBytes();
   F.Cond = 0;
 

@@ -68,6 +68,16 @@ std::string MetricsSnapshot::toJson() const {
   std::string NetSection;
   if (!NetJson.empty())
     NetSection = ",\"net\":" + NetJson;
+  std::string ArenaJson = formatString(
+      "\"arena\":{\"layout\":\"%s\",\"units\":%llu,\"physical_bytes\":%llu,"
+      "\"hot_frame_bytes\":%llu,\"max_hot_frame_bytes\":%llu,"
+      "\"llc_bytes\":%llu,\"fits_llc\":%s}",
+      ArenaLayout.c_str(), static_cast<unsigned long long>(ArenaUnits),
+      static_cast<unsigned long long>(ArenaPhysicalBytes),
+      static_cast<unsigned long long>(ArenaHotFrameBytes),
+      static_cast<unsigned long long>(ArenaMaxHotFrameBytes),
+      static_cast<unsigned long long>(ArenaLlcBytes),
+      ArenaFitsLlc ? "true" : "false");
   return formatString(
       "{\"requests\":{\"total\":%llu,\"ok\":%llu,\"cache_hit\":%llu,"
       "\"bad_request\":%llu,\"specialize_error\":%llu,\"render_trap\":%llu,"
@@ -79,6 +89,7 @@ std::string MetricsSnapshot::toJson() const {
       "\"variants\":%s,"
       "\"exec_tiers\":%s,"
       "\"jit\":{\"compiles\":%llu,\"code_bytes\":%llu},"
+      "%s,"
       "\"queue_depth\":%llu,"
       "\"latency_seconds\":{\"samples\":%llu,\"p50\":%.9f,\"p95\":%.9f,"
       "\"p99\":%.9f}%s}",
@@ -101,7 +112,7 @@ std::string MetricsSnapshot::toJson() const {
       static_cast<unsigned long long>(CacheCapacity), cacheHitRate(),
       SpillJson.c_str(), VariantsJson.c_str(), TiersJson.c_str(),
       static_cast<unsigned long long>(JitCompiles),
-      static_cast<unsigned long long>(JitCodeBytes),
+      static_cast<unsigned long long>(JitCodeBytes), ArenaJson.c_str(),
       static_cast<unsigned long long>(QueueDepth),
       static_cast<unsigned long long>(LatencySamples), LatencyP50, LatencyP95,
       LatencyP99, NetSection.c_str());

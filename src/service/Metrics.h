@@ -82,6 +82,21 @@ struct MetricsSnapshot {
   uint64_t JitCompiles = 0;
   uint64_t JitCodeBytes = 0;
 
+  /// Arena accounting, aggregated over the live unit cache at snapshot
+  /// time: the configured physical layout, bytes actually allocated
+  /// (padding and tail slack included), and the hot per-frame working
+  /// set — hot stride x pixels per unit — against the configured LLC
+  /// bound (0 = no bound in force).
+  std::string ArenaLayout = "pixel-major";
+  uint64_t ArenaUnits = 0;
+  uint64_t ArenaPhysicalBytes = 0;
+  uint64_t ArenaHotFrameBytes = 0;
+  uint64_t ArenaMaxHotFrameBytes = 0;
+  uint64_t ArenaLlcBytes = 0;
+  /// True when every unit's hot working set fits the bound (vacuously
+  /// true with no bound).
+  bool ArenaFitsLlc = true;
+
   uint64_t QueueDepth = 0;
   uint64_t LatencySamples = 0;
   double LatencyP50 = 0.0;

@@ -46,6 +46,7 @@ SpecializationService::SpecializationService(const ServiceConfig &InConfig)
     Engines.push_back(std::make_unique<RenderEngine>(Config.RenderThreads,
                                                      Config.TilePixels));
     Engines.back()->setExecTier(Config.Tier);
+    Engines.back()->setArenaLayout(Config.ArenaLayout);
   }
   DispatcherThreads.reserve(Config.Dispatchers);
   for (unsigned I = 0; I < Config.Dispatchers; ++I)
@@ -132,7 +133,7 @@ bool SpecializationService::canonicalize(RenderRequest &Request, UnitKey &Key,
     }
   Key.Shader = Request.Shader;
   Key.InvariantHash = fnv1a64(W.bytes().data(), W.size());
-  Key.OptionsFingerprint = optionsFingerprint(Request.toOptions());
+  Key.OptionsFingerprint = optionsFingerprint(effectiveOptions(Request));
 
   // Polyvariant canonicalization: map the request onto the most specific
   // admissible abstract-property variant the client allows. A control
@@ -233,6 +234,16 @@ void SpecializationService::reject(Pending &P, RenderStatus Status,
   P.Done(std::move(Reply));
 }
 
+SpecializerOptions
+SpecializationService::effectiveOptions(const RenderRequest &Request) const {
+  SpecializerOptions Options = Request.toOptions();
+  if (Config.LlcBytes != 0) {
+    Options.LlcByteBound = Config.LlcBytes;
+    Options.ArenaPixels = Request.Width * Request.Height;
+  }
+  return Options;
+}
+
 UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
                                          const VariantKey &Variant,
                                          RenderEngine &Engine,
@@ -260,7 +271,7 @@ UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
   }
   auto Set = specializeAndCompileVariants(*Unit, Request.Shader,
                                           Request.Varying,
-                                          Request.toOptions(), VOptions);
+                                          effectiveOptions(Request), VOptions);
   if (!Set) {
     Error = Unit->Diags.str();
     return nullptr;
@@ -276,7 +287,7 @@ UnitPtr SpecializationService::buildUnit(const RenderRequest &Request,
   auto Built =
       std::make_shared<SpecializationUnit>(Request.Width, Request.Height);
   Built->Shader = Request.Shader;
-  Built->Options = Request.toOptions();
+  Built->Options = effectiveOptions(Request);
   Built->Varying = Request.Varying;
   Built->LoadControls = Request.Controls;
   Built->Variant = Spec->Key;
@@ -429,6 +440,19 @@ MetricsSnapshot SpecializationService::statsz() const {
   jit::JitStatsSnapshot J = jit::stats();
   Out.JitCompiles = J.Compiles;
   Out.JitCodeBytes = J.CodeBytes;
+  Out.ArenaLayout = arenaLayoutName(Config.ArenaLayout.Layout);
+  Out.ArenaLlcBytes = Config.LlcBytes;
+  Cache.forEachUnit([&Out](const UnitPtr &Unit) {
+    ++Out.ArenaUnits;
+    Out.ArenaPhysicalBytes += Unit->Arena.physicalBytes();
+    uint64_t Hot = static_cast<uint64_t>(Unit->Arena.hotStrideBytes()) *
+                   Unit->Arena.pixelCount();
+    Out.ArenaHotFrameBytes += Hot;
+    if (Hot > Out.ArenaMaxHotFrameBytes)
+      Out.ArenaMaxHotFrameBytes = Hot;
+  });
+  Out.ArenaFitsLlc =
+      Config.LlcBytes == 0 || Out.ArenaMaxHotFrameBytes <= Config.LlcBytes;
   if (NetStatsProvider)
     Out.NetJson = NetStatsProvider();
   return Out;

@@ -74,6 +74,17 @@ struct ServiceConfig {
   /// min(Request.VariantPins, MaxVariantPins)). 0 disables polyvariance:
   /// every request maps to the generic variant.
   unsigned MaxVariantPins = 4;
+  /// Physical arena layout every engine's loader pass builds
+  /// (engine/ArenaLayout.h). Default is the identity pixel-major
+  /// arrangement; `dspec serve --arena-layout auto` resolves
+  /// chooseArenaLayout(Tier, TilePixels) before constructing the
+  /// service. Readers accept any layout, so this is a pure speed knob.
+  ArenaLayoutConfig ArenaLayout;
+  /// Measured Section 4.3 bound: when nonzero, every specialization
+  /// evicts minimum-benefit hot terms until its hot stride x pixel count
+  /// fits this many bytes (`--llc-bytes`; detectLlcBytes() is the usual
+  /// source). 0 disables the working-set limiter.
+  uint64_t LlcBytes = 0;
   /// Directory evicted-but-warm units spill to as snapshot files (and
   /// are restored from on a later miss — including after a restart).
   /// Empty disables spilling.
@@ -149,6 +160,12 @@ private:
   /// with a BadRequest reason in \p Error.
   bool canonicalize(RenderRequest &Request, UnitKey &Key,
                     std::string &Error) const;
+
+  /// The request's SpecializerOptions plus the service-level overlay:
+  /// the measured Section 4.3 bound (Config.LlcBytes + the request's
+  /// pixel count). Used both for the cache-key fingerprint and the
+  /// build, so entries limited under different bounds never collide.
+  SpecializerOptions effectiveOptions(const RenderRequest &Request) const;
 
   void dispatcherLoop(unsigned DispatcherIndex);
 

@@ -142,8 +142,7 @@ void SpillStore::store(const UnitKey &Key, const UnitPtr &Unit) {
   Snap.Layout = Unit->Layout;
   Snap.ArenaPixels = Unit->Arena.pixelCount();
   Snap.ArenaStride = Unit->Arena.strideBytes();
-  Snap.ArenaBytes.assign(Unit->Arena.raw(),
-                         Unit->Arena.raw() + Unit->Arena.totalBytes());
+  Snap.ArenaBytes = Unit->Arena.canonicalBytes();
 
   std::string Path = pathFor(Key);
   std::string TmpPath =
@@ -223,8 +222,7 @@ std::shared_ptr<SpecializationUnit> SpillStore::load(const UnitKey &Key,
   Unit->Reader = std::move(Snap.Reader);
   Unit->Variant = Key.Variant;
   if (!Unit->Arena.restore(Snap.ArenaPixels, Snap.Layout,
-                           Snap.ArenaBytes.data(),
-                           Snap.ArenaBytes.size())) {
+                           std::move(Snap.ArenaBytes))) {
     std::lock_guard<std::mutex> Lock(M);
     ++Counters.Errors;
     ++Counters.DiskMisses;

@@ -22,6 +22,8 @@ uint64_t dspec::optionsFingerprint(const SpecializerOptions &Options) {
   W.writeU8(Options.WeightVictimBySize ? 1 : 0);
   W.writeU8(Options.CacheByteLimit.has_value() ? 1 : 0);
   W.writeU32(Options.CacheByteLimit.value_or(0));
+  W.writeU64(Options.LlcByteBound);
+  W.writeU32(Options.ArenaPixels);
   W.writeU32(Options.Cost.LoopMultiplier);
   W.writeU32(Options.Cost.CondDivisor);
   W.writeU32(Options.Cost.CacheRefCost);
@@ -49,6 +51,15 @@ UnitPtr UnitCache::lookup(const UnitKey &Key) {
   ++S.Hits;
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   return It->second->second;
+}
+
+void UnitCache::forEachUnit(
+    const std::function<void(const UnitPtr &)> &Fn) const {
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (const auto &Entry : S.Lru)
+      Fn(Entry.second);
+  }
 }
 
 void UnitCache::publish(Shard &S, const UnitKey &Key, const UnitPtr &Unit) {

@@ -165,6 +165,11 @@ public:
   /// Cache lookup without building; counts a hit/miss.
   UnitPtr lookup(const UnitKey &Key);
 
+  /// Visits every cached unit, shard by shard under that shard's lock
+  /// (keep the callback cheap — this exists for /statsz arena
+  /// aggregation).
+  void forEachUnit(const std::function<void(const UnitPtr &)> &Fn) const;
+
   Stats stats() const;
   unsigned capacity() const { return TotalCapacity; }
 

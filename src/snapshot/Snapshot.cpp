@@ -79,7 +79,7 @@ void serializeMeta(ByteWriter &Writer, const SpecializationSnapshot &Snap) {
 }
 
 bool deserializeMeta(ByteReader &Reader, SpecializationSnapshot &Snap,
-                     std::string *Error) {
+                     uint32_t &LayoutVersionOut, std::string *Error) {
   uint32_t ChunkVersion = Reader.readU32();
   uint32_t LayoutVersion = Reader.readU32();
   if (Reader.ok() && ChunkVersion != kChunkSerdeVersion)
@@ -87,11 +87,17 @@ bool deserializeMeta(ByteReader &Reader, SpecializationSnapshot &Snap,
                                std::to_string(ChunkVersion) +
                                " does not match this build (expected " +
                                std::to_string(kChunkSerdeVersion) + ")");
-  if (Reader.ok() && LayoutVersion != kLayoutSerdeVersion)
+  // Layout encodings are backward compatible down to version 1 (whose
+  // layouts simply carry no reuse weights); only future versions are
+  // rejected.
+  if (Reader.ok() && (LayoutVersion < kMinLayoutSerdeVersion ||
+                      LayoutVersion > kLayoutSerdeVersion))
     return setError(Error, "cache layout format version " +
                                std::to_string(LayoutVersion) +
-                               " does not match this build (expected " +
+                               " is not supported by this build (expected " +
+                               std::to_string(kMinLayoutSerdeVersion) + ".." +
                                std::to_string(kLayoutSerdeVersion) + ")");
+  LayoutVersionOut = LayoutVersion;
 
   SnapshotMeta &Meta = Snap.Meta;
   Meta.FragmentName = Reader.readString();
@@ -147,7 +153,7 @@ void serializeVariants(ByteWriter &Writer,
 
 bool deserializeVariants(ByteReader &Reader,
                          std::vector<SnapshotVariant> &Out,
-                         std::string *Error) {
+                         uint32_t LayoutVersion, std::string *Error) {
   uint32_t Count = Reader.readU32();
   if (Reader.ok() && Count > 256)
     Reader.fail("implausible variant count " + std::to_string(Count));
@@ -169,7 +175,8 @@ bool deserializeVariants(ByteReader &Reader,
     }
     V.Label = Reader.readString();
     std::string SectionError;
-    if (Reader.ok() && !deserializeLayout(Reader, V.Layout, SectionError))
+    if (Reader.ok() &&
+        !deserializeLayout(Reader, V.Layout, SectionError, LayoutVersion))
       return setError(Error, "VARIANTS section: " + SectionError);
     if (Reader.ok() && !deserializeChunk(Reader, V.Loader, SectionError))
       return setError(Error, "VARIANTS section: " + SectionError);
@@ -181,8 +188,11 @@ bool deserializeVariants(ByteReader &Reader,
         static_cast<uint64_t>(V.ArenaPixels) * V.ArenaStride;
     if (Reader.ok() && ArenaBytes > Reader.remaining())
       Reader.fail("variant arena exceeds the remaining data");
-    if (Reader.ok())
-      V.ArenaBytes = Reader.readBytes(static_cast<size_t>(ArenaBytes));
+    if (Reader.ok()) {
+      std::vector<unsigned char> Raw =
+          Reader.readBytes(static_cast<size_t>(ArenaBytes));
+      V.ArenaBytes.assign(Raw.begin(), Raw.end());
+    }
     if (Reader.ok())
       Out.push_back(std::move(V));
   }
@@ -444,17 +454,18 @@ bool dspec::readSnapshotFile(const std::string &Path,
   if (!Meta || !Layout || !Loader || !Reader || !Arena)
     return false;
 
+  uint32_t LayoutVersion = kLayoutSerdeVersion;
   {
     ByteReader R(Image.data() + Meta->Offset,
                  static_cast<size_t>(Meta->Bytes));
-    if (!deserializeMeta(R, Out, Error))
+    if (!deserializeMeta(R, Out, LayoutVersion, Error))
       return false;
   }
   std::string SectionError;
   {
     ByteReader R(Image.data() + Layout->Offset,
                  static_cast<size_t>(Layout->Bytes));
-    if (!deserializeLayout(R, Out.Layout, SectionError))
+    if (!deserializeLayout(R, Out.Layout, SectionError, LayoutVersion))
       return setError(Error, SectionError);
   }
   {
@@ -514,7 +525,7 @@ bool dspec::readSnapshotFile(const std::string &Path,
                       "file)");
     ByteReader R(Image.data() + Variants->Offset,
                  static_cast<size_t>(Variants->Bytes));
-    if (!deserializeVariants(R, Out.Variants, Error))
+    if (!deserializeVariants(R, Out.Variants, LayoutVersion, Error))
       return false;
     for (const SnapshotVariant &V : Out.Variants) {
       if (V.ArenaStride != V.Layout.totalBytes())

@@ -52,6 +52,7 @@
 #include "specialize/CacheLayout.h"
 #include "specialize/Polyvariant.h"
 #include "specialize/SpecializerOptions.h"
+#include "support/AlignedBuffer.h"
 #include "vm/Bytecode.h"
 
 #include <cstdint>
@@ -125,7 +126,7 @@ struct SnapshotVariant {
   CacheLayout Layout;
   unsigned ArenaPixels = 0;
   unsigned ArenaStride = 0;
-  std::vector<unsigned char> ArenaBytes;
+  ArenaBuffer ArenaBytes;
 };
 
 /// Everything one snapshot file holds, decoded. The top-level fields are
@@ -136,10 +137,12 @@ struct SpecializationSnapshot {
   Chunk Loader;
   Chunk Reader;
   CacheLayout Layout;
-  /// Arena shape + raw packed bytes (pixel-major, Pixels x Stride).
+  /// Arena shape + raw packed bytes — always canonical pixel-major,
+  /// Pixels x Stride, whatever physical layout the arena ran with. The
+  /// aligned buffer type lets a restore adopt it without a copy.
   unsigned ArenaPixels = 0;
   unsigned ArenaStride = 0;
-  std::vector<unsigned char> ArenaBytes;
+  ArenaBuffer ArenaBytes;
   /// Property-specialized variants (never includes the generic one).
   std::vector<SnapshotVariant> Variants;
 };

@@ -10,6 +10,22 @@
 /// metric ("single-pixel cache sizes"). All dsc types are 4-byte aligned,
 /// so slots pack densely.
 ///
+/// Offsets are *canonical*: sequential dense packing in slot order,
+/// exactly what bytecode cache instructions address and what a
+/// snapshot's ARENA section stores pixel-major. A CacheArena may place
+/// the bytes elsewhere (engine/ArenaLayout.h), but that is invisible
+/// here — the physical map is derived from this canonical layout.
+///
+/// Each slot also carries a reuse weight stamped by the specializer from
+/// the Section 4.3 cost model: the structural execution weight
+/// (LoopMultiplier^loopDepth / CondDivisor^condDepth) of the cached
+/// term. Weight >= 1 means the reader touches the slot at least once per
+/// pixel (hot); weight < 1 means it sits under a conditional and is
+/// touched on some pixels only (cold) — the arena's PackCold layouts
+/// move such slots out of the hot stride. A negative weight means
+/// "unknown, assume hot" (layouts built by hand or loaded from a
+/// version-1 snapshot).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DATASPEC_SPECIALIZE_CACHELAYOUT_H
@@ -26,6 +42,12 @@ struct CacheSlot {
   unsigned Index;
   Type SlotType;
   unsigned Offset;
+  /// Structural reuse weight of the cached term (see file comment).
+  /// Negative = unknown (treated as hot).
+  float ReuseWeight = -1.0f;
+
+  /// Cold = provably executed less than once per reader invocation.
+  bool isCold() const { return ReuseWeight >= 0.0f && ReuseWeight < 1.0f; }
 };
 
 /// Ordered slot list for one specialization.
@@ -34,7 +56,7 @@ public:
   /// Appends a slot of type \p T; returns its index.
   unsigned addSlot(Type T) {
     unsigned Index = static_cast<unsigned>(Slots.size());
-    Slots.push_back({Index, T, NextOffset});
+    Slots.push_back({Index, T, NextOffset, -1.0f});
     NextOffset += T.sizeInBytes();
     return Index;
   }
@@ -45,8 +67,32 @@ public:
   /// Slot descriptor by index.
   const CacheSlot &slot(unsigned Index) const { return Slots[Index]; }
 
+  /// Stamps slot \p Index's reuse weight (DataSpecializer, LayoutSerde).
+  void setReuseWeight(unsigned Index, float Weight) {
+    Slots[Index].ReuseWeight = Weight;
+  }
+
   /// Total cache bytes per specialization instance.
   unsigned totalBytes() const { return NextOffset; }
+
+  /// Bytes per pixel the hot (unconditionally touched) slots occupy —
+  /// the stride the Section 4.3 measured-bytes limiter charges against
+  /// the LLC. Unknown-weight slots count as hot.
+  unsigned hotBytes() const {
+    unsigned Bytes = 0;
+    for (const CacheSlot &S : Slots)
+      if (!S.isCold())
+        Bytes += S.SlotType.sizeInBytes();
+    return Bytes;
+  }
+
+  /// True when any slot is classified cold (PackCold has work to do).
+  bool hasColdSlots() const {
+    for (const CacheSlot &S : Slots)
+      if (S.isCold())
+        return true;
+    return false;
+  }
 
 private:
   std::vector<CacheSlot> Slots;

@@ -31,6 +31,7 @@
 #include "support/Diagnostics.h"
 #include "transform/ConstantFold.h"
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,6 +52,11 @@ struct SpecializationStats {
   unsigned PhiCopiesInserted = 0;
   unsigned ChainsReassociated = 0;
   unsigned LimiterVictims = 0;
+  /// Measured Section 4.3: victims of the working-set (LLC) limiter, and
+  /// the final per-frame figures it converged to (0 when the pass is off).
+  unsigned WorkingSetVictims = 0;
+  uint64_t HotBytesPerPixel = 0;
+  uint64_t WorkingSetBytes = 0;
   /// Branching statements (if / while) in the emitted loader and reader.
   /// Since the masked batched tier, branches no longer disqualify a
   /// reader from batching: effect-free readers always start batched.

@@ -6,6 +6,8 @@
 
 #include "specialize/LayoutSerde.h"
 
+#include <cmath>
+
 using namespace dspec;
 
 void dspec::serializeLayout(ByteWriter &Writer, const CacheLayout &Layout) {
@@ -15,10 +17,24 @@ void dspec::serializeLayout(ByteWriter &Writer, const CacheLayout &Layout) {
     Writer.writeU32(Slot.Offset);
   }
   Writer.writeU32(Layout.totalBytes());
+
+  // Version 2 tail: per-slot reuse weights behind a presence flag. The
+  // flag (rather than "if bytes remain") keeps the encoding usable
+  // mid-stream — variant sets embed layouts between other payloads.
+  bool HasWeights = false;
+  for (const CacheSlot &Slot : Layout.slots())
+    if (Slot.ReuseWeight >= 0.0f) {
+      HasWeights = true;
+      break;
+    }
+  Writer.writeU8(HasWeights ? 1 : 0);
+  if (HasWeights)
+    for (const CacheSlot &Slot : Layout.slots())
+      Writer.writeF32(Slot.ReuseWeight);
 }
 
 bool dspec::deserializeLayout(ByteReader &Reader, CacheLayout &Out,
-                              std::string &Error) {
+                              std::string &Error, uint32_t Version) {
   Out = CacheLayout();
   uint32_t SlotCount = Reader.readU32();
   // Each slot costs 5 encoded bytes; a count past the remaining data is
@@ -55,6 +71,28 @@ bool dspec::deserializeLayout(ByteReader &Reader, CacheLayout &Out,
     Reader.fail("layout total " + std::to_string(StoredTotal) +
                 " does not match the slots (expected " +
                 std::to_string(Out.totalBytes()) + ")");
+
+  if (Version >= 2 && Reader.ok()) {
+    uint8_t HasWeights = Reader.readU8();
+    if (Reader.ok() && HasWeights > 1)
+      Reader.fail("invalid reuse-weight presence flag " +
+                  std::to_string(HasWeights));
+    if (Reader.ok() && HasWeights == 1) {
+      for (uint32_t I = 0; I < SlotCount && Reader.ok(); ++I) {
+        float Weight = Reader.readF32();
+        if (!Reader.ok())
+          break;
+        if (!std::isfinite(Weight)) {
+          Reader.fail("slot " + std::to_string(I) +
+                      " has a non-finite reuse weight");
+          break;
+        }
+        // Negative encodes "unknown" — the slot stays hot by default.
+        if (Weight >= 0.0f)
+          Out.setReuseWeight(I, Weight);
+      }
+    }
+  }
 
   if (!Reader.ok()) {
     Error = "malformed cache layout: " + Reader.error();

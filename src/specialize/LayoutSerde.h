@@ -26,16 +26,23 @@
 namespace dspec {
 
 /// Bump when the encoded shape of CacheLayout (or the packing rule it
-/// implies) changes.
-constexpr uint32_t kLayoutSerdeVersion = 1;
+/// implies) changes. Version 2 appended a presence flag plus per-slot
+/// f32 reuse weights (the hot/cold figures cold-slot packing keys off)
+/// after the stored total.
+constexpr uint32_t kLayoutSerdeVersion = 2;
+/// Oldest encoding deserializeLayout accepts. Version-1 layouts decode
+/// with every reuse weight unknown (-1), i.e. all slots hot — exactly
+/// the pre-weights behavior.
+constexpr uint32_t kMinLayoutSerdeVersion = 1;
 
-/// Appends \p Layout to \p Writer.
+/// Appends \p Layout to \p Writer (always at kLayoutSerdeVersion).
 void serializeLayout(ByteWriter &Writer, const CacheLayout &Layout);
 
-/// Decodes one CacheLayout. Returns false with \p Error set on invalid
-/// slot types, offset mismatches, or truncation.
+/// Decodes one CacheLayout encoded at \p Version. Returns false with
+/// \p Error set on invalid slot types, offset mismatches, or truncation.
 bool deserializeLayout(ByteReader &Reader, CacheLayout &Out,
-                       std::string &Error);
+                       std::string &Error,
+                       uint32_t Version = kLayoutSerdeVersion);
 
 } // namespace dspec
 

@@ -305,6 +305,8 @@ dispatch:
     // The stored value stays on the stack.
     if (!UsePacked)
       TRAP("cache write without cache storage in '" + C.Name + "'");
+    if (Packed.readOnly())
+      TRAP("cache store to a read-only cache in '" + C.Name + "'");
     TypeKind Kind = static_cast<TypeKind>(In->C);
     unsigned Offset = static_cast<unsigned>(In->B);
     const Value &V = Stack[SP - 1];
@@ -592,17 +594,37 @@ inline bool arithRowConst(Value *Lv, const Value &K, unsigned Lanes, FOp F) {
 
 /// Strided cache-slot load into a row with the kind switch hoisted out
 /// of the lane loop. Replicates CacheView::load exactly (fresh Value,
-/// zeroed padding, memcpy of the slot width).
+/// zeroed padding, memcpy of the slot width). \p Base already includes
+/// the slot's resolved displacement (lane 0's slot bytes); under a
+/// slot-major arena \p Stride is the slot width, so the loop walks
+/// unit-stride memory.
 inline void cacheLoadRow(Value *Dest, const unsigned char *Base,
-                         size_t Stride, unsigned Offset, TypeKind Kind,
-                         unsigned Lanes) {
+                         size_t Stride, TypeKind Kind, unsigned Lanes) {
+  // Unit-stride columns (slot-major / tile-blocked arenas hand the word
+  // slots out contiguously): index the source as a plain array so the
+  // compiler sees a dense load stream instead of a runtime stride.
+  if (Stride == sizeof(float) &&
+      (Kind == TypeKind::TK_Float || Kind == TypeKind::TK_Int ||
+       Kind == TypeKind::TK_Bool)) {
+    const bool IsFloat = Kind == TypeKind::TK_Float;
+    for (unsigned L = 0; L < Lanes; ++L) {
+      Value V;
+      V.Kind = Kind;
+      if (IsFloat)
+        std::memcpy(&V.F[0], Base + L * sizeof(float), sizeof(float));
+      else
+        std::memcpy(&V.I, Base + L * sizeof(int32_t), sizeof(int32_t));
+      Dest[L] = V;
+    }
+    return;
+  }
   switch (Kind) {
   case TypeKind::TK_Bool:
   case TypeKind::TK_Int:
     for (unsigned L = 0; L < Lanes; ++L) {
       Value V;
       V.Kind = Kind;
-      std::memcpy(&V.I, Base + L * Stride + Offset, sizeof(int32_t));
+      std::memcpy(&V.I, Base + L * Stride, sizeof(int32_t));
       Dest[L] = V;
     }
     break;
@@ -610,7 +632,7 @@ inline void cacheLoadRow(Value *Dest, const unsigned char *Base,
     for (unsigned L = 0; L < Lanes; ++L) {
       Value V;
       V.Kind = Kind;
-      std::memcpy(&V.F[0], Base + L * Stride + Offset, sizeof(float));
+      std::memcpy(&V.F[0], Base + L * Stride, sizeof(float));
       Dest[L] = V;
     }
     break;
@@ -618,7 +640,7 @@ inline void cacheLoadRow(Value *Dest, const unsigned char *Base,
     for (unsigned L = 0; L < Lanes; ++L) {
       Value V;
       V.Kind = Kind;
-      std::memcpy(V.F, Base + L * Stride + Offset, 2 * sizeof(float));
+      std::memcpy(V.F, Base + L * Stride, 2 * sizeof(float));
       Dest[L] = V;
     }
     break;
@@ -626,7 +648,7 @@ inline void cacheLoadRow(Value *Dest, const unsigned char *Base,
     for (unsigned L = 0; L < Lanes; ++L) {
       Value V;
       V.Kind = Kind;
-      std::memcpy(V.F, Base + L * Stride + Offset, 3 * sizeof(float));
+      std::memcpy(V.F, Base + L * Stride, 3 * sizeof(float));
       Dest[L] = V;
     }
     break;
@@ -634,7 +656,7 @@ inline void cacheLoadRow(Value *Dest, const unsigned char *Base,
     for (unsigned L = 0; L < Lanes; ++L) {
       Value V;
       V.Kind = Kind;
-      std::memcpy(V.F, Base + L * Stride + Offset, 4 * sizeof(float));
+      std::memcpy(V.F, Base + L * Stride, 4 * sizeof(float));
       Dest[L] = V;
     }
     break;
@@ -725,9 +747,38 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
   auto LocalRow = [&](int32_t Slot) {
     return BatchLocals.data() + static_cast<size_t>(Slot) * Lanes;
   };
-  auto LaneView = [&](unsigned L) {
-    return CacheView(Req.CacheBase + static_cast<size_t>(L) * Req.CacheStride,
-                     Req.CacheBytes);
+  // Resolves one canonical slot offset to (displacement of lane 0's slot
+  // bytes from the cache base, per-lane stride). Dense requests keep the
+  // seed behavior: base is pre-offset to the tile, stride is the pixel
+  // stride. Mapped requests consult the arena's affine word table; the
+  // per-pixel-block case (BlockPixels == 1) strides whole blocks, the
+  // within-block case strides the slot width — unit-stride columns. The
+  // caller guarantees the tile never straddles a block
+  // (CacheArena::batchCompatible), so one resolution covers all lanes.
+  // Block coordinates depend only on the tile's first pixel, so the
+  // divide/modulo happen once per tile here, not per slot access inside
+  // the dispatch loop (TilePixels is not a compile-time constant, so the
+  // compiler cannot strength-reduce them away).
+  const unsigned MapTP = Req.CacheBlockPixels;
+  const size_t MapBlockIdx =
+      Req.CacheMap && MapTP > 1 ? Req.CacheFirstPixel / MapTP : 0;
+  const size_t MapLane0 =
+      Req.CacheMap && MapTP > 1 ? Req.CacheFirstPixel % MapTP : 0;
+  auto slotRow = [&](unsigned Offset, size_t &LaneStride) -> size_t {
+    if (!Req.CacheMap) {
+      LaneStride = Req.CacheStride;
+      return Offset;
+    }
+    const ArenaSlotAddr &E = Req.CacheMap[Offset >> 2];
+    if (MapTP <= 1) {
+      LaneStride = E.Block;
+      return static_cast<size_t>(E.Base) +
+             static_cast<size_t>(Req.CacheFirstPixel) * E.Block +
+             (Offset & 3u);
+    }
+    LaneStride = E.LaneW;
+    return static_cast<size_t>(E.Base) + MapBlockIdx * E.Block +
+           MapLane0 * E.LaneW + (Offset & 3u);
   };
 
   // Divergence state. A null CurMask means every lane is active — the
@@ -975,26 +1026,31 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       const unsigned Offset = static_cast<unsigned>(In.B);
       if (!Bounds.inBounds(Offset, Kind))
         TRAP("cache read past the layout in '" + C.Name + "'");
-      cacheLoadRow(Row(SP++), Req.CacheBase, Req.CacheStride, Offset, Kind,
-                   Lanes);
+      size_t RowStride;
+      const size_t Disp = slotRow(Offset, RowStride);
+      cacheLoadRow(Row(SP++), Req.CacheBase + Disp, RowStride, Kind, Lanes);
       break;
     }
     case FusedOp::F_CacheStore: {
       // The stored value stays on the stack.
       if (!UseCache)
         TRAP("cache write without cache storage in '" + C.Name + "'");
+      if (!Req.CacheStoreBase)
+        TRAP("cache store to a read-only cache in '" + C.Name + "'");
       const TypeKind Kind = static_cast<TypeKind>(In.C);
       const unsigned Offset = static_cast<unsigned>(In.B);
       if (!Bounds.inBounds(Offset, Kind))
         TRAP("cache store past the layout in '" + C.Name + "'");
       const Value *S = Row(SP - 1);
+      size_t RowStride;
+      unsigned char *Dst = Req.CacheStoreBase + slotRow(Offset, RowStride);
       for (unsigned L = 0; L < Lanes; ++L) {
         if (CurMask && !CurMask[L])
           continue; // inactive lane: no store, no type trap
         if (S[L].Kind != Kind)
           TRAP("cache store type mismatch in '" + C.Name + "': slot is " +
                Type(Kind).name() + ", value is " + Type(S[L].Kind).name());
-        LaneView(L).store(Offset, S[L]);
+        CacheView::storeRaw(Dst + L * RowStride, S[L]);
       }
       break;
     }
@@ -1088,8 +1144,9 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       // MaxStack covers the unfused pair's transient push, so Row(SP) is
       // valid scratch for the gathered slot row.
       Value *Scratch = Row(SP);
-      cacheLoadRow(Scratch, Req.CacheBase, Req.CacheStride, Offset, Kind,
-                   Lanes);
+      size_t RowStride;
+      const size_t Disp = slotRow(Offset, RowStride);
+      cacheLoadRow(Scratch, Req.CacheBase + Disp, RowStride, Kind, Lanes);
       Value *Lv = Row(SP - 1);
       if (!arithRows(Lv, Scratch, Lanes,
                      [](float A, float B) { return A + B; }))
@@ -1105,8 +1162,9 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       if (!Bounds.inBounds(Offset, Kind))
         TRAP("cache read past the layout in '" + C.Name + "'");
       Value *Scratch = Row(SP);
-      cacheLoadRow(Scratch, Req.CacheBase, Req.CacheStride, Offset, Kind,
-                   Lanes);
+      size_t RowStride;
+      const size_t Disp = slotRow(Offset, RowStride);
+      cacheLoadRow(Scratch, Req.CacheBase + Disp, RowStride, Kind, Lanes);
       Value *Lv = Row(SP - 1);
       if (!arithRows(Lv, Scratch, Lanes,
                      [](float A, float B) { return A * B; }))
@@ -1121,14 +1179,17 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
       const unsigned Offset = static_cast<unsigned>(In.B);
       if (!Bounds.inBounds(Offset, Kind))
         TRAP("cache read past the layout in '" + C.Name + "'");
+      size_t RowStride;
+      const size_t Disp = slotRow(Offset, RowStride);
       if (!CurMask) {
-        cacheLoadRow(LocalRow(In.A2), Req.CacheBase, Req.CacheStride, Offset,
-                     Kind, Lanes);
+        cacheLoadRow(LocalRow(In.A2), Req.CacheBase + Disp, RowStride, Kind,
+                     Lanes);
       } else {
         Value *D = LocalRow(In.A2);
         for (unsigned L = 0; L < Lanes; ++L)
           if (CurMask[L])
-            D[L] = LaneView(L).load(Offset, Kind);
+            D[L] = CacheView::loadRaw(Req.CacheBase + Disp + L * RowStride,
+                                      Kind);
       }
       break;
     }
@@ -1141,8 +1202,9 @@ ExecResult VM::runBatch(const ExecChunk &C, const BatchRequest &Req) {
         TRAP("cache read past the layout in '" + C.Name + "'");
       if (MaskDepth > 0)
         DIVERGE();
-      cacheLoadRow(Req.Results, Req.CacheBase, Req.CacheStride, Offset, Kind,
-                   Lanes);
+      size_t RowStride;
+      const size_t Disp = slotRow(Offset, RowStride);
+      cacheLoadRow(Req.Results, Req.CacheBase + Disp, RowStride, Kind, Lanes);
       Result.InstructionsExecuted = Executed;
       Result.BatchDispatches = Dispatched;
       return Result;

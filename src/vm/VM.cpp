@@ -272,6 +272,11 @@ ExecResult VM::runImpl(const Chunk &C, const std::vector<Value> &Args,
     case OpCode::OC_CacheStore: {
       // The stored value stays on the stack.
       if (UsePacked) {
+        if (Packed.readOnly()) {
+          Trap("cache store to a read-only cache in '" + C.Name + "'");
+          Result.InstructionsExecuted = Executed;
+          return Result;
+        }
         TypeKind Kind = static_cast<TypeKind>(In.C);
         unsigned Offset = static_cast<unsigned>(In.B);
         const Value &V = Stack.back();

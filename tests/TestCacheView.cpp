@@ -106,7 +106,7 @@ TEST(CacheView, InBoundsEdges) {
   // Void has no width and is never a valid slot.
   EXPECT_FALSE(View.inBounds(0, TypeKind::TK_Void));
 
-  CacheView Empty(nullptr, 0);
+  CacheView Empty(static_cast<unsigned char *>(nullptr), 0);
   EXPECT_TRUE(Empty.valid());
   EXPECT_FALSE(Empty.inBounds(0, TypeKind::TK_Float));
   EXPECT_FALSE(CacheView().inBounds(0, TypeKind::TK_Bool));

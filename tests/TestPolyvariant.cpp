@@ -63,9 +63,8 @@ void expectSameImage(const Framebuffer &A, const Framebuffer &B,
           << What << ": pixel " << X << "," << Y << " differs";
 }
 
-std::vector<unsigned char> arenaBytes(const CacheArena &Arena) {
-  const unsigned char *Raw = Arena.raw();
-  return std::vector<unsigned char>(Raw, Raw + Arena.totalBytes());
+ArenaBuffer arenaBytes(const CacheArena &Arena) {
+  return Arena.canonicalBytes();
 }
 
 std::string tempPath(const std::string &Name) {
@@ -430,7 +429,7 @@ void runDifferential(const CompiledVariantSet &Set, const Chunk &Original,
     CacheArena RefArena;
     ASSERT_TRUE(Ref.loaderPass(V.Compiled.LoaderChunk, V.Compiled.Spec.Layout,
                                Grid, Controls, RefArena));
-    const std::vector<unsigned char> RefBytes = arenaBytes(RefArena);
+    const ArenaBuffer RefBytes = arenaBytes(RefArena);
 
     for (ExecTier Tier : kTiers) {
       for (unsigned Threads : {1u, 4u}) {

@@ -86,7 +86,8 @@ void usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s FILE --fragment NAME --vary P1[,P2...]\n"
-      "            [--limit BYTES] [--reassoc] [--no-phi] [--speculate]\n"
+      "            [--limit BYTES] [--llc-bytes N|auto --arena-pixels N]\n"
+      "            [--reassoc] [--no-phi] [--speculate]\n"
       "            [--explain] [--variants N]\n"
       "            [--show-normalized] [--stats]\n"
       "       %s snapshot save (--gallery SHADER | FILE --fragment NAME)\n"
@@ -100,6 +101,8 @@ void usage(const char *Argv0) {
       "            [--cache-shards N] [--queue N] [--dispatchers N]\n"
       "            [--variants N]\n"
       "            [--exec-tier switch|threaded|batched|native] [--quota-rps R]\n"
+      "            [--arena-layout pixel-major|slot-major|tile-blocked|auto]\n"
+      "            [--llc-bytes N|auto]\n"
       "            [--quota-burst B] [--client-queue N] [--read-deadline MS]\n"
       "            [--stream-chunk PIXELS] [--spill-dir PATH]\n"
       "            [--spill-cap-mb N]\n"
@@ -452,6 +455,7 @@ int serveMain(int Argc, char **Argv) {
   const char *ListenHostPort = nullptr;
   ServiceConfig Config;
   NetServerConfig Net;
+  bool ArenaLayoutAuto = false;
 
   for (int I = 0; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -508,11 +512,35 @@ int serveMain(int Argc, char **Argv) {
                      Name);
         return kExitUsage;
       }
+    } else if (std::strcmp(Arg, "--arena-layout") == 0) {
+      const char *Name = NextValue();
+      if (std::strcmp(Name, "auto") == 0) {
+        ArenaLayoutAuto = true;
+      } else if (std::optional<ArenaLayout> Parsed = parseArenaLayout(Name)) {
+        ArenaLayoutAuto = false;
+        Config.ArenaLayout = ArenaLayoutConfig{
+            *Parsed, 0, *Parsed != ArenaLayout::PixelMajor};
+      } else {
+        std::fprintf(stderr,
+                     "error: --arena-layout expects pixel-major, slot-major, "
+                     "tile-blocked, or auto (got '%s')\n",
+                     Name);
+        return kExitUsage;
+      }
+    } else if (std::strcmp(Arg, "--llc-bytes") == 0) {
+      const char *Value = NextValue();
+      Config.LlcBytes = std::strcmp(Value, "auto") == 0
+                            ? detectLlcBytes()
+                            : std::strtoull(Value, nullptr, 10);
     } else {
       std::fprintf(stderr, "error: unknown serve option '%s'\n", Arg);
       return kExitUsage;
     }
   }
+  // `auto` resolves against the final tier/tile choice, so it cannot be
+  // computed until every flag is parsed.
+  if (ArenaLayoutAuto)
+    Config.ArenaLayout = chooseArenaLayout(Config.Tier, Config.TilePixels);
   if (!SocketPath && !ListenHostPort) {
     std::fprintf(stderr,
                  "error: serve requires --socket PATH and/or --listen "
@@ -548,11 +576,13 @@ int serveMain(int Argc, char **Argv) {
     Where += formatString(" (port %u)", Server.boundTcpPort());
   }
   std::printf("dspec serve: listening on %s (%u io thread(s), %u render "
-              "thread(s), cache %u units, queue %u, %s tier%s)\n",
+              "thread(s), cache %u units, queue %u, %s tier, %s arena%s%s)\n",
               Where.c_str(), Server.config().IoThreads,
               Service.config().RenderThreads, Service.config().CacheUnits,
               Service.config().QueueCapacity,
               execTierName(Service.config().Tier),
+              arenaLayoutName(Service.config().ArenaLayout.Layout),
+              Config.LlcBytes != 0 ? ", llc bound" : "",
               Config.SpillDir.empty() ? "" : ", spill on");
   std::fflush(stdout);
 
@@ -840,6 +870,14 @@ int main(int Argc, char **Argv) {
           Varying.push_back(Name);
     } else if (std::strcmp(Arg, "--limit") == 0) {
       Options.CacheByteLimit = std::strtoul(NextValue(), nullptr, 10);
+    } else if (std::strcmp(Arg, "--llc-bytes") == 0) {
+      const char *Value = NextValue();
+      Options.LlcByteBound = std::strcmp(Value, "auto") == 0
+                                 ? detectLlcBytes()
+                                 : std::strtoull(Value, nullptr, 10);
+    } else if (std::strcmp(Arg, "--arena-pixels") == 0) {
+      Options.ArenaPixels =
+          static_cast<unsigned>(std::strtoul(NextValue(), nullptr, 10));
     } else if (std::strcmp(Arg, "--reassoc") == 0) {
       Options.EnableReassociate = true;
     } else if (std::strcmp(Arg, "--no-phi") == 0) {
@@ -874,6 +912,11 @@ int main(int Argc, char **Argv) {
     usage(Argv[0]);
     return kExitUsage;
   }
+  if (Options.LlcByteBound != 0 && Options.ArenaPixels == 0) {
+    std::fprintf(stderr, "error: --llc-bytes requires --arena-pixels N (the "
+                         "grid the working set is measured over)\n");
+    return kExitUsage;
+  }
 
   std::string Source;
   if (!readFileToString(FilePath, Source)) {
@@ -903,8 +946,9 @@ int main(int Argc, char **Argv) {
   std::printf("// cache layout: %u slot(s), %u byte(s)\n",
               Spec->Spec.Layout.slotCount(), Spec->Spec.Layout.totalBytes());
   for (const CacheSlot &Slot : Spec->Spec.Layout.slots())
-    std::printf("//   slot%-3u %-6s offset %u\n", Slot.Index,
-                Slot.SlotType.name(), Slot.Offset);
+    std::printf("//   slot%-3u %-6s offset %u%s\n", Slot.Index,
+                Slot.SlotType.name(), Slot.Offset,
+                Slot.isCold() ? "  (cold)" : "");
 
   // The polyvariant view: build the property-keyed variant set and print
   // its table whenever variants were requested or an explanation was.
